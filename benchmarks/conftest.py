@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+A single session-scoped :class:`ExperimentRunner` is shared by every bench
+so design points and simulation results are computed once (Fig 7 is the
+16 B column of Fig 8; Fig 10 replots both).  Each bench renders its
+paper-vs-measured table to stdout *and* to ``benchmarks/results/<id>.txt``
+so the tables survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.params import SimulationParams
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Bench-speed settings: shorter windows than the library default, long
+#: enough for stable steady-state averages on a 10x10 mesh.
+BENCH_CONFIG = ExperimentConfig(
+    sim=SimulationParams(
+        warmup_cycles=300, measure_cycles=1_200, drain_cycles=10_000
+    ),
+    profile_cycles=10_000,
+)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        text = result.render()
+        print()
+        print(text)
+        path = RESULTS_DIR / f"{result.experiment.lower()}.txt"
+        path.write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,24 @@
+"""A1 (ablation) — shortcut budget B.
+
+The paper fixes the aggregate RF-I bandwidth at 256 B and allocates it as
+B = 16 shortcuts of 16 B.  Sweeping B shows each added shortcut lowering
+the average shortest path with diminishing returns, with simulated latency
+following.
+"""
+
+from repro.experiments.ablations import a1_shortcut_budget
+
+
+def test_a1_shortcut_budget(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: a1_shortcut_budget(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    series = result.series
+    budgets = sorted(series)
+    for lo, hi in zip(budgets, budgets[1:]):
+        assert series[hi]["avg_distance"] < series[lo]["avg_distance"]
+        assert series[hi]["latency"] <= series[lo]["latency"] * 1.02
+    first_half = series[0]["avg_distance"] - series[8]["avg_distance"]
+    second_half = series[8]["avg_distance"] - series[16]["avg_distance"]
+    assert first_half > second_half

@@ -1,0 +1,27 @@
+"""A2 (ablation) — number of tunable RF access points.
+
+Extends Fig 7's 25-vs-50 comparison with 12 and 100 points and the
+selection-objective view.  The paper found 100 "performed quite comparably"
+to 50 — selection freedom saturates once the stagger covers the die.
+"""
+
+from repro.experiments.ablations import a2_access_points
+
+
+def test_a2_access_points(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: a2_access_points(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    s = result.series
+    # Too few access points clearly hurts the selection objective...
+    worst = max(s[c]["weighted_cost"] for c in (25, 50, 100))
+    assert s[12]["weighted_cost"] > worst
+    # ...while 25/50/100 are within a few percent of each other — the
+    # paper's "100 performed quite comparably to 50".  (Greedy selection is
+    # not monotone in its candidate set, so small inversions can occur.)
+    best = min(s[c]["weighted_cost"] for c in (25, 50, 100))
+    assert worst <= best * 1.06
+    assert s[12]["latency"] > max(s[c]["latency"] for c in (25, 50, 100))
+    # RF area grows linearly with provisioned points.
+    assert s[100]["rf_area"] > s[50]["rf_area"] > s[25]["rf_area"]

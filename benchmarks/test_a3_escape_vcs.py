@@ -1,0 +1,26 @@
+"""A3 (ablation) — the reserved escape virtual channels.
+
+The paper handles deadlock with "eight reserved virtual channels that only
+use conventional mesh links".  Removing them exposes the cyclic channel
+dependencies a shortcut ring creates: under heavy bursts the escape-less
+network wedges or strands packets, while the escape-equipped one always
+drains completely.
+"""
+
+from repro.experiments.ablations import a3_escape_vcs
+
+
+def test_a3_escape_vcs(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: a3_escape_vcs(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    with_escape = result.series[2]
+    without = result.series[0]
+    # With escape VCs: complete delivery, always.
+    assert with_escape["drained"]
+    assert with_escape["delivered"] == with_escape["injected"]
+    # Without them the network must not do *better*; typically it wedges.
+    assert (not without["drained"]) or (
+        without["delivered"] <= with_escape["delivered"]
+    )

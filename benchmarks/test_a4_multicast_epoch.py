@@ -1,0 +1,22 @@
+"""A4 (ablation) — multicast arbitration epoch length.
+
+The paper's coarse-grained arbitration gives one cache-bank cluster the
+multicast band "for some fixed amount of time" without quantifying it.
+Short epochs keep RF multicast well ahead of serial unicasts; very long
+epochs hand the advantage back.
+"""
+
+from repro.experiments.ablations import a4_multicast_epoch
+
+
+def test_a4_multicast_epoch(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: a4_multicast_epoch(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    s = result.series
+    # Latency is non-decreasing in epoch length.
+    assert s[2] <= s[8] * 1.03
+    assert s[8] <= s[32] * 1.03
+    # At the short end, RF multicast beats the serial-unicast baseline.
+    assert s[2] < s["unicast"]

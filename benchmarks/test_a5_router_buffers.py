@@ -1,0 +1,20 @@
+"""A5 (ablation) — virtual-channel count sensitivity of the substrate.
+
+A correctness check on the Garnet-equivalent itself: at elevated load,
+adding VCs relieves head-of-line blocking, so latency must not degrade as
+VC count rises (and typically improves 2 -> 4).
+"""
+
+from repro.experiments.ablations import a5_router_buffers
+
+
+def test_a5_router_buffers(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: a5_router_buffers(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    s = result.series
+    assert s[4]["latency"] <= s[2]["latency"] * 1.02
+    assert s[8]["latency"] <= s[4]["latency"] * 1.05
+    for row in s.values():
+        assert row["delivery"] > 0.95

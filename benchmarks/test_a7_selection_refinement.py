@@ -1,0 +1,49 @@
+"""A7 (ablation) — how far is greedy selection from a 1-swap local optimum?
+
+The paper uses the cheap greedy heuristic after finding it comparable to
+the exhaustive permutation-graph one.  This ablation measures the remaining
+headroom directly: exact 1-swap local search on the greedy set.  A small
+gap justifies the greedy choice for the runtime reconfiguration path.
+"""
+
+from repro.experiments.report import Table
+from repro.shortcuts import (
+    SelectionConfig, objective, refine_shortcuts,
+    select_architecture_shortcuts,
+)
+
+
+def test_a7_refinement_headroom(benchmark, runner, save_result):
+    topo = runner.topology
+    config = SelectionConfig(budget=8)
+
+    def run():
+        greedy = select_architecture_shortcuts(topo, config)
+        before = objective(topo, greedy)
+        refined, after = refine_shortcuts(topo, greedy, config, max_passes=1)
+        return greedy, before, refined, after
+
+    greedy, before, refined, after = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "A7 — 1-swap local-search headroom over greedy (budget 8)",
+        ["selection", "objective", "gap"],
+    )
+    table.add("greedy", before, "-")
+    table.add("1-swap refined", after, f"{(before - after) / before:.2%}")
+
+    class _Result:
+        experiment = "A7"
+
+        @staticmethod
+        def render():
+            return table.render()
+
+    save_result(_Result())
+    assert after <= before
+    # Greedy leaves single-digit-percent headroom to its 1-swap local
+    # optimum (measured ~6% at budget 8) — consistent with the paper's
+    # "comparably well" and far from changing any design conclusion.
+    assert (before - after) / before < 0.10
+    assert len(refined) == len(greedy)

@@ -1,0 +1,86 @@
+"""A8 (ablation) — does the RF-I story scale with mesh size?
+
+The paper's argument is prospective: interconnect power grows as CMPs
+scale, so the shortcut overlay should matter *more* on larger meshes.  This
+ablation rebuilds the whole stack at 6x6, 8x8, and 10x10 and checks the
+static-shortcut latency gain grows with mesh diameter.
+"""
+
+import dataclasses
+
+from repro.experiments.report import Table
+from repro.noc import MeshTopology, Network, RoutingTables
+from repro.noc.simulator import Simulator
+from repro.params import MeshParams
+from repro.shortcuts import SelectionConfig, select_architecture_shortcuts
+from repro.traffic import ProbabilisticTraffic, uniform
+
+#: (width, cores, caches, memports) — component mix scaled with the mesh.
+SIZES = (
+    (6, 22, 10, 4),
+    (8, 42, 18, 4),
+    (10, 64, 32, 4),
+)
+
+
+def run_scaling(runner):
+    table = Table(
+        "A8 — mesh-size scaling (uniform traffic, 16 shortcuts)",
+        ["mesh", "avg dist (mesh)", "avg dist (rf)", "baseline lat",
+         "static lat", "gain"],
+    )
+    series = {}
+    for width, cores, caches, mems in SIZES:
+        mesh = MeshParams(width=width, height=width, num_cores=cores,
+                          num_caches=caches, num_memports=mems)
+        params = dataclasses.replace(runner.params, mesh=mesh)
+        topo = MeshTopology(mesh)
+        shortcuts = select_architecture_shortcuts(
+            topo, SelectionConfig(budget=16)
+        )
+        base_tables = RoutingTables(topo)
+        rf_tables = RoutingTables(topo, shortcuts)
+        pattern = uniform(topo)
+        lat = {}
+        for name, tables in (("baseline", base_tables), ("static", rf_tables)):
+            network = Network(topo, params, tables)
+            source = ProbabilisticTraffic(
+                topo, pattern, 0.012, seed=runner.config.traffic_seed
+            )
+            stats = Simulator(network, [source], runner.config.sim).run()
+            lat[name] = stats.avg_packet_latency
+        gain = 1 - lat["static"] / lat["baseline"]
+        series[width] = {
+            "mesh_dist": base_tables.average_distance(),
+            "rf_dist": rf_tables.average_distance(),
+            "baseline": lat["baseline"],
+            "static": lat["static"],
+            "gain": gain,
+        }
+        table.add(f"{width}x{width}", base_tables.average_distance(),
+                  rf_tables.average_distance(), lat["baseline"],
+                  lat["static"], gain)
+    table.note("the same 16-shortcut budget buys more on a larger mesh")
+    return table, series
+
+
+def test_a8_mesh_scaling(benchmark, runner, save_result):
+    table, series = benchmark.pedantic(
+        lambda: run_scaling(runner), rounds=1, iterations=1
+    )
+
+    class _Result:
+        experiment = "A8"
+
+        @staticmethod
+        def render():
+            return table.render()
+
+    save_result(_Result())
+    # Shortcuts help at every size...
+    for row in series.values():
+        assert row["gain"] > 0.05
+        assert row["rf_dist"] < row["mesh_dist"]
+    # ...and the absolute latency saved grows with the mesh.
+    saved = {w: series[w]["baseline"] - series[w]["static"] for w in series}
+    assert saved[10] > saved[6]

@@ -1,0 +1,31 @@
+"""B0 — simulator performance baseline (pytest-benchmark proper).
+
+Unlike the figure benches (one-shot table generators), this one uses
+pytest-benchmark's repeated timing to track the engine's simulation rate:
+cycles per second on the full 10x10 mesh under moderate uniform load.  A
+regression here makes every experiment slower, so it is worth a number.
+"""
+
+from repro.noc.simulator import Simulator
+from repro.params import SimulationParams
+from repro.traffic import ProbabilisticTraffic
+
+SIM = SimulationParams(warmup_cycles=0, measure_cycles=400, drain_cycles=0)
+
+
+def test_b0_engine_throughput(benchmark, runner):
+    design = runner.design("static", 16)
+
+    def run_window():
+        network = design.new_network()
+        source = ProbabilisticTraffic(
+            runner.topology, runner.patterns["uniform"], 0.02, seed=1
+        )
+        Simulator(network, [source], SIM).run()
+        return network.cycle
+
+    cycles = benchmark(run_window)
+    assert cycles == 400
+    # Sanity floor: the engine must stay above ~200 sim-cycles/second even
+    # on slow machines (it runs ~1000+ on typical hardware).
+    assert benchmark.stats["mean"] < 2.0

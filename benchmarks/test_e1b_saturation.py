@@ -1,0 +1,64 @@
+"""E1b — saturation throughput: where does each design stop keeping up?
+
+Complements E1's load-latency curves with the scalar the 2008 paper's
+evaluation implies: shortcut overlays must not *reduce* the sustainable
+load, and with adaptive routing the shortcut network should sustain at
+least as much as deterministic routing (the contention knee of E2 moves
+outward).
+"""
+
+from repro.experiments.report import Table
+from repro.experiments.saturation import find_saturation
+from repro.noc import Network, RoutingPolicy
+
+
+def run_saturation(runner):
+    table = Table(
+        "E1b — saturation rate (uniform, latency <= 2x zero-load)",
+        ["design", "zero-load lat", "saturation rate", "latency there"],
+    )
+    results = {}
+    base = find_saturation(runner, runner.design("baseline", 16))
+    results["baseline"] = base
+
+    static = runner.design("static", 16)
+    results["static-det"] = find_saturation(runner, static)
+
+    import dataclasses
+
+    adaptive_static = dataclasses.replace(
+        static, name="static-adaptive-routing",
+        policy=RoutingPolicy(adaptive=True),
+    )
+    results["static-ada"] = find_saturation(runner, adaptive_static)
+
+    for key, res in results.items():
+        table.add(key, res.zero_load_latency, res.saturation_rate,
+                  res.latency_at_saturation)
+    table.note("adaptive routing must sustain >= deterministic routing")
+    return table, results
+
+
+def test_e1b_saturation(benchmark, runner, save_result):
+    table, results = benchmark.pedantic(
+        lambda: run_saturation(runner), rounds=1, iterations=1
+    )
+
+    class _Result:
+        experiment = "E1b"
+
+        @staticmethod
+        def render():
+            return table.render()
+
+    save_result(_Result())
+    base = results["baseline"]
+    det = results["static-det"]
+    ada = results["static-ada"]
+    # Shortcuts lower zero-load latency...
+    assert det.zero_load_latency < base.zero_load_latency
+    # ...and adaptive routing sustains at least the deterministic rate.
+    assert ada.saturation_rate >= det.saturation_rate - 0.005
+    # Every design sustains a sane minimum load.
+    for res in results.values():
+        assert res.saturation_rate > 0.03

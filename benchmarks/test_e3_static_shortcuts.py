@@ -1,0 +1,14 @@
+"""E3 — static RF-I shortcut latency reduction per trace (paper: ~20%)."""
+
+from repro.experiments import e3_static_shortcut_gains
+
+
+def test_e3_static_shortcuts(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: e3_static_shortcut_gains(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    # Every trace improves, and the mean lands in the paper's ballpark.
+    per_trace = {k: v for k, v in result.series.items() if k != "mean"}
+    assert all(reduction > 0 for reduction in per_trace.values())
+    assert 0.08 <= result.series["mean"] <= 0.35

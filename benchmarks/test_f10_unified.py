@@ -1,0 +1,39 @@
+"""F10 (Fig 10) — unified power/performance comparison.
+
+Published conclusions: (a) unicast — the 4 B mesh with adaptive RF-I
+shortcuts matches the 16 B baseline's performance at ~35% of its power,
+and RF-I shortcuts beat the same shortcuts built from buffered RC wires;
+(b) multicast — the 4 B mesh combining 15 adaptive shortcuts with RF
+multicast delivers ~1.15x the baseline's performance at ~31% power.
+"""
+
+from repro.experiments import fig10_unified
+
+
+def test_f10_unified(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig10_unified(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    s = result.series
+
+    # (a) Unicast: RF shortcuts strictly beat wire shortcuts at 16 B.
+    assert s[("static", 16)]["performance"] > s[("wire", 16)]["performance"]
+    # Adaptive 4 B roughly matches the 16 B baseline at a fraction of power.
+    ad4 = s[("adaptive", 4)]
+    assert ad4["performance"] >= 0.88
+    assert ad4["power"] <= 0.50
+    # And it dominates the bare 4 B mesh outright.
+    base4 = s[("baseline", 4)]
+    assert ad4["performance"] > base4["performance"]
+
+    # (b) Multicast: the combined design is the most cost-effective.
+    combo4 = s[("adaptive+rf-mc", 4)]
+    assert combo4["performance"] >= 1.0
+    assert combo4["power"] <= 0.55
+    # RF multicast beats expanding multicasts into unicasts on the same
+    # adaptive topology.
+    assert (
+        s[("adaptive+rf-mc", 16)]["performance"]
+        > s[("adaptive+unicast-mc", 16)]["performance"]
+    )

@@ -1,0 +1,29 @@
+"""F1 (Fig 1) — traffic by Manhattan distance for x264 and bodytrack.
+
+Published shape: x264's profile is comparatively flat with traffic at the
+maximum distance and one hotspot; bodytrack is strongly local, sends the
+most messages between neighbours, and almost nothing beyond 13 hops.
+"""
+
+from repro.experiments import fig1_traffic_locality
+
+
+def test_f1_locality(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig1_traffic_locality(runner, num_messages=30_000),
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    x264 = result.series["x264"]
+    body = result.series["bodytrack"]
+    # bodytrack: nothing beyond 13 hops; x264 reaches the full diameter.
+    assert max(body) <= 13
+    assert max(x264) >= 14
+    # bodytrack is the more local application.
+    body_total = sum(body.values())
+    x264_total = sum(x264.values())
+    body_near = sum(c for d, c in body.items() if d <= 3) / body_total
+    x264_near = sum(c for d, c in x264.items() if d <= 3) / x264_total
+    assert body_near > x264_near
+    # bodytrack peaks at short distance.
+    assert max(body, key=body.get) <= 3

@@ -1,0 +1,29 @@
+"""F2 (Fig 2) — the overlay topologies: waveguide, static and adaptive sets.
+
+Structural reproduction: 50 staggered RF-enabled routers; 16 static
+shortcuts selected at design time; adaptive shortcuts for the 1Hotspot
+trace clustering near the hotspot cache bank at (7, 0).
+"""
+
+from repro.experiments import fig2_topologies
+
+
+def test_f2_topologies(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig2_topologies(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    static = result.series["static_shortcuts"]
+    adaptive = result.series["adaptive_shortcuts"]
+    assert len(static) == 16
+    assert len(adaptive) == 16
+    topo = runner.topology
+    hot = topo.router_id(7, 0)
+    # Fig 2(c): several adaptive endpoints sit within 2 hops of the hotspot.
+    near = sum(
+        1 for s, d in adaptive
+        if min(topo.manhattan(s, hot), topo.manhattan(d, hot)) <= 2
+    )
+    assert near >= 3
+    # The floorplan render shows all 50 access points.
+    assert result.series["floorplan"].count("*") == 50

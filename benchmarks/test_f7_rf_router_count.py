@@ -1,0 +1,33 @@
+"""F7 (Fig 7) — static vs adaptive-50 vs adaptive-25 RF-enabled routers.
+
+Published means (normalized to the 16 B baseline): static shortcuts 0.80
+latency / 1.11 power; adaptive with 50 access points 0.68 / 1.24; adaptive
+with 25 access points 0.72 / 1.15.
+"""
+
+from repro.experiments import fig7_rf_router_count
+
+
+def test_f7_rf_router_count(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig7_rf_router_count(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    s = result.series
+    static_lat = s["static"]["mean_latency"]
+    ad50_lat = s["adaptive50"]["mean_latency"]
+    ad25_lat = s["adaptive25"]["mean_latency"]
+    static_pwr = s["static"]["mean_power"]
+    ad50_pwr = s["adaptive50"]["mean_power"]
+    ad25_pwr = s["adaptive25"]["mean_power"]
+    # Everyone beats the baseline on latency, in the paper's ballpark.
+    assert 0.65 <= static_lat <= 0.92
+    assert ad50_lat <= static_lat
+    # Power ordering matches the paper: baseline < static < ad25 < ad50.
+    assert 1.0 < static_pwr < ad25_pwr < ad50_pwr < 1.40
+    # Adaptive-25 trades a little flexibility for a lot of power.
+    assert ad25_lat <= static_lat
+    # Hotspot traces benefit most from adaptation (the paper's observation).
+    hot_gain = s["adaptive50"]["latency"]["1Hotspot"]
+    uni_static = s["static"]["latency"]["1Hotspot"]
+    assert hot_gain <= uni_static

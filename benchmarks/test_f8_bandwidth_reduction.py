@@ -1,0 +1,39 @@
+"""F8 (Fig 8) — mesh link-width reduction with RF-I compensation.
+
+Published means (vs the 16 B baseline): 8 B baseline +4% latency / -48%
+power; 4 B baseline +27% / -72%; static-4B +11% / -67%; adaptive-4B about
+-1% latency / -62% power, with hotspot traces gaining up to 13%.
+"""
+
+from repro.experiments import fig8_bandwidth_reduction
+
+
+def test_f8_bandwidth_reduction(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig8_bandwidth_reduction(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    mean = {key: cells["mean"] for key, cells in result.series.items()}
+
+    # Power collapses with link width (the paper's headline lever).
+    assert 0.40 <= mean[("baseline", 8)][1] <= 0.62
+    assert 0.22 <= mean[("baseline", 4)][1] <= 0.36
+    # Narrow links cost latency on the bare mesh...
+    assert mean[("baseline", 8)][0] > 1.0
+    assert mean[("baseline", 4)][0] > mean[("baseline", 8)][0]
+    # ...static shortcuts claw much of it back...
+    assert mean[("static", 4)][0] < mean[("baseline", 4)][0]
+    # ...and adaptive shortcuts close most of the remaining gap while still
+    # saving more than half the NoC power.
+    assert mean[("adaptive", 4)][0] < mean[("static", 4)][0]
+    assert mean[("adaptive", 4)][0] <= 1.12
+    assert mean[("adaptive", 4)][1] <= 0.50
+
+    # Hotspot traces benefit the most from adaptation at 4 B (paper: the
+    # adaptive 4 B mesh beats even the 16 B baseline by up to 13% there).
+    hotspot_lat = min(
+        result.series[("adaptive", 4)][t][0]
+        for t in ("1Hotspot", "2Hotspot", "4Hotspot")
+    )
+    dataflow_lat = result.series[("adaptive", 4)]["biDF"][0]
+    assert hotspot_lat < dataflow_lat

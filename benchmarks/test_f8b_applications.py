@@ -1,0 +1,60 @@
+"""F8b — the real-application claim of Section 5.1.2.
+
+"For our real application traces, on average we save 67% power including
+the overhead incurred for RF-I for our adaptive architecture on a 4B mesh;
+while maintaining network latency on average that is comparable to the
+baseline at a 16B mesh."
+
+Run on the statistical application models (the documented Simics-trace
+substitution).  Power savings reproduce; latency is comparable for the
+non-local applications, while the strongly local ones (bodytrack,
+fluidanimate) pay a serialization penalty at 4 B that shortcuts cannot
+remove — their traffic is 1-3 hops of data messages, which widen from 3 to
+10 flits.  That finding is recorded rather than hidden.
+"""
+
+from repro.experiments.report import Table
+from repro.traffic import APPLICATION_NAMES
+
+
+def run_apps(runner):
+    table = Table(
+        "F8b — applications: adaptive-4B vs baseline-16B",
+        ["application", "latency ratio", "power ratio"],
+    )
+    series = {}
+    for app in APPLICATION_NAMES:
+        base = runner.run_unicast(runner.design("baseline", 16), app)
+        rf = runner.run_unicast(runner.design("adaptive", 4, workload=app), app)
+        lat = rf.avg_latency / base.avg_latency
+        pwr = rf.total_power_w / base.total_power_w
+        series[app] = {"latency": lat, "power": pwr}
+        table.add(app, lat, pwr)
+    table.note("paper: ~67% average power saving at comparable latency")
+    return table, series
+
+
+def test_f8b_applications(benchmark, runner, save_result):
+    table, series = benchmark.pedantic(
+        lambda: run_apps(runner), rounds=1, iterations=1
+    )
+
+    class _Result:
+        experiment = "F8b"
+
+        @staticmethod
+        def render():
+            return table.render()
+
+    save_result(_Result())
+    # Power savings hold for every application (paper: 67% average; our RF
+    # bias model is a little more expensive — see EXPERIMENTS.md).
+    for app, row in series.items():
+        assert row["power"] < 0.55, app
+    # Non-local applications keep latency close to the 16B baseline.
+    for app in ("x264", "specjbb", "streamcluster"):
+        assert series[app]["latency"] < 1.35, app
+    # Local applications are serialization-bound at 4B — a real finding,
+    # bounded here so regressions surface.
+    for app in ("bodytrack", "fluidanimate"):
+        assert series[app]["latency"] < 2.2, app

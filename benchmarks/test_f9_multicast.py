@@ -1,0 +1,32 @@
+"""F9 (Fig 9) — multicast: VCT vs RF multicast vs multicast + shortcuts.
+
+Published (vs the 16 B baseline treating multicasts as serial unicasts):
+VCT ~-3% latency at high (20%) locality, *worse* at moderate (50%)
+locality; RF multicast -14% latency at +11% power; RF multicast + 15
+adaptive shortcuts -37% latency at +25% power.
+"""
+
+from repro.experiments import fig9_multicast
+
+
+def test_f9_multicast(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: fig9_multicast(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    s = result.series
+    for locality in (20, 50):
+        vct = s[("vct", locality)]
+        mc = s[("mc", locality)]
+        mc_sc = s[("mc+sc", locality)]
+        # RF multicast clearly beats the serial-unicast baseline; adding
+        # shortcuts beats multicast alone.
+        assert mc["latency"] < 0.97
+        assert mc_sc["latency"] < mc["latency"]
+        # VCT stays within a few percent of baseline either way.
+        assert 0.90 <= vct["latency"] <= 1.12
+        # RF designs pay a power premium, bounded as in the paper.
+        assert 1.0 < mc["power"] < 1.35
+        assert 1.0 < mc_sc["power"] < 1.40
+    # VCT's advantage shrinks (or flips) when locality drops 20% -> 50%.
+    assert s[("vct", 50)]["latency"] >= s[("vct", 20)]["latency"] - 0.02

@@ -1,0 +1,23 @@
+"""T2 (Table 2) — active-silicon area of the nine network designs.
+
+Published totals (mm^2): baseline 30.29 / 9.38 / 3.25 at 16/8/4 B; static
+32.65 / 10.41 / 3.92; adaptive (50 APs) 37.66 / 12.60 / 5.34 — an 82.3%
+reduction for the adaptive 4 B design vs the 16 B baseline.
+"""
+
+import pytest
+
+from repro.experiments import TABLE2_PAPER, table2_area
+
+
+def test_t2_area(benchmark, runner, save_result):
+    result = benchmark.pedantic(
+        lambda: table2_area(runner), rounds=1, iterations=1
+    )
+    save_result(result)
+    for key, paper_total in TABLE2_PAPER.items():
+        measured = result.series[key].total_mm2
+        assert measured == pytest.approx(paper_total, rel=0.08), key
+    assert result.series["adaptive4_vs_baseline16_reduction"] == pytest.approx(
+        0.823, abs=0.02
+    )

@@ -1,0 +1,58 @@
+"""Per-application reconfiguration, end to end (Section 3.2).
+
+Profiles two very different workloads — the local, two-hotspot
+bodytrack-like application and the flat, one-hotspot x264-like application —
+then reconfigures the same 50-access-point overlay for each: shortcut
+selection over F(x,y), mixer retuning, and the 99-cycle routing-table
+update.  Prints both shortcut sets side by side and the latency each
+configuration achieves on each workload, demonstrating *why* adapting
+matters: a configuration tuned for one application is mediocre on another.
+
+Run:  python examples/adaptive_reconfiguration.py
+"""
+
+from repro import ExperimentRunner, FAST_CONFIG, MeshTopology, Simulator
+from repro.core import RFIOverlay, ReconfigurationController
+from repro.noc import Network, RoutingPolicy
+from repro.traffic import APPLICATIONS, ProbabilisticTraffic, application_pattern
+
+
+def main() -> None:
+    runner = ExperimentRunner(FAST_CONFIG)
+    topo: MeshTopology = runner.topology
+    overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+    controller = ReconfigurationController(topo, overlay)
+
+    workloads = ("bodytrack", "x264")
+    plans = {}
+    for app in workloads:
+        profile = runner.profile(app)
+        plans[app] = controller.reconfigure(profile)
+        print(f"Reconfigured for {app}:")
+        print(f"  shortcuts: {[(s.src, s.dst) for s in plans[app].shortcuts]}")
+        print(f"  routing-table update: {plans[app].table_update_cycles} cycles "
+              f"(1 per other router), tuning: {plans[app].tuning_cycles} cycles")
+        print()
+
+    print(f"{'configured for':<16}" + "".join(f"{w + ' lat':>16}" for w in workloads))
+    for configured in workloads:
+        cells = []
+        for running in workloads:
+            pattern = application_pattern(topo, APPLICATIONS[running])
+            source = ProbabilisticTraffic(
+                topo, pattern, APPLICATIONS[running].rate, seed=7
+            )
+            network = Network(
+                topo, runner.params, plans[configured].tables, RoutingPolicy()
+            )
+            stats = Simulator(network, [source], runner.config.sim).run()
+            cells.append(stats.avg_packet_latency)
+        print(f"{configured:<16}" + "".join(f"{c:>16.1f}" for c in cells))
+
+    print()
+    print("Diagonal entries (matched configuration) should be the row minima:")
+    print("the overlay tuned for an application serves it best.")
+
+
+if __name__ == "__main__":
+    main()

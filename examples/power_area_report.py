@@ -1,0 +1,55 @@
+"""Physical-design report: the power and area models, no simulation needed.
+
+Prints the derived 32 nm link constants (k_opt, h_opt, E_link), the Table 2
+area rows, the RF-I provisioning summary of each overlay style, and the
+waveguide geometry — everything Section 4.3 computes before a single packet
+moves.
+
+Run:  python examples/power_area_report.py
+"""
+
+from repro import ExperimentRunner, FAST_CONFIG, NoCPowerModel
+from repro.experiments import table2_area
+from repro.power import DEFAULT_TECHNOLOGY
+from repro.rfi import RFIPhysicalModel, Waveguide
+
+
+def main() -> None:
+    tech = DEFAULT_TECHNOLOGY
+    print("Derived 32 nm link model (paper Fig 6b):")
+    print(f"  k_opt (repeater size)     : {tech.k_opt:.1f}x minimum")
+    print(f"  h_opt (repeater spacing)  : {tech.h_opt_mm:.3f} mm")
+    print(f"  E_link                    : {tech.link_energy_pj_per_bit_mm:.4f} pJ/bit/mm")
+    print(f"  repeated-wire delay       : {tech.wire_delay_ns_per_mm():.3f} ns/mm "
+          f"(vs RF-I at ~0.015 ns/mm)")
+    print()
+
+    phy = RFIPhysicalModel()
+    print("RF-I physical constants (Sections 2, 4.3):")
+    print(f"  transmission lines        : {phy.params.num_lines} x "
+          f"{phy.params.line_gbps:.0f} Gbps")
+    print(f"  energy                    : {phy.params.energy_pj_per_bit} pJ/bit")
+    print(f"  16 static shortcuts       : {phy.static_area_mm2(16):.3f} mm^2")
+    print(f"  50 tunable access points  : {phy.adaptive_area_mm2(50):.3f} mm^2")
+    print()
+
+    runner = ExperimentRunner(FAST_CONFIG)
+    topo = runner.topology
+    wg = Waveguide(topo, topo.rf_enabled_routers(50))
+    print(f"Waveguide serpentine over 50 access points: {wg.length_mm():.0f} mm, "
+          f"{wg.propagation_ns():.2f} ns end-to-end")
+    print()
+
+    print(table2_area(runner).render())
+    print()
+
+    model = NoCPowerModel()
+    design = runner.design("adaptive", 4, workload="uniform")
+    result = runner.run_unicast(design, "uniform")
+    print("Power breakdown, adaptive 4B mesh under uniform traffic:")
+    for component, watts in result.power.breakdown().items():
+        print(f"  {component:<18} {watts:8.3f} W")
+
+
+if __name__ == "__main__":
+    main()

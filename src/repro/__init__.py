@@ -1,0 +1,89 @@
+"""repro — reproduction of the RF-I overlaid CMP network-on-chip.
+
+Target paper: "CMP network-on-chip overlaid with multi-band
+RF-interconnect" (HPCA 2008), plus its power-reduction follow-on by the
+same group (see DESIGN.md for the provenance note).
+
+Quick start::
+
+    from repro import ExperimentRunner, fig7_rf_router_count
+    runner = ExperimentRunner()
+    print(fig7_rf_router_count(runner).render())
+
+Packages
+--------
+``repro.noc``          cycle-level wormhole NoC simulator (the substrate)
+``repro.rfi``          RF-I physical layer (bands, mixers, waveguide, phy)
+``repro.core``         the contribution: overlay, reconfiguration, designs
+``repro.shortcuts``    shortcut-selection algorithms
+``repro.traffic``      probabilistic patterns, application models, traces
+``repro.power``        router/link/RF-I power and area models
+``repro.multicast``    RF-I multicast and the VCT baseline
+``repro.coherence``    directory-protocol traffic model
+``repro.cmp``          closed-loop CMP substrate (cores/caches/memory)
+``repro.experiments``  per-figure reproduction harness
+"""
+
+from repro.core import (
+    DesignPoint, RFIOverlay, ReconfigurationController, adaptive_rf,
+    adaptive_rf_multicast, baseline, static_rf, wire_static,
+)
+from repro.experiments import (
+    DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig, ExperimentRunner,
+    FigureResult, RunResult, e1_load_latency, e2_adaptive_routing,
+    e3_static_shortcut_gains, e4_heuristic_ablation, fig1_traffic_locality,
+    fig2_topologies, fig7_rf_router_count, fig8_bandwidth_reduction,
+    fig9_multicast, fig10_unified, table2_area,
+)
+from repro.noc import (
+    Message, MessageClass, MeshTopology, Network, NetworkStats, Packet,
+    RoutingPolicy, RoutingTables, Shortcut, Simulator, simulate,
+)
+from repro.params import DEFAULT_PARAMS, ArchitectureParams
+from repro.power import AreaReport, NoCPowerModel, PowerReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaReport",
+    "ArchitectureParams",
+    "DEFAULT_CONFIG",
+    "DEFAULT_PARAMS",
+    "DesignPoint",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "FAST_CONFIG",
+    "FigureResult",
+    "Message",
+    "MessageClass",
+    "MeshTopology",
+    "Network",
+    "NetworkStats",
+    "NoCPowerModel",
+    "Packet",
+    "PowerReport",
+    "RFIOverlay",
+    "ReconfigurationController",
+    "RoutingPolicy",
+    "RoutingTables",
+    "RunResult",
+    "Shortcut",
+    "Simulator",
+    "adaptive_rf",
+    "adaptive_rf_multicast",
+    "baseline",
+    "e1_load_latency",
+    "e2_adaptive_routing",
+    "e3_static_shortcut_gains",
+    "e4_heuristic_ablation",
+    "fig1_traffic_locality",
+    "fig2_topologies",
+    "fig7_rf_router_count",
+    "fig8_bandwidth_reduction",
+    "fig9_multicast",
+    "fig10_unified",
+    "simulate",
+    "static_rf",
+    "table2_area",
+    "wire_static",
+]

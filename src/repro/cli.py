@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``params``      print the network-simulation parameter table (Fig 5a)
+``floorplan``   render the CMP floorplan with RF access points (Fig 2a)
+``list``        list the reproducible experiments
+``run``         run one experiment (or ``all``) and print its table
+``simulate``    one-off simulation of a (design, trace) cell
+
+All output is plain text; ``run --out DIR`` additionally writes each
+experiment's table to ``DIR/<id>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    DEFAULT_CONFIG, FAST_CONFIG, ExperimentRunner, e1_load_latency,
+    e2_adaptive_routing, e3_static_shortcut_gains, e4_heuristic_ablation,
+    fig1_traffic_locality, fig2_topologies, fig7_rf_router_count,
+    fig8_bandwidth_reduction, fig9_multicast, fig10_unified, table2_area,
+)
+from repro.params import DEFAULT_PARAMS
+
+EXPERIMENTS = {
+    "E1": (e1_load_latency, "load-latency: baseline vs static shortcuts"),
+    "E2": (e2_adaptive_routing, "adaptive routing under shortcut contention"),
+    "E3": (e3_static_shortcut_gains, "static shortcut latency reduction"),
+    "E4": (e4_heuristic_ablation, "Fig 3a vs 3b selection heuristics"),
+    "F1": (fig1_traffic_locality, "traffic by Manhattan distance (Fig 1)"),
+    "F2": (fig2_topologies, "overlay topologies (Fig 2)"),
+    "F7": (fig7_rf_router_count, "RF-enabled router count (Fig 7)"),
+    "F8": (fig8_bandwidth_reduction, "mesh bandwidth reduction (Fig 8)"),
+    "F9": (fig9_multicast, "multicast comparison (Fig 9)"),
+    "F10": (fig10_unified, "unified power/performance (Fig 10)"),
+    "T2": (table2_area, "NoC area (Table 2)"),
+}
+
+
+def render_parameters() -> str:
+    """The Fig 5a 'Network Simulation Parameters' table."""
+    p = DEFAULT_PARAMS
+    rows = [
+        ("Topology", f"{p.mesh.width}x{p.mesh.height} mesh"),
+        ("Components", f"{p.mesh.num_cores} cores, {p.mesh.num_caches} "
+                       f"cache banks, {p.mesh.num_memports} memory ports"),
+        ("Clocks", f"network {p.mesh.network_ghz:.0f} GHz, "
+                   f"cores/caches {p.mesh.core_ghz:.0f} GHz"),
+        ("Die", f"{p.mesh.die_area_mm2:.0f} mm^2 "
+                f"({p.mesh.router_spacing_mm:.1f} mm router spacing)"),
+        ("Link width", f"{p.mesh.link_bytes} B/cycle (8 B and 4 B variants)"),
+        ("Switching", "wormhole, credit-based flow control"),
+        ("Router pipeline", f"{p.router.pipeline_head_cycles}-cycle head "
+                            f"(RC/VA/SA/ST/LT), "
+                            f"{p.router.pipeline_body_cycles}-cycle body"),
+        ("Virtual channels", f"{p.router.num_vcs} + "
+                             f"{p.router.num_escape_vcs} escape per input, "
+                             f"{p.router.vc_buffer_flits}-flit buffers"),
+        ("Messages", f"request {p.message.request_bytes} B, data "
+                     f"{p.message.data_bytes} B, memory "
+                     f"{p.message.memory_bytes} B"),
+        ("RF-I", f"{p.rfi.num_lines} lines x {p.rfi.line_gbps:.0f} Gbps = "
+                 f"{p.rfi.aggregate_bytes_per_cycle} B/cycle, "
+                 f"{p.rfi.shortcut_budget} x {p.rfi.shortcut_bytes} B bands"),
+        ("RF-I physics", f"{p.rfi.energy_pj_per_bit} pJ/bit, "
+                         f"{p.rfi.area_um2_per_gbps} um^2/Gbps, "
+                         f"single-cycle cross-chip"),
+        ("Deadlock", "escape VC class, XY on mesh links only"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = ["Network Simulation Parameters (Fig 5a)",
+             "=" * 40]
+    lines += [f"{name:<{width}}  {value}" for name, value in rows]
+    return "\n".join(lines)
+
+
+def cmd_params(_args) -> int:
+    """Print the Fig 5a parameter table."""
+    print(render_parameters())
+    return 0
+
+
+def cmd_floorplan(args) -> int:
+    """Render the CMP floorplan with RF access points."""
+    runner = ExperimentRunner(FAST_CONFIG)
+    topo = runner.topology
+    rf = set(topo.rf_enabled_routers(args.access_points))
+    print(f"C=core  $=cache  M=memory  *=RF access point ({len(rf)})")
+    print(topo.render(rf))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    """List the reproducible experiments."""
+    for key, (_fn, description) in EXPERIMENTS.items():
+        print(f"{key:<4} {description}")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    """Characterize every workload (Table 1 + the Fig 5b substitution)."""
+    from repro.traffic import (
+        APPLICATIONS, PATTERN_NAMES, ProbabilisticTraffic, detect_hotspots,
+        locality_index,
+    )
+
+    runner = ExperimentRunner(FAST_CONFIG)
+    topo = runner.topology
+    print(f"{'workload':<15} {'rate':>6} {'locality':>9} {'hotspots':>9}")
+    for name in PATTERN_NAMES + tuple(APPLICATIONS):
+        source = ProbabilisticTraffic(
+            topo, runner.pattern(name), runner.rate(name), seed=args.seed
+        )
+        profile = source.collect_profile(args.cycles)
+        hotspots = detect_hotspots(profile)
+        print(
+            f"{name:<15} {runner.rate(name):>6.3f} "
+            f"{locality_index(profile, topo):>9.2f} {len(hotspots):>9}"
+        )
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run one experiment (or 'all') and print/write its table."""
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    runner = ExperimentRunner(config)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        key = name.upper()
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; see 'list'", file=sys.stderr)
+            return 2
+        fn, _ = EXPERIMENTS[key]
+        result = fn(runner)
+        text = result.render()
+        print(text)
+        print()
+        if out_dir:
+            (out_dir / f"{key.lower()}.txt").write_text(text + "\n")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Simulate one (design, trace) cell and print its metrics."""
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    runner = ExperimentRunner(config)
+    design = runner.design(args.design, args.width, workload=args.trace)
+    result = runner.run_unicast(design, args.trace)
+    print(f"design    : {design.name}")
+    print(f"trace     : {args.trace}")
+    print(f"latency   : {result.avg_latency:.2f} cycles/packet "
+          f"({result.avg_flit_latency:.2f} /flit)")
+    print(f"power     : {result.total_power_w:.2f} W")
+    print(f"area      : {result.total_area_mm2:.2f} mm^2")
+    print(f"delivered : {result.stats.delivered_packets} packets "
+          f"({result.stats.delivery_ratio:.3f} of injected)")
+    if args.heatmap:
+        from repro.noc.visualize import render_traffic_heatmap
+
+        print()
+        print(render_traffic_heatmap(result.stats, runner.topology))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RF-I overlaid CMP NoC reproduction (HPCA 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("params", help="print Fig 5a parameters").set_defaults(
+        fn=cmd_params
+    )
+
+    floorplan = sub.add_parser("floorplan", help="render the CMP floorplan")
+    floorplan.add_argument("--access-points", type=int, default=50)
+    floorplan.set_defaults(fn=cmd_floorplan)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=cmd_list)
+
+    workloads = sub.add_parser(
+        "workloads", help="characterize every workload (locality, hotspots)"
+    )
+    workloads.add_argument("--cycles", type=int, default=8_000)
+    workloads.add_argument("--seed", type=int, default=4)
+    workloads.set_defaults(fn=cmd_workloads)
+
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment")
+    run.add_argument("--fast", action="store_true",
+                     help="short simulation windows")
+    run.add_argument("--out", help="also write tables to this directory")
+    run.set_defaults(fn=cmd_run)
+
+    simulate = sub.add_parser("simulate", help="one (design, trace) cell")
+    simulate.add_argument("--design", default="baseline",
+                          choices=["baseline", "static", "wire", "adaptive"])
+    simulate.add_argument("--width", type=int, default=16, choices=[16, 8, 4])
+    simulate.add_argument("--trace", default="uniform")
+    simulate.add_argument("--fast", action="store_true")
+    simulate.add_argument("--heatmap", action="store_true",
+                          help="print the traffic heatmap afterwards")
+    simulate.set_defaults(fn=cmd_simulate)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

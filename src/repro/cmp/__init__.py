@@ -1,0 +1,31 @@
+"""Closed-loop CMP substrate: cores + caches + memory over the NoC.
+
+The mechanistic substitution for the paper's Simics-driven full-system
+runs: address kernels -> real L1/L2 tag arrays -> directory protocol ->
+network messages, with cores stalling on outstanding misses so network
+latency feeds back into offered load.
+"""
+
+from repro.cmp.address import (
+    KERNELS, Access, AddressStream, LockHotspotKernel, PointerChaseKernel,
+    ProducerConsumerKernel, StreamingKernel, make_kernel,
+)
+from repro.cmp.caches import L1Cache, L2Bank, L2Line
+from repro.cmp.system import CMPConfig, CMPSystem, CoreState
+
+__all__ = [
+    "Access",
+    "AddressStream",
+    "CMPConfig",
+    "CMPSystem",
+    "CoreState",
+    "KERNELS",
+    "L1Cache",
+    "L2Bank",
+    "L2Line",
+    "LockHotspotKernel",
+    "PointerChaseKernel",
+    "ProducerConsumerKernel",
+    "StreamingKernel",
+    "make_kernel",
+]

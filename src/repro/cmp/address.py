@@ -1,0 +1,181 @@
+"""Address-stream kernels: what the cores actually touch.
+
+The paper's application traces come from real programs; this closed-loop
+substrate replaces them with *mechanistic* kernels — address generators
+whose cache behaviour (and therefore network traffic) emerges from the
+memory hierarchy rather than being sampled from a distribution:
+
+* ``streaming`` — sequential sweeps over large private arrays: high L1
+  miss rate on line boundaries, L2 streaming misses, heavy memory traffic;
+* ``pointer_chase`` — uniform random accesses over a large working set:
+  misses everywhere, latency-bound cores;
+* ``producer_consumer`` — each core reads blocks its ring-neighbour
+  writes: directory sharing, invalidations, dataflow-patterned bank
+  traffic (the paper's UniDF motif, produced by coherence);
+* ``lock_hotspot`` — every core hammers a handful of shared blocks homed
+  on one bank: the 1Hotspot motif plus invalidation multicasts.
+
+Addresses are block addresses (one unit = one cache line).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory operation issued by a core."""
+
+    block: int
+    is_write: bool
+
+
+class AddressStream:
+    """Base: per-core generator of :class:`Access`."""
+
+    def next_access(self, cycle: int) -> Access:  # pragma: no cover
+        """Produce the next memory access of this stream."""
+        raise NotImplementedError
+
+
+class StreamingKernel(AddressStream):
+    """Sequential sweep over a private region, occasional writes."""
+
+    def __init__(self, core_index: int, region_blocks: int = 448,
+                 write_ratio: float = 0.3, seed: int = 0):
+        self.base = (core_index + 1) * 1_000_000
+        self.region = region_blocks
+        self.write_ratio = write_ratio
+        self.pos = 0
+        self.rng = random.Random(seed * 977 + core_index)
+
+    def next_access(self, cycle: int) -> Access:
+        """Produce the next memory access of this stream."""
+        block = self.base + self.pos
+        self.pos = (self.pos + 1) % self.region
+        return Access(block, self.rng.random() < self.write_ratio)
+
+
+class PointerChaseKernel(AddressStream):
+    """Uniform random blocks over a large private working set."""
+
+    def __init__(self, core_index: int, working_set_blocks: int = 512,
+                 write_ratio: float = 0.1, seed: int = 0):
+        self.base = (core_index + 1) * 1_000_000
+        self.working_set = working_set_blocks
+        self.write_ratio = write_ratio
+        self.rng = random.Random(seed * 1237 + core_index)
+
+    def next_access(self, cycle: int) -> Access:
+        """Produce the next memory access of this stream."""
+        block = self.base + self.rng.randrange(self.working_set)
+        return Access(block, self.rng.random() < self.write_ratio)
+
+
+class ProducerConsumerKernel(AddressStream):
+    """Ring pipeline: write own buffer, read the upstream neighbour's."""
+
+    def __init__(self, core_index: int, num_cores: int,
+                 buffer_blocks: int = 256, read_ratio: float = 0.6,
+                 seed: int = 0):
+        self.own_base = (core_index + 1) * 100_000
+        upstream = (core_index - 1) % num_cores
+        self.upstream_base = (upstream + 1) * 100_000
+        self.buffer = buffer_blocks
+        self.read_ratio = read_ratio
+        self.rng = random.Random(seed * 31 + core_index)
+
+    def next_access(self, cycle: int) -> Access:
+        """Produce the next memory access of this stream."""
+        offset = self.rng.randrange(self.buffer)
+        if self.rng.random() < self.read_ratio:
+            return Access(self.upstream_base + offset, False)
+        return Access(self.own_base + offset, True)
+
+
+class LockHotspotKernel(AddressStream):
+    """Mostly private work, frequent touches of a few shared hot blocks."""
+
+    def __init__(self, core_index: int, hot_blocks: int = 4,
+                 hot_ratio: float = 0.3, private_blocks: int = 384,
+                 write_ratio_hot: float = 0.5, seed: int = 0):
+        self.private_base = (core_index + 1) * 1_000_000
+        self.private = private_blocks
+        self.hot_blocks = hot_blocks
+        self.hot_ratio = hot_ratio
+        self.write_ratio_hot = write_ratio_hot
+        self.rng = random.Random(seed * 613 + core_index)
+
+    def next_access(self, cycle: int) -> Access:
+        """Produce the next memory access of this stream."""
+        if self.rng.random() < self.hot_ratio:
+            # Shared blocks live at small fixed addresses (one home bank).
+            block = self.rng.randrange(self.hot_blocks)
+            return Access(block, self.rng.random() < self.write_ratio_hot)
+        block = self.private_base + self.rng.randrange(self.private)
+        return Access(block, self.rng.random() < 0.1)
+
+
+class ReuseWrapper(AddressStream):
+    """Adds temporal locality to any stream.
+
+    With probability ``reuse`` the next access re-touches one of the last
+    ``window`` distinct blocks (a register/stack/loop-variable proxy);
+    otherwise the base stream advances.  Real programs re-reference
+    recently touched lines heavily — without this, block-granularity
+    kernels would never hit the L1 at all.
+    """
+
+    def __init__(self, base: AddressStream, reuse: float = 0.7,
+                 window: int = 24, seed: int = 0):
+        if not (0.0 <= reuse < 1.0):
+            raise ValueError("reuse must be in [0, 1)")
+        self.base = base
+        self.reuse = reuse
+        self.window = window
+        self.recent: list[Access] = []
+        self.rng = random.Random(seed * 389 + 7)
+
+    def next_access(self, cycle: int) -> Access:
+        """Produce the next memory access of this stream."""
+        if self.recent and self.rng.random() < self.reuse:
+            return self.rng.choice(self.recent)
+        access = self.base.next_access(cycle)
+        self.recent.append(access)
+        if len(self.recent) > self.window:
+            self.recent.pop(0)
+        return access
+
+
+KERNELS = {
+    "streaming": StreamingKernel,
+    "pointer_chase": PointerChaseKernel,
+    "producer_consumer": ProducerConsumerKernel,
+    "lock_hotspot": LockHotspotKernel,
+}
+
+#: Temporal-reuse probability per kernel (fresh-block accesses otherwise).
+KERNEL_REUSE = {
+    "streaming": 0.85,        # ~8 word accesses per cache line
+    "pointer_chase": 0.70,    # loop bodies around dependent loads
+    "producer_consumer": 0.70,
+    "lock_hotspot": 0.70,
+}
+
+
+def make_kernel(name: str, core_index: int, num_cores: int, seed: int = 0):
+    """Instantiate a kernel by name for one core (with temporal reuse)."""
+    if name == "producer_consumer":
+        base = ProducerConsumerKernel(core_index, num_cores, seed=seed)
+    else:
+        try:
+            cls = KERNELS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown kernel {name!r}; choose from {sorted(KERNELS)}"
+            )
+        base = cls(core_index, seed=seed)
+    return ReuseWrapper(base, reuse=KERNEL_REUSE[name],
+                        seed=seed * 53 + core_index)

@@ -1,0 +1,128 @@
+"""Cache structures: per-core L1 filters and shared L2 bank tag stores.
+
+Real tag arrays, not hit-rate dials: the L1 is a direct-mapped array of
+block tags; each L2 bank is set-associative with LRU replacement, a dirty
+bit, and a directory sharer set per line.  Network traffic in the
+closed-loop system is therefore *produced* by these structures — change the
+working set or the cache geometry and the traffic changes the way it would
+in a full-system simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class L1Cache:
+    """Direct-mapped private L1 filter (block granularity)."""
+
+    def __init__(self, num_lines: int = 64):
+        if num_lines <= 0:
+            raise ValueError("L1 needs at least one line")
+        self.num_lines = num_lines
+        self.tags = [-1] * num_lines
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, block: int) -> int:
+        return block % self.num_lines
+
+    def lookup(self, block: int) -> bool:
+        """Probe; counts a hit or a miss."""
+        if self.tags[self._index(block)] == block:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, block: int) -> None:
+        """Install a block (evicting whatever shared its line)."""
+        self.tags[self._index(block)] = block
+
+    def invalidate(self, block: int) -> bool:
+        """Drop a block if present (directory invalidation); True if it was."""
+        index = self._index(block)
+        if self.tags[index] == block:
+            self.tags[index] = -1
+            return True
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total probes since the last counter reset."""
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+
+@dataclass
+class L2Line:
+    """One L2 line: tag, dirty bit, and the directory's sharer set."""
+
+    block: int
+    dirty: bool = False
+    sharers: set[int] = field(default_factory=set)
+
+
+class L2Bank:
+    """Set-associative L2 bank with LRU replacement and directory state."""
+
+    def __init__(self, num_sets: int = 256, ways: int = 8):
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("bank geometry must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        # Per set: list of L2Line in LRU order (front = least recent).
+        self.sets: list[list[L2Line]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def _set(self, block: int) -> list[L2Line]:
+        return self.sets[block % self.num_sets]
+
+    def lookup(self, block: int) -> L2Line | None:
+        """Probe and update LRU; counts a hit or a miss."""
+        lines = self._set(block)
+        for i, line in enumerate(lines):
+            if line.block == block:
+                lines.append(lines.pop(i))  # most-recently used at back
+                self.hits += 1
+                return line
+        self.misses += 1
+        return None
+
+    def peek(self, block: int) -> L2Line | None:
+        """Probe without LRU or counter effects."""
+        for line in self._set(block):
+            if line.block == block:
+                return line
+        return None
+
+    def install(self, block: int) -> tuple[L2Line, L2Line | None]:
+        """Insert a line, evicting LRU if the set is full.
+
+        Returns (new line, evicted line or None).  The caller handles the
+        victim's writeback and sharer invalidations.
+        """
+        lines = self._set(block)
+        victim = None
+        if len(lines) >= self.ways:
+            victim = lines.pop(0)
+            self.evictions += 1
+            if victim.dirty:
+                self.writebacks += 1
+        line = L2Line(block)
+        lines.append(line)
+        return line, victim
+
+    @property
+    def occupancy(self) -> int:
+        """Lines currently resident across all sets."""
+        return sum(len(s) for s in self.sets)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total probes since the last counter reset."""
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")

@@ -1,0 +1,412 @@
+"""The closed-loop CMP system: cores, banks, and memory over the NoC.
+
+This binds the cache structures and address kernels to a live
+:class:`~repro.noc.network.Network`: every network message is produced by a
+cache event, and cores *stall* when their outstanding-miss budget (MSHRs)
+is exhausted — so network latency feeds back into how much traffic the
+system offers, the behaviour open-loop traces cannot show.
+
+Protocol (message level, home-directory, block granularity):
+
+* core load/store → L1 probe; hit retires silently;
+* L1 miss → 7 B request to the block's home L2 bank (address-interleaved);
+* bank hit → 39 B data reply after ``bank_latency``; a write first sends
+  invalidations to the other sharers (serial unicasts, or one DBV message
+  through a pluggable multicast realization) which drop the block from
+  remote L1s;
+* bank miss → 132 B fetch to the quadrant's memory controller, serviced in
+  ``memory_latency`` cycles, 132 B refill back, then the data reply;
+  evictions write back dirty victims and invalidate their sharers;
+* concurrent misses to one in-flight line merge at the bank (MSHR merge);
+* the reply's tail ejection at the core retires the load, fills the L1,
+  and frees the MSHR.
+
+Everything rides the network's opaque message ``payload``; the system
+dispatches on it from a single delivery hook.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cmp.address import make_kernel
+from repro.cmp.caches import L1Cache, L2Bank
+from repro.noc.message import Message, MessageClass, Packet, message_bytes
+from repro.noc.network import Network
+from repro.noc.topology import MeshTopology, NodeKind
+
+
+@dataclass(frozen=True)
+class CMPConfig:
+    """Knobs of the closed-loop system."""
+
+    kernel: str = "pointer_chase"
+    mem_ratio: float = 0.3         # fraction of instructions touching memory
+    mshrs: int = 4                 # outstanding load misses per core
+    l1_lines: int = 64
+    l2_sets: int = 128
+    l2_ways: int = 8
+    bank_latency: int = 4          # L2 tag+data access, network cycles
+    memory_latency: int = 60       # controller access time, network cycles
+    memory_service_interval: int = 6  # controller bandwidth: 1 block / N cyc
+    seed: int = 2008
+
+
+@dataclass
+class CoreState:
+    """Per-core execution state."""
+
+    router: int
+    l1: L1Cache
+    stream: object
+    outstanding: int = 0
+    retired: int = 0
+    stall_cycles: int = 0
+    load_latencies: list[int] = field(default_factory=list)
+    #: Core-side MSHR merging: block -> number of loads waiting on it.
+    in_flight: dict[int, int] = field(default_factory=dict)
+
+
+class CMPSystem:
+    """Drives a network as the memory system of a 64-core CMP.
+
+    Composes as a traffic source: pass it to the :class:`Simulator` (or
+    call :meth:`tick` each cycle yourself).  ``invalidation_realization``
+    optionally routes DBV invalidations through a multicast engine
+    (:mod:`repro.multicast`); by default they go as serial unicasts.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: CMPConfig = CMPConfig(),
+        invalidation_realization=None,
+    ):
+        self.network = network
+        self.config = config
+        self.topology: MeshTopology = network.topology
+        self.invalidation_realization = invalidation_realization
+        import random
+
+        self._rng = random.Random(config.seed)
+
+        core_routers = self.topology.cores
+        self.cores: dict[int, CoreState] = {
+            router: CoreState(
+                router=router,
+                l1=L1Cache(config.l1_lines),
+                stream=make_kernel(config.kernel, i, len(core_routers),
+                                   seed=config.seed),
+            )
+            for i, router in enumerate(core_routers)
+        }
+        self.banks: dict[int, L2Bank] = {
+            router: L2Bank(config.l2_sets, config.l2_ways)
+            for router in self.topology.caches
+        }
+        self._bank_order = list(self.topology.caches)
+        self._num_banks = len(self._bank_order)
+        self._mem_for_bank = {
+            bank: self._nearest_memport(bank) for bank in self._bank_order
+        }
+        # Memory controllers serve one block fetch per service interval.
+        self._mem_busy_until: dict[int, int] = {
+            m: 0 for m in self.topology.memports
+        }
+        # In-flight L2 misses per bank: block -> list of (core, is_write).
+        self._pending: dict[int, dict[int, list]] = defaultdict(dict)
+        self._events: dict[int, list] = defaultdict(list)
+        self.invalidations_sent = 0
+        self.multicast_invalidations = 0
+        # Event-counter profile F(x, y), fed by every message this system
+        # sends — directly consumable by application-specific selection.
+        self.profile_counts: dict[tuple[int, int], int] = defaultdict(int)
+        network.delivery_hooks.append(self._on_delivery)
+
+    # -- mapping -----------------------------------------------------------
+
+    def home_bank(self, block: int) -> int:
+        """Static address interleaving across the 32 banks."""
+        return self._bank_order[block % self._num_banks]
+
+    def _local(self, block: int) -> int:
+        """Bank-local line address.
+
+        The interleaving consumes the low ``log2(banks)`` bits; indexing
+        the bank's sets with the *global* address would alias every block
+        a bank owns into 1/32 of its sets.
+        """
+        return block // self._num_banks
+
+    def _nearest_memport(self, bank: int) -> int:
+        return min(
+            self.topology.memports,
+            key=lambda m: (self.topology.manhattan(bank, m), m),
+        )
+
+    # -- message plumbing -----------------------------------------------------
+
+    def _send(self, src: int, dst: int, cls: MessageClass, payload) -> Packet:
+        message = Message(
+            src=src, dst=dst,
+            size_bytes=message_bytes(cls, self.network.params.message),
+            cls=cls, payload=payload,
+        )
+        self.profile_counts[(src, dst)] += 1
+        return self.network.inject(message)
+
+    def profile_matrix(self):
+        """F(x, y) as a dense numpy matrix (for shortcut selection)."""
+        import numpy as np
+
+        n = self.topology.params.num_routers
+        matrix = np.zeros((n, n))
+        for (src, dst), count in self.profile_counts.items():
+            matrix[src, dst] = count
+        return matrix
+
+    def _schedule(self, delay: int, fn) -> None:
+        self._events[self.network.cycle + delay].append(fn)
+
+    # -- functional warmup ---------------------------------------------------
+
+    def warm_caches(self, accesses_per_core: int = 2_000) -> None:
+        """Functionally warm L1s, L2 tags, and directory state.
+
+        Runs each core's address stream through the cache structures with
+        no timing and no network messages — the standard warm-start
+        methodology, avoiding a cold-miss burst that would put thousands
+        of fetches into the memory queue before steady state.
+        """
+        for core in self.cores.values():
+            for cycle in range(accesses_per_core):
+                access = core.stream.next_access(cycle)
+                if core.l1.lookup(access.block):
+                    continue
+                core.l1.fill(access.block)
+                bank = self.banks[self.home_bank(access.block)]
+                local = self._local(access.block)
+                line = bank.lookup(local)
+                if line is None:
+                    line, victim = bank.install(local)
+                    if victim is not None and victim.sharers:
+                        for sharer in victim.sharers:
+                            owner = self.cores.get(sharer)
+                            if owner is not None:
+                                owner.l1.invalidate(access.block)
+                if access.is_write:
+                    line.sharers = {core.router}
+                    line.dirty = True
+                else:
+                    line.sharers.add(core.router)
+        # Warmup must not pollute the measured hit rates.
+        for core in self.cores.values():
+            core.l1.hits = core.l1.misses = 0
+        for bank in self.banks.values():
+            bank.hits = bank.misses = 0
+            bank.evictions = bank.writebacks = 0
+
+    # -- per-cycle driver --------------------------------------------------------
+
+    def tick(self, network: Network) -> None:
+        """Advance one cycle: run due events, then let every core issue."""
+        cycle = network.cycle
+        for fn in self._events.pop(cycle, ()):
+            fn()
+        for core in self.cores.values():
+            self._issue(core, cycle)
+
+    def _issue(self, core: CoreState, cycle: int) -> None:
+        if core.outstanding >= self.config.mshrs:
+            core.stall_cycles += 1
+            return
+        if self._rng.random() >= self.config.mem_ratio:
+            core.retired += 1  # compute instruction
+            return
+        access = core.stream.next_access(cycle)
+        if core.l1.lookup(access.block):
+            core.retired += 1
+            return
+        if access.block in core.in_flight:
+            # MSHR merge: the line is already on its way.
+            if access.is_write:
+                core.retired += 1  # write-combined
+            else:
+                core.in_flight[access.block] += 1  # retires on the fill
+            return
+        payload = ("req", access.block, core.router, access.is_write, cycle)
+        self._send(core.router, self.home_bank(access.block),
+                   MessageClass.REQUEST, payload)
+        if access.is_write:
+            core.retired += 1  # write buffer: stores do not stall
+            core.in_flight[access.block] = 0
+        else:
+            core.outstanding += 1
+            core.in_flight[access.block] = 1
+
+    # -- delivery dispatch ----------------------------------------------------------
+
+    def _on_delivery(self, packet: Packet, cycle: int) -> None:
+        payload = packet.message.payload
+        if not isinstance(payload, tuple):
+            return
+        kind = payload[0]
+        if kind == "req":
+            _, block, core, is_write, issued = payload
+            self._schedule(
+                self.config.bank_latency,
+                lambda: self._bank_access(packet.dst, block, core, is_write,
+                                          issued),
+            )
+        elif kind == "fetch":
+            _, bank, block = payload
+            controller = packet.dst
+            start = max(cycle, self._mem_busy_until[controller])
+            self._mem_busy_until[controller] = (
+                start + self.config.memory_service_interval
+            )
+            done = start + self.config.memory_latency
+            self._schedule(
+                done - cycle,
+                lambda: self._send(controller, bank, MessageClass.MEMORY,
+                                   ("refill", bank, block)),
+            )
+        elif kind == "refill":
+            _, bank, block = payload
+            self._refill(bank, block)
+        elif kind == "data":
+            _, block, core, issued = payload
+            self._data_arrived(core, block, issued, cycle)
+        elif kind == "inv":
+            _, block = payload
+            self._invalidate_at(packet.dst, block)
+        # "wb" (writeback) needs no action at the memory controller.
+
+    # -- bank behaviour -----------------------------------------------------------
+
+    def _bank_access(self, bank_router: int, block: int, core: int,
+                     is_write: bool, issued: int) -> None:
+        bank = self.banks[bank_router]
+        line = bank.lookup(self._local(block))
+        if line is None:
+            pending = self._pending[bank_router]
+            if block in pending:
+                pending[block].append((core, is_write, issued))
+                return
+            pending[block] = [(core, is_write, issued)]
+            self._send(bank_router, self._mem_for_bank[bank_router],
+                       MessageClass.MEMORY, ("fetch", bank_router, block))
+            return
+        self._serve_hit(bank_router, line, block, core, is_write, issued)
+
+    def _serve_hit(self, bank_router: int, line, block: int, core: int,
+                   is_write: bool, issued: int) -> None:
+        if is_write:
+            victims = {c for c in line.sharers if c != core}
+            if victims:
+                self._send_invalidations(bank_router, block, victims)
+            line.sharers = {core}
+            line.dirty = True
+        else:
+            line.sharers.add(core)
+        self._send(bank_router, core, MessageClass.DATA,
+                   ("data", block, core, issued))
+
+    def _refill(self, bank_router: int, block: int) -> None:
+        bank = self.banks[bank_router]
+        line, victim = bank.install(self._local(block))
+        if victim is not None:
+            victim_block = victim.block * self._num_banks + (
+                block % self._num_banks
+            )
+            if victim.sharers:
+                self._send_invalidations(bank_router, victim_block,
+                                         set(victim.sharers))
+            if victim.dirty:
+                self._send(bank_router, self._mem_for_bank[bank_router],
+                           MessageClass.MEMORY, ("wb", victim_block))
+        waiters = self._pending[bank_router].pop(block, [])
+        for core, is_write, issued in waiters:
+            self._serve_hit(bank_router, line, block, core, is_write, issued)
+
+    def _send_invalidations(self, bank_router: int, block: int,
+                            victims: set[int]) -> None:
+        self.invalidations_sent += len(victims)
+        if self.invalidation_realization is not None:
+            message = Message(
+                src=bank_router, dst=bank_router,
+                size_bytes=message_bytes(
+                    MessageClass.MULTICAST_INV, self.network.params.message
+                ),
+                cls=MessageClass.MULTICAST_INV,
+                dbv=frozenset(victims),
+                payload=("inv", block),
+            )
+            message.inject_cycle = self.network.cycle
+            self.invalidation_realization.handle(message)
+            self.multicast_invalidations += 1
+            return
+        for victim in sorted(victims):
+            self._send(bank_router, victim, MessageClass.MULTICAST_INV,
+                       ("inv", block))
+
+    # -- core-side completions ---------------------------------------------------------
+
+    def _data_arrived(self, core_router: int, block: int, issued: int,
+                      cycle: int) -> None:
+        core = self.cores[core_router]
+        core.l1.fill(block)
+        waiting = core.in_flight.pop(block, 0)
+        if waiting > 0:
+            core.outstanding -= 1
+            core.retired += waiting  # the original load + merged followers
+            core.load_latencies.append(cycle - issued)
+
+    def _invalidate_at(self, router: int, block: int) -> None:
+        core = self.cores.get(router)
+        if core is not None:
+            core.l1.invalidate(block)
+
+    # -- metrics -------------------------------------------------------------------------
+
+    def total_retired(self) -> int:
+        """Instructions retired across all cores."""
+        return sum(core.retired for core in self.cores.values())
+
+    def ipc(self, cycles: int) -> float:
+        """Retired instructions per core per network cycle."""
+        if cycles <= 0:
+            return float("nan")
+        return self.total_retired() / (len(self.cores) * cycles)
+
+    def avg_load_latency(self) -> float:
+        """Mean issue-to-fill latency of completed load misses."""
+        latencies = [
+            lat for core in self.cores.values() for lat in core.load_latencies
+        ]
+        if not latencies:
+            return float("nan")
+        return sum(latencies) / len(latencies)
+
+    def stall_fraction(self, cycles: int) -> float:
+        """Fraction of core-cycles lost to full MSHRs."""
+        if cycles <= 0:
+            return float("nan")
+        stalls = sum(core.stall_cycles for core in self.cores.values())
+        return stalls / (len(self.cores) * cycles)
+
+    def report(self, cycles: int) -> dict[str, float]:
+        """Headline metrics (IPC, latencies, hit rates) as a dict."""
+        l1_hits = sum(c.l1.hits for c in self.cores.values())
+        l1_total = l1_hits + sum(c.l1.misses for c in self.cores.values())
+        l2_hits = sum(b.hits for b in self.banks.values())
+        l2_total = l2_hits + sum(b.misses for b in self.banks.values())
+        return {
+            "ipc": self.ipc(cycles),
+            "avg_load_latency": self.avg_load_latency(),
+            "stall_fraction": self.stall_fraction(cycles),
+            "l1_hit_rate": l1_hits / l1_total if l1_total else float("nan"),
+            "l2_hit_rate": l2_hits / l2_total if l2_total else float("nan"),
+            "invalidations": float(self.invalidations_sent),
+        }

@@ -1,0 +1,7 @@
+"""Directory-coherence traffic model: the protocol behind the multicasts."""
+
+from repro.coherence.directory import (
+    BlockState, CoherenceConfig, DirectoryProtocol,
+)
+
+__all__ = ["BlockState", "CoherenceConfig", "DirectoryProtocol"]

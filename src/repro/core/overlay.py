@@ -1,0 +1,200 @@
+"""The RF-I overlay: binding frequency bands to shortcuts over access points.
+
+Physically (Figure 2a) the overlay is one transmission-line bundle touching
+every RF-enabled router; logically it "behaves as a set of N unidirectional
+single-cycle shortcuts, each of which may be used simultaneously".  This
+module owns that logical view: which routers are access points, how each
+point's Tx/Rx mixers are tuned, which band (if any) is the shared multicast
+channel, and the translation into :class:`~repro.noc.routing.Shortcut`
+edges the routing tables consume.
+
+Invariants enforced (Section 3.2): one inbound and one outbound shortcut per
+router at most (each access point has exactly one Tx and one Rx); the number
+of allocated bands never exceeds the 256 B aggregate budget (16 channels of
+16 B); every shortcut endpoint must be an access point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.routing import Shortcut
+from repro.noc.topology import MeshTopology
+from repro.params import RFIParams
+from repro.rfi.bands import BandPlan
+from repro.rfi.mixers import AccessPoint, TunerRole
+from repro.rfi.phy import RFIPhysicalModel
+from repro.rfi.waveguide import Waveguide
+
+
+@dataclass(frozen=True)
+class OverlayReport:
+    """Provisioning summary of one overlay configuration."""
+
+    num_access_points: int
+    num_shortcuts: int
+    multicast_enabled: bool
+    multicast_receivers: int
+    bands_used: int
+    bands_available: int
+    waveguide_mm: float
+    active_area_mm2: float
+
+
+class RFIOverlay:
+    """RF-I bundle + access points + current tuning for one mesh."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        access_points: list[int],
+        rfi_params: RFIParams = RFIParams(),
+        adaptive: bool = True,
+    ):
+        self.topology = topology
+        self.rfi_params = rfi_params
+        self.adaptive = adaptive
+        self.band_plan = BandPlan(rfi_params)
+        self.band_plan.validate_against_lines()
+        self.access_points: dict[int, AccessPoint] = {
+            r: AccessPoint(r) for r in access_points
+        }
+        self.waveguide = Waveguide(topology, list(access_points))
+        self.phy = RFIPhysicalModel(rfi_params)
+        self.shortcuts: list[Shortcut] = []
+        self.multicast_band: int | None = None
+        self.multicast_transmitter: int | None = None
+        self.multicast_receivers: list[int] = []
+
+    # -- configuration ---------------------------------------------------
+
+    def clear(self) -> None:
+        """Disable every mixer (the state between reconfigurations)."""
+        for ap in self.access_points.values():
+            ap.reset()
+        self.shortcuts = []
+        self.multicast_band = None
+        self.multicast_transmitter = None
+        self.multicast_receivers = []
+
+    def configure_shortcuts(self, shortcuts: list[Shortcut]) -> None:
+        """Tune Tx/Rx pairs so each shortcut occupies its own band."""
+        budget = len(self.band_plan) - (1 if self.multicast_band is not None else 0)
+        if len(shortcuts) > budget:
+            raise ValueError(
+                f"{len(shortcuts)} shortcuts exceed the {budget}-band budget"
+            )
+        for sc in shortcuts:
+            if sc.src not in self.access_points:
+                raise ValueError(f"shortcut source {sc.src} is not an access point")
+            if sc.dst not in self.access_points:
+                raise ValueError(f"shortcut destination {sc.dst} is not an access point")
+        sources = [sc.src for sc in shortcuts]
+        dests = [sc.dst for sc in shortcuts]
+        if len(set(sources)) != len(sources):
+            raise ValueError("a router may transmit on at most one shortcut")
+        if len(set(dests)) != len(dests):
+            raise ValueError("a router may receive on at most one shortcut")
+        for sc in shortcuts:
+            if self.access_points[sc.src].tx.enabled:
+                raise ValueError(f"transmitter at {sc.src} is already tuned")
+            rx = self.access_points[sc.dst].rx
+            if rx.enabled:
+                if rx.role is not TunerRole.MULTICAST:
+                    raise ValueError(f"receiver at {sc.dst} is already tuned")
+                # A multicast-tuned Rx yields to the shortcut (the paper's
+                # MC+SC point: 15 shortcut Rx's, the rest on the MC band).
+                rx.disable()
+                if sc.dst in self.multicast_receivers:
+                    self.multicast_receivers.remove(sc.dst)
+        mc_band = self.multicast_band
+        free_bands = [b for b in range(len(self.band_plan)) if b != mc_band]
+        for band, sc in zip(free_bands, shortcuts):
+            self.access_points[sc.src].tx.tune(band, TunerRole.SHORTCUT)
+            self.access_points[sc.dst].rx.tune(band, TunerRole.SHORTCUT)
+        self.shortcuts = list(shortcuts)
+
+    def configure_multicast(self, transmitter: int) -> list[int]:
+        """Dedicate one band to multicast; tune every free Rx to it.
+
+        Returns the receiver set.  The transmitter must be an access point
+        (the designated central cache bank of the sending cluster); with K
+        shortcuts configured, the remaining N - K access-point receivers
+        listen on the multicast channel (Section 3.3).
+        """
+        if transmitter not in self.access_points:
+            raise ValueError(f"multicast transmitter {transmitter} is not an access point")
+        used = len(self.shortcuts)
+        if used >= len(self.band_plan):
+            raise ValueError("no free band left for multicast")
+        band = len(self.band_plan) - 1
+        if any(
+            ap.tx.band == band or ap.rx.band == band
+            for ap in self.access_points.values()
+        ):
+            # configure_shortcuts assigned the last band; re-tune from scratch.
+            raise ValueError(
+                "configure_multicast must run before configure_shortcuts "
+                "fills every band"
+            )
+        self.multicast_band = band
+        self.multicast_transmitter = transmitter
+        tx = self.access_points[transmitter].tx
+        if tx.enabled:
+            raise ValueError(f"transmitter at {transmitter} already carries a shortcut")
+        tx.tune(band, TunerRole.MULTICAST)
+        self.multicast_receivers = []
+        for router, ap in sorted(self.access_points.items()):
+            if not ap.rx.enabled:
+                ap.rx.tune(band, TunerRole.MULTICAST)
+                self.multicast_receivers.append(router)
+        return list(self.multicast_receivers)
+
+    # -- queries --------------------------------------------------------------
+
+    def routing_shortcuts(self) -> list[Shortcut]:
+        """The shortcut edges to overlay on the routing graph."""
+        return list(self.shortcuts)
+
+    def bands_used(self) -> int:
+        """Bands currently allocated (shortcuts + multicast channel)."""
+        return len(self.shortcuts) + (1 if self.multicast_band is not None else 0)
+
+    def active_area_mm2(self) -> float:
+        """Active-silicon RF-I area (Table 2's 'RF-I Area' column)."""
+        if self.adaptive:
+            return self.phy.adaptive_area_mm2(len(self.access_points))
+        return self.phy.static_area_mm2(len(self.shortcuts))
+
+    def report(self) -> OverlayReport:
+        """Provisioning summary as an :class:`OverlayReport`."""
+        return OverlayReport(
+            num_access_points=len(self.access_points),
+            num_shortcuts=len(self.shortcuts),
+            multicast_enabled=self.multicast_band is not None,
+            multicast_receivers=len(self.multicast_receivers),
+            bands_used=self.bands_used(),
+            bands_available=len(self.band_plan),
+            waveguide_mm=self.waveguide.length_mm(),
+            active_area_mm2=self.active_area_mm2(),
+        )
+
+    @classmethod
+    def for_static_shortcuts(
+        cls,
+        topology: MeshTopology,
+        shortcuts: list[Shortcut],
+        rfi_params: RFIParams = RFIParams(),
+    ) -> "RFIOverlay":
+        """Overlay whose access points are exactly the shortcut endpoints.
+
+        This is the design-time configuration of Figure 2(b): the RF-enabled
+        set is whatever the architecture-specific selection chose, and each
+        endpoint is a fixed single-band circuit.
+        """
+        endpoints = sorted(
+            {sc.src for sc in shortcuts} | {sc.dst for sc in shortcuts}
+        )
+        overlay = cls(topology, endpoints, rfi_params, adaptive=False)
+        overlay.configure_shortcuts(shortcuts)
+        return overlay

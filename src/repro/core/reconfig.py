@@ -1,0 +1,116 @@
+"""Per-application reconfiguration of the adaptive overlay (Section 3.2).
+
+A reconfiguration is the three-step sequence the paper describes:
+
+1. **Shortcut selection** — run the application-specific (region-aware)
+   selection over the profiled communication-frequency matrix, restricted to
+   the overlay's access points;
+2. **Transmitter/receiver tuning** — retune every mixer to realize the
+   selected shortcuts (and optionally the multicast channel);
+3. **Routing-table updates** — rebuild the shortest-path tables.  With all
+   routers updated in parallel through a single write port, this costs one
+   cycle per *other* router (99 cycles on the 10x10 mesh), amortized against
+   the application's entire execution (the paper overlaps it with the
+   context switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.overlay import RFIOverlay
+from repro.noc.routing import RoutingTables, Shortcut
+from repro.noc.topology import MeshTopology
+from repro.shortcuts.region import select_region_shortcuts
+from repro.shortcuts.selection import (
+    SelectionConfig, select_application_shortcuts,
+)
+
+#: Cycles to retune a mixer pair; small and overlapped, but accounted for.
+TUNING_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class ReconfigurationPlan:
+    """Everything produced by one reconfiguration."""
+
+    shortcuts: tuple[Shortcut, ...]
+    tables: RoutingTables
+    multicast_receivers: tuple[int, ...]
+    table_update_cycles: int
+    tuning_cycles: int
+
+    @property
+    def total_overhead_cycles(self) -> int:
+        """Cost charged before the application starts (overlappable)."""
+        return self.table_update_cycles + self.tuning_cycles
+
+
+class ReconfigurationController:
+    """Drives select -> tune -> update for an adaptive overlay."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        overlay: RFIOverlay,
+        budget: int | None = None,
+        use_regions: bool = True,
+    ):
+        if not overlay.adaptive:
+            raise ValueError("only adaptive overlays can be reconfigured")
+        self.topology = topology
+        self.overlay = overlay
+        self.budget = (
+            budget if budget is not None else overlay.rfi_params.shortcut_budget
+        )
+        self.use_regions = use_regions
+
+    def _selection_config(self, budget: int) -> SelectionConfig:
+        return SelectionConfig(
+            budget=budget,
+            allowed=set(self.overlay.access_points),
+        )
+
+    def table_update_cycles(self) -> int:
+        """One cycle per other router, all tables written in parallel."""
+        return self.topology.params.num_routers - 1
+
+    def reconfigure(
+        self,
+        frequency: np.ndarray,
+        multicast: bool = False,
+        multicast_transmitter: int | None = None,
+    ) -> ReconfigurationPlan:
+        """Adapt the overlay to a profiled communication-frequency matrix.
+
+        With ``multicast=True`` one band is reserved as the broadcast
+        channel (so only budget - 1 shortcuts are placed — the paper's
+        "MC+SC" point uses 15 shortcuts) and every access-point receiver not
+        used by a shortcut is tuned to it.
+        """
+        self.overlay.clear()
+        budget = self.budget - (1 if multicast else 0)
+        if multicast:
+            if multicast_transmitter is None:
+                raise ValueError("multicast requires a transmitter access point")
+            self.overlay.configure_multicast(multicast_transmitter)
+        config = self._selection_config(budget)
+        if multicast:
+            # The multicast transmitter's Tx is taken; exclude it as a source.
+            config.extra_forbidden = {multicast_transmitter}
+        if self.use_regions:
+            shortcuts = select_region_shortcuts(self.topology, frequency, config)
+        else:
+            shortcuts = select_application_shortcuts(self.topology, frequency, config)
+        # configure_shortcuts re-tunes any multicast-tuned Rx it needs.
+        self.overlay.configure_shortcuts(shortcuts)
+        tables = RoutingTables(self.topology, shortcuts)
+        return ReconfigurationPlan(
+            shortcuts=tuple(shortcuts),
+            tables=tables,
+            multicast_receivers=tuple(self.overlay.multicast_receivers),
+            table_update_cycles=self.table_update_cycles(),
+            tuning_cycles=TUNING_CYCLES,
+        )

@@ -1,0 +1,59 @@
+"""Experiment harness: configs, runner, and per-figure reproduction."""
+
+from repro.experiments.ablations import (
+    a1_shortcut_budget, a2_access_points, a3_escape_vcs, a4_multicast_epoch,
+    a5_router_buffers,
+)
+from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
+from repro.experiments.figures import (
+    FIG7_PAPER, FIG8_PAPER, FIG9_PAPER, FIG10_PAPER, TABLE2_PAPER,
+    FigureResult, e1_load_latency, e2_adaptive_routing,
+    e3_static_shortcut_gains, e4_heuristic_ablation, fig1_traffic_locality,
+    fig2_topologies, fig7_rf_router_count, fig8_bandwidth_reduction,
+    fig9_multicast, fig10_unified, table2_area,
+)
+from repro.experiments.repetition import (
+    RepeatedMeasure, RepeatedRun, repeat_unicast, seed_stability,
+)
+from repro.experiments.report import Table, geomean, normalized
+from repro.experiments.runner import ExperimentRunner, RunResult
+from repro.experiments.saturation import SaturationResult, find_saturation
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "a1_shortcut_budget",
+    "a2_access_points",
+    "a3_escape_vcs",
+    "a4_multicast_epoch",
+    "a5_router_buffers",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "FAST_CONFIG",
+    "FIG10_PAPER",
+    "FIG7_PAPER",
+    "FIG8_PAPER",
+    "FIG9_PAPER",
+    "FigureResult",
+    "RepeatedMeasure",
+    "RepeatedRun",
+    "RunResult",
+    "SaturationResult",
+    "TABLE2_PAPER",
+    "Table",
+    "find_saturation",
+    "repeat_unicast",
+    "seed_stability",
+    "e1_load_latency",
+    "e2_adaptive_routing",
+    "e3_static_shortcut_gains",
+    "e4_heuristic_ablation",
+    "fig1_traffic_locality",
+    "fig2_topologies",
+    "fig7_rf_router_count",
+    "fig8_bandwidth_reduction",
+    "fig9_multicast",
+    "fig10_unified",
+    "geomean",
+    "normalized",
+    "table2_area",
+]

@@ -1,0 +1,270 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each isolates one knob the paper fixed
+by fiat (shortcut budget, access-point count, escape VCs, multicast
+arbitration epoch, router buffering) and measures its effect, using the
+same harness as the figure reproductions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import RFIOverlay, baseline
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import Table
+from repro.experiments.runner import ExperimentRunner
+from repro.multicast import MulticastAwareSource, RFRealization, UnicastExpansion
+from repro.noc import Network, RoutingTables
+from repro.noc.simulator import Simulator
+from repro.shortcuts import SelectionConfig, select_architecture_shortcuts
+from repro.shortcuts.region import select_region_shortcuts
+from repro.traffic import (
+    CombinedTraffic, MulticastConfig, MulticastTraffic, ProbabilisticTraffic,
+)
+
+
+def _unicast_stats(runner: ExperimentRunner, network: Network, trace: str):
+    source = ProbabilisticTraffic(
+        runner.topology, runner.pattern(trace), runner.rate(trace),
+        seed=runner.config.traffic_seed,
+    )
+    return Simulator(network, [source], runner.config.sim).run()
+
+
+# ---------------------------------------------------------------------------
+# A1 — shortcut budget
+# ---------------------------------------------------------------------------
+
+def a1_shortcut_budget(
+    runner: ExperimentRunner, budgets: tuple = (0, 4, 8, 16)
+) -> FigureResult:
+    """Sweep B on the static design: diminishing returns per shortcut."""
+    topo = runner.topology
+    table = Table(
+        "A1 — shortcut budget ablation (uniform, 16B mesh)",
+        ["budget", "avg shortest path", "avg latency"],
+    )
+    series = {}
+    for budget in budgets:
+        shortcuts = (
+            select_architecture_shortcuts(topo, SelectionConfig(budget=budget))
+            if budget else []
+        )
+        tables = RoutingTables(topo, shortcuts)
+        stats = _unicast_stats(
+            runner, Network(topo, runner.params, tables), "uniform"
+        )
+        series[budget] = {
+            "avg_distance": tables.average_distance(),
+            "latency": stats.avg_packet_latency,
+        }
+        table.add(budget, tables.average_distance(), stats.avg_packet_latency)
+    table.note("every shortcut helps; the first half buys more than the second")
+    return FigureResult("A1", table, series, {"diminishing_returns": True})
+
+
+# ---------------------------------------------------------------------------
+# A2 — access-point count
+# ---------------------------------------------------------------------------
+
+def a2_access_points(
+    runner: ExperimentRunner,
+    counts: tuple = (12, 25, 50, 100),
+    trace: str = "1Hotspot",
+) -> FigureResult:
+    """How much selection freedom do N tunable access points buy?
+
+    The paper compares 25/50/100 and reports 100 ~ 50 (Section 5.1.1); this
+    sweep adds the selection-objective view: the weighted cost F*W of the
+    chosen shortcuts, plus the RF static area each count pays for.
+    """
+    topo = runner.topology
+    profile = runner.profile(trace)
+    table = Table(
+        f"A2 — access-point count ({trace})",
+        ["access points", "weighted cost", "latency", "rf area mm2"],
+    )
+    series = {}
+    from repro.shortcuts import add_edge_inplace, mesh_distances, total_cost
+
+    for count in counts:
+        aps = set(topo.rf_enabled_routers(count))
+        shortcuts = select_region_shortcuts(
+            topo, profile, SelectionConfig(budget=16, allowed=aps)
+        )
+        dist = mesh_distances(topo)
+        for sc in shortcuts:
+            add_edge_inplace(dist, sc.src, sc.dst)
+        cost = total_cost(dist, profile)
+        overlay = RFIOverlay(topo, sorted(aps), runner.params.rfi, adaptive=True)
+        stats = _unicast_stats(
+            runner,
+            Network(topo, runner.params, RoutingTables(topo, shortcuts)),
+            trace,
+        )
+        series[count] = {
+            "weighted_cost": cost,
+            "latency": stats.avg_packet_latency,
+            "rf_area": overlay.active_area_mm2(),
+        }
+        table.add(count, cost, stats.avg_packet_latency,
+                  overlay.active_area_mm2())
+    table.note("paper: 100 access points performed comparably to 50")
+    return FigureResult("A2", table, series, {"fifty_is_enough": True})
+
+
+# ---------------------------------------------------------------------------
+# A3 — escape virtual channels
+# ---------------------------------------------------------------------------
+
+def a3_escape_vcs(runner: ExperimentRunner) -> FigureResult:
+    """Remove the reserved escape VCs and stress a shortcut ring.
+
+    The paper reserves "eight virtual channels that only use conventional
+    mesh links" for deadlock handling.  Without them, table routing over a
+    cycle of shortcuts can (and under enough load, does) deadlock; with
+    them every burst drains.
+    """
+    topo = runner.topology
+    from repro.noc.routing import Shortcut
+
+    ring = [
+        Shortcut(topo.router_id(1, 1), topo.router_id(8, 1)),
+        Shortcut(topo.router_id(8, 1), topo.router_id(8, 8)),
+        Shortcut(topo.router_id(8, 8), topo.router_id(1, 8)),
+        Shortcut(topo.router_id(1, 8), topo.router_id(1, 1)),
+    ]
+    tables = RoutingTables(topo, ring)
+    table = Table(
+        "A3 — escape-VC ablation (shortcut ring, heavy random bursts)",
+        ["escape VCs", "drained", "delivered", "injected"],
+    )
+    series = {}
+    for escape in (2, 0):
+        params = dataclasses.replace(
+            runner.params,
+            router=dataclasses.replace(
+                runner.params.router, num_escape_vcs=escape
+            ),
+        )
+        network = Network(topo, params, tables)
+        import random
+
+        rng = random.Random(77)
+        for _ in range(800):
+            for _ in range(10):
+                src, dst = rng.sample(range(100), 2)
+                from repro.noc import Message
+
+                network.inject(Message(src=src, dst=dst, size_bytes=39))
+            network.step()
+        drained = network.drain(25_000)
+        series[escape] = {
+            "drained": drained,
+            "delivered": network.stats.delivered_packets,
+            "injected": network.stats.injected_packets,
+        }
+        table.add(escape, drained, network.stats.delivered_packets,
+                  network.stats.injected_packets)
+    table.note("escape VCs are what make shortcut overlays deadlock-free")
+    return FigureResult("A3", table, series, {"escape_required": True})
+
+
+# ---------------------------------------------------------------------------
+# A4 — multicast arbitration epoch
+# ---------------------------------------------------------------------------
+
+def a4_multicast_epoch(
+    runner: ExperimentRunner, epochs: tuple = (2, 8, 32)
+) -> FigureResult:
+    """Coarseness of the cluster round-robin on the multicast band.
+
+    The paper amortizes arbitration "over many execution cycles" without
+    quantifying the epoch.  Longer epochs cost waiting senders more; this
+    sweep shows the latency growing with epoch length toward the
+    serial-unicast baseline.
+    """
+    topo = runner.topology
+
+    def workload():
+        return CombinedTraffic([
+            ProbabilisticTraffic(
+                topo, runner.patterns["uniform"],
+                runner.config.base_rate_with_multicast,
+                seed=runner.config.traffic_seed,
+            ),
+            MulticastTraffic(
+                topo,
+                MulticastConfig(rate=runner.config.multicast_rate,
+                                locality_percent=20),
+                seed=runner.config.traffic_seed,
+            ),
+        ])
+
+    table = Table(
+        "A4 — multicast arbitration epoch",
+        ["epoch (cycles)", "avg latency"],
+    )
+    series = {}
+    # Baseline: multicasts as serial unicasts.
+    base_design = runner.design("baseline", 16)
+    base_net = base_design.new_network()
+    base_stats = Simulator(
+        base_net, [MulticastAwareSource(workload(), UnicastExpansion(base_net))],
+        runner.config.sim,
+    ).run()
+    series["unicast"] = base_stats.avg_packet_latency
+    table.add("serial unicast", base_stats.avg_packet_latency)
+
+    overlay_design = runner.design("mc-only", 16)
+    for epoch in epochs:
+        network = overlay_design.new_network()
+        realization = RFRealization(
+            network, list(overlay_design.overlay.multicast_receivers),
+            epoch_cycles=epoch,
+        )
+        stats = Simulator(
+            network, [MulticastAwareSource(workload(), realization)],
+            runner.config.sim,
+        ).run()
+        series[epoch] = stats.avg_packet_latency
+        table.add(epoch, stats.avg_packet_latency)
+    table.note("short epochs keep RF multicast ahead of serial unicasts")
+    return FigureResult("A4", table, series, {"latency_grows_with_epoch": True})
+
+
+# ---------------------------------------------------------------------------
+# A5 — router buffering sensitivity
+# ---------------------------------------------------------------------------
+
+def a5_router_buffers(
+    runner: ExperimentRunner,
+    vc_counts: tuple = (2, 4, 8),
+    rate: float = 0.05,
+) -> FigureResult:
+    """Sensitivity of the substrate to VC count at elevated load."""
+    topo = runner.topology
+    table = Table(
+        f"A5 — virtual-channel sensitivity (uniform @ {rate})",
+        ["VCs per port", "avg latency", "delivery ratio"],
+    )
+    series = {}
+    for vcs in vc_counts:
+        params = dataclasses.replace(
+            runner.params,
+            router=dataclasses.replace(runner.params.router, num_vcs=vcs),
+        )
+        network = Network(topo, params, RoutingTables(topo))
+        source = ProbabilisticTraffic(
+            topo, runner.patterns["uniform"], rate,
+            seed=runner.config.traffic_seed,
+        )
+        stats = Simulator(network, [source], runner.config.sim).run()
+        series[vcs] = {
+            "latency": stats.avg_packet_latency,
+            "delivery": stats.delivery_ratio,
+        }
+        table.add(vcs, stats.avg_packet_latency, stats.delivery_ratio)
+    table.note("more VCs relieve head-of-line blocking under load")
+    return FigureResult("A5", table, series, {"more_vcs_help": True})

@@ -1,0 +1,76 @@
+"""Export experiment results as JSON for downstream plotting.
+
+The benches write human-readable tables; this module flattens a
+:class:`~repro.experiments.figures.FigureResult` into plain JSON-safe
+structures (numpy scalars to floats, dataclasses to dicts, tuple keys to
+strings) so the same results can feed matplotlib, a notebook, or a paper
+build without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+
+def jsonable(value):
+    """Recursively convert a result value into JSON-safe primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    # numpy scalars and anything else numeric-like.
+    for caster in (float, str):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    raise TypeError(f"cannot make {type(value)!r} JSON-safe")
+
+
+def _key(key) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (int, float, bool)):
+        return str(key)
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def figure_to_dict(result) -> dict:
+    """Flatten a FigureResult (table rows + series + paper targets)."""
+    return {
+        "experiment": result.experiment,
+        "title": result.table.title,
+        "columns": list(result.table.columns),
+        "rows": [list(row) for row in result.table.rows],
+        "notes": list(result.table.notes),
+        "series": jsonable(result.series),
+        "paper": jsonable(result.paper),
+    }
+
+
+def save_figure_json(result, path: str | Path) -> Path:
+    """Write one experiment's data to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(figure_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def save_all(results, directory: str | Path) -> list[Path]:
+    """Write a collection of FigureResults as ``<id>.json`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        save_figure_json(result, directory / f"{result.experiment.lower()}.json")
+        for result in results
+    ]

@@ -1,0 +1,99 @@
+"""Multi-seed repetition: are the reported numbers stable?
+
+The paper reports single long runs (1M cycles); this reproduction uses
+shorter windows, so the harness provides explicit repetition support: run a
+(design, workload) cell across several traffic seeds and summarize with
+mean, standard deviation, and coefficient of variation.  The A6 bench uses
+this to show the normalized comparisons are seed-stable at the default
+window lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.architectures import DesignPoint
+from repro.experiments.runner import ExperimentRunner
+from repro.noc.simulator import Simulator
+from repro.traffic import ProbabilisticTraffic
+
+
+@dataclass(frozen=True)
+class RepeatedMeasure:
+    """Summary statistics of one metric over repeated runs."""
+
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the repeated values."""
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single value)."""
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        mu = self.mean
+        return self.std / mu if mu else float("nan")
+
+    def confidence_halfwidth(self, t_value: float = 2.78) -> float:
+        """~95% CI half-width (default t for 4 degrees of freedom)."""
+        return t_value * self.std / math.sqrt(len(self.values))
+
+
+@dataclass(frozen=True)
+class RepeatedRun:
+    """Latency and power over repeated seeds for one cell."""
+
+    design: str
+    workload: str
+    latency: RepeatedMeasure
+    power_w: RepeatedMeasure
+
+
+def repeat_unicast(
+    runner: ExperimentRunner,
+    design: DesignPoint,
+    workload: str,
+    seeds: tuple[int, ...] = (5, 17, 29, 41, 53),
+) -> RepeatedRun:
+    """Run one unicast cell across several traffic seeds."""
+    latencies, powers = [], []
+    for seed in seeds:
+        network = design.new_network()
+        source = ProbabilisticTraffic(
+            runner.topology, runner.pattern(workload), runner.rate(workload),
+            seed=seed,
+        )
+        stats = Simulator(network, [source], runner.config.sim).run()
+        latencies.append(stats.avg_packet_latency)
+        powers.append(runner.power_model.power(design, stats).total_w)
+    return RepeatedRun(
+        design=design.name,
+        workload=workload,
+        latency=RepeatedMeasure(tuple(latencies)),
+        power_w=RepeatedMeasure(tuple(powers)),
+    )
+
+
+def seed_stability(
+    runner: ExperimentRunner,
+    workload: str = "uniform",
+    seeds: tuple[int, ...] = (5, 17, 29),
+) -> dict[str, RepeatedRun]:
+    """Repeat the baseline and static cells; returns per-design summaries."""
+    return {
+        name: repeat_unicast(runner, runner.design(style, 16, workload=workload),
+                             workload, seeds)
+        for name, style in (("baseline", "baseline"), ("static", "static"))
+    }

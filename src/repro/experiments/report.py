@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment outputs (paper-vs-measured tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table with an optional title."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        """Append one row (cells are auto-formatted)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def note(self, text: str) -> None:
+        """Attach a footnote rendered under the table."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """The table as column-aligned text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def normalized(value: float, reference: float) -> float:
+    """value / reference with a guard for degenerate references."""
+    if reference == 0:
+        return float("nan")
+    return value / reference
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean of the positive values (nan if none)."""
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,250 @@
+"""Experiment runner: builds design points, runs workloads, caches results.
+
+Many figures share design points and workloads (Fig 7 is the 16 B column of
+Fig 8's grid; Fig 10 replots both), so results are memoized on
+(design, workload, realization) — one simulation feeds every figure that
+needs it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import (
+    DesignPoint, RFIOverlay, adaptive_rf, adaptive_rf_multicast, baseline,
+    static_rf, wire_static,
+)
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.multicast import (
+    MulticastAwareSource, RFRealization, UnicastExpansion, VCTRealization,
+)
+from repro.noc import MeshTopology
+from repro.noc.simulator import Simulator
+from repro.noc.stats import NetworkStats
+from repro.params import DEFAULT_PARAMS, ArchitectureParams
+from repro.power import AreaReport, NoCPowerModel, PowerReport
+from repro.traffic import (
+    APPLICATIONS, CombinedTraffic, MulticastConfig, MulticastTraffic,
+    ProbabilisticTraffic, all_patterns, application_pattern,
+)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One simulated (design, workload) cell."""
+
+    design: str
+    workload: str
+    avg_latency: float
+    avg_flit_latency: float
+    power: PowerReport
+    area: AreaReport
+    stats: NetworkStats
+
+    @property
+    def total_power_w(self) -> float:
+        """Total NoC power of this run, in Watts."""
+        return self.power.total_w
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total NoC active area of this design, in mm^2."""
+        return self.area.total_mm2
+
+
+class ExperimentRunner:
+    """Shared context for all experiments: topology, profiles, caches."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig = DEFAULT_CONFIG,
+        params: ArchitectureParams = DEFAULT_PARAMS,
+    ):
+        self.config = config
+        self.params = params
+        self.topology = MeshTopology(params.mesh)
+        self.power_model = NoCPowerModel()
+        self.patterns = all_patterns(self.topology)
+        self._profiles: dict[str, np.ndarray] = {}
+        self._results: dict[tuple, RunResult] = {}
+        self._designs: dict[tuple, DesignPoint] = {}
+
+    # -- workloads -----------------------------------------------------------
+
+    def pattern(self, workload: str):
+        """A probabilistic pattern or application pattern by name."""
+        if workload in self.patterns:
+            return self.patterns[workload]
+        if workload in APPLICATIONS:
+            return application_pattern(self.topology, APPLICATIONS[workload])
+        raise KeyError(f"unknown workload {workload!r}")
+
+    def rate(self, workload: str) -> float:
+        """Injection rate for a workload name (pattern or application)."""
+        if workload in APPLICATIONS:
+            return APPLICATIONS[workload].rate
+        return self.config.rate_for(workload)
+
+    def profile(self, workload: str) -> np.ndarray:
+        """Profiled communication-frequency matrix F(x, y) for a workload."""
+        if workload not in self._profiles:
+            source = ProbabilisticTraffic(
+                self.topology, self.pattern(workload), self.rate(workload),
+                seed=self.config.seed,
+            )
+            self._profiles[workload] = source.collect_profile(
+                self.config.profile_cycles
+            )
+        return self._profiles[workload]
+
+    def _unicast_source(self, workload: str):
+        return ProbabilisticTraffic(
+            self.topology, self.pattern(workload), self.rate(workload),
+            seed=self.config.traffic_seed,
+        )
+
+    def _multicast_workload(self, locality_percent: int):
+        return CombinedTraffic([
+            ProbabilisticTraffic(
+                self.topology, self.patterns["uniform"],
+                self.config.base_rate_with_multicast,
+                seed=self.config.traffic_seed,
+            ),
+            MulticastTraffic(
+                self.topology,
+                MulticastConfig(
+                    rate=self.config.multicast_rate,
+                    locality_percent=locality_percent,
+                ),
+                seed=self.config.traffic_seed,
+            ),
+        ])
+
+    # -- design points ----------------------------------------------------------
+
+    def design(
+        self,
+        style: str,
+        link_bytes: int,
+        workload: Optional[str] = None,
+        num_access_points: Optional[int] = None,
+        adaptive_routing: bool = False,
+    ) -> DesignPoint:
+        """Build (and cache) a design point.
+
+        ``style``: 'baseline', 'static', 'wire', 'adaptive', 'adaptive+mc',
+        or 'mc-only'.  Adaptive styles require ``workload`` (the profile the
+        overlay reconfigures for).
+        """
+        aps = num_access_points or self.config.num_access_points
+        key = (style, link_bytes, workload, aps, adaptive_routing)
+        if key in self._designs:
+            return self._designs[key]
+        if style == "baseline":
+            point = baseline(link_bytes, self.params, self.topology)
+        elif style == "static":
+            point = static_rf(link_bytes, self.params, self.topology)
+        elif style == "wire":
+            point = wire_static(link_bytes, self.params, self.topology)
+        elif style == "adaptive":
+            point = adaptive_rf(
+                self.profile(workload), link_bytes, aps,
+                self.params, self.topology,
+                adaptive_routing=adaptive_routing,
+            )
+        elif style == "adaptive+mc":
+            point = adaptive_rf_multicast(
+                self.profile(workload), link_bytes, aps,
+                self.params, self.topology,
+            )
+        elif style == "mc-only":
+            point = self._mc_only_design(link_bytes, aps)
+        else:
+            raise ValueError(f"unknown design style {style!r}")
+        self._designs[key] = point
+        return point
+
+    def _mc_only_design(self, link_bytes: int, aps: int) -> DesignPoint:
+        """Baseline mesh + the multicast band on every access-point Rx."""
+        point = baseline(link_bytes, self.params, self.topology)
+        overlay = RFIOverlay(
+            self.topology, self.topology.rf_enabled_routers(aps),
+            point.params.rfi, adaptive=True,
+        )
+        overlay.configure_multicast(self.topology.central_bank(0))
+        return dataclasses.replace(
+            point, name=f"mc-only-{link_bytes}B", overlay=overlay
+        )
+
+    # -- running ------------------------------------------------------------------
+
+    def run_unicast(self, design: DesignPoint, workload: str) -> RunResult:
+        """Simulate a probabilistic/application workload on a design."""
+        key = ("unicast", design.name, workload)
+        if key in self._results:
+            return self._results[key]
+        network = design.new_network()
+        stats = Simulator(
+            network, [self._unicast_source(workload)], self.config.sim
+        ).run()
+        result = self._package(design, workload, stats)
+        self._results[key] = result
+        return result
+
+    def run_multicast(
+        self,
+        design: DesignPoint,
+        realization_style: str,
+        locality_percent: int,
+    ) -> RunResult:
+        """Simulate the Section 5.2 multicast workload on a design.
+
+        ``realization_style``: 'unicast', 'vct', or 'rf'.
+        """
+        key = ("mc", design.name, realization_style, locality_percent)
+        if key in self._results:
+            return self._results[key]
+        network = design.new_network()
+        if realization_style == "unicast":
+            realization = UnicastExpansion(network)
+        elif realization_style == "vct":
+            realization = VCTRealization(network)
+        elif realization_style == "rf":
+            receivers = self._rf_receivers(design)
+            realization = RFRealization(
+                network, receivers,
+                epoch_cycles=self.config.multicast_epoch_cycles,
+            )
+        else:
+            raise ValueError(f"unknown realization {realization_style!r}")
+        source = MulticastAwareSource(
+            self._multicast_workload(locality_percent), realization
+        )
+        stats = Simulator(network, [source], self.config.sim).run()
+        result = self._package(
+            design, f"multicast-{locality_percent}", stats
+        )
+        self._results[key] = result
+        return result
+
+    def _rf_receivers(self, design: DesignPoint) -> list[int]:
+        if design.overlay is None or design.overlay.multicast_band is None:
+            raise ValueError(f"{design.name} has no multicast band configured")
+        return list(design.overlay.multicast_receivers)
+
+    def _package(
+        self, design: DesignPoint, workload: str, stats: NetworkStats
+    ) -> RunResult:
+        return RunResult(
+            design=design.name,
+            workload=workload,
+            avg_latency=stats.avg_packet_latency,
+            avg_flit_latency=stats.avg_flit_latency,
+            power=self.power_model.power(design, stats),
+            area=self.power_model.area(design),
+            stats=stats,
+        )

@@ -1,0 +1,97 @@
+"""Saturation-throughput measurement.
+
+The standard NoC acceptance metric the load-latency curves (E1) imply:
+the highest injection rate a design sustains before average latency blows
+past a multiple of its zero-load value (or deliveries stop keeping up).
+Found by bisection on the injection rate; used by the E1b bench to show
+RF-I shortcuts moving the saturation point outward, and adaptive routing
+extending it further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architectures import DesignPoint
+from repro.experiments.runner import ExperimentRunner
+from repro.noc.network import Network
+from repro.noc.simulator import Simulator
+from repro.traffic import ProbabilisticTraffic
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """Outcome of one saturation search."""
+
+    design: str
+    workload: str
+    zero_load_latency: float
+    saturation_rate: float          # messages per component per cycle
+    latency_at_saturation: float
+
+
+def _probe_sim(runner: ExperimentRunner):
+    """Trimmed windows for saturation probing.
+
+    A saturated network reveals itself quickly (latency blows up, the
+    delivery ratio drops); full-length drains on saturated probes would
+    dominate the bisection's runtime for no extra information.
+    """
+    import dataclasses
+
+    sim = runner.config.sim
+    measure = min(sim.measure_cycles, 800)
+    return dataclasses.replace(
+        sim, measure_cycles=measure, drain_cycles=3 * measure
+    )
+
+
+def _latency_at(
+    runner: ExperimentRunner, design: DesignPoint, workload: str, rate: float
+) -> tuple[float, float]:
+    network: Network = design.new_network()
+    source = ProbabilisticTraffic(
+        runner.topology, runner.pattern(workload), rate,
+        seed=runner.config.traffic_seed,
+    )
+    stats = Simulator(network, [source], _probe_sim(runner)).run()
+    return stats.avg_packet_latency, stats.delivery_ratio
+
+
+def find_saturation(
+    runner: ExperimentRunner,
+    design: DesignPoint,
+    workload: str = "uniform",
+    latency_factor: float = 2.0,
+    rate_hi: float = 0.30,
+    tolerance: float = 0.005,
+) -> SaturationResult:
+    """Bisect the injection rate to the saturation point.
+
+    A rate is *sustained* when average latency stays under
+    ``latency_factor x`` the zero-load latency and at least 95% of window
+    packets are delivered within the drain budget.
+    """
+    zero_load, _ = _latency_at(runner, design, workload, 0.001)
+    threshold = latency_factor * zero_load
+
+    def sustained(rate: float) -> tuple[bool, float]:
+        latency, delivery = _latency_at(runner, design, workload, rate)
+        return (latency <= threshold and delivery >= 0.95), latency
+
+    lo, hi = 0.001, rate_hi
+    ok_hi, _ = sustained(hi)
+    if ok_hi:
+        # Never saturates in the searched range; report the range edge.
+        latency, _ = _latency_at(runner, design, workload, hi)
+        return SaturationResult(design.name, workload, zero_load, hi, latency)
+    last_latency = zero_load
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        ok, latency = sustained(mid)
+        if ok:
+            lo = mid
+            last_latency = latency
+        else:
+            hi = mid
+    return SaturationResult(design.name, workload, zero_load, lo, last_latency)

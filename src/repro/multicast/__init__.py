@@ -1,0 +1,25 @@
+"""Multicast support: RF-I broadcast (Section 3.3) and the VCT baseline."""
+
+from repro.multicast.adapters import (
+    MulticastAwareSource, RFRealization, UnicastExpansion, VCTRealization,
+)
+from repro.multicast.rfi_multicast import (
+    BandSchedule, PendingBroadcast, RFMulticastEngine,
+)
+from repro.multicast.vct import (
+    TREE_SETUP_CYCLES_PER_DEST, VCT_TABLE_AREA_FRACTION, VCTEngine, on_xy_path,
+)
+
+__all__ = [
+    "BandSchedule",
+    "MulticastAwareSource",
+    "PendingBroadcast",
+    "RFMulticastEngine",
+    "RFRealization",
+    "TREE_SETUP_CYCLES_PER_DEST",
+    "UnicastExpansion",
+    "VCTEngine",
+    "VCT_TABLE_AREA_FRACTION",
+    "VCTRealization",
+    "on_xy_path",
+]

@@ -1,0 +1,94 @@
+"""How each architecture realizes an abstract multicast message.
+
+The workload (:class:`repro.traffic.MulticastTraffic`) emits messages with a
+destination bit vector; *how* those reach the cores depends on the design:
+
+* :class:`UnicastExpansion` — the baseline mesh (and the plain
+  adaptive-shortcut design of Fig 10b): "each multicast message is
+  transmitted as a set of unicast messages" from the source bank, which the
+  NI then serializes;
+* :class:`VCTRealization` — Virtual Circuit Tree forwarding on mesh links;
+* :class:`RFRealization` — the RF-I broadcast band.
+
+:class:`MulticastAwareSource` wraps a traffic source and dispatches its
+multicast messages to one realization while unicast traffic flows straight
+into the network, so the identical workload drives every Figure 9 bar.
+"""
+
+from __future__ import annotations
+
+from repro.multicast.rfi_multicast import RFMulticastEngine
+from repro.multicast.vct import VCTEngine
+from repro.noc.message import Message
+from repro.noc.network import Network
+
+
+class UnicastExpansion:
+    """Serial unicast copies, one per destination core."""
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def handle(self, message: Message) -> None:
+        """Realize one multicast message on this fabric."""
+        for core in sorted(message.dbv):
+            copy = Message(
+                src=message.src,
+                dst=core,
+                size_bytes=message.size_bytes,
+                cls=message.cls,
+                inject_cycle=message.inject_cycle,
+                payload=message.payload,
+            )
+            self.network.inject(copy, inject_cycle=message.inject_cycle)
+
+    def tick(self, network: Network) -> None:
+        """No deferred work."""
+
+
+class VCTRealization:
+    """Virtual circuit trees over conventional mesh links."""
+
+    def __init__(self, network: Network):
+        self.engine = VCTEngine(network)
+
+    def handle(self, message: Message) -> None:
+        """Realize one multicast message on this fabric."""
+        self.engine.inject(message)
+
+    def tick(self, network: Network) -> None:
+        """Advance any deferred work (call once per cycle)."""
+        self.engine.tick(network)
+
+
+class RFRealization:
+    """The RF-I multicast band (with or without concurrent shortcuts)."""
+
+    def __init__(self, network: Network, receivers: list[int], epoch_cycles: int = 32):
+        self.engine = RFMulticastEngine(network, receivers, epoch_cycles=epoch_cycles)
+
+    def handle(self, message: Message) -> None:
+        """Realize one multicast message on this fabric."""
+        self.engine.submit(message)
+
+    def tick(self, network: Network) -> None:
+        """Advance any deferred work (call once per cycle)."""
+        self.engine.tick(network)
+
+
+class MulticastAwareSource:
+    """Traffic source adapter dispatching multicasts to a realization."""
+
+    def __init__(self, source, realization):
+        self.source = source
+        self.realization = realization
+
+    def tick(self, network: Network) -> None:
+        """Advance any deferred work (call once per cycle)."""
+        for message in self.source.sample_messages(network.cycle):
+            if message.is_multicast:
+                message.inject_cycle = network.cycle
+                self.realization.handle(message)
+            else:
+                network.inject(message)
+        self.realization.tick(network)

@@ -1,0 +1,132 @@
+"""Virtual Circuit Tree multicasting — the conventional-NoC baseline.
+
+Jerger et al.'s VCT (cited as [15]) builds a routing tree per
+(source, destination-set) pair; the first message pays tree construction,
+subsequent messages *reuse* the tree, replicating flits only at branch
+points so common prefixes are never retransmitted.  Destination-set reuse in
+the workload (Section 5.2's 20%/50% locality levels) is exactly what
+determines how often trees are reused — and why VCT wins at high locality
+and loses at moderate locality (Figure 9).
+
+The tree is the union of the XY paths from the source to every destination.
+XY unions are dimension-ordered, so tree links introduce no cyclic channel
+dependencies; forks use the engine's synchronized-replication multicast
+(a flit advances only when every branch has buffer space).
+
+Costs modeled:
+
+* tree *setup*: the first message on a new tree is delayed by a
+  per-destination setup penalty before injection (allocating VCT table
+  entries along the tree);
+* tree *table area*: the paper cites a 5.4% silicon cost for the VCT table
+  structures, reproduced in :meth:`VCTEngine.table_area_mm2`.
+"""
+
+from __future__ import annotations
+
+from repro.noc.message import Message, Packet
+from repro.noc.network import Network
+from repro.noc.routing import EJECT, xy_port
+from repro.noc.topology import MeshTopology
+
+#: Cycles charged per destination to install a new virtual circuit tree.
+TREE_SETUP_CYCLES_PER_DEST = 1
+
+#: Active-area cost of VCT table structures, as a fraction of router area
+#: (the paper reports "a 5.4% silicon area cost, consumed by table
+#: structures required to maintain multicast trees").
+VCT_TABLE_AREA_FRACTION = 0.054
+
+
+def on_xy_path(topo: MeshTopology, src: int, dst: int, router: int) -> bool:
+    """Is ``router`` on the XY (X-then-Y) path from src to dst?"""
+    sx, sy = topo.coord(src)
+    dx, dy = topo.coord(dst)
+    rx, ry = topo.coord(router)
+    on_x_leg = ry == sy and min(sx, dx) <= rx <= max(sx, dx)
+    on_y_leg = rx == dx and min(sy, dy) <= ry <= max(sy, dy)
+    return on_x_leg or on_y_leg
+
+
+class VCTEngine:
+    """Installs VCT forwarding into a network and manages tree reuse."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.topology = network.topology
+        self.trees: dict[tuple[int, frozenset[int]], int] = {}  # pair -> uses
+        self._fork_cache: dict[tuple[int, frozenset[int], int], list[int]] = {}
+        self._pending: dict[int, list[Packet]] = {}  # release cycle -> packets
+        network.mc_targets_fn = self._targets
+
+    # -- forwarding ---------------------------------------------------------
+
+    def _targets(self, network: Network, router: int, packet: Packet) -> list[int]:
+        """Output ports for a multicast packet at ``router`` (tree children)."""
+        src = packet.src
+        dbv = packet.message.dbv
+        key = (src, dbv, router)
+        cached = self._fork_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        topo = self.topology
+        ports: set[int] = set()
+        for dest in dbv:
+            if not on_xy_path(topo, src, dest, router):
+                continue
+            if dest == router:
+                ports.add(EJECT)
+            else:
+                ports.add(xy_port(topo, router, dest))
+        if not ports:
+            raise AssertionError(
+                f"multicast packet {packet} reached off-tree router {router}"
+            )
+        result = sorted(ports)
+        self._fork_cache[key] = result
+        return result
+
+    # -- injection ---------------------------------------------------------------
+
+    def inject(self, message: Message) -> Packet:
+        """Inject a multicast message, charging setup on first tree use."""
+        if not message.is_multicast:
+            raise ValueError("VCTEngine.inject expects a multicast message")
+        key = (message.src, message.dbv)
+        first_use = key not in self.trees
+        self.trees[key] = self.trees.get(key, 0) + 1
+        packet = self.network.inject(message)
+        if first_use:
+            # Tree setup: the message's latency still starts at injection,
+            # but the packet is held out of the NI queue until the tree's
+            # table entries are installed along its path.
+            packet.route_class = "vct-setup"
+            setup = TREE_SETUP_CYCLES_PER_DEST * len(message.dbv)
+            self.network.interfaces[message.src].queue.remove(packet)
+            release = self.network.cycle + setup
+            self._pending.setdefault(release, []).append(packet)
+        return packet
+
+    def tick(self, network: Network) -> None:
+        """Release setup-delayed packets whose timer expired.
+
+        Call once per cycle (the engine composes as a traffic source).
+        """
+        due = self._pending.pop(network.cycle, None)
+        if due:
+            for packet in due:
+                network.interfaces[packet.src].queue.append(packet)
+                network._ni_busy.add(packet.src)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def table_area_mm2(self, router_area_mm2: float) -> float:
+        """Extra active area for VCT tables (the paper's 5.4%)."""
+        return VCT_TABLE_AREA_FRACTION * router_area_mm2
+
+    def reuse_ratio(self) -> float:
+        """Fraction of multicasts that reused an existing tree."""
+        total = sum(self.trees.values())
+        if not total:
+            return float("nan")
+        return (total - len(self.trees)) / total

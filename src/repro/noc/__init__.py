@@ -1,0 +1,36 @@
+"""Cycle-level network-on-chip substrate (Garnet-equivalent).
+
+Public surface: the mesh floorplan (:class:`MeshTopology`), messages and
+packets, routing (XY / shortest-path tables / adaptive policy), the
+cycle-level :class:`Network`, and the :class:`Simulator` driver.
+"""
+
+from repro.noc.message import Message, MessageClass, Packet, message_bytes
+from repro.noc.network import Network, NetworkInterface
+from repro.noc.routing import (
+    EJECT, RoutingPolicy, RoutingTables, Shortcut, xy_port,
+)
+from repro.noc.simulator import Simulator, simulate
+from repro.noc.stats import ActivityCounts, NetworkStats
+from repro.noc.topology import MeshTopology, NodeKind, Port
+
+__all__ = [
+    "ActivityCounts",
+    "EJECT",
+    "Message",
+    "MessageClass",
+    "MeshTopology",
+    "Network",
+    "NetworkInterface",
+    "NetworkStats",
+    "NodeKind",
+    "Packet",
+    "Port",
+    "RoutingPolicy",
+    "RoutingTables",
+    "Shortcut",
+    "Simulator",
+    "message_bytes",
+    "simulate",
+    "xy_port",
+]

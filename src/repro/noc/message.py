@@ -1,0 +1,132 @@
+"""Network messages and their packetization into flits.
+
+A :class:`Message` is what a core, cache bank, or memory controller hands to
+its network interface: a source, a destination (or a destination bit vector
+for multicast), a size in bytes, and a class.  The network interface turns it
+into a :class:`Packet` — a train of flits sized to the link width — which is
+what the routers actually move.
+
+Message sizes follow Section 4.1: requests are 7 bytes, data messages
+39 bytes, and cache<->memory messages 132 bytes.  Flits are link-width sized,
+so a 39 B data message is 3 flits on 16 B links and 10 flits on 4 B links;
+that widening is exactly the serialization cost the bandwidth-reduction study
+(Fig 8) measures.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.params import MessageParams
+
+
+class MessageClass(enum.Enum):
+    """Traffic classes carried by the NoC."""
+
+    REQUEST = "request"            # core -> cache / core -> core, 7 B
+    DATA = "data"                  # cache -> core or core -> core, 39 B
+    MEMORY = "memory"              # cache <-> memory controller, 132 B
+    MULTICAST_INV = "mc_inv"       # cache -> cores invalidate (DBV)
+    MULTICAST_FILL = "mc_fill"     # cache -> cores fill (DBV)
+
+
+def message_bytes(cls: MessageClass, params: MessageParams) -> int:
+    """Size in bytes of a message of class ``cls``.
+
+    Multicast invalidates are control messages (request-sized); multicast
+    fills carry a cache block (data-sized).
+    """
+    if cls in (MessageClass.REQUEST, MessageClass.MULTICAST_INV):
+        return params.request_bytes
+    if cls is MessageClass.MEMORY:
+        return params.memory_bytes
+    return params.data_bytes
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One end-to-end communication handed to the network interface.
+
+    ``dst`` is a router id for unicast.  Multicast messages set ``dbv`` to
+    the frozenset of destination *core* router ids instead; ``dst`` then
+    holds the first network destination (the cluster's multicast
+    transmitter bank for RF multicast, or is unused for VCT trees).
+    """
+
+    src: int
+    dst: int
+    size_bytes: int
+    cls: MessageClass = MessageClass.DATA
+    inject_cycle: int = 0
+    dbv: frozenset[int] = frozenset()
+    #: Opaque protocol payload carried end to end (the network never reads
+    #: it); multicast realizations copy it onto every delivered leg.
+    payload: object = None
+    uid: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the message carries a destination bit vector."""
+        return bool(self.dbv)
+
+    def num_flits(self, link_bytes: int) -> int:
+        """Flits needed to carry this message on links of ``link_bytes``."""
+        if self.size_bytes <= 0:
+            raise ValueError("message size must be positive")
+        return -(-self.size_bytes // link_bytes)
+
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A message packetized onto a particular link width.
+
+    Flits are tracked by index (0 = head, ``num_flits - 1`` = tail) rather
+    than as separate objects: in wormhole switching with atomic VC
+    allocation, a virtual channel holds flits of exactly one packet at a
+    time, so per-VC counters fully describe buffer state.  This keeps the
+    cycle loop fast without losing flit-level timing.
+    """
+
+    __slots__ = (
+        "uid", "message", "num_flits", "dst", "inject_cycle",
+        "head_inject_cycle", "tail_eject_cycle", "hops", "rf_hops",
+        "escape", "route_class",
+    )
+
+    def __init__(self, message: Message, link_bytes: int):
+        self.uid: int = next(_packet_ids)
+        self.message = message
+        self.num_flits: int = message.num_flits(link_bytes)
+        self.dst: int = message.dst
+        self.inject_cycle: int = message.inject_cycle
+        self.head_inject_cycle: int = -1   # cycle the head flit entered the network
+        self.tail_eject_cycle: int = -1    # cycle the tail flit left the network
+        self.hops: int = 0                 # router-to-router traversals taken
+        self.rf_hops: int = 0              # of which over RF-I shortcuts
+        self.escape: bool = False          # packet fell back to escape (XY) routing
+        self.route_class: str = "table"    # diagnostic: which route RC chose
+
+    @property
+    def src(self) -> int:
+        """Source router id (delegated to the message)."""
+        return self.message.src
+
+    @property
+    def latency(self) -> int:
+        """Network latency: injection to tail ejection, in network cycles."""
+        if self.tail_eject_cycle < 0:
+            raise ValueError(f"packet {self.uid} has not been delivered")
+        return self.tail_eject_cycle - self.inject_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(uid={self.uid}, {self.src}->{self.dst}, "
+            f"{self.num_flits}f, cls={self.message.cls.value})"
+        )

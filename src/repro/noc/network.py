@@ -1,0 +1,536 @@
+"""The network: routers wired by links, driven by a global cycle loop.
+
+:class:`Network` owns every router, output link, and network interface, plus
+the event wheel that carries flits between them.  Traffic generators call
+:meth:`Network.inject`; the simulator calls :meth:`Network.step` once per
+network cycle.  All pipeline behaviour (RC, VA, SA/ST/LT) is executed here so
+cross-router interactions — credits, VC-free signals, flit arrivals — stay in
+one place.
+
+Multicast support: a packet whose route computation yields several targets
+(a VCT tree fork, or the local-distribution fan-out at an RF multicast
+receiver) is granted a switch slot only when every target has capacity and a
+credit, then replicated to all of them.  Hooks (`mc_targets_fn`) let the
+multicast engines install their forwarding logic without subclassing the
+cycle loop.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Optional
+
+from repro.noc.message import Message, Packet
+from repro.noc.router import (
+    ACTIVE, IDLE, ROUTE, VA, InputPort, OutputLink, Router, VirtualChannel,
+)
+from repro.noc.routing import EJECT, RoutingPolicy, RoutingTables, xy_port
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import MeshTopology, Port
+from repro.params import ArchitectureParams
+
+#: RC hook signature for multicast packets: (network, router_id, packet) ->
+#: list of output ports the packet must be replicated to at this router.
+McTargetsFn = Callable[["Network", int, Packet], list[int]]
+
+#: Propagation delay of an optimally repeated RC wire, ns/mm.  Matches the
+#: paper's framing: <= 4 ns across a 400 mm^2 die on a repeated bus versus
+#: 0.3 ns for RF-I (Section 2, citing Ho et al.).
+WIRE_NS_PER_MM = 0.2
+
+
+class NetworkInterface:
+    """Injection side of one router's local port.
+
+    Models the local link: one flit per cycle total across the port's VCs,
+    paced by credits against the router's LOCAL input buffers.
+    """
+
+    __slots__ = ("router_id", "queue", "link", "senders", "rr")
+
+    def __init__(self, router_id: int, link: OutputLink):
+        self.router_id = router_id
+        self.queue: deque[Packet] = deque()
+        self.link = link                       # feeds the LOCAL input port
+        self.senders: dict[int, list] = {}     # vc -> [packet, flits_remaining]
+        self.rr = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while packets are queued or flits remain to send."""
+        return bool(self.queue or self.senders)
+
+
+class Network:
+    """A mesh NoC, optionally overlaid with RF-I shortcuts."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        params: ArchitectureParams,
+        tables: Optional[RoutingTables] = None,
+        policy: RoutingPolicy = RoutingPolicy(),
+        shortcut_style: str = "rf",
+    ):
+        if shortcut_style not in ("rf", "wire"):
+            raise ValueError("shortcut_style must be 'rf' or 'wire'")
+        self.topology = topology
+        self.params = params
+        self.tables = tables or RoutingTables(topology, [])
+        self.policy = policy
+        self.shortcut_style = shortcut_style
+        self.stats = NetworkStats()
+        self.cycle = 0
+
+        rp = params.router
+        self.num_vcs = rp.num_vcs
+        self.total_vcs = rp.total_vcs
+        self.buffer_depth = rp.vc_buffer_flits
+        self.link_bytes = params.mesh.link_bytes
+        self.rf_capacity = max(1, params.rfi.shortcut_bytes // self.link_bytes)
+
+        self.routers: list[Router] = []
+        self.interfaces: list[NetworkInterface] = []
+        self._build()
+
+        self._arrivals: dict[int, list] = defaultdict(list)
+        self._deliveries: dict[int, list] = defaultdict(list)
+        self.active: set[int] = set()
+        self._ni_busy: set[int] = set()
+        self._open_packets = 0
+        self._open_deliveries: dict[int, int] = {}  # packet uid -> remaining ejects
+        self.delivery_hooks: list[Callable[[Packet, int], None]] = []
+        self.mc_targets_fn: Optional[McTargetsFn] = None
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        topo = self.topology
+        spacing = topo.params.router_spacing_mm
+        for rid in range(topo.params.num_routers):
+            router = Router(rid)
+            router.add_input_port(int(Port.LOCAL), self.num_vcs, self.params.router.num_escape_vcs)
+            self.routers.append(router)
+
+        # Mesh links and the matching input ports.
+        for rid, router in enumerate(self.routers):
+            for port, neighbor in topo.neighbors(rid).items():
+                opposite = {
+                    Port.NORTH: Port.SOUTH, Port.SOUTH: Port.NORTH,
+                    Port.EAST: Port.WEST, Port.WEST: Port.EAST,
+                }[port]
+                nbr_router = self.routers[neighbor]
+                if int(opposite) not in nbr_router.in_ports:
+                    nbr_router.add_input_port(
+                        int(opposite), self.num_vcs, self.params.router.num_escape_vcs
+                    )
+                link = OutputLink(
+                    rid, int(port), neighbor, int(opposite),
+                    self.total_vcs, self.buffer_depth,
+                    capacity=1, is_rf=False, length_mm=spacing,
+                )
+                router.out_links[int(port)] = link
+                nbr_router.in_ports[int(opposite)].feeder = link
+
+        # Shortcuts: a sixth port at each endpoint.  RF-I shortcuts are
+        # single-cycle and dissipate RF energy; 'wire' shortcuts (the Fig 10a
+        # comparison point) are buffered RC wires with distance-proportional
+        # latency and ordinary link energy.
+        for sc in self.tables.shortcuts:
+            self._wire_shortcut(sc)
+
+        # Ejection ports and network interfaces.
+        for rid, router in enumerate(self.routers):
+            router.out_links[EJECT] = OutputLink(
+                rid, EJECT, None, -1, self.total_vcs, self.buffer_depth,
+                capacity=1, is_rf=False, length_mm=0.0,
+            )
+            ni_link = OutputLink(
+                rid, -1, rid, int(Port.LOCAL), self.total_vcs,
+                self.buffer_depth, capacity=1, is_rf=False, length_mm=0.0,
+            )
+            router.in_ports[int(Port.LOCAL)].feeder = ni_link
+            self.interfaces.append(NetworkInterface(rid, ni_link))
+
+    def _wire_shortcut(self, sc: Shortcut) -> None:
+        """Create the sixth-port link realizing one shortcut."""
+        topo = self.topology
+        spacing = topo.params.router_spacing_mm
+        src_router = self.routers[sc.src]
+        dst_router = self.routers[sc.dst]
+        if int(Port.RF) in src_router.out_links:
+            raise ValueError(f"router {sc.src} already transmits on RF-I")
+        if int(Port.RF) in dst_router.in_ports:
+            raise ValueError(f"router {sc.dst} already receives on RF-I")
+        dst_router.add_input_port(
+            int(Port.RF), self.num_vcs, self.params.router.num_escape_vcs
+        )
+        if self.shortcut_style == "rf":
+            is_rf, length_mm, latency = True, 0.0, 1
+        else:
+            is_rf = False
+            length_mm = topo.manhattan(sc.src, sc.dst) * spacing
+            latency = max(1, round(length_mm * WIRE_NS_PER_MM
+                                   * self.params.mesh.network_ghz))
+        link = OutputLink(
+            sc.src, int(Port.RF), sc.dst, int(Port.RF),
+            self.total_vcs, self.buffer_depth,
+            capacity=self.rf_capacity, is_rf=is_rf,
+            length_mm=length_mm, latency_cycles=latency,
+        )
+        src_router.out_links[int(Port.RF)] = link
+        dst_router.in_ports[int(Port.RF)].feeder = link
+
+    def apply_shortcuts(self, tables: RoutingTables) -> None:
+        """Retune the overlay of a *quiescent* network to a new shortcut set.
+
+        Models runtime reconfiguration (the tuning + routing-table-update
+        steps of Section 3.2): every RF port is rewired to the new
+        transmitter/receiver pairs and the routing tables are replaced.
+        The network must be drained first — packets in flight hold virtual
+        channels on links that may be about to disappear.
+        """
+        if self._open_packets:
+            raise RuntimeError(
+                "cannot retune shortcuts with packets in flight; drain first"
+            )
+        for router in self.routers:
+            router.out_links.pop(int(Port.RF), None)
+            router.in_ports.pop(int(Port.RF), None)
+        self.tables = tables
+        for sc in tables.shortcuts:
+            self._wire_shortcut(sc)
+
+    # -- injection ----------------------------------------------------------
+
+    def inject(self, message: Message, inject_cycle: Optional[int] = None) -> Packet:
+        """Queue a message at its source network interface.
+
+        ``inject_cycle`` defaults to the current cycle; multicast engines
+        pass the *original* injection cycle when they inject stitched legs
+        (e.g. the local-distribution hop after an RF broadcast), so the
+        recorded latency spans the whole end-to-end path.
+        """
+        message.inject_cycle = self.cycle if inject_cycle is None else inject_cycle
+        packet = Packet(message, self.link_bytes)
+        self.interfaces[message.src].queue.append(packet)
+        self._ni_busy.add(message.src)
+        self._open_packets += 1
+        self._open_deliveries[packet.uid] = self._destination_count(packet)
+        distance = (
+            self.topology.manhattan(message.src, message.dst)
+            if not message.is_multicast
+            else 0
+        )
+        self.stats.record_injection(packet, distance)
+        return packet
+
+    def _destination_count(self, packet: Packet) -> int:
+        if packet.message.is_multicast and self.mc_targets_fn is not None:
+            return len(packet.message.dbv)
+        return 1
+
+    @property
+    def in_flight(self) -> int:
+        """Packets injected but not yet delivered to every destination."""
+        return self._open_packets
+
+    # -- cycle loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        c = self.cycle = self.cycle + 1
+        in_window = self.stats.in_window(c)
+        if in_window:
+            self.stats.activity.cycles += 1
+
+        self._deliver_arrivals(c, in_window)
+        self._complete_ejections(c)
+        self._run_interfaces(c)
+        self._run_rc_va(c)
+        self._run_switch(c, in_window)
+
+    def _deliver_arrivals(self, c: int, in_window: bool) -> None:
+        for rid, port, vci, packet in self._arrivals.pop(c, ()):
+            ip = self.routers[rid].in_ports[port]
+            ip.vcs[vci].accept_flit(c, packet)
+            ip.occupied.add(vci)
+            if in_window:
+                self.stats.activity.buffer_writes += 1
+            self.active.add(rid)
+
+    def _complete_ejections(self, c: int) -> None:
+        for packet in self._deliveries.pop(c, ()):
+            packet.tail_eject_cycle = max(packet.tail_eject_cycle, c)
+            self.stats.record_delivery(packet, c)
+            remaining = self._open_deliveries.get(packet.uid, 0) - 1
+            if remaining <= 0:
+                self._open_deliveries.pop(packet.uid, None)
+                self._open_packets -= 1
+                self.stats.record_completion(packet)
+            else:
+                self._open_deliveries[packet.uid] = remaining
+            for hook in self.delivery_hooks:
+                hook(packet, c)
+
+    def _run_interfaces(self, c: int) -> None:
+        done = []
+        for rid in self._ni_busy:
+            ni = self.interfaces[rid]
+            # Start queued packets on free regular VCs.
+            while ni.queue:
+                vci = ni.link.allocate_vc(escape=False, num_regular=self.num_vcs)
+                if vci is None:
+                    break
+                packet = ni.queue.popleft()
+                ni.senders[vci] = [packet, packet.num_flits]
+            # Send at most one flit this cycle, round-robin across VCs.
+            if ni.senders:
+                vcis = sorted(ni.senders)
+                start = ni.rr % len(vcis)
+                for offset in range(len(vcis)):
+                    vci = vcis[(start + offset) % len(vcis)]
+                    if ni.link.credits[vci] <= 0:
+                        continue
+                    packet, remaining = ni.senders[vci]
+                    ni.link.credits[vci] -= 1
+                    if remaining == packet.num_flits:
+                        packet.head_inject_cycle = c
+                    self._arrivals[c + 1].append(
+                        (rid, int(Port.LOCAL), vci, packet)
+                    )
+                    ni.senders[vci][1] = remaining - 1
+                    if ni.senders[vci][1] == 0:
+                        del ni.senders[vci]
+                    ni.rr += 1
+                    break
+            if not ni.busy:
+                done.append(rid)
+        self._ni_busy.difference_update(done)
+
+    # -- route computation and VC allocation ---------------------------------
+
+    def _compute_route(self, rid: int, vc: VirtualChannel) -> list[int]:
+        """Output ports for the packet heading this VC (RC stage)."""
+        packet = vc.packet
+        if packet.message.is_multicast and self.mc_targets_fn is not None:
+            return self.mc_targets_fn(self, rid, packet)
+        if packet.dst == rid:
+            return [EJECT]
+        if vc.is_escape or packet.escape:
+            return [xy_port(self.topology, rid, packet.dst)]
+        port = self.tables.port_for(rid, packet.dst)
+        if (
+            self.policy.adaptive
+            and port == int(Port.RF)
+            and self._rf_congested(rid, packet.dst)
+        ):
+            packet.route_class = "adaptive-fallback"
+            return [self.tables.mesh_port_for(rid, packet.dst)]
+        return [port]
+
+    def _rf_congested(self, rid: int, dst: int) -> bool:
+        """Should this packet skip the RF shortcut and take the mesh?
+
+        The HPCA-2008 adaptive policy, as a cost comparison: divert only
+        when the *estimated wait* at the transmitter (queued flits over the
+        shortcut's drain rate, plus a penalty when no VC is free) exceeds
+        the *detour cost* of finishing the trip over mesh links.  Packets
+        that gain many hops from the shortcut keep waiting; marginal ones
+        peel off first, which is exactly what relieves the contention.
+        """
+        link = self.routers[rid].out_links.get(int(Port.RF))
+        if link is None:
+            return True
+        occupancy = sum(
+            self.buffer_depth - link.credits[i] for i in range(self.num_vcs)
+        )
+        wait_estimate = occupancy / link.capacity
+        if not any(not link.vc_busy[i] for i in range(self.num_vcs)):
+            wait_estimate += self.policy.rf_congestion_threshold
+        detour_hops = self.topology.manhattan(rid, dst) - self.tables.distance(rid, dst)
+        detour_cost = detour_hops * self.policy.detour_cycles_per_hop
+        return wait_estimate > detour_cost
+
+    def _escape_class(self, vc: VirtualChannel) -> bool:
+        return vc.is_escape or vc.packet.escape
+
+    def _run_rc_va(self, c: int) -> None:
+        for rid in list(self.active):
+            router = self.routers[rid]
+            for ip, vc in router.occupied_vcs():
+                if vc.state == ROUTE:
+                    if c >= vc.head_arrival + 1:
+                        ports = self._compute_route(rid, vc)
+                        vc.targets = [(p, -1) for p in ports]
+                        vc.state = VA
+                        vc.va_eligible = c + 1
+                elif vc.state == VA and c >= vc.va_eligible:
+                    self._try_va(rid, router, vc, c)
+
+    def _try_va(self, rid: int, router: Router, vc: VirtualChannel, c: int) -> None:
+        if vc.va_since < 0:
+            vc.va_since = c
+        escape = self._escape_class(vc)
+        complete = True
+        for i, (port, out_vc) in enumerate(vc.targets):
+            if out_vc >= 0:
+                continue
+            link = router.out_links[port]
+            allocated = link.allocate_vc(escape=escape, num_regular=self.num_vcs)
+            if allocated is None:
+                complete = False
+            else:
+                vc.targets[i] = (port, allocated)
+        if complete:
+            vc.state = ACTIVE
+            vc.sa_ready = c + 1
+            return
+        # Escape diversion: a stalled unicast head abandons the table route
+        # and retries over the deadlock-free XY escape class.
+        if (
+            not escape
+            and not vc.packet.message.is_multicast
+            and c - vc.va_since >= self.policy.escape_timeout
+            and vc.packet.dst != rid
+        ):
+            self._release_partial_va(router, vc)
+            vc.packet.escape = True
+            vc.packet.route_class = "escape"
+            vc.targets = [(xy_port(self.topology, rid, vc.packet.dst), -1)]
+            vc.va_since = c  # restart the timeout clock in the escape class
+
+    def _release_partial_va(self, router: Router, vc: VirtualChannel) -> None:
+        for port, out_vc in vc.targets:
+            if out_vc >= 0:
+                link = router.out_links[port]
+                if not link.is_ejection:
+                    link.vc_busy[out_vc] = False
+
+    # -- switch allocation / traversal ---------------------------------------
+
+    def _run_switch(self, c: int, in_window: bool) -> None:
+        for rid in list(self.active):
+            router = self.routers[rid]
+            requests: dict[int, list] = {}
+            multicast: list = []
+            for ip, vc in router.occupied_vcs():
+                if vc.state != ACTIVE or not vc.flit_eligible(c):
+                    continue
+                if len(vc.targets) > 1:
+                    multicast.append((ip, vc))
+                else:
+                    requests.setdefault(vc.targets[0][0], []).append((ip, vc))
+
+            capacity = {
+                port: link.capacity for port, link in router.out_links.items()
+            }
+            for ip, vc in multicast:
+                self._grant_multicast(router, ip, vc, c, capacity, in_window)
+            for port, candidates in requests.items():
+                self._grant_port(router, port, candidates, c, capacity, in_window)
+
+            if not router.has_work():
+                self.active.discard(rid)
+
+    def _grant_port(
+        self, router: Router, port: int, candidates: list,
+        c: int, capacity: dict[int, int], in_window: bool,
+    ) -> None:
+        link = router.out_links[port]
+        order = sorted(candidates, key=lambda pair: (pair[0].port, pair[1].index))
+        n = len(order)
+        start = link.rr % n
+        for offset in range(n):
+            if capacity[port] <= 0:
+                break
+            ip, vc = order[(start + offset) % n]
+            out_vc = vc.targets[0][1]
+            # RF links may drain several flits of the same packet per cycle.
+            while (
+                capacity[port] > 0
+                and vc.flit_eligible(c)
+                and link.has_credit(out_vc)
+            ):
+                self._send_flit(router, ip, vc, c, [(port, out_vc)], in_window)
+                capacity[port] -= 1
+                link.rr += 1
+                if not link.is_rf:
+                    break
+
+    def _grant_multicast(
+        self, router: Router, ip: InputPort, vc: VirtualChannel,
+        c: int, capacity: dict[int, int], in_window: bool,
+    ) -> None:
+        for port, out_vc in vc.targets:
+            link = router.out_links[port]
+            if capacity[port] <= 0 or not link.has_credit(out_vc):
+                return
+        self._send_flit(router, ip, vc, c, list(vc.targets), in_window)
+        for port, _ in vc.targets:
+            capacity[port] -= 1
+
+    def _send_flit(
+        self, router: Router, ip: InputPort, vc: VirtualChannel,
+        c: int, targets: list[tuple[int, int]], in_window: bool,
+    ) -> None:
+        packet = vc.packet
+        vc.arrivals.popleft()
+        vc.sent += 1
+        is_head = vc.sent == 1
+        is_tail = vc.sent == packet.num_flits
+        activity = self.stats.activity
+
+        for port, out_vc in targets:
+            link = router.out_links[port]
+            if in_window:
+                activity.switch_traversals += 1
+            if link.is_ejection:
+                if in_window:
+                    activity.local_flit_hops += 1
+                if is_tail:
+                    self._deliveries[c + 2].append(packet)
+                continue
+            link.credits[out_vc] -= 1
+            self._arrivals[c + 1 + link.latency_cycles].append(
+                (link.dst_router, link.dst_port, out_vc, packet)
+            )
+            self.active.add(link.dst_router)
+            if in_window:
+                if link.is_rf:
+                    activity.rf_flits += 1
+                else:
+                    activity.mesh_flit_hops += 1
+                    activity.mesh_flit_mm += link.length_mm
+                self.stats.link_flits[(router.router_id, link.dst_router)] += 1
+            if is_head:
+                packet.hops += 1
+                if link.is_rf:
+                    packet.rf_hops += 1
+
+        # Return a credit (and, on tail, the VC itself) to whoever feeds us.
+        feeder = ip.feeder
+        if feeder is not None:
+            feeder.credits[vc.index] += 1
+            if is_tail:
+                feeder.vc_busy[vc.index] = False
+            if feeder.out_port == -1 and self.interfaces[router.router_id].busy:
+                self._ni_busy.add(router.router_id)
+        if is_tail:
+            vc.release()
+            ip.occupied.discard(vc.index)
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, cycles: int) -> None:
+        """Step the network ``cycles`` times."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int) -> bool:
+        """Step until no packets are in flight; True if fully drained."""
+        for _ in range(max_cycles):
+            if self._open_packets == 0:
+                return True
+            self.step()
+        return self._open_packets == 0

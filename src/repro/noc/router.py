@@ -1,0 +1,238 @@
+"""Cycle-level wormhole router with virtual channels and credit flow control.
+
+Implements the paper's 5-stage pipeline (Section 3.1): route computation
+(RC), virtual-channel allocation (VA), switch allocation (SA), switch
+traversal (ST) and link traversal (LT).  Head flits pay all five stages
+(5 cycles per hop); body and tail flits inherit the head's route and VC and
+pay only SA+ST+LT (3 cycles per hop).
+
+Representation
+--------------
+Flits are not separate objects.  In wormhole switching with atomic VC
+allocation, a virtual channel buffers flits of exactly one packet at a time,
+so each :class:`VirtualChannel` tracks its packet plus a deque of flit
+arrival cycles; flit movement is a pop + a downstream push.  This preserves
+flit-level timing (serialization, per-flit SA eligibility, credit
+round-trips) at a fraction of the object churn.
+
+Modeling simplifications (applied identically to every design point):
+
+* Credits are returned to the upstream router in the cycle a buffer slot
+  frees, rather than one link cycle later.
+* The crossbar is input-non-blocking: each output port grants up to its
+  per-cycle capacity without a matching constraint on input ports.
+* A sender learns that a downstream VC went idle immediately.
+
+Multicast (VCT-style fork) is supported natively: a VC may hold a packet
+with several ``(port, vc)`` targets; a flit is granted only when *every*
+target has switch capacity and a credit, and is then replicated to all of
+them — the synchronized-replication wormhole multicast of Jerger et al.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.noc.message import Packet
+
+# VC pipeline states.
+IDLE = 0
+ROUTE = 1   # head flit buffered, RC not yet performed
+VA = 2      # route computed, waiting for a downstream VC
+ACTIVE = 3  # downstream VC held; flits move subject to SA
+
+
+class VirtualChannel:
+    """One input virtual channel of a router port."""
+
+    __slots__ = (
+        "index", "is_escape", "state", "packet", "arrivals", "received",
+        "sent", "head_arrival", "va_eligible", "sa_ready", "va_since",
+        "targets",
+    )
+
+    def __init__(self, index: int, is_escape: bool):
+        self.index = index
+        self.is_escape = is_escape
+        self.state = IDLE
+        self.packet: Optional[Packet] = None
+        self.arrivals: deque[int] = deque()   # arrival cycle of each buffered flit
+        self.received = 0                     # flits received so far (<= packet.num_flits)
+        self.sent = 0                         # flits forwarded downstream
+        self.head_arrival = -1
+        self.va_eligible = -1                 # earliest VA cycle (RC done)
+        self.sa_ready = -1                    # earliest SA cycle for the head flit
+        self.va_since = -1                    # cycle VA attempts began (escape timeout)
+        self.targets: list[tuple[int, int]] = []  # (out_port, out_vc) pairs
+
+    @property
+    def buffered(self) -> int:
+        """Flits currently in this VC's buffer."""
+        return len(self.arrivals)
+
+    def accept_flit(self, cycle: int, packet: Packet) -> None:
+        """Buffer-write one flit arriving this cycle."""
+        if self.state == IDLE:
+            if self.packet is not None:
+                raise AssertionError("idle VC still holds a packet")
+            self.packet = packet
+            self.state = ROUTE
+            self.head_arrival = cycle
+        elif self.packet is not packet:
+            raise AssertionError(
+                f"VC interleaving: {self.packet} and {packet} share a VC"
+            )
+        self.arrivals.append(cycle)
+        self.received += 1
+        if self.received > packet.num_flits:
+            raise AssertionError(f"{packet} overflowed its flit count")
+
+    def flit_eligible(self, cycle: int) -> bool:
+        """May the flit at the head of this VC attempt switch allocation?"""
+        if not self.arrivals:
+            return False
+        if self.sent == 0:
+            return cycle >= self.sa_ready
+        return cycle >= self.arrivals[0] + 1
+
+    def release(self) -> None:
+        """Return to IDLE after the tail flit has been forwarded."""
+        self.state = IDLE
+        self.packet = None
+        self.arrivals.clear()
+        self.received = 0
+        self.sent = 0
+        self.head_arrival = -1
+        self.va_eligible = -1
+        self.sa_ready = -1
+        self.va_since = -1
+        self.targets = []
+
+
+class InputPort:
+    """A router input port: its VCs and a link back to whoever feeds it."""
+
+    __slots__ = ("port", "vcs", "occupied", "feeder")
+
+    def __init__(self, port: int, num_vcs: int, num_escape: int):
+        self.port = port
+        self.vcs = [
+            VirtualChannel(i, is_escape=i >= num_vcs)
+            for i in range(num_vcs + num_escape)
+        ]
+        self.occupied: set[int] = set()
+        # The OutputLink (or network interface) that sends into this port;
+        # used to return credits and VC-free notifications.
+        self.feeder: Optional["OutputLink"] = None
+
+    def free_vc(self, escape: bool, num_vcs: int) -> Optional[int]:
+        """Index of a free VC of the requested class, or None."""
+        vc_range = (
+            range(num_vcs, len(self.vcs)) if escape else range(num_vcs)
+        )
+        for i in vc_range:
+            if self.vcs[i].state == IDLE and i not in self.occupied:
+                return i
+        return None
+
+
+class OutputLink:
+    """Sender-side state of one outgoing link (mesh, RF shortcut, or ejection).
+
+    ``capacity`` is flits per cycle: 1 for mesh links, ``16 // link_bytes``
+    for 16 B RF shortcuts on narrower meshes.  ``dst_router is None`` marks
+    the ejection port, which has unbounded credits (the network interface
+    drains it).
+    """
+
+    __slots__ = (
+        "src_router", "out_port", "dst_router", "dst_port", "capacity",
+        "credits", "vc_busy", "is_rf", "length_mm", "latency_cycles", "rr",
+    )
+
+    def __init__(
+        self,
+        src_router: int,
+        out_port: int,
+        dst_router: Optional[int],
+        dst_port: int,
+        num_vcs: int,
+        buffer_depth: int,
+        capacity: int = 1,
+        is_rf: bool = False,
+        length_mm: float = 0.0,
+        latency_cycles: int = 1,
+    ):
+        self.src_router = src_router
+        self.out_port = out_port
+        self.dst_router = dst_router
+        self.dst_port = dst_port
+        self.capacity = capacity
+        self.is_rf = is_rf
+        self.length_mm = length_mm
+        # Link-traversal cycles: 1 for mesh links and single-cycle RF-I;
+        # >1 models long buffered RC-wire shortcuts (Fig 10a comparison).
+        self.latency_cycles = latency_cycles
+        self.credits = [buffer_depth] * num_vcs
+        self.vc_busy = [False] * num_vcs
+        self.rr = 0  # round-robin pointer for switch allocation
+
+    @property
+    def is_ejection(self) -> bool:
+        """True for the local-delivery pseudo-link."""
+        return self.dst_router is None
+
+    def allocate_vc(self, escape: bool, num_regular: int) -> Optional[int]:
+        """Grab a free downstream VC of the requested class, if any."""
+        if self.is_ejection:
+            return 0  # ejection is always accepting; VC index is nominal
+        vc_range = (
+            range(num_regular, len(self.vc_busy))
+            if escape
+            else range(num_regular)
+        )
+        for i in vc_range:
+            if not self.vc_busy[i]:
+                self.vc_busy[i] = True
+                return i
+        return None
+
+    def has_credit(self, vc: int) -> bool:
+        """Can one more flit be sent on the given downstream VC?"""
+        return self.is_ejection or self.credits[vc] > 0
+
+
+class Router:
+    """One mesh router: input ports with VCs, and sender-side output links.
+
+    Ports are wired by :class:`repro.noc.network.Network`; the router itself
+    only holds state.  All per-cycle behaviour (RC/VA/SA) lives in the
+    network's cycle loop so that cross-router interactions (credits,
+    VC-free signals, arrivals) stay in one place.
+    """
+
+    __slots__ = ("router_id", "in_ports", "out_links", "busy")
+
+    def __init__(self, router_id: int):
+        self.router_id = router_id
+        self.in_ports: dict[int, InputPort] = {}
+        self.out_links: dict[int, OutputLink] = {}
+        self.busy = False
+
+    def add_input_port(self, port: int, num_vcs: int, num_escape: int) -> InputPort:
+        """Create and register an input port with its VCs."""
+        ip = InputPort(port, num_vcs, num_escape)
+        self.in_ports[port] = ip
+        return ip
+
+    def occupied_vcs(self):
+        """Iterate ``(in_port, vc)`` over all non-idle virtual channels."""
+        for ip in self.in_ports.values():
+            if ip.occupied:
+                for idx in sorted(ip.occupied):
+                    yield ip, ip.vcs[idx]
+
+    def has_work(self) -> bool:
+        """True while any input VC is non-idle."""
+        return any(ip.occupied for ip in self.in_ports.values())

@@ -1,0 +1,189 @@
+"""Routing for the mesh and the RF-I-overlaid mesh.
+
+Three unicast algorithms are provided:
+
+* **XY routing** — the baseline mesh's dimension-ordered routing.  Also the
+  deadlock-free *escape* route: the paper reserves "eight virtual channels
+  that only use conventional mesh links" for deadlock handling, which we
+  realize as a Duato-style escape VC class routed XY over mesh ports only.
+* **Table routing** — once RF-I shortcuts are overlaid, the paper switches to
+  shortest-path routing.  Tables are built by breadth-first search over the
+  directed graph of mesh links plus shortcut edges, minimizing hop count
+  (every hop costs one router pipeline regardless of physical distance, so
+  hops are the correct latency proxy).  Ties prefer the RF port — a shortcut
+  hop frees mesh links — then dimension order for determinism.
+* **Adaptive table routing** — the HPCA-2008 paper's contention-avoidance:
+  at route-computation time, if the preferred next hop is an RF shortcut
+  whose transmitter queue is congested, fall back to the best mesh-only next
+  hop instead of waiting on the shortcut.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.noc.topology import MeshTopology, Port
+
+#: Sentinel port value meaning "deliver to the local component".
+EJECT = int(Port.LOCAL)
+
+
+def xy_port(topology: MeshTopology, cur: int, dst: int) -> int:
+    """Dimension-ordered (X then Y) next port from ``cur`` toward ``dst``."""
+    cx, cy = topology.coord(cur)
+    dx, dy = topology.coord(dst)
+    if cx < dx:
+        return int(Port.EAST)
+    if cx > dx:
+        return int(Port.WEST)
+    if cy < dy:
+        return int(Port.NORTH)
+    if cy > dy:
+        return int(Port.SOUTH)
+    return EJECT
+
+
+@dataclass(frozen=True)
+class Shortcut:
+    """One unidirectional single-cycle RF-I shortcut between two routers."""
+
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("a shortcut must connect two distinct routers")
+
+
+class RoutingTables:
+    """Next-hop tables for shortest-path routing over mesh + shortcuts.
+
+    ``port_for(cur, dst)`` returns the table next hop; ``mesh_port_for``
+    returns the best next hop restricted to mesh links (the adaptive
+    fallback); ``distance(cur, dst)`` is the hop count of the table route.
+    """
+
+    def __init__(self, topology: MeshTopology, shortcuts: list[Shortcut] = ()):  # type: ignore[assignment]
+        self.topology = topology
+        self.shortcuts = list(shortcuts)
+        self._rf_next: dict[int, int] = {}
+        for sc in self.shortcuts:
+            if sc.src in self._rf_next:
+                raise ValueError(f"router {sc.src} already has an outbound shortcut")
+            self._rf_next[sc.src] = sc.dst
+        n = topology.params.num_routers
+        self._dist: list[list[int]] = [[0] * n for _ in range(n)]
+        self._port: list[list[int]] = [[EJECT] * n for _ in range(n)]
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _reverse_adjacency(self) -> list[list[tuple[int, int]]]:
+        """For each router, the list of ``(predecessor, port-out-of-pred)``."""
+        n = self.topology.params.num_routers
+        radj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        for r in range(n):
+            for port, neighbor in self.topology.neighbors(r).items():
+                radj[neighbor].append((r, int(port)))
+        for sc in self.shortcuts:
+            radj[sc.dst].append((sc.src, int(Port.RF)))
+        return radj
+
+    def _build(self) -> None:
+        """Per-destination reverse BFS filling distance and next-hop tables."""
+        n = self.topology.params.num_routers
+        radj = self._reverse_adjacency()
+        for dst in range(n):
+            dist = [-1] * n
+            dist[dst] = 0
+            queue = deque([dst])
+            while queue:
+                v = queue.popleft()
+                for pred, _ in radj[v]:
+                    if dist[pred] < 0:
+                        dist[pred] = dist[v] + 1
+                        queue.append(pred)
+            if any(d < 0 for d in dist):
+                raise ValueError("network graph is not strongly connected")
+            for cur in range(n):
+                self._dist[cur][dst] = dist[cur]
+                if cur == dst:
+                    self._port[cur][dst] = EJECT
+                    continue
+                self._port[cur][dst] = self._best_port(cur, dst, dist)
+
+    def _best_port(self, cur: int, dst: int, dist: list[int]) -> int:
+        """Choose the outgoing port that makes the most shortest-path progress.
+
+        Preference among ties: RF shortcut first (it frees mesh links and is
+        the medium the overlay exists to use), then the XY-dimension-ordered
+        mesh port for determinism.
+        """
+        best_port = -1
+        best = (dist[cur], 3)  # (resulting distance, preference rank)
+        candidates: list[tuple[int, int, int]] = []  # (port, next, rank)
+        rf_next = self._rf_next.get(cur)
+        if rf_next is not None:
+            candidates.append((int(Port.RF), rf_next, 0))
+        xy = xy_port(self.topology, cur, dst)
+        for port, neighbor in self.topology.neighbors(cur).items():
+            rank = 1 if int(port) == xy else 2
+            candidates.append((int(port), neighbor, rank))
+        for port, nxt, rank in candidates:
+            key = (dist[nxt], rank)
+            if key < best:
+                best = key
+                best_port = port
+        if best_port < 0 or best[0] >= dist[cur]:
+            raise AssertionError(f"no progress from {cur} toward {dst}")
+        return best_port
+
+    # -- queries ---------------------------------------------------------
+
+    def port_for(self, cur: int, dst: int) -> int:
+        """Table (shortest-path) next port from ``cur`` toward ``dst``."""
+        return self._port[cur][dst]
+
+    def mesh_port_for(self, cur: int, dst: int) -> int:
+        """Best mesh-only next port (the adaptive fallback is XY).
+
+        XY is always a shortest *mesh* path on a full grid, and being
+        dimension-ordered it cannot introduce new channel dependencies.
+        """
+        return xy_port(self.topology, cur, dst)
+
+    def distance(self, cur: int, dst: int) -> int:
+        """Hop count of the table route from ``cur`` to ``dst``."""
+        return self._dist[cur][dst]
+
+    def rf_destination(self, router: int) -> int | None:
+        """Where this router's RF transmitter currently points, if anywhere."""
+        return self._rf_next.get(router)
+
+    def average_distance(self) -> float:
+        """Mean shortest-path hop count over all ordered router pairs."""
+        n = self.topology.params.num_routers
+        total = sum(self._dist[a][b] for a in range(n) for b in range(n) if a != b)
+        return total / (n * (n - 1))
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """How route computation behaves at simulation time.
+
+    ``adaptive`` enables the HPCA-2008 congestion fallback as a cost
+    comparison at route-computation time: a packet skips a selected RF
+    shortcut when the estimated transmitter wait (queued flits over the
+    shortcut's drain rate, plus ``rf_congestion_threshold`` when no VC is
+    free) exceeds the mesh-detour cost (``detour_cycles_per_hop`` per hop
+    the shortcut would have saved).  Marginal flows divert first, which is
+    what relieves shortcut contention.  ``escape_timeout`` is how many
+    cycles a head flit may stall in VC allocation before being diverted to
+    the escape (XY, mesh-only) VC class.
+    """
+
+    adaptive: bool = False
+    rf_congestion_threshold: int = 8
+    detour_cycles_per_hop: int = 4
+    escape_timeout: int = 16

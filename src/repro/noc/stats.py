@@ -1,0 +1,198 @@
+"""Measurement of network behaviour: latency, throughput, and activity counts.
+
+Latency statistics cover packets injected inside the measurement window
+(after warm-up), the standard open-loop methodology.  Activity counters
+(buffer writes, switch traversals, link and RF-I flit crossings) cover the
+same window and feed the power model, which converts them to energy using
+per-event costs — mirroring how the paper combines Orion/link models with
+"transmission flow statistics gathered from our microarchitecture
+simulator" (Section 4.3).
+
+Multicast packets produce one *delivery event* per destination (each with its
+own latency) but count once as a *completed packet*; for unicast the two
+coincide.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.noc.message import MessageClass, Packet
+
+
+@dataclass
+class ActivityCounts:
+    """Raw event counts over the measurement window (power-model input)."""
+
+    cycles: int = 0
+    buffer_writes: int = 0            # flit arrivals into any VC buffer
+    switch_traversals: int = 0        # flit grants through any crossbar
+    mesh_flit_mm: float = 0.0         # flits x link length (mm) over RC wires
+    mesh_flit_hops: int = 0           # flits crossing inter-router mesh links
+    local_flit_hops: int = 0          # flits ejected over local links
+    rf_flits: int = 0                 # flits carried by RF-I shortcuts
+    rf_mc_flits_tx: int = 0           # flits broadcast on the multicast band
+    rf_mc_flits_rx: int = 0           # active (non-gated) multicast receptions
+
+    def merged(self, other: "ActivityCounts") -> "ActivityCounts":
+        """Element-wise sum of two activity-count records."""
+        return ActivityCounts(
+            cycles=self.cycles + other.cycles,
+            buffer_writes=self.buffer_writes + other.buffer_writes,
+            switch_traversals=self.switch_traversals + other.switch_traversals,
+            mesh_flit_mm=self.mesh_flit_mm + other.mesh_flit_mm,
+            mesh_flit_hops=self.mesh_flit_hops + other.mesh_flit_hops,
+            local_flit_hops=self.local_flit_hops + other.local_flit_hops,
+            rf_flits=self.rf_flits + other.rf_flits,
+            rf_mc_flits_tx=self.rf_mc_flits_tx + other.rf_mc_flits_tx,
+            rf_mc_flits_rx=self.rf_mc_flits_rx + other.rf_mc_flits_rx,
+        )
+
+
+@dataclass
+class NetworkStats:
+    """Collector attached to a :class:`repro.noc.network.Network`."""
+
+    measure_start: int = 0
+    measure_end: int = 2 ** 62
+    activity: ActivityCounts = field(default_factory=ActivityCounts)
+    injected_packets: int = 0
+    injected_flits: int = 0
+    delivery_events: int = 0          # per-destination tail ejections
+    event_flits: int = 0              # flits summed over delivery events
+    delivered_packets: int = 0        # fully completed packets
+    delivered_flits: int = 0
+    latency_sum: int = 0
+    flit_latency_sum: int = 0         # latency weighted by packet flit count
+    hop_sum: int = 0
+    rf_hop_sum: int = 0
+    escape_packets: int = 0
+    latencies: list[int] = field(default_factory=list)
+    class_counts: dict[MessageClass, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    class_latency_sum: dict[MessageClass, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    class_deliveries: dict[MessageClass, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    distance_histogram: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: Flits carried per directed link, keyed (src_router, dst_router);
+    #: RF shortcuts appear under their endpoint pair like any other link.
+    link_flits: dict[tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def link_utilization(self, src: int, dst: int) -> float:
+        """Average flits per cycle carried by the (src, dst) link."""
+        if not self.activity.cycles:
+            return float("nan")
+        return self.link_flits.get((src, dst), 0) / self.activity.cycles
+
+    def in_window(self, cycle: int) -> bool:
+        """Is ``cycle`` inside the measurement window?"""
+        return self.measure_start <= cycle < self.measure_end
+
+    # -- recording hooks ---------------------------------------------------
+
+    def record_injection(self, packet: Packet, distance: int) -> None:
+        """Count a packet entering at its network interface."""
+        if not self.in_window(packet.inject_cycle):
+            return
+        self.injected_packets += 1
+        self.injected_flits += packet.num_flits
+        self.class_counts[packet.message.cls] += 1
+        self.distance_histogram[distance] += 1
+
+    def record_delivery(self, packet: Packet, eject_cycle: int) -> None:
+        """One destination received the packet's tail flit."""
+        if not self.in_window(packet.inject_cycle):
+            return
+        latency = eject_cycle - packet.inject_cycle
+        self.delivery_events += 1
+        self.event_flits += packet.num_flits
+        self.latency_sum += latency
+        self.flit_latency_sum += latency * packet.num_flits
+        self.latencies.append(latency)
+        self.class_latency_sum[packet.message.cls] += latency
+        self.class_deliveries[packet.message.cls] += 1
+
+    def record_completion(self, packet: Packet) -> None:
+        """The packet reached every destination."""
+        if not self.in_window(packet.inject_cycle):
+            return
+        self.delivered_packets += 1
+        self.delivered_flits += packet.num_flits
+        self.hop_sum += packet.hops
+        self.rf_hop_sum += packet.rf_hops
+        self.escape_packets += int(packet.escape)
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def avg_packet_latency(self) -> float:
+        """Mean latency over delivery events, in network cycles."""
+        if not self.delivery_events:
+            return float("nan")
+        return self.latency_sum / self.delivery_events
+
+    @property
+    def avg_flit_latency(self) -> float:
+        """Flit-weighted mean latency — the paper's 'average network lat/flit'."""
+        if not self.event_flits:
+            return float("nan")
+        return self.flit_latency_sum / self.event_flits
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean router-to-router traversals per completed packet."""
+        if not self.delivered_packets:
+            return float("nan")
+        return self.hop_sum / self.delivered_packets
+
+    @property
+    def throughput_flits_per_cycle(self) -> float:
+        """Delivered flits per measured cycle."""
+        if not self.activity.cycles:
+            return 0.0
+        return self.delivered_flits / self.activity.cycles
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Completed / injected packets; < 1 at saturation when drain is capped."""
+        if not self.injected_packets:
+            return float("nan")
+        return self.delivered_packets / self.injected_packets
+
+    def avg_latency_by_class(self) -> dict[MessageClass, float]:
+        """Mean delivery latency per message class (requests vs data vs...)."""
+        return {
+            cls: self.class_latency_sum[cls] / count
+            for cls, count in self.class_deliveries.items()
+            if count
+        }
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` over delivery events."""
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        k = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return float(ordered[k])
+
+    def summary(self) -> dict[str, float]:
+        """Headline metrics as a plain dict (used by the experiment harness)."""
+        return {
+            "avg_packet_latency": self.avg_packet_latency,
+            "avg_flit_latency": self.avg_flit_latency,
+            "avg_hops": self.avg_hops,
+            "throughput_flits_per_cycle": self.throughput_flits_per_cycle,
+            "delivered_packets": float(self.delivered_packets),
+            "injected_packets": float(self.injected_packets),
+            "delivery_ratio": self.delivery_ratio,
+            "escape_packets": float(self.escape_packets),
+        }

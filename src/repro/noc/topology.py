@@ -1,0 +1,284 @@
+"""CMP mesh floorplan: routers, component placement, and the grid graph.
+
+The baseline architecture (Section 3.1) is a 10x10 mesh of routers, each with
+a local port attached to one of 64 processor cores, 32 cache banks, or 4
+memory ports.  Memory ports sit on the four corner routers; cache banks form
+four clusters of eight, one per quadrant, hugging the nearer horizontal die
+edge (this makes router (7, 0) a cache bank, matching the paper's 1Hotspot
+example); cores fill the remaining routers.
+
+Routers are identified by integer ids ``y * width + x`` with ``(x, y)``
+coordinates, ``(0, 0)`` at the bottom-left.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.params import MeshParams
+
+Coord = tuple[int, int]
+
+
+class NodeKind(enum.Enum):
+    """What the local port of a router is attached to."""
+
+    CORE = "core"
+    CACHE = "cache"
+    MEMORY = "memory"
+
+
+class Port(enum.IntEnum):
+    """Router port numbering; RF is the sixth port of RF-enabled routers."""
+
+    LOCAL = 0
+    NORTH = 1
+    SOUTH = 2
+    EAST = 3
+    WEST = 4
+    RF = 5
+
+
+#: (dx, dy) step taken when leaving a router through each mesh port.
+PORT_STEP: dict[Port, Coord] = {
+    Port.NORTH: (0, 1),
+    Port.SOUTH: (0, -1),
+    Port.EAST: (1, 0),
+    Port.WEST: (-1, 0),
+}
+
+
+@dataclass
+class MeshTopology:
+    """Placement and connectivity of one mesh design point.
+
+    Parameters
+    ----------
+    params:
+        Mesh geometry.  Component counts must satisfy
+        ``num_cores + num_caches + num_memports == width * height``.
+    """
+
+    params: MeshParams = field(default_factory=MeshParams)
+
+    def __post_init__(self) -> None:
+        p = self.params
+        total = p.num_cores + p.num_caches + p.num_memports
+        if total != p.num_routers:
+            raise ValueError(
+                f"component counts ({total}) must fill the "
+                f"{p.width}x{p.height} mesh ({p.num_routers} routers)"
+            )
+        if p.num_memports > 4:
+            raise ValueError("memory ports are restricted to the 4 corners")
+        self._kinds: list[NodeKind] = [NodeKind.CORE] * p.num_routers
+        self._place_components()
+        self._clusters = self._build_cache_clusters()
+
+    # -- identifiers ---------------------------------------------------
+
+    def router_id(self, x: int, y: int) -> int:
+        """Router id for coordinate ``(x, y)``."""
+        p = self.params
+        if not (0 <= x < p.width and 0 <= y < p.height):
+            raise ValueError(f"({x}, {y}) outside {p.width}x{p.height} mesh")
+        return y * p.width + x
+
+    def coord(self, router: int) -> Coord:
+        """Coordinate ``(x, y)`` of a router id."""
+        p = self.params
+        if not (0 <= router < p.num_routers):
+            raise ValueError(f"router {router} out of range")
+        return router % p.width, router // p.width
+
+    def manhattan(self, a: int, b: int) -> int:
+        """Hop distance between two routers on the mesh."""
+        ax, ay = self.coord(a)
+        bx, by = self.coord(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    # -- placement -----------------------------------------------------
+
+    def _corners(self) -> list[int]:
+        p = self.params
+        return [
+            self.router_id(0, 0),
+            self.router_id(p.width - 1, 0),
+            self.router_id(0, p.height - 1),
+            self.router_id(p.width - 1, p.height - 1),
+        ]
+
+    def _quadrant_positions(self, qx: int, qy: int) -> list[Coord]:
+        """All coordinates of quadrant (qx, qy) with qx, qy in {0, 1}."""
+        p = self.params
+        xs = range(0, p.width // 2) if qx == 0 else range(p.width // 2, p.width)
+        ys = range(0, p.height // 2) if qy == 0 else range(p.height // 2, p.height)
+        return [(x, y) for x in xs for y in ys]
+
+    def _place_components(self) -> None:
+        p = self.params
+        memories = self._corners()[: p.num_memports]
+        for r in memories:
+            self._kinds[r] = NodeKind.MEMORY
+
+        # Cache banks: per quadrant, fill positions nearest the closer
+        # horizontal die edge, scanning left to right, skipping memory corners.
+        quads = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        base, extra = divmod(p.num_caches, len(quads))
+        for qi, (qx, qy) in enumerate(quads):
+            quota = base + (1 if qi < extra else 0)
+            edge_y = 0 if qy == 0 else p.height - 1
+            candidates = sorted(
+                self._quadrant_positions(qx, qy),
+                key=lambda c: (abs(c[1] - edge_y), c[0]),
+            )
+            placed = 0
+            for x, y in candidates:
+                if placed == quota:
+                    break
+                r = self.router_id(x, y)
+                if self._kinds[r] is NodeKind.CORE:
+                    self._kinds[r] = NodeKind.CACHE
+                    placed += 1
+            if placed < quota:
+                raise ValueError("quadrant too small for its cache quota")
+
+    def _build_cache_clusters(self) -> list[list[int]]:
+        """Cache banks grouped by quadrant (one cluster per quadrant)."""
+        clusters: list[list[int]] = []
+        for qx, qy in [(0, 0), (1, 0), (0, 1), (1, 1)]:
+            banks = [
+                self.router_id(x, y)
+                for x, y in self._quadrant_positions(qx, qy)
+                if self._kinds[self.router_id(x, y)] is NodeKind.CACHE
+            ]
+            if banks:
+                clusters.append(sorted(banks))
+        return clusters
+
+    # -- queries ---------------------------------------------------------
+
+    def kind(self, router: int) -> NodeKind:
+        """Component kind attached to a router's local port."""
+        return self._kinds[router]
+
+    @property
+    def cores(self) -> list[int]:
+        """Router ids whose local port is a processor core."""
+        return [r for r, k in enumerate(self._kinds) if k is NodeKind.CORE]
+
+    @property
+    def caches(self) -> list[int]:
+        """Router ids whose local port is an L2 cache bank."""
+        return [r for r, k in enumerate(self._kinds) if k is NodeKind.CACHE]
+
+    @property
+    def memports(self) -> list[int]:
+        """Router ids attached to memory controllers (corners)."""
+        return [r for r, k in enumerate(self._kinds) if k is NodeKind.MEMORY]
+
+    @property
+    def cache_clusters(self) -> list[list[int]]:
+        """Cache banks grouped into quadrant clusters."""
+        return [list(c) for c in self._clusters]
+
+    def central_bank(self, cluster_index: int) -> int:
+        """The cache bank nearest its cluster centroid (multicast transmitter)."""
+        banks = self._clusters[cluster_index]
+        cx = sum(self.coord(b)[0] for b in banks) / len(banks)
+        cy = sum(self.coord(b)[1] for b in banks) / len(banks)
+
+        def distance(b: int) -> tuple[float, int]:
+            x, y = self.coord(b)
+            return (abs(x - cx) + abs(y - cy), b)
+
+        return min(banks, key=distance)
+
+    def cluster_of(self, cache_router: int) -> int:
+        """Index of the cluster containing a cache bank's router."""
+        for i, banks in enumerate(self._clusters):
+            if cache_router in banks:
+                return i
+        raise ValueError(f"router {cache_router} is not a cache bank")
+
+    # -- connectivity ------------------------------------------------------
+
+    def neighbors(self, router: int) -> dict[Port, int]:
+        """Mesh neighbors of a router, keyed by the outgoing port."""
+        p = self.params
+        x, y = self.coord(router)
+        result: dict[Port, int] = {}
+        for port, (dx, dy) in PORT_STEP.items():
+            nx_, ny = x + dx, y + dy
+            if 0 <= nx_ < p.width and 0 <= ny < p.height:
+                result[port] = self.router_id(nx_, ny)
+        return result
+
+    def mesh_links(self) -> list[tuple[int, int]]:
+        """All directed inter-router mesh links ``(src, dst)``."""
+        links = []
+        for r in range(self.params.num_routers):
+            links.extend((r, n) for n in self.neighbors(r).values())
+        return links
+
+    def grid_graph(self) -> "nx.DiGraph":
+        """The mesh as a directed graph (used by shortcut selection)."""
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.params.num_routers))
+        g.add_edges_from(self.mesh_links())
+        return g
+
+    # -- RF-enabled router placement ----------------------------------------
+
+    def rf_enabled_routers(self, count: int) -> list[int]:
+        """A staggered set of ``count`` RF-enabled routers.
+
+        The paper places RF access points "in a staggered fashion to minimize
+        the distance any given component would need to travel to reach the
+        RF-I".  Half the routers (50 on 10x10) form a checkerboard; a quarter
+        (25) form a sparser stagger ``(2x + y) % 4 == 0``.  Other counts take
+        a prefix of the checkerboard ordered to stay spread out.
+        """
+        p = self.params
+        if not (0 < count <= p.num_routers):
+            raise ValueError(f"count must be in 1..{p.num_routers}")
+        if count == p.num_routers:
+            return list(range(p.num_routers))
+        if 4 * count == p.num_routers:
+            chosen = [
+                self.router_id(x, y)
+                for y in range(p.height)
+                for x in range(p.width)
+                if (2 * x + y) % 4 == 0
+            ]
+            if len(chosen) == count:
+                return sorted(chosen)
+        checker = [
+            self.router_id(x, y)
+            for y in range(p.height)
+            for x in range(p.width)
+            if (x + y) % 2 == 0
+        ]
+        if count <= len(checker):
+            # Keep the stagger spread: order by (x + y) mod 4 bands, then id.
+            checker.sort(key=lambda r: (sum(self.coord(r)) % 4, r))
+            return sorted(checker[:count])
+        rest = [r for r in range(p.num_routers) if r not in set(checker)]
+        return sorted(checker + rest[: count - len(checker)])
+
+    def render(self, rf_routers: set[int] | None = None) -> str:
+        """ASCII floorplan: C core, $ cache, M memory; '*' marks RF-enabled."""
+        rf = rf_routers or set()
+        symbol = {NodeKind.CORE: "C", NodeKind.CACHE: "$", NodeKind.MEMORY: "M"}
+        rows = []
+        for y in reversed(range(self.params.height)):
+            cells = []
+            for x in range(self.params.width):
+                r = self.router_id(x, y)
+                mark = "*" if r in rf else " "
+                cells.append(f"{symbol[self._kinds[r]]}{mark}")
+            rows.append(" ".join(cells))
+        return "\n".join(rows)

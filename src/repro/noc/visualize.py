@@ -1,0 +1,93 @@
+"""ASCII visualization of topology state and measured traffic.
+
+These renderers make the figures of the paper inspectable from a terminal:
+the floorplan with access points (Fig 2a), shortcut sets as coordinate
+lists (Fig 2b/2c), and — from a measured run — per-router traffic intensity
+and the hottest links, which is how one *sees* a hotspot trace or a
+shortcut taking load off the mesh.
+"""
+
+from __future__ import annotations
+
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import MeshTopology
+
+#: Intensity glyphs from idle to saturated.
+_SCALE = " .:-=+*#%@"
+
+
+def router_traffic(
+    stats: NetworkStats, topology: MeshTopology
+) -> dict[int, int]:
+    """Flits entering or leaving each router over the measurement window."""
+    totals: dict[int, int] = {r: 0 for r in range(topology.params.num_routers)}
+    for (src, dst), flits in stats.link_flits.items():
+        totals[src] += flits
+        totals[dst] += flits
+    return totals
+
+
+def render_traffic_heatmap(
+    stats: NetworkStats, topology: MeshTopology
+) -> str:
+    """Per-router traffic intensity as an ASCII grid (brightest = busiest)."""
+    totals = router_traffic(stats, topology)
+    peak = max(totals.values()) or 1
+    rows = []
+    for y in reversed(range(topology.params.height)):
+        cells = []
+        for x in range(topology.params.width):
+            value = totals[topology.router_id(x, y)]
+            glyph = _SCALE[min(len(_SCALE) - 1, value * (len(_SCALE) - 1) // peak)]
+            cells.append(glyph * 2)
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def hottest_links(
+    stats: NetworkStats, topology: MeshTopology, count: int = 10
+) -> list[tuple[tuple[int, int], float]]:
+    """The ``count`` busiest links as ((src, dst), flits/cycle)."""
+    cycles = stats.activity.cycles or 1
+    ranked = sorted(
+        stats.link_flits.items(), key=lambda item: item[1], reverse=True
+    )
+    return [(pair, flits / cycles) for pair, flits in ranked[:count]]
+
+
+def render_link_report(
+    stats: NetworkStats, topology: MeshTopology, count: int = 10
+) -> str:
+    """Human-readable busiest-link table with coordinates."""
+    lines = [f"{'link':<22} {'flits/cycle':>12}"]
+    for (src, dst), per_cycle in hottest_links(stats, topology, count):
+        sx, sy = topology.coord(src)
+        dx, dy = topology.coord(dst)
+        kind = "RF" if topology.manhattan(src, dst) > 1 else "mesh"
+        lines.append(
+            f"({sx},{sy})->({dx},{dy}) {kind:<5} {per_cycle:>12.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_shortcuts(
+    topology: MeshTopology, shortcuts, mark: str = "S"
+) -> str:
+    """Floorplan with shortcut sources (s) and destinations (d) marked."""
+    sources = {sc.src for sc in shortcuts}
+    dests = {sc.dst for sc in shortcuts}
+    rows = []
+    for y in reversed(range(topology.params.height)):
+        cells = []
+        for x in range(topology.params.width):
+            r = topology.router_id(x, y)
+            if r in sources and r in dests:
+                cells.append("X")
+            elif r in sources:
+                cells.append("s")
+            elif r in dests:
+                cells.append("d")
+            else:
+                cells.append(".")
+        rows.append(" ".join(cells))
+    return "\n".join(rows)

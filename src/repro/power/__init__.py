@@ -1,0 +1,20 @@
+"""Power and area models (Section 4.3): routers, links, RF-I."""
+
+from repro.power.link_power import LinkPowerModel
+from repro.power.noc_power import (
+    RF_RX_SHARE_PJ_PER_BIT, AreaReport, NoCPowerModel, PowerReport,
+)
+from repro.power.router_power import RouterConfig, RouterPowerModel
+from repro.power.technology import DEFAULT_TECHNOLOGY, DerivedTechnology
+
+__all__ = [
+    "AreaReport",
+    "DEFAULT_TECHNOLOGY",
+    "DerivedTechnology",
+    "LinkPowerModel",
+    "NoCPowerModel",
+    "PowerReport",
+    "RF_RX_SHARE_PJ_PER_BIT",
+    "RouterConfig",
+    "RouterPowerModel",
+]

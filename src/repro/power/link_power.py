@@ -1,0 +1,42 @@
+"""Link energy/leakage/area from the paper's CosiNoC/IPEM equations (Fig 6b).
+
+* dynamic: ``E_link = 0.25 * VDD^2 * (k_opt (c0+cp)/h_opt + cwire)`` per bit
+  per mm (derived in :mod:`repro.power.technology`);
+* leakage: repeater leakage x repeaters per link
+  (``D / h_opt`` per bit-lane);
+* area: repeater (signal buffer) silicon, linear in width and length —
+  "wire area is comprised of the signal repeaters which are placed on the
+  active layer, and is halved each time the link bandwidth ... is halved"
+  (Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power import calibration as cal
+from repro.power.technology import DEFAULT_TECHNOLOGY, DerivedTechnology
+
+
+@dataclass(frozen=True)
+class LinkPowerModel:
+    """Energy/leakage/area of repeated RC links."""
+
+    tech: DerivedTechnology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
+
+    def dynamic_energy_pj(self, bits: float, length_mm: float) -> float:
+        """Energy of moving ``bits`` over ``length_mm`` of repeated wire."""
+        return bits * length_mm * self.tech.link_energy_pj_per_bit_mm
+
+    def dynamic_energy_per_flit_mm_pj(self, flit_bytes: int) -> float:
+        """Energy of one flit over one mm, in pJ."""
+        return self.tech.link_energy_pj_per_bit_mm * flit_bytes * 8
+
+    def leakage_w(self, length_mm: float, width_bits: int) -> float:
+        """Leakage of one link: repeaters per lane x lanes."""
+        repeaters = self.tech.repeaters_per_mm * length_mm * width_bits
+        return repeaters * self.tech.repeater_leakage_uw * 1e-6
+
+    def area_mm2(self, length_mm: float, width_bits: int) -> float:
+        """Active-layer repeater area of one link."""
+        return cal.LINK_AREA_MM2_PER_MM_BIT * length_mm * width_bits

@@ -1,0 +1,242 @@
+"""Aggregate NoC power and area for one design point + one measured run.
+
+Mirrors Section 4.3: "Using the router, link and RF-I power models in
+conjunction with transmission flow statistics gathered from our
+microarchitecture simulator, we can obtain the power, total energy and area
+of the NoC.  In this work, we report power-consumption as the average
+instantaneous power (in Watts) over the execution of an application."
+
+Inputs are a :class:`~repro.core.architectures.DesignPoint` (which routers
+exist, how many ports each has, what RF circuitry is provisioned) and a
+:class:`~repro.noc.stats.NetworkStats` measurement window (how many flits
+moved where).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architectures import DesignPoint
+from repro.noc.stats import NetworkStats
+from repro.power import calibration as cal
+from repro.power.link_power import LinkPowerModel
+from repro.power.router_power import RouterConfig, RouterPowerModel
+from repro.rfi.phy import RFIPhysicalModel
+
+#: Receiver-side share of RF-I energy for each *extra* multicast reception
+#: (the 0.75 pJ/bit figure covers one Tx->Rx pair; an additional tuned
+#: receiver burns only its down-conversion mixer + LPF).  Assumption.
+RF_RX_SHARE_PJ_PER_BIT = 0.25
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Average-power breakdown over a measurement window, in Watts."""
+
+    router_dynamic_w: float
+    link_dynamic_w: float
+    rf_dynamic_w: float
+    router_leakage_w: float
+    link_leakage_w: float
+    rf_static_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        """Traffic-dependent power (routers + links + RF-I)."""
+        return self.router_dynamic_w + self.link_dynamic_w + self.rf_dynamic_w
+
+    @property
+    def static_w(self) -> float:
+        """Traffic-independent power (leakage + RF bias)."""
+        return self.router_leakage_w + self.link_leakage_w + self.rf_static_w
+
+    @property
+    def total_w(self) -> float:
+        """Dynamic plus static power, in Watts."""
+        return self.dynamic_w + self.static_w
+
+    def breakdown(self) -> dict[str, float]:
+        """All components as a flat dict (plus the total)."""
+        return {
+            "router_dynamic_w": self.router_dynamic_w,
+            "link_dynamic_w": self.link_dynamic_w,
+            "rf_dynamic_w": self.rf_dynamic_w,
+            "router_leakage_w": self.router_leakage_w,
+            "link_leakage_w": self.link_leakage_w,
+            "rf_static_w": self.rf_static_w,
+            "total_w": self.total_w,
+        }
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Active-silicon area breakdown, in mm^2 — one row of Table 2."""
+
+    router_mm2: float
+    link_mm2: float
+    rfi_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Router + link + RF-I active area."""
+        return self.router_mm2 + self.link_mm2 + self.rfi_mm2
+
+
+class NoCPowerModel:
+    """Converts activity counts into the paper's power/area numbers."""
+
+    def __init__(
+        self,
+        router_model: RouterPowerModel | None = None,
+        link_model: LinkPowerModel | None = None,
+    ):
+        self.router_model = router_model or RouterPowerModel()
+        self.link_model = link_model or LinkPowerModel()
+
+    # -- structural inventory ---------------------------------------------
+
+    def router_configs(self, design: DesignPoint) -> list[RouterConfig]:
+        """Per-router port counts (5-port mesh, 6-port at RF endpoints).
+
+        All mesh routers are provisioned as 5-port, including edge routers
+        — matching how the paper's Table 2 baseline scales (its per-router
+        area is uniform across the mesh).
+        """
+        topo = design.topology
+        rp = design.params.router
+        rf_endpoints = set()
+        if design.overlay is not None:
+            rf_endpoints = set(design.overlay.access_points)
+        elif design.shortcut_style == "wire":
+            for sc in design.shortcuts:
+                rf_endpoints.add(sc.src)
+                rf_endpoints.add(sc.dst)
+        configs = []
+        for r in range(topo.params.num_routers):
+            ports = 6 if r in rf_endpoints else 5
+            configs.append(
+                RouterConfig(
+                    ports=ports,
+                    num_vcs=rp.total_vcs,
+                    buffer_depth=rp.vc_buffer_flits,
+                    flit_bytes=design.link_bytes,
+                )
+            )
+        return configs
+
+    def _rf_static_w(self, design: DesignPoint) -> float:
+        """Bias power of the RF circuitry in its current configuration.
+
+        Active (tuned) Tx/Rx pairs burn full mixer/LO bias; tunable access
+        points burn a smaller idle bias even when untuned; every receiver
+        tuned to the multicast band beyond the first adds its
+        down-converter bias.
+        """
+        overlay = design.overlay
+        if overlay is None:
+            return 0.0
+        active_pairs = len(overlay.shortcuts)
+        if overlay.multicast_band is not None:
+            active_pairs += 1
+        watts = active_pairs * cal.RF_ACTIVE_PAIR_W
+        if overlay.adaptive:
+            watts += len(overlay.access_points) * cal.RF_IDLE_AP_W
+        extra_rx = max(0, len(overlay.multicast_receivers) - 1)
+        watts += extra_rx * cal.RF_MC_RX_W
+        return watts
+
+    def _wire_shortcut_inventory(self, design: DesignPoint) -> list[tuple[float, int]]:
+        """(length_mm, width_bits) of each RC-wire shortcut, if any."""
+        if design.shortcut_style != "wire":
+            return []
+        spacing = design.topology.params.router_spacing_mm
+        width_bits = design.params.rfi.shortcut_bytes * 8
+        return [
+            (design.topology.manhattan(sc.src, sc.dst) * spacing, width_bits)
+            for sc in design.shortcuts
+        ]
+
+    # -- area (Table 2) -------------------------------------------------------
+
+    def area(self, design: DesignPoint) -> AreaReport:
+        """Active-area breakdown of a design (one Table 2 row)."""
+        router_mm2 = sum(
+            self.router_model.area_mm2(c) for c in self.router_configs(design)
+        )
+        topo = design.topology
+        spacing = topo.params.router_spacing_mm
+        width_bits = design.link_bytes * 8
+        link_mm2 = sum(
+            self.link_model.area_mm2(spacing, width_bits)
+            for _ in topo.mesh_links()
+        )
+        link_mm2 += sum(
+            self.link_model.area_mm2(length, bits)
+            for length, bits in self._wire_shortcut_inventory(design)
+        )
+        rfi_mm2 = (
+            design.overlay.active_area_mm2() if design.overlay is not None else 0.0
+        )
+        return AreaReport(router_mm2, link_mm2, rfi_mm2)
+
+    # -- power ------------------------------------------------------------------
+
+    def power(self, design: DesignPoint, stats: NetworkStats) -> PowerReport:
+        """Average instantaneous power over the measurement window."""
+        act = stats.activity
+        if act.cycles <= 0:
+            raise ValueError("no measured cycles: run a simulation first")
+        ghz = design.params.mesh.network_ghz
+        seconds = act.cycles / (ghz * 1e9)
+        flit_bits = design.link_bytes * 8
+
+        configs = self.router_configs(design)
+        # Traffic-weighted router energy: per-flit costs at the mean port
+        # count (activity counters are aggregated across routers).
+        avg_ports = sum(c.ports for c in configs) / len(configs)
+        bits = flit_bits
+        xbar_pj = cal.XBAR_PJ_PER_BIT_5PORT * (avg_ports / 5.0) * bits
+        st_pj = cal.BUFFER_READ_PJ_PER_BIT * bits + xbar_pj + cal.ARBITER_PJ_PER_FLIT
+        bw_pj = cal.BUFFER_WRITE_PJ_PER_BIT * bits
+        router_dyn_pj = act.switch_traversals * st_pj + act.buffer_writes * bw_pj
+
+        link_dyn_pj = (
+            act.mesh_flit_mm * flit_bits
+            * self.link_model.tech.link_energy_pj_per_bit_mm
+        )
+        link_dyn_pj += (
+            act.local_flit_hops * cal.LOCAL_LINK_MM * flit_bits
+            * self.link_model.tech.link_energy_pj_per_bit_mm
+        )
+
+        rfi = RFIPhysicalModel(design.params.rfi)
+        rf_bits = act.rf_flits * flit_bits
+        mc_channel_bits = design.params.rfi.shortcut_bytes * 8
+        rf_mc_tx_bits = act.rf_mc_flits_tx * mc_channel_bits
+        rf_mc_rx_bits = act.rf_mc_flits_rx * mc_channel_bits
+        rf_dyn_pj = (
+            rfi.energy_pj(rf_bits + rf_mc_tx_bits)
+            + rf_mc_rx_bits * RF_RX_SHARE_PJ_PER_BIT
+        )
+
+        router_leak_w = sum(self.router_model.leakage_w(c) for c in configs)
+        topo = design.topology
+        spacing = topo.params.router_spacing_mm
+        link_leak_w = sum(
+            self.link_model.leakage_w(spacing, flit_bits)
+            for _ in topo.mesh_links()
+        )
+        link_leak_w += sum(
+            self.link_model.leakage_w(length, bits)
+            for length, bits in self._wire_shortcut_inventory(design)
+        )
+        rf_static_w = self._rf_static_w(design)
+
+        return PowerReport(
+            router_dynamic_w=router_dyn_pj * 1e-12 / seconds,
+            link_dynamic_w=link_dyn_pj * 1e-12 / seconds,
+            rf_dynamic_w=rf_dyn_pj * 1e-12 / seconds,
+            router_leakage_w=router_leak_w,
+            link_leakage_w=link_leak_w,
+            rf_static_w=rf_static_w,
+        )

@@ -1,0 +1,67 @@
+"""Orion-style router energy, leakage, and area model (Section 4.3).
+
+The paper queries Orion for "router dynamic energy per flit, leakage and
+area with various router configurations"; this module provides the same
+three quantities as closed forms over the router configuration (port count,
+VC count, buffer depth, flit width), with constants calibrated as described
+in :mod:`repro.power.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power import calibration as cal
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """The knobs Orion would be queried with."""
+
+    ports: int
+    num_vcs: int
+    buffer_depth: int
+    flit_bytes: int
+
+    @property
+    def flit_bits(self) -> int:
+        """Flit width in bits."""
+        return self.flit_bytes * 8
+
+
+@dataclass(frozen=True)
+class RouterPowerModel:
+    """Energy/leakage/area of one router configuration."""
+
+    def dynamic_energy_per_flit_pj(self, config: RouterConfig) -> float:
+        """Buffer read + crossbar + arbitration for one switch traversal."""
+        bits = config.flit_bits
+        xbar = cal.XBAR_PJ_PER_BIT_5PORT * (config.ports / 5.0) * bits
+        read = cal.BUFFER_READ_PJ_PER_BIT * bits
+        return read + xbar + cal.ARBITER_PJ_PER_FLIT
+
+    def buffer_write_energy_pj(self, config: RouterConfig) -> float:
+        """One flit arrival written into a VC buffer."""
+        return cal.BUFFER_WRITE_PJ_PER_BIT * config.flit_bits
+
+    def area_mm2(self, config: RouterConfig) -> float:
+        """Router active area: crossbar (quadratic in width) + buffers."""
+        scale = config.ports / 5.0
+        w = config.flit_bytes
+        return (
+            cal.XBAR_AREA_MM2_PER_B2 * scale ** 2 * w ** 2
+            + cal.BUF_AREA_MM2_PER_B * scale * w
+        )
+
+    def leakage_w(self, config: RouterConfig) -> float:
+        """Leakage: linear in datapath width, scaled by port count.
+
+        Orion-style bit-sliced buffers and datapath dominate router
+        leakage, so it tracks ``link_bytes * ports`` rather than the
+        (crossbar-quadratic) area — this is what makes total NoC power
+        scale almost linearly with link width, as in Fig 8.
+        """
+        return (
+            cal.ROUTER_LEAK_W_PER_BYTE * config.flit_bytes * (config.ports / 5.0)
+            + cal.ROUTER_LEAK_FIXED_W
+        )

@@ -1,0 +1,83 @@
+"""Derived 32 nm electrical quantities (Fig 6 of the paper).
+
+From the raw technology parameters this module derives the quantities the
+paper's link model needs:
+
+* ``k_opt`` — optimal repeater size (in multiples of a minimum repeater),
+  from the first equation of Fig 6b:
+  ``k_opt = sqrt(r0 * cwire / (rwire * (c0 + cp)))``;
+* ``h_opt`` — optimal inter-repeater distance, which the paper obtains from
+  IPEM's buffer-insertion optimizer; for an optimally repeated RC line it is
+  the closed form ``h_opt = sqrt(2 * r0 * (c0 + cp) / (rwire * cwire))``;
+* ``E_link`` — dynamic energy per bit per mm:
+  ``0.25 * VDD^2 * (k_opt * (c0 + cp) / h_opt + cwire)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.params import TechnologyParams
+
+
+@dataclass(frozen=True)
+class DerivedTechnology:
+    """Technology parameters plus the derived repeater/link quantities."""
+
+    params: TechnologyParams = TechnologyParams()
+
+    @property
+    def k_opt(self) -> float:
+        """Optimal repeater size (multiple of minimum width)."""
+        p = self.params
+        r0 = p.r0_kohm * 1e3                      # Ohm
+        cwire = p.cwire_ff_per_mm * 1e-15         # F/mm
+        rwire = p.rwire_ohm_per_mm                # Ohm/mm
+        cdev = (p.c0_ff + p.cp_ff) * 1e-15        # F
+        return math.sqrt(r0 * cwire / (rwire * cdev))
+
+    @property
+    def h_opt_mm(self) -> float:
+        """Optimal repeater spacing in mm (IPEM's buffer insertion)."""
+        p = self.params
+        r0 = p.r0_kohm * 1e3
+        cwire = p.cwire_ff_per_mm * 1e-15
+        rwire = p.rwire_ohm_per_mm
+        cdev = (p.c0_ff + p.cp_ff) * 1e-15
+        return math.sqrt(2 * r0 * cdev / (rwire * cwire))
+
+    @property
+    def link_energy_pj_per_bit_mm(self) -> float:
+        """Dynamic energy of moving one bit one mm over a repeated wire."""
+        p = self.params
+        cdev_ff = p.c0_ff + p.cp_ff
+        repeater_ff_per_mm = self.k_opt * cdev_ff / self.h_opt_mm
+        total_ff_per_mm = repeater_ff_per_mm + p.cwire_ff_per_mm
+        # 0.25 * VDD^2 * C  (activity factor 0.5, and 0.5 CV^2 per switch).
+        return 0.25 * p.vdd ** 2 * total_ff_per_mm * 1e-3  # fF -> pJ
+
+    @property
+    def repeaters_per_mm(self) -> float:
+        """Optimally spaced repeaters per mm of wire."""
+        return 1.0 / self.h_opt_mm
+
+    @property
+    def repeater_leakage_uw(self) -> float:
+        """Leakage of one optimally-sized repeater, in microwatts."""
+        p = self.params
+        width_um = self.k_opt * p.wmin_um
+        return p.vdd * p.ioff_na_per_um * width_um * 1e-3  # nA*V -> uW
+
+    def wire_delay_ns_per_mm(self) -> float:
+        """Delay of the optimally repeated wire (for sanity checks)."""
+        p = self.params
+        r0 = p.r0_kohm * 1e3
+        cdev = (p.c0_ff + p.cp_ff) * 1e-15
+        rwire = p.rwire_ohm_per_mm
+        cwire = p.cwire_ff_per_mm * 1e-15
+        # Classic optimally-buffered delay: ~ 2 * sqrt(r0 cdev rwire cwire).
+        return 2 * math.sqrt(r0 * cdev * rwire * cwire) * 1e9
+
+
+DEFAULT_TECHNOLOGY = DerivedTechnology()

@@ -1,0 +1,18 @@
+"""RF-I physical layer: bands, mixers, the waveguide, and energy/area."""
+
+from repro.rfi.bands import BandPlan, FrequencyBand
+from repro.rfi.mixers import AccessPoint, Receiver, Transmitter, TunerRole
+from repro.rfi.phy import RFIPhysicalModel
+from repro.rfi.waveguide import PROPAGATION_MM_PER_NS, Waveguide
+
+__all__ = [
+    "AccessPoint",
+    "BandPlan",
+    "FrequencyBand",
+    "PROPAGATION_MM_PER_NS",
+    "RFIPhysicalModel",
+    "Receiver",
+    "Transmitter",
+    "TunerRole",
+    "Waveguide",
+]

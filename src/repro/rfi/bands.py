@@ -1,0 +1,65 @@
+"""Frequency-band plan of the multi-band RF-I bundle (Section 2, 3.2).
+
+The transmission-line bundle carries an aggregate of 256 B per network cycle
+(4096 Gbps at 2 GHz) over 43 parallel lines of 96 Gbps each.  Frequency
+division splits this aggregate into ``N`` logical channels; the paper fixes
+channel width at 16 B/cycle (256 Gbps), giving a budget of ``B = 16``
+unidirectional channels, each usable as a point-to-point shortcut or as the
+shared multicast band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import RFIParams
+
+
+@dataclass(frozen=True)
+class FrequencyBand:
+    """One logical channel of the multi-band bundle."""
+
+    index: int
+    gbps: float
+    bytes_per_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("band index must be non-negative")
+        if self.gbps <= 0 or self.bytes_per_cycle <= 0:
+            raise ValueError("band bandwidth must be positive")
+
+
+class BandPlan:
+    """Divides the bundle's aggregate bandwidth into equal channels."""
+
+    def __init__(self, params: RFIParams = RFIParams()):
+        self.params = params
+        self.num_bands = params.shortcut_budget
+        gbps_per_band = (
+            params.aggregate_bytes_per_cycle * 8 * 2.0 / self.num_bands
+        )
+        self.bands = [
+            FrequencyBand(i, gbps_per_band, params.shortcut_bytes)
+            for i in range(self.num_bands)
+        ]
+
+    def __len__(self) -> int:
+        return self.num_bands
+
+    def __getitem__(self, index: int) -> FrequencyBand:
+        return self.bands[index]
+
+    @property
+    def aggregate_gbps(self) -> float:
+        """Total bandwidth across all bands (4096 Gbps)."""
+        return sum(b.gbps for b in self.bands)
+
+    def validate_against_lines(self) -> None:
+        """Check the aggregate fits on the projected transmission lines."""
+        line_capacity = self.params.num_lines * self.params.line_gbps
+        if self.aggregate_gbps > line_capacity + 1e-9:
+            raise ValueError(
+                f"band plan ({self.aggregate_gbps} Gbps) exceeds the "
+                f"{self.params.num_lines}-line bundle ({line_capacity} Gbps)"
+            )

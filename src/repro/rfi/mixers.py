@@ -1,0 +1,107 @@
+"""Transmitters and receivers: the tunable mixers at RF access points.
+
+In multi-band RF-I each sender up-converts its data stream onto a carrier
+with a mixer; each receiver down-converts with a matching mixer plus a
+low-pass filter (Section 2).  Reconfiguration is *tuning*: pointing a
+transmitter and a receiver at the same band establishes a shortcut; pointing
+many receivers at one band establishes the multicast channel; tuning to
+``None`` disables the circuit (and its energy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TunerRole(enum.Enum):
+    """What a tuned mixer is currently used for."""
+    DISABLED = "disabled"
+    SHORTCUT = "shortcut"
+    MULTICAST = "multicast"
+
+
+@dataclass
+class Transmitter:
+    """Up-conversion mixer at an RF-enabled router."""
+
+    router: int
+    band: int | None = None
+    role: TunerRole = TunerRole.DISABLED
+
+    def tune(self, band: int, role: TunerRole = TunerRole.SHORTCUT) -> None:
+        """Point this mixer at a frequency band."""
+        if band < 0:
+            raise ValueError("band index must be non-negative")
+        self.band = band
+        self.role = role
+
+    def disable(self) -> None:
+        """Power the mixer down (no band)."""
+        self.band = None
+        self.role = TunerRole.DISABLED
+
+    @property
+    def enabled(self) -> bool:
+        """True while tuned to some band."""
+        return self.band is not None
+
+
+@dataclass
+class Receiver:
+    """Down-conversion mixer + low-pass filter at an RF-enabled router.
+
+    ``power_gated_until`` models the multicast receiver behaviour of
+    Section 3.3: a receiver whose DBV bits do not match gates itself off for
+    the remainder of the message (its length is announced in the first flit).
+    """
+
+    router: int
+    band: int | None = None
+    role: TunerRole = TunerRole.DISABLED
+    power_gated_until: int = field(default=-1)
+
+    def tune(self, band: int, role: TunerRole = TunerRole.SHORTCUT) -> None:
+        """Point this mixer at a frequency band."""
+        if band < 0:
+            raise ValueError("band index must be non-negative")
+        self.band = band
+        self.role = role
+
+    def disable(self) -> None:
+        """Power the mixer down (no band)."""
+        self.band = None
+        self.role = TunerRole.DISABLED
+
+    @property
+    def enabled(self) -> bool:
+        """True while tuned to some band."""
+        return self.band is not None
+
+    def gate(self, until_cycle: int) -> None:
+        """Power-gate reception until the given cycle."""
+        self.power_gated_until = max(self.power_gated_until, until_cycle)
+
+    def is_gated(self, cycle: int) -> bool:
+        """Is reception gated off at ``cycle``?"""
+        return cycle < self.power_gated_until
+
+
+@dataclass
+class AccessPoint:
+    """The RF interface of one RF-enabled router: a Tx/Rx mixer pair."""
+
+    router: int
+    tx: Transmitter = None  # type: ignore[assignment]
+    rx: Receiver = None     # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.tx is None:
+            self.tx = Transmitter(self.router)
+        if self.rx is None:
+            self.rx = Receiver(self.router)
+
+    def reset(self) -> None:
+        """Disable both the Tx and Rx mixers."""
+        self.tx.disable()
+        self.rx.disable()

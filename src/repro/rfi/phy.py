@@ -1,0 +1,73 @@
+"""RF-I energy, area, and latency constants (Sections 2 and 4.3).
+
+Published 32 nm projections used directly:
+
+* energy: **0.75 pJ per bit** transmitted over RF-I;
+* active-silicon area: **124 um^2 per Gbps** of provisioned mixer/LPF
+  bandwidth;
+* latency: single-cycle cross-chip (0.3 ns over a 400 mm^2 die at 2 GHz).
+
+Area accounting reproduces Table 2's two provisioning styles:
+
+* *static* endpoints are built for one fixed band: each of the 32 endpoints
+  of 16 shortcuts provisions half a channel pair (128 Gbps), totalling
+  4096 Gbps -> **0.51 mm^2**;
+* *adaptive* access points carry a tunable Tx and Rx able to cover a full
+  16 B channel: 256 Gbps each, so 50 APs -> 12 800 Gbps -> **1.59 mm^2**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import RFIParams
+
+
+@dataclass(frozen=True)
+class RFIPhysicalModel:
+    """Converts RF-I activity and provisioning into energy and area."""
+
+    params: RFIParams = RFIParams()
+
+    # -- energy ------------------------------------------------------------
+
+    def energy_pj(self, bits: float) -> float:
+        """Dynamic energy of transmitting ``bits`` over the RF-I."""
+        return bits * self.params.energy_pj_per_bit
+
+    def energy_per_flit_pj(self, flit_bytes: int) -> float:
+        """Dynamic energy of one flit of ``flit_bytes`` over RF-I."""
+        return self.energy_pj(flit_bytes * 8)
+
+    # -- area ----------------------------------------------------------------
+
+    def area_mm2(self, provisioned_gbps: float) -> float:
+        """Active area of ``provisioned_gbps`` of mixer bandwidth."""
+        return provisioned_gbps * self.params.area_um2_per_gbps / 1e6
+
+    def static_endpoint_gbps(self) -> float:
+        """Bandwidth provisioned by one fixed (single-band) endpoint."""
+        return self.channel_gbps() / 2
+
+    def adaptive_access_point_gbps(self) -> float:
+        """Bandwidth provisioned by one tunable Tx+Rx access point."""
+        return self.channel_gbps()
+
+    def channel_gbps(self) -> float:
+        """One 16 B channel at the 2 GHz network clock."""
+        return self.params.shortcut_bytes * 8 * 2.0
+
+    def static_area_mm2(self, num_shortcuts: int) -> float:
+        """Active area of ``num_shortcuts`` fixed shortcuts (2 endpoints each)."""
+        return self.area_mm2(2 * num_shortcuts * self.static_endpoint_gbps())
+
+    def adaptive_area_mm2(self, num_access_points: int) -> float:
+        """Active area of ``num_access_points`` tunable access points."""
+        return self.area_mm2(num_access_points * self.adaptive_access_point_gbps())
+
+    # -- latency ---------------------------------------------------------------
+
+    @property
+    def latency_cycles(self) -> int:
+        """End-to-end RF-I latency in network cycles (1)."""
+        return self.params.cross_chip_latency_cycles

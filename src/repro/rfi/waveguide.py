@@ -1,0 +1,69 @@
+"""The physical transmission-line bundle winding through the mesh.
+
+Figure 2(a) draws the RF-I as "a single thick line winding through the
+mesh", touching every RF-enabled router.  This module computes that
+serpentine: access points are visited boustrophedon (row by row, alternating
+direction), which both matches the figure and keeps the bundle short.  The
+bundle's length matters for the transmission-line metal (routed on upper
+metal layers, so *not* part of the active-silicon area of Table 2) and for
+validating the single-cycle claim: at the effective speed of light
+(~0.3 ns across a 400 mm^2 die, Section 2) even the full serpentine fits in
+one 2 GHz cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.topology import MeshTopology
+
+#: Propagation speed over on-chip transmission lines, mm/ns: a 20 mm die
+#: edge in 0.3 ns (Section 2) gives ~66 mm/ns (the effective speed of light
+#: in the dielectric).
+PROPAGATION_MM_PER_NS = 20.0 / 0.3
+
+
+@dataclass
+class Waveguide:
+    """Serpentine routing of the bundle over a set of access points."""
+
+    topology: MeshTopology
+    access_points: list[int]
+
+    def __post_init__(self) -> None:
+        if not self.access_points:
+            raise ValueError("a waveguide needs at least one access point")
+        seen = set(self.access_points)
+        if len(seen) != len(self.access_points):
+            raise ValueError("duplicate access points")
+        self.order = self._serpentine_order()
+
+    def _serpentine_order(self) -> list[int]:
+        """Visit access points row by row, alternating direction."""
+        by_row: dict[int, list[int]] = {}
+        for ap in self.access_points:
+            x, y = self.topology.coord(ap)
+            by_row.setdefault(y, []).append(ap)
+        order = []
+        for i, y in enumerate(sorted(by_row)):
+            row = sorted(by_row[y], key=lambda r: self.topology.coord(r)[0])
+            if i % 2:
+                row.reverse()
+            order.extend(row)
+        return order
+
+    def length_mm(self) -> float:
+        """Total bundle length along the serpentine."""
+        spacing = self.topology.params.router_spacing_mm
+        total = 0.0
+        for a, b in zip(self.order, self.order[1:]):
+            total += self.topology.manhattan(a, b) * spacing
+        return total
+
+    def propagation_ns(self) -> float:
+        """Worst-case end-to-end propagation time along the bundle."""
+        return self.length_mm() / PROPAGATION_MM_PER_NS
+
+    def single_cycle_at(self, network_ghz: float) -> bool:
+        """Does the full bundle traverse within one network cycle?"""
+        return self.propagation_ns() <= 1.0 / network_ghz

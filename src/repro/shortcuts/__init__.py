@@ -1,0 +1,33 @@
+"""Shortcut-selection algorithms (the paper's Sections 3.2.1-3.2.2)."""
+
+from repro.shortcuts.graph import (
+    add_edge_inplace, cost_after_edge, mesh_distances, total_cost, with_edge,
+)
+from repro.shortcuts.refine import objective, refine_shortcuts
+from repro.shortcuts.region import (
+    RegionSelector, region_members, region_origins, regions_overlap,
+    select_region_shortcuts,
+)
+from repro.shortcuts.selection import (
+    SelectionConfig, ShortcutSelector, select_application_shortcuts,
+    select_architecture_shortcuts,
+)
+
+__all__ = [
+    "RegionSelector",
+    "SelectionConfig",
+    "ShortcutSelector",
+    "add_edge_inplace",
+    "cost_after_edge",
+    "mesh_distances",
+    "objective",
+    "refine_shortcuts",
+    "region_members",
+    "region_origins",
+    "regions_overlap",
+    "select_application_shortcuts",
+    "select_architecture_shortcuts",
+    "select_region_shortcuts",
+    "total_cost",
+    "with_edge",
+]

@@ -1,0 +1,66 @@
+"""Distance bookkeeping for shortcut selection.
+
+Selection works on the directed grid graph G of mesh routers (Section
+3.2.1).  We keep the all-pairs shortest-path matrix D as a dense numpy
+array: the mesh's initial D is just Manhattan distance, and adding one
+directed edge (i, j) updates it in O(V^2) via
+
+    D'[x, y] = min(D[x, y],  D[x, i] + 1 + D[j, y])
+
+which is exactly the relaxation the paper's permutation-graph heuristic
+(Fig 3a) evaluates for every candidate edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.topology import MeshTopology
+
+
+def mesh_distances(topo: MeshTopology) -> np.ndarray:
+    """Initial APSP matrix of the bare mesh (Manhattan distances)."""
+    n = topo.params.num_routers
+    xs = np.array([topo.coord(r)[0] for r in range(n)])
+    ys = np.array([topo.coord(r)[1] for r in range(n)])
+    return (
+        np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+    ).astype(np.int32)
+
+
+def with_edge(dist: np.ndarray, i: int, j: int) -> np.ndarray:
+    """APSP matrix after adding the directed unit edge (i, j)."""
+    via = dist[:, i][:, None] + 1 + dist[j, :][None, :]
+    return np.minimum(dist, via)
+
+
+def add_edge_inplace(dist: np.ndarray, i: int, j: int) -> None:
+    """In-place version of :func:`with_edge`."""
+    via = dist[:, i][:, None] + 1 + dist[j, :][None, :]
+    np.minimum(dist, via, out=dist)
+
+
+def total_cost(dist: np.ndarray, frequency: np.ndarray | None = None) -> float:
+    """The selection objective: sum of F(x,y) * W(x,y) over all pairs.
+
+    With ``frequency=None`` this is the architecture-specific objective
+    (F == 1 for every pair): the plain sum of shortest-path lengths.
+    """
+    if frequency is None:
+        return float(dist.sum())
+    return float((dist * frequency).sum())
+
+
+def cost_after_edge(
+    dist: np.ndarray, i: int, j: int, frequency: np.ndarray | None = None
+) -> float:
+    """Objective value of the permutation graph G' = G + (i, j).
+
+    Evaluated without materializing G' permanently — this is the inner loop
+    of the Fig 3a heuristic.
+    """
+    via = dist[:, i][:, None] + 1 + dist[j, :][None, :]
+    improved = np.minimum(dist, via)
+    if frequency is None:
+        return float(improved.sum())
+    return float((improved * frequency).sum())

@@ -1,0 +1,187 @@
+"""Shortcut-selection heuristics (Sections 3.2.1 and 3.2.2).
+
+Both of the paper's heuristics are implemented, unified over an optional
+communication-frequency matrix F:
+
+* **Architecture-specific** selection uses F == 1 for every pair, so the
+  objective is the plain sum of shortest-path costs ``sum W(x, y)``.
+* **Application-specific** selection passes the profiled message counts
+  F(x, y), making the objective ``sum F(x, y) * W(x, y)``.
+
+The two heuristics:
+
+* ``method="permutation"`` (Fig 3a): for every candidate edge build the
+  permutation graph G' = G + (i, j), evaluate the total objective on G',
+  and keep the best candidate; repeat until the budget is spent.  A naive
+  implementation is O(B V^5); evaluating candidates with the O(V^2)
+  single-edge APSP relaxation brings it to O(B V^4), which is exact and
+  tractable at V = 100.
+* ``method="greedy"`` (Fig 3b): repeatedly add the maximum-cost edge
+  (largest W, or largest F * W) — O(B V^3) as in the paper.  The paper
+  found both "to perform comparably well" and uses the greedy one.
+
+Constraints honoured (Section 3.2.1): at most one inbound and one outbound
+shortcut per router (the 6-port limit); the four memory-attached corner
+routers are never endpoints; endpoints may additionally be restricted to a
+set of RF-enabled routers (the adaptive architecture's 50 or 25 access
+points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.noc.routing import Shortcut
+from repro.noc.topology import MeshTopology
+from repro.shortcuts.graph import (
+    add_edge_inplace, cost_after_edge, mesh_distances,
+)
+
+
+@dataclass
+class SelectionConfig:
+    """Knobs shared by every selection algorithm."""
+
+    budget: int = 16                      # B: unidirectional shortcuts to add
+    allowed: set[int] | None = None       # RF-enabled routers (None = all)
+    forbid_corners: bool = True           # memory-attached corners excluded
+    extra_forbidden: set[int] = field(default_factory=set)
+
+    def endpoint_mask(self, topo: MeshTopology) -> np.ndarray:
+        """Boolean mask of routers eligible to be a shortcut endpoint."""
+        n = topo.params.num_routers
+        mask = np.zeros(n, dtype=bool)
+        allowed = self.allowed if self.allowed is not None else range(n)
+        mask[list(allowed)] = True
+        if self.forbid_corners:
+            mask[topo.memports] = False
+            w, h = topo.params.width, topo.params.height
+            corners = [
+                topo.router_id(0, 0), topo.router_id(w - 1, 0),
+                topo.router_id(0, h - 1), topo.router_id(w - 1, h - 1),
+            ]
+            mask[corners] = False
+        for r in self.extra_forbidden:
+            mask[r] = False
+        return mask
+
+
+class ShortcutSelector:
+    """Stateful greedy selection honouring per-router port limits."""
+
+    def __init__(
+        self,
+        topo: MeshTopology,
+        config: SelectionConfig,
+        frequency: np.ndarray | None = None,
+    ):
+        self.topo = topo
+        self.config = config
+        self.frequency = frequency
+        self.dist = mesh_distances(topo)
+        self.endpoint_ok = config.endpoint_mask(topo)
+        self.used_src: set[int] = set()
+        self.used_dst: set[int] = set()
+        self.selected: list[Shortcut] = []
+
+    # -- candidate bookkeeping ------------------------------------------------
+
+    def _candidate_mask(self) -> np.ndarray:
+        """(i, j) pairs that may still receive a shortcut."""
+        n = self.dist.shape[0]
+        src_ok = self.endpoint_ok.copy()
+        src_ok[list(self.used_src)] = False
+        dst_ok = self.endpoint_ok.copy()
+        dst_ok[list(self.used_dst)] = False
+        mask = src_ok[:, None] & dst_ok[None, :]
+        np.fill_diagonal(mask, False)
+        return mask
+
+    def _score(self) -> np.ndarray:
+        """Greedy edge value: W (architecture) or F * W (application)."""
+        if self.frequency is None:
+            return self.dist.astype(float)
+        return self.frequency * self.dist
+
+    def _commit(self, i: int, j: int) -> None:
+        self.used_src.add(i)
+        self.used_dst.add(j)
+        add_edge_inplace(self.dist, i, j)
+        self.selected.append(Shortcut(i, j))
+
+    # -- the two heuristics ---------------------------------------------------
+
+    def add_greedy_edge(self) -> Shortcut | None:
+        """Fig 3b: add the maximum-cost candidate edge."""
+        mask = self._candidate_mask()
+        if not mask.any():
+            return None
+        score = np.where(mask, self._score(), -1.0)
+        flat = int(np.argmax(score))
+        i, j = divmod(flat, score.shape[1])
+        if score[i, j] <= 0:
+            return None
+        self._commit(i, j)
+        return self.selected[-1]
+
+    def add_permutation_edge(self) -> Shortcut | None:
+        """Fig 3a: add the candidate whose permutation graph is cheapest."""
+        mask = self._candidate_mask()
+        if not mask.any():
+            return None
+        best: tuple[float, int, int] | None = None
+        pairs = np.argwhere(mask)
+        for i, j in pairs:
+            # Only evaluate candidates that can actually improve something.
+            if self.dist[i, j] <= 1:
+                continue
+            cost = cost_after_edge(self.dist, int(i), int(j), self.frequency)
+            key = (cost, int(i), int(j))
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        _, i, j = best
+        self._commit(i, j)
+        return self.selected[-1]
+
+    def run(self, method: str = "greedy") -> list[Shortcut]:
+        """Spend the whole budget with one heuristic."""
+        step = {
+            "greedy": self.add_greedy_edge,
+            "permutation": self.add_permutation_edge,
+        }[method]
+        while len(self.selected) < self.config.budget:
+            if step() is None:
+                break
+        return list(self.selected)
+
+
+def select_architecture_shortcuts(
+    topo: MeshTopology,
+    config: SelectionConfig = SelectionConfig(),
+    method: str = "greedy",
+) -> list[Shortcut]:
+    """Design-time (static) shortcuts: minimize the sum of path costs."""
+    return ShortcutSelector(topo, config, frequency=None).run(method)
+
+
+def select_application_shortcuts(
+    topo: MeshTopology,
+    frequency: np.ndarray,
+    config: SelectionConfig = SelectionConfig(),
+    method: str = "greedy",
+) -> list[Shortcut]:
+    """Application-specific shortcuts: minimize sum F(x,y) * W(x,y).
+
+    ``frequency`` is the profiled message-count matrix (event counters),
+    e.g. from :meth:`repro.traffic.ProbabilisticTraffic.collect_profile`.
+    For hotspot-aware region alternation use
+    :func:`repro.shortcuts.region.select_region_shortcuts`.
+    """
+    freq = np.asarray(frequency, dtype=float)
+    if freq.shape != (topo.params.num_routers,) * 2:
+        raise ValueError("frequency matrix shape must match the mesh")
+    return ShortcutSelector(topo, config, frequency=freq).run(method)

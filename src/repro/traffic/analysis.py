@@ -1,0 +1,135 @@
+"""Analysis of communication profiles: locality, hotspots, flows.
+
+The paper characterizes workloads two ways: the Figure 1 hop-distance
+histograms, and "manual analysis" finding that bodytrack has two network
+hotspots while x264 has one.  This module automates both directly from a
+communication-frequency matrix F(x, y) — the same artifact the adaptive
+architecture profiles — so workload characterization, hotspot counting, and
+shortcut selection all consume one representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.topology import MeshTopology
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One detected communication hotspot."""
+
+    router: int
+    traffic: float          # messages to + from this router
+    share: float            # fraction of total endpoint traffic
+    zscore: float           # standard deviations above the mean router
+
+
+def endpoint_traffic(profile: np.ndarray) -> np.ndarray:
+    """Messages terminating or originating at each router."""
+    profile = np.asarray(profile, dtype=float)
+    return profile.sum(axis=0) + profile.sum(axis=1)
+
+
+def detect_hotspots(
+    profile: np.ndarray,
+    zscore_threshold: float = 3.0,
+    min_share: float = 0.02,
+) -> list[Hotspot]:
+    """Find routers whose traffic is anomalously high.
+
+    A router is a hotspot when its endpoint traffic sits
+    ``zscore_threshold`` standard deviations above the mean *and* carries at
+    least ``min_share`` of all endpoint traffic.  On the Figure 1 models
+    this reports exactly one hotspot for x264 and two for bodytrack — the
+    paper's manual finding.
+    """
+    totals = endpoint_traffic(profile)
+    grand = totals.sum()
+    if grand <= 0:
+        return []
+    mean = totals.mean()
+    std = totals.std()
+    if std == 0:
+        return []
+    hotspots = []
+    for router in np.argsort(totals)[::-1]:
+        z = (totals[router] - mean) / std
+        share = totals[router] / grand
+        if z >= zscore_threshold and share >= min_share:
+            hotspots.append(
+                Hotspot(int(router), float(totals[router]), float(share), float(z))
+            )
+    return hotspots
+
+
+def distance_profile(
+    profile: np.ndarray, topo: MeshTopology
+) -> dict[int, float]:
+    """Messages by Manhattan distance — Figure 1 from a frequency matrix."""
+    result: dict[int, float] = {}
+    n = topo.params.num_routers
+    rows, cols = np.nonzero(profile)
+    for s, d in zip(rows, cols):
+        dist = topo.manhattan(int(s), int(d))
+        result[dist] = result.get(dist, 0.0) + float(profile[s, d])
+    del n
+    return result
+
+
+def locality_index(profile: np.ndarray, topo: MeshTopology) -> float:
+    """Mean hop distance weighted by message counts (lower = more local)."""
+    by_distance = distance_profile(profile, topo)
+    total = sum(by_distance.values())
+    if total == 0:
+        return float("nan")
+    return sum(d * c for d, c in by_distance.items()) / total
+
+
+def top_flows(
+    profile: np.ndarray, count: int = 10
+) -> list[tuple[int, int, float]]:
+    """The ``count`` heaviest (src, dst, messages) pairs."""
+    profile = np.asarray(profile, dtype=float)
+    flat = profile.ravel()
+    order = np.argsort(flat)[::-1][:count]
+    n = profile.shape[1]
+    return [
+        (int(i // n), int(i % n), float(flat[i]))
+        for i in order
+        if flat[i] > 0
+    ]
+
+
+def weighted_mean_distance_saved(
+    profile: np.ndarray, topo: MeshTopology, shortcuts
+) -> float:
+    """Average hops saved per message by a shortcut set.
+
+    The selection objective, expressed as an interpretable number: how many
+    router traversals the average message avoids thanks to the overlay.
+    """
+    from repro.shortcuts.graph import add_edge_inplace, mesh_distances
+
+    base = mesh_distances(topo).astype(float)
+    improved = base.copy()
+    for sc in shortcuts:
+        add_edge_inplace(improved, sc.src, sc.dst)
+    total = profile.sum()
+    if total == 0:
+        return float("nan")
+    return float(((base - improved) * profile).sum() / total)
+
+
+def summarize(profile: np.ndarray, topo: MeshTopology) -> dict:
+    """One-call workload characterization (used by examples and the CLI)."""
+    hotspots = detect_hotspots(profile)
+    return {
+        "messages": float(np.asarray(profile).sum()),
+        "locality_index": locality_index(profile, topo),
+        "num_hotspots": len(hotspots),
+        "hotspots": [(h.router, round(h.share, 4)) for h in hotspots],
+        "top_flows": top_flows(profile, 5),
+    }

@@ -1,0 +1,245 @@
+"""The seven probabilistic trace patterns of Table 1.
+
+Each pattern is a non-negative weight matrix ``W[src][dst]`` over routers;
+the generator normalizes rows into destination distributions.  Weights are
+built in two stages:
+
+1. a *legality* mask from component kinds — cores talk to cores and cache
+   banks; cache banks talk to cores and to the memory ports of their own
+   quadrant (the paper notes memory interfaces "will only be communicating
+   with nearby cache-banks"); memory ports only answer their quadrant's
+   banks;
+2. a pattern-specific modulation (dataflow grouping, hotspot boosts, ...).
+
+Message class (and hence size) is a function of the endpoint kinds: requests
+flow core->cache, data messages flow cache->core and core->core, and
+cache<->memory messages carry whole blocks (Section 4.1).
+
+Bias strengths are not given numerically in the paper (Table 1 is
+qualitative); the constants here are this reproduction's documented
+calibration and are exposed as keyword arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.message import MessageClass
+from repro.noc.topology import MeshTopology, NodeKind
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """A named destination-weight matrix over the mesh routers."""
+
+    name: str
+    weights: np.ndarray  # shape (n, n), zero diagonal, rows may be all-zero
+
+    def __post_init__(self) -> None:
+        w = self.weights
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ValueError("weights must be a square matrix")
+        if (w < 0).any():
+            raise ValueError("weights must be non-negative")
+        if np.diagonal(w).any():
+            raise ValueError("self-traffic is not allowed")
+
+
+def legality_mask(topo: MeshTopology) -> np.ndarray:
+    """Which (src, dst) pairs may exchange messages at all."""
+    n = topo.params.num_routers
+    kinds = [topo.kind(r) for r in range(n)]
+    mask = np.zeros((n, n), dtype=float)
+    quadrant_of_mem = _memory_quadrants(topo)
+    for s in range(n):
+        for d in range(n):
+            if s == d:
+                continue
+            ks, kd = kinds[s], kinds[d]
+            if ks is NodeKind.CORE and kd in (NodeKind.CORE, NodeKind.CACHE):
+                mask[s, d] = 1.0
+            elif ks is NodeKind.CACHE and kd is NodeKind.CORE:
+                mask[s, d] = 1.0
+            elif ks is NodeKind.CACHE and kd is NodeKind.MEMORY:
+                if _same_quadrant(topo, s, quadrant_of_mem[d]):
+                    mask[s, d] = 1.0
+            elif ks is NodeKind.MEMORY and kd is NodeKind.CACHE:
+                if _same_quadrant(topo, d, quadrant_of_mem[s]):
+                    mask[s, d] = 1.0
+    return mask
+
+
+def _memory_quadrants(topo: MeshTopology) -> dict[int, tuple[int, int]]:
+    result = {}
+    for m in topo.memports:
+        x, y = topo.coord(m)
+        result[m] = (int(x >= topo.params.width / 2), int(y >= topo.params.height / 2))
+    return result
+
+
+def _same_quadrant(topo: MeshTopology, router: int, quadrant: tuple[int, int]) -> bool:
+    x, y = topo.coord(router)
+    q = (int(x >= topo.params.width / 2), int(y >= topo.params.height / 2))
+    return q == quadrant
+
+
+def message_class_matrix(topo: MeshTopology) -> list[list[MessageClass | None]]:
+    """Message class implied by each legal (src, dst) endpoint pairing."""
+    n = topo.params.num_routers
+    kinds = [topo.kind(r) for r in range(n)]
+    table: list[list[MessageClass | None]] = [[None] * n for _ in range(n)]
+    for s in range(n):
+        for d in range(n):
+            if s == d:
+                continue
+            ks, kd = kinds[s], kinds[d]
+            if ks is NodeKind.CORE and kd is NodeKind.CACHE:
+                table[s][d] = MessageClass.REQUEST
+            elif ks is NodeKind.CACHE and kd is NodeKind.CORE:
+                table[s][d] = MessageClass.DATA
+            elif ks is NodeKind.CORE and kd is NodeKind.CORE:
+                table[s][d] = MessageClass.DATA
+            elif NodeKind.MEMORY in (ks, kd):
+                table[s][d] = MessageClass.MEMORY
+    return table
+
+
+# -- patterns ---------------------------------------------------------------
+
+
+def uniform(topo: MeshTopology) -> TrafficPattern:
+    """Components equally likely to communicate with all legal partners."""
+    return TrafficPattern("uniform", legality_mask(topo))
+
+
+def _dataflow_groups(topo: MeshTopology, num_groups: int) -> np.ndarray:
+    """Assign routers to vertical-strip pipeline stages, left to right."""
+    width = topo.params.width
+    n = topo.params.num_routers
+    groups = np.empty(n, dtype=int)
+    for r in range(n):
+        x, _ = topo.coord(r)
+        groups[r] = min(num_groups - 1, x * num_groups // width)
+    return groups
+
+
+def dataflow(
+    topo: MeshTopology,
+    bidirectional: bool,
+    num_groups: int = 5,
+    w_self: float = 4.0,
+    w_neighbor: float = 2.0,
+    w_far: float = 0.1,
+) -> TrafficPattern:
+    """UniDF / BiDF: groups laid out as a pipeline across the die."""
+    mask = legality_mask(topo)
+    groups = _dataflow_groups(topo, num_groups)
+    gs = groups[:, None]
+    gd = groups[None, :]
+    weight = np.full_like(mask, w_far)
+    weight[gs == gd] = w_self
+    weight[gd == gs + 1] = w_neighbor
+    if bidirectional:
+        weight[gd == gs - 1] = w_neighbor
+    name = "biDF" if bidirectional else "uniDF"
+    return TrafficPattern(name, mask * weight)
+
+
+def hotspot(
+    topo: MeshTopology,
+    num_hotspots: int,
+    strength: float = 16.0,
+) -> TrafficPattern:
+    """1/2/4Hotspot: designated cache banks attract and emit extra traffic.
+
+    The single hotspot is the cache bank at (7, 0), as in the paper's
+    Figure 2(c) example; two hotspots add the diagonally-opposite bank; four
+    hotspots use each cluster's central bank.
+    """
+    mask = legality_mask(topo)
+    spots = hotspot_routers(topo, num_hotspots)
+    weight = np.ones_like(mask)
+    for h in spots:
+        weight[:, h] *= strength
+        weight[h, :] *= strength
+    return TrafficPattern(f"{num_hotspots}Hotspot", mask * weight)
+
+
+def hotspot_routers(topo: MeshTopology, num_hotspots: int) -> list[int]:
+    """The cache banks acting as hotspots for :func:`hotspot`."""
+    if num_hotspots == 1:
+        return [_cache_near(topo, 7, 0)]
+    if num_hotspots == 2:
+        return [_cache_near(topo, 7, 0), _cache_near(topo, 2, topo.params.height - 1)]
+    if num_hotspots == 4:
+        return [topo.central_bank(i) for i in range(len(topo.cache_clusters))]
+    raise ValueError("supported hotspot counts: 1, 2, 4")
+
+
+def _cache_near(topo: MeshTopology, x: int, y: int) -> int:
+    """The cache bank closest to (x, y) (exact on the default floorplan)."""
+    target = (x, y)
+    return min(
+        topo.caches,
+        key=lambda r: (
+            abs(topo.coord(r)[0] - target[0]) + abs(topo.coord(r)[1] - target[1]),
+            r,
+        ),
+    )
+
+
+def hotspot_at(
+    topo: MeshTopology,
+    positions: list[tuple[int, int]],
+    strength: float = 16.0,
+) -> TrafficPattern:
+    """Hotspot pattern with explicitly placed hotspots.
+
+    Each ``(x, y)`` is snapped to the nearest cache bank.  Useful for
+    phase-change studies where two phases stress *different* corners of the
+    die (``examples/online_reconfiguration.py``).
+    """
+    mask = legality_mask(topo)
+    weight = np.ones_like(mask)
+    for x, y in positions:
+        h = _cache_near(topo, x, y)
+        weight[:, h] *= strength
+        weight[h, :] *= strength
+    name = "hotspot@" + "+".join(f"{x},{y}" for x, y in positions)
+    return TrafficPattern(name, mask * weight)
+
+
+def hot_bidf(
+    topo: MeshTopology,
+    hot_strength: float = 6.0,
+    **dataflow_kwargs,
+) -> TrafficPattern:
+    """HotBiDF: bidirectional dataflow with one overloaded pipeline stage."""
+    base = dataflow(topo, bidirectional=True, **dataflow_kwargs)
+    groups = _dataflow_groups(topo, dataflow_kwargs.get("num_groups", 5))
+    hot_group = 0  # the left-most stage carries the imbalance
+    weight = base.weights.copy()
+    members = np.flatnonzero(groups == hot_group)
+    weight[members, :] *= hot_strength
+    weight[:, members] *= hot_strength
+    return TrafficPattern("hotBiDF", weight)
+
+
+def all_patterns(topo: MeshTopology) -> dict[str, TrafficPattern]:
+    """The paper's seven probabilistic traces, keyed by name."""
+    return {
+        "uniform": uniform(topo),
+        "uniDF": dataflow(topo, bidirectional=False),
+        "biDF": dataflow(topo, bidirectional=True),
+        "hotBiDF": hot_bidf(topo),
+        "1Hotspot": hotspot(topo, 1),
+        "2Hotspot": hotspot(topo, 2),
+        "4Hotspot": hotspot(topo, 4),
+    }
+
+
+PATTERN_NAMES = (
+    "uniform", "uniDF", "biDF", "hotBiDF", "1Hotspot", "2Hotspot", "4Hotspot",
+)

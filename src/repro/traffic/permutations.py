@@ -1,0 +1,84 @@
+"""Classic synthetic permutation patterns: transpose, complement, shuffle.
+
+Standard adversarial workloads from the interconnection-networks
+literature (Dally & Towles, the paper's reference [10]): every router sends
+to exactly one partner determined by a permutation of its coordinates or
+id.  They concentrate traffic on specific cuts of the mesh, which makes
+them sharp stressors for shortcut placement — transpose, for example, loads
+the diagonal, exactly where distance-greedy shortcuts land.
+
+Unlike the Table 1 patterns these are component-agnostic (the permutation
+ignores what sits at each router); messages are data-sized.  Self-pairs
+(fixed points of the permutation) simply do not inject.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.topology import MeshTopology
+from repro.traffic.patterns import TrafficPattern
+
+
+def _one_hot(topo: MeshTopology, partner) -> np.ndarray:
+    n = topo.params.num_routers
+    weights = np.zeros((n, n))
+    for src in range(n):
+        dst = partner(src)
+        if dst != src and 0 <= dst < n:
+            weights[src, dst] = 1.0
+    return weights
+
+
+def transpose(topo: MeshTopology) -> TrafficPattern:
+    """Router (x, y) sends to router (y, x).
+
+    Requires a square mesh.  All traffic crosses the main diagonal — the
+    worst case for XY routing and the best case for diagonal shortcuts.
+    """
+    p = topo.params
+    if p.width != p.height:
+        raise ValueError("transpose is defined on square meshes")
+
+    def partner(src: int) -> int:
+        x, y = topo.coord(src)
+        return topo.router_id(y, x)
+
+    return TrafficPattern("transpose", _one_hot(topo, partner))
+
+
+def bit_complement(topo: MeshTopology) -> TrafficPattern:
+    """Router (x, y) sends to (W-1-x, H-1-y): everyone crosses the centre."""
+    p = topo.params
+
+    def partner(src: int) -> int:
+        x, y = topo.coord(src)
+        return topo.router_id(p.width - 1 - x, p.height - 1 - y)
+
+    return TrafficPattern("bit-complement", _one_hot(topo, partner))
+
+
+def shuffle(topo: MeshTopology) -> TrafficPattern:
+    """Perfect shuffle on router ids: ``dst = 2*src mod (N-1)``.
+
+    The classic definition shifts the id's bits on power-of-two networks;
+    the modular doubling below is its standard generalization (node N-1
+    maps to itself and stays silent).
+    """
+    n = topo.params.num_routers
+
+    def partner(src: int) -> int:
+        if src == n - 1:
+            return src
+        return (2 * src) % (n - 1)
+
+    return TrafficPattern("shuffle", _one_hot(topo, partner))
+
+
+def all_permutations(topo: MeshTopology) -> dict[str, TrafficPattern]:
+    """The three synthetic permutations, keyed by name."""
+    return {
+        "transpose": transpose(topo),
+        "bit-complement": bit_complement(topo),
+        "shuffle": shuffle(topo),
+    }

@@ -1,0 +1,120 @@
+"""Probabilistic traffic generation over a :class:`TrafficPattern`.
+
+Every network cycle, each component injects a message with probability
+``rate``; the destination is drawn from the component's row of the pattern's
+weight matrix, and the message class/size follows from the endpoint kinds.
+The generator doubles as a profiler: it accumulates the inter-router
+communication-frequency matrix F(x, y) that application-specific shortcut
+selection consumes (Section 3.2.2), and message sampling is exposed
+separately from injection so a profile can be collected without simulating
+the network at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.message import Message, MessageClass, message_bytes
+from repro.noc.network import Network
+from repro.noc.topology import MeshTopology
+from repro.params import MessageParams
+from repro.traffic.patterns import TrafficPattern, message_class_matrix
+
+
+class ProbabilisticTraffic:
+    """Open-loop Bernoulli injection following a traffic pattern.
+
+    Parameters
+    ----------
+    topology:
+        The mesh whose components inject.
+    pattern:
+        Destination weights; rows that sum to zero never inject.
+    rate:
+        Messages per component per network cycle.
+    message_params:
+        Message sizes.
+    seed:
+        Generator seed; runs are deterministic given (pattern, rate, seed).
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        pattern: TrafficPattern,
+        rate: float,
+        message_params: MessageParams = MessageParams(),
+        seed: int = 2008,
+    ):
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError("rate must be a probability")
+        self.topology = topology
+        self.pattern = pattern
+        self.rate = rate
+        self.message_params = message_params
+        self.rng = np.random.default_rng(seed)
+
+        weights = pattern.weights
+        n = weights.shape[0]
+        if n != topology.params.num_routers:
+            raise ValueError("pattern size does not match the mesh")
+        row_sums = weights.sum(axis=1)
+        self.sources = np.flatnonzero(row_sums > 0)
+        self._cum = np.zeros_like(weights)
+        for s in self.sources:
+            self._cum[s] = np.cumsum(weights[s]) / row_sums[s]
+        self._classes = message_class_matrix(topology)
+        self.profile = np.zeros((n, n), dtype=np.int64)
+        self.injected = 0
+
+    # -- sampling --------------------------------------------------------
+
+    def sample_messages(self, cycle: int) -> list[Message]:
+        """Draw this cycle's injections without touching a network."""
+        draws = self.rng.random(self.sources.size)
+        injectors = self.sources[draws < self.rate]
+        messages = []
+        for src in injectors:
+            dst = int(np.searchsorted(self._cum[src], self.rng.random()))
+            cls = self._classes[src][dst]
+            if cls is None:  # numerically possible only with bad weights
+                continue
+            self.profile[src, dst] += 1
+            self.injected += 1
+            messages.append(
+                Message(
+                    src=int(src),
+                    dst=dst,
+                    size_bytes=message_bytes(cls, self.message_params),
+                    cls=cls,
+                    inject_cycle=cycle,
+                )
+            )
+        return messages
+
+    def tick(self, network: Network) -> None:
+        """Inject this cycle's messages into a live network."""
+        for message in self.sample_messages(network.cycle):
+            network.inject(message)
+
+    # -- profiling ----------------------------------------------------------
+
+    def collect_profile(self, cycles: int) -> np.ndarray:
+        """Run the injection process alone for ``cycles`` and return F(x, y).
+
+        This is the 'event counter' profile the paper assumes is available
+        when selecting application-specific shortcuts: message counts only,
+        no network state involved.
+        """
+        for cycle in range(cycles):
+            self.sample_messages(cycle)
+        return self.profile.copy()
+
+
+def expected_frequency(pattern: TrafficPattern, rate: float) -> np.ndarray:
+    """Analytical F(x, y): expected messages per cycle for each pair."""
+    weights = pattern.weights
+    row_sums = weights.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        probs = np.where(row_sums > 0, weights / row_sums, 0.0)
+    return probs * rate

@@ -1,0 +1,57 @@
+"""Smoke tests for the ablation and saturation library functions."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.ablations import (
+    a1_shortcut_budget, a4_multicast_epoch, a5_router_buffers,
+)
+from repro.experiments.saturation import find_saturation
+from repro.params import SimulationParams
+
+TINY = ExperimentConfig(
+    sim=SimulationParams(warmup_cycles=50, measure_cycles=250,
+                         drain_cycles=3_000),
+    profile_cycles=1_000,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(TINY)
+
+
+class TestAblationFunctions:
+    def test_a1_small_budgets(self, runner):
+        result = a1_shortcut_budget(runner, budgets=(0, 8))
+        assert result.series[8]["avg_distance"] < result.series[0]["avg_distance"]
+        assert "A1" == result.experiment
+
+    def test_a4_single_epoch(self, runner):
+        result = a4_multicast_epoch(runner, epochs=(4,))
+        assert 4 in result.series
+        assert "unicast" in result.series
+
+    def test_a5_two_vc_counts(self, runner):
+        result = a5_router_buffers(runner, vc_counts=(2, 4), rate=0.03)
+        assert set(result.series) == {2, 4}
+        for row in result.series.values():
+            assert row["latency"] > 0
+
+
+class TestSaturation:
+    def test_finds_a_rate(self, runner):
+        result = find_saturation(
+            runner, runner.design("baseline", 16), "uniform",
+            rate_hi=0.2, tolerance=0.02,
+        )
+        assert 0.0 < result.saturation_rate <= 0.2
+        assert result.zero_load_latency > 0
+
+    def test_never_saturating_range(self, runner):
+        # With a tiny upper bound the design sustains the whole range.
+        result = find_saturation(
+            runner, runner.design("baseline", 16), "uniform",
+            rate_hi=0.005, tolerance=0.002,
+        )
+        assert result.saturation_rate == pytest.approx(0.005)

@@ -1,0 +1,141 @@
+"""Tests for traffic analysis and shortcut refinement."""
+
+import numpy as np
+import pytest
+
+from repro.noc import MeshTopology
+from repro.params import MeshParams
+from repro.shortcuts import SelectionConfig, select_architecture_shortcuts
+from repro.shortcuts.refine import objective, refine_shortcuts
+from repro.traffic import (
+    APPLICATIONS, ProbabilisticTraffic, all_patterns, application_pattern,
+)
+from repro.traffic.analysis import (
+    detect_hotspots, distance_profile, endpoint_traffic, locality_index,
+    summarize, top_flows, weighted_mean_distance_saved,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+def profile_for(topo, pattern, cycles=10_000, seed=4):
+    return ProbabilisticTraffic(topo, pattern, 0.03, seed=seed).collect_profile(
+        cycles
+    )
+
+
+class TestHotspotDetection:
+    def test_counts_match_pattern_definitions(self, topo):
+        """The paper's manual analysis, automated: 1/2/4 hotspots detected."""
+        pats = all_patterns(topo)
+        for name, expected in (("1Hotspot", 1), ("2Hotspot", 2), ("4Hotspot", 4)):
+            hotspots = detect_hotspots(profile_for(topo, pats[name]))
+            assert len(hotspots) == expected, name
+
+    def test_uniform_has_none(self, topo):
+        pats = all_patterns(topo)
+        assert detect_hotspots(profile_for(topo, pats["uniform"])) == []
+
+    def test_applications_match_paper(self, topo):
+        """x264 has one hotspot; bodytrack two (Section 1)."""
+        x264 = profile_for(
+            topo, application_pattern(topo, APPLICATIONS["x264"]), 15_000
+        )
+        body = profile_for(
+            topo, application_pattern(topo, APPLICATIONS["bodytrack"]), 15_000
+        )
+        assert len(detect_hotspots(x264)) == 1
+        assert len(detect_hotspots(body)) == 2
+
+    def test_hotspot_fields(self, topo):
+        pats = all_patterns(topo)
+        (h,) = detect_hotspots(profile_for(topo, pats["1Hotspot"]))
+        assert h.router == topo.router_id(7, 0)
+        assert 0 < h.share < 1
+        assert h.zscore > 3
+
+    def test_empty_profile(self):
+        assert detect_hotspots(np.zeros((100, 100))) == []
+
+
+class TestProfileMetrics:
+    def test_endpoint_traffic_conserves(self, topo):
+        profile = profile_for(topo, all_patterns(topo)["uniform"], 2_000)
+        assert endpoint_traffic(profile).sum() == 2 * profile.sum()
+
+    def test_locality_orders_applications(self, topo):
+        """fluidanimate < bodytrack < x264 in mean hop distance."""
+        values = {}
+        for name in ("fluidanimate", "bodytrack", "x264"):
+            profile = profile_for(
+                topo, application_pattern(topo, APPLICATIONS[name]), 8_000
+            )
+            values[name] = locality_index(profile, topo)
+        assert values["fluidanimate"] < values["bodytrack"] < values["x264"]
+
+    def test_distance_profile_total(self, topo):
+        profile = profile_for(topo, all_patterns(topo)["uniform"], 2_000)
+        by_distance = distance_profile(profile, topo)
+        assert sum(by_distance.values()) == pytest.approx(profile.sum())
+
+    def test_top_flows_sorted(self, topo):
+        profile = profile_for(topo, all_patterns(topo)["1Hotspot"], 5_000)
+        flows = top_flows(profile, 5)
+        weights = [w for _, _, w in flows]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_summarize_keys(self, topo):
+        profile = profile_for(topo, all_patterns(topo)["2Hotspot"], 5_000)
+        summary = summarize(profile, topo)
+        assert summary["num_hotspots"] == 2
+        assert summary["messages"] == profile.sum()
+
+    def test_distance_saved_positive_with_shortcuts(self, topo):
+        profile = profile_for(topo, all_patterns(topo)["uniform"], 3_000)
+        shortcuts = select_architecture_shortcuts(topo, SelectionConfig(budget=8))
+        saved = weighted_mean_distance_saved(profile, topo, shortcuts)
+        assert saved > 0.5  # shortcuts save a meaningful share of ~6.7 hops
+
+
+class TestRefinement:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return MeshTopology(
+            MeshParams(width=5, height=5, num_cores=13, num_caches=8,
+                       num_memports=4)
+        )
+
+    def test_never_worse(self, small):
+        shortcuts = select_architecture_shortcuts(
+            small, SelectionConfig(budget=4)
+        )
+        before = objective(small, shortcuts)
+        refined, after = refine_shortcuts(small, shortcuts, max_passes=2)
+        assert after <= before
+        assert len(refined) == len(shortcuts)
+
+    def test_respects_constraints(self, small):
+        config = SelectionConfig(budget=4)
+        shortcuts = select_architecture_shortcuts(small, config)
+        refined, _ = refine_shortcuts(small, shortcuts, config, max_passes=2)
+        sources = [s.src for s in refined]
+        dests = [s.dst for s in refined]
+        assert len(set(sources)) == len(sources)
+        assert len(set(dests)) == len(dests)
+        mask = config.endpoint_mask(small)
+        for sc in refined:
+            assert mask[sc.src] and mask[sc.dst]
+
+    def test_objective_matches_graph_cost(self, small):
+        shortcuts = select_architecture_shortcuts(
+            small, SelectionConfig(budget=3)
+        )
+        from repro.shortcuts import add_edge_inplace, mesh_distances, total_cost
+
+        dist = mesh_distances(small)
+        for sc in shortcuts:
+            add_edge_inplace(dist, sc.src, sc.dst)
+        assert objective(small, shortcuts) == pytest.approx(total_cost(dist))

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, render_parameters
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_experiments_documented(self):
+        assert set(EXPERIMENTS) == {
+            "E1", "E2", "E3", "E4", "F1", "F2", "F7", "F8", "F9", "F10", "T2",
+        }
+
+
+class TestParams:
+    def test_render_mentions_key_numbers(self):
+        text = render_parameters()
+        assert "10x10 mesh" in text
+        assert "64 cores" in text
+        assert "43 lines" in text
+        assert "0.75 pJ/bit" in text
+
+    def test_params_command(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "Network Simulation Parameters" in out
+
+
+class TestFloorplan:
+    @staticmethod
+    def grid(out: str) -> str:
+        return "\n".join(out.splitlines()[1:])  # drop the legend line
+
+    def test_default_fifty_points(self, capsys):
+        assert main(["floorplan"]) == 0
+        grid = self.grid(capsys.readouterr().out)
+        assert grid.count("*") == 50
+        assert grid.count("M") == 4
+
+    def test_custom_count(self, capsys):
+        assert main(["floorplan", "--access-points", "25"]) == 0
+        assert self.grid(capsys.readouterr().out).count("*") == 25
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+
+class TestWorkloads:
+    def test_characterizes_all(self, capsys):
+        assert main(["workloads", "--cycles", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "1Hotspot" in out and "bodytrack" in out
+        # The hotspot column reproduces the pattern definitions.
+        for line in out.splitlines():
+            if line.startswith("4Hotspot"):
+                assert line.split()[-1] == "4"
+
+
+class TestRun:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "F99", "--fast"]) == 2
+
+    def test_runs_f2_and_writes_file(self, tmp_path, capsys):
+        assert main(["run", "F2", "--fast", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert (tmp_path / "f2.txt").exists()
+
+    def test_runs_t2(self, capsys):
+        assert main(["run", "T2", "--fast"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_baseline_cell(self, capsys):
+        assert main([
+            "simulate", "--design", "baseline", "--width", "16",
+            "--trace", "uniform", "--fast",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "power" in out
+
+    def test_heatmap_flag(self, capsys):
+        assert main([
+            "simulate", "--design", "baseline", "--trace", "1Hotspot",
+            "--fast", "--heatmap",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 12  # report + 10-row heatmap

@@ -1,0 +1,232 @@
+"""Unit + integration tests for the closed-loop CMP substrate."""
+
+import pytest
+
+from repro.cmp import (
+    CMPConfig, CMPSystem, L1Cache, L2Bank, make_kernel,
+)
+from repro.cmp.address import (
+    Access, LockHotspotKernel, PointerChaseKernel, ProducerConsumerKernel,
+    ReuseWrapper, StreamingKernel,
+)
+from repro.core import baseline
+from repro.noc import MeshTopology
+from repro.params import ArchitectureParams, MeshParams
+
+PARAMS = ArchitectureParams()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+class TestL1:
+    def test_hit_after_fill(self):
+        l1 = L1Cache(16)
+        assert not l1.lookup(5)
+        l1.fill(5)
+        assert l1.lookup(5)
+        assert l1.hits == 1 and l1.misses == 1
+
+    def test_direct_mapped_conflict(self):
+        l1 = L1Cache(16)
+        l1.fill(5)
+        l1.fill(5 + 16)  # same index, evicts
+        assert not l1.lookup(5)
+
+    def test_invalidate(self):
+        l1 = L1Cache(16)
+        l1.fill(7)
+        assert l1.invalidate(7)
+        assert not l1.invalidate(7)
+        assert not l1.lookup(7)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            L1Cache(0)
+
+
+class TestL2Bank:
+    def test_install_and_hit(self):
+        bank = L2Bank(num_sets=4, ways=2)
+        line, victim = bank.install(10)
+        assert victim is None
+        assert bank.lookup(10) is line
+
+    def test_lru_eviction(self):
+        bank = L2Bank(num_sets=1, ways=2)
+        bank.install(0)
+        bank.install(1)
+        bank.lookup(0)          # 0 becomes MRU
+        _, victim = bank.install(2)
+        assert victim.block == 1
+
+    def test_dirty_writeback_counted(self):
+        bank = L2Bank(num_sets=1, ways=1)
+        line, _ = bank.install(0)
+        line.dirty = True
+        _, victim = bank.install(1)
+        assert victim.block == 0
+        assert bank.writebacks == 1
+
+    def test_peek_has_no_side_effects(self):
+        bank = L2Bank(num_sets=2, ways=2)
+        bank.install(0)
+        before = (bank.hits, bank.misses)
+        assert bank.peek(0) is not None
+        assert bank.peek(99) is None
+        assert (bank.hits, bank.misses) == before
+
+
+class TestKernels:
+    def test_all_kernels_produce_accesses(self):
+        for name in ("streaming", "pointer_chase", "producer_consumer",
+                     "lock_hotspot"):
+            kernel = make_kernel(name, core_index=3, num_cores=64, seed=1)
+            accesses = [kernel.next_access(c) for c in range(50)]
+            assert all(isinstance(a, Access) for a in accesses)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            make_kernel("bogus", 0, 64)
+
+    def test_streaming_is_sequential(self):
+        kernel = StreamingKernel(0, region_blocks=8)
+        blocks = [kernel.next_access(c).block for c in range(16)]
+        assert blocks[:8] == blocks[8:]  # wraps around the region
+
+    def test_producer_reads_upstream(self):
+        kernel = ProducerConsumerKernel(2, num_cores=8, seed=3)
+        reads = [
+            a for a in (kernel.next_access(c) for c in range(200))
+            if not a.is_write
+        ]
+        assert all(a.block // 100_000 == 2 for a in reads)  # upstream core 1
+
+    def test_hotspot_blocks_are_shared(self):
+        a = LockHotspotKernel(0, seed=1)
+        b = LockHotspotKernel(5, seed=1)
+        hot_a = {
+            acc.block for acc in (a.next_access(c) for c in range(300))
+            if acc.block < 100
+        }
+        hot_b = {
+            acc.block for acc in (b.next_access(c) for c in range(300))
+            if acc.block < 100
+        }
+        assert hot_a & hot_b
+
+    def test_reuse_wrapper_repeats(self):
+        base = PointerChaseKernel(0, working_set_blocks=10_000, seed=2)
+        wrapped = ReuseWrapper(base, reuse=0.9, window=8, seed=2)
+        blocks = [wrapped.next_access(c).block for c in range(300)]
+        assert len(set(blocks)) < 100  # heavy repetition
+
+    def test_reuse_validated(self):
+        with pytest.raises(ValueError):
+            ReuseWrapper(StreamingKernel(0), reuse=1.5)
+
+
+class TestSystem:
+    def make(self, topo, kernel="pointer_chase", mem_ratio=0.05):
+        design = baseline(16, PARAMS, topo)
+        network = design.new_network()
+        system = CMPSystem(network, CMPConfig(kernel=kernel,
+                                              mem_ratio=mem_ratio))
+        return network, system
+
+    def test_instructions_retire(self, topo):
+        network, system = self.make(topo)
+        system.warm_caches(500)
+        for _ in range(400):
+            system.tick(network)
+            network.step()
+        assert system.total_retired() > 0
+        assert 0 < system.ipc(network.cycle) <= 1.0
+
+    def test_home_bank_interleaving(self, topo):
+        _, system = self.make(topo)
+        homes = {system.home_bank(b) for b in range(64)}
+        assert homes == set(topo.caches)
+
+    def test_local_address_inverts_interleaving(self, topo):
+        _, system = self.make(topo)
+        # Two blocks owned by the same bank map to different local lines.
+        assert system._local(0) != system._local(32)
+
+    def test_loads_stall_and_complete(self, topo):
+        network, system = self.make(topo, mem_ratio=0.5)
+        system.warm_caches(200)
+        for _ in range(600):
+            system.tick(network)
+            network.step()
+        # Some loads finished and recorded latencies; MSHRs bounded.
+        latencies = [
+            lat for c in system.cores.values() for lat in c.load_latencies
+        ]
+        assert latencies
+        assert min(latencies) > 10  # at least a network round trip
+        assert all(c.outstanding <= system.config.mshrs
+                   for c in system.cores.values())
+
+    def test_warm_caches_prefills(self, topo):
+        _, system = self.make(topo)
+        system.warm_caches(1_000)
+        assert any(bank.occupancy > 0 for bank in system.banks.values())
+        # Warmup resets the measured counters.
+        assert all(b.hits == b.misses == 0 for b in system.banks.values())
+
+    def test_writes_generate_invalidations(self, topo):
+        network, system = self.make(topo, kernel="lock_hotspot",
+                                    mem_ratio=0.3)
+        system.warm_caches(1_000)
+        for _ in range(800):
+            system.tick(network)
+            network.step()
+        assert system.invalidations_sent > 0
+
+    def test_profile_matrix_matches_counts(self, topo):
+        network, system = self.make(topo)
+        system.warm_caches(300)
+        for _ in range(300):
+            system.tick(network)
+            network.step()
+        matrix = system.profile_matrix()
+        assert matrix.sum() == sum(system.profile_counts.values())
+
+    def test_report_keys(self, topo):
+        network, system = self.make(topo)
+        system.warm_caches(300)
+        for _ in range(300):
+            system.tick(network)
+            network.step()
+        report = system.report(network.cycle)
+        for key in ("ipc", "avg_load_latency", "l1_hit_rate", "l2_hit_rate"):
+            assert key in report
+
+    def test_multicast_invalidation_realization(self, topo):
+        import dataclasses
+
+        from repro.core import RFIOverlay
+        from repro.multicast import RFRealization
+
+        design = baseline(16, PARAMS, topo)
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        overlay.configure_multicast(topo.central_bank(0))
+        design = dataclasses.replace(design, overlay=overlay)
+        network = design.new_network()
+        realization = RFRealization(network, overlay.multicast_receivers,
+                                    epoch_cycles=4)
+        system = CMPSystem(
+            network,
+            CMPConfig(kernel="lock_hotspot", mem_ratio=0.3),
+            invalidation_realization=realization,
+        )
+        system.warm_caches(1_000)
+        for _ in range(1_000):
+            realization.tick(network)
+            system.tick(network)
+            network.step()
+        assert system.multicast_invalidations > 0
+        assert network.stats.activity.rf_mc_flits_tx > 0

@@ -1,0 +1,167 @@
+"""Deeper engine tests: timing details the figure results depend on."""
+
+import random
+
+import pytest
+
+from repro.core import wire_static
+from repro.noc import (
+    Message, MessageClass, MeshTopology, Network, Port, RoutingPolicy,
+    RoutingTables, Shortcut,
+)
+from repro.params import ArchitectureParams, MeshParams
+
+PARAMS = ArchitectureParams()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+class TestWireShortcuts:
+    def test_wire_latency_scales_with_distance(self, topo):
+        """A cross-chip wire shortcut pays multi-cycle link traversal."""
+        a, b = topo.router_id(1, 1), topo.router_id(8, 8)
+        tables = RoutingTables(topo, [Shortcut(a, b)])
+        rf_net = Network(topo, PARAMS, tables, shortcut_style="rf")
+        wire_net = Network(topo, PARAMS, tables, shortcut_style="wire")
+        for net in (rf_net, wire_net):
+            net.inject(Message(src=a, dst=b, size_bytes=39))
+            assert net.drain(500)
+        rf_lat = rf_net.stats.latencies[0]
+        wire_lat = wire_net.stats.latencies[0]
+        # 14 mesh hops * 2 mm at 0.2 ns/mm and 2 GHz ~= 11 extra cycles.
+        assert wire_lat - rf_lat == 10
+        link = wire_net.routers[a].out_links[int(Port.RF)]
+        assert link.latency_cycles == 11
+        assert not link.is_rf
+        assert link.length_mm == pytest.approx(28.0)
+
+    def test_wire_design_point(self, topo):
+        design = wire_static(16, PARAMS, topo)
+        assert design.shortcut_style == "wire"
+        assert design.overlay is None
+        net = design.new_network()
+        net.inject(Message(src=5, dst=94, size_bytes=39))
+        assert net.drain(1000)
+
+    def test_invalid_style_rejected(self, topo):
+        with pytest.raises(ValueError):
+            Network(topo, PARAMS, shortcut_style="optical")
+
+
+class TestRFDrain:
+    def test_shortcut_moves_multiple_flits_per_cycle_on_narrow_mesh(self, topo):
+        """On a 4 B mesh the 16 B shortcut drains up to 4 flits per cycle,
+        so a long packet's RF crossing is much cheaper than 10 mesh hops."""
+        a, b = topo.router_id(0, 0), topo.router_id(9, 9)
+        params = PARAMS.with_link_bytes(4)
+        tables = RoutingTables(topo, [Shortcut(a, b)])
+        net = Network(topo, params, tables)
+        net.inject(Message(src=a, dst=b, size_bytes=132,
+                           cls=MessageClass.MEMORY))
+        assert net.drain(800)
+        with_rf = net.stats.latencies[0]
+        base = Network(topo, params, RoutingTables(topo))
+        base.inject(Message(src=a, dst=b, size_bytes=132,
+                            cls=MessageClass.MEMORY))
+        assert base.drain(800)
+        assert with_rf < base.stats.latencies[0] - 50
+
+    def test_rf_flit_count_recorded(self, topo):
+        a, b = topo.router_id(0, 0), topo.router_id(9, 9)
+        params = PARAMS.with_link_bytes(4)
+        net = Network(topo, params, RoutingTables(topo, [Shortcut(a, b)]))
+        net.inject(Message(src=a, dst=b, size_bytes=39))
+        assert net.drain(500)
+        assert net.stats.activity.rf_flits == 10  # every flit crossed RF
+
+
+class TestNIFairness:
+    def test_two_packets_share_injection_bandwidth(self, topo):
+        """The NI sends one flit per cycle total, round-robin across VCs.
+
+        Over a 1-hop path the NI is the bottleneck (longer paths hide the
+        sharing behind ejection serialization), so two interleaved packets
+        must each finish later than a solo one.
+        """
+        net = Network(topo, PARAMS)
+        src = topo.router_id(5, 5)
+        p1 = net.inject(Message(src=src, dst=topo.router_id(6, 5),
+                                size_bytes=132, cls=MessageClass.MEMORY))
+        p2 = net.inject(Message(src=src, dst=topo.router_id(4, 5),
+                                size_bytes=132, cls=MessageClass.MEMORY))
+        assert net.drain(800)
+        solo = Network(topo, PARAMS)
+        s = solo.inject(Message(src=src, dst=topo.router_id(6, 5),
+                                size_bytes=132, cls=MessageClass.MEMORY))
+        assert solo.drain(800)
+        assert p1.latency > s.latency
+        assert p2.latency > s.latency
+        # Their head flits alternated at the NI.
+        assert {p1.head_inject_cycle, p2.head_inject_cycle} == {1, 2}
+
+    def test_queue_drains_in_order_per_vc_availability(self, topo):
+        net = Network(topo, PARAMS)
+        src = topo.router_id(0, 5)
+        packets = [
+            net.inject(Message(src=src, dst=topo.router_id(9, 5), size_bytes=39))
+            for _ in range(10)
+        ]
+        assert net.drain(2000)
+        assert all(p.tail_eject_cycle > 0 for p in packets)
+
+
+class TestEscapeDetails:
+    def test_escaped_packet_is_flagged_and_delivered(self, topo):
+        net = Network(
+            topo, PARAMS, RoutingTables(topo, [Shortcut(11, 88)]),
+            RoutingPolicy(escape_timeout=2),
+        )
+        rng = random.Random(5)
+        for _ in range(300):
+            for _ in range(12):
+                src, dst = rng.sample(range(100), 2)
+                net.inject(Message(src=src, dst=dst, size_bytes=39))
+            net.step()
+        assert net.drain(20_000)
+        assert net.stats.escape_packets > 0
+        assert net.stats.delivered_packets == net.stats.injected_packets
+
+    def test_escape_never_uses_rf(self, topo):
+        """Escape-class packets must stay on conventional mesh links."""
+        escaped_rf = []
+        net = Network(
+            topo, PARAMS, RoutingTables(topo, [Shortcut(11, 88)]),
+            RoutingPolicy(escape_timeout=1),
+        )
+        net.delivery_hooks.append(
+            lambda p, c: escaped_rf.append(p.rf_hops) if p.escape else None
+        )
+        rng = random.Random(9)
+        for _ in range(300):
+            for _ in range(12):
+                src, dst = rng.sample(range(100), 2)
+                net.inject(Message(src=src, dst=dst, size_bytes=39))
+            net.step()
+        net.drain(20_000)
+        assert escaped_rf, "expected some escapes under this load"
+        # A packet may take RF hops *before* escaping, but after diversion
+        # it routes XY; packets that escaped at injection have zero RF hops.
+        assert min(escaped_rf) == 0
+
+
+class TestClassLatency:
+    def test_memory_messages_slower_than_requests(self, topo):
+        net = Network(topo, PARAMS)
+        rng = random.Random(3)
+        for _ in range(400):
+            src, dst = rng.sample(range(100), 2)
+            cls = rng.choice([MessageClass.REQUEST, MessageClass.MEMORY])
+            size = 7 if cls is MessageClass.REQUEST else 132
+            net.inject(Message(src=src, dst=dst, size_bytes=size, cls=cls))
+            net.step()
+        assert net.drain(5000)
+        by_class = net.stats.avg_latency_by_class()
+        assert by_class[MessageClass.MEMORY] > by_class[MessageClass.REQUEST]

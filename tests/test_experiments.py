@@ -1,0 +1,158 @@
+"""Tests for the experiment harness: runner, report, repetition, configs."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig, ExperimentRunner, Table,
+    geomean, normalized,
+)
+from repro.experiments.repetition import RepeatedMeasure, repeat_unicast
+from repro.params import SimulationParams
+
+TINY = ExperimentConfig(
+    sim=SimulationParams(warmup_cycles=50, measure_cycles=200,
+                         drain_cycles=2_000),
+    profile_cycles=1_000,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(TINY)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Title", ["a", "bb"])
+        t.add(1, 2.5)
+        t.add("long-cell", 3)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "long-cell" in text
+        assert "2.500" in text  # floats get 3 decimals
+
+    def test_row_arity_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_notes_rendered(self):
+        t = Table("t", ["a"])
+        t.add(1)
+        t.note("hello")
+        assert "note: hello" in t.render()
+
+
+class TestMath:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert math.isnan(geomean([]))
+
+    def test_normalized_guard(self):
+        assert normalized(2.0, 4.0) == 0.5
+        assert math.isnan(normalized(1.0, 0.0))
+
+    def test_repeated_measure(self):
+        m = RepeatedMeasure((10.0, 12.0, 14.0))
+        assert m.mean == 12.0
+        assert m.std == pytest.approx(2.0)
+        assert m.cv == pytest.approx(2.0 / 12.0)
+        assert m.confidence_halfwidth() > 0
+
+    def test_repeated_measure_single(self):
+        m = RepeatedMeasure((5.0,))
+        assert m.std == 0.0
+
+
+class TestRunnerCaching:
+    def test_design_cached(self, runner):
+        a = runner.design("baseline", 16)
+        b = runner.design("baseline", 16)
+        assert a is b
+
+    def test_design_varies_by_width(self, runner):
+        assert runner.design("baseline", 16) is not runner.design("baseline", 8)
+
+    def test_adaptive_design_varies_by_workload(self, runner):
+        a = runner.design("adaptive", 16, workload="uniform")
+        b = runner.design("adaptive", 16, workload="1Hotspot")
+        assert a is not b
+        assert a.shortcuts != b.shortcuts
+
+    def test_profile_cached(self, runner):
+        p1 = runner.profile("uniform")
+        p2 = runner.profile("uniform")
+        assert p1 is p2
+
+    def test_run_result_cached(self, runner):
+        design = runner.design("baseline", 16)
+        r1 = runner.run_unicast(design, "uniform")
+        r2 = runner.run_unicast(design, "uniform")
+        assert r1 is r2
+
+    def test_unknown_workload(self, runner):
+        with pytest.raises(KeyError):
+            runner.pattern("nonexistent")
+
+    def test_unknown_style(self, runner):
+        with pytest.raises(ValueError):
+            runner.design("optical", 16)
+
+    def test_application_workload_resolves(self, runner):
+        pattern = runner.pattern("x264")
+        assert pattern.weights.shape == (100, 100)
+        assert runner.rate("x264") == pytest.approx(0.018)
+
+
+class TestRunResults:
+    def test_run_unicast_produces_complete_result(self, runner):
+        result = runner.run_unicast(runner.design("baseline", 16), "uniform")
+        assert result.avg_latency > 0
+        assert result.total_power_w > 0
+        assert result.total_area_mm2 == pytest.approx(30.28, rel=0.01)
+        assert result.stats.delivery_ratio == pytest.approx(1.0)
+
+    def test_mc_only_design(self, runner):
+        design = runner.design("mc-only", 16)
+        assert design.overlay is not None
+        assert design.overlay.multicast_band is not None
+        assert not design.shortcuts
+
+    def test_run_multicast_unicast_realization(self, runner):
+        result = runner.run_multicast(
+            runner.design("baseline", 16), "unicast", 20
+        )
+        assert result.workload == "multicast-20"
+        assert result.avg_latency > 0
+
+    def test_rf_realization_requires_band(self, runner):
+        with pytest.raises(ValueError):
+            runner.run_multicast(runner.design("baseline", 8), "rf", 20)
+
+    def test_unknown_realization(self, runner):
+        with pytest.raises(ValueError):
+            runner.run_multicast(runner.design("baseline", 16), "smoke", 20)
+
+
+class TestRepetition:
+    def test_repeat_unicast_summaries(self, runner):
+        run = repeat_unicast(
+            runner, runner.design("baseline", 16), "uniform", seeds=(1, 2)
+        )
+        assert len(run.latency.values) == 2
+        assert run.latency.mean > 0
+        assert run.power_w.mean > 0
+
+
+class TestConfigs:
+    def test_fast_config_is_shorter(self):
+        assert (
+            FAST_CONFIG.sim.measure_cycles < DEFAULT_CONFIG.sim.measure_cycles
+        )
+
+    def test_rate_lookup_falls_back(self):
+        assert DEFAULT_CONFIG.rate_for("unknown-trace") == 0.012
+        assert DEFAULT_CONFIG.rate_for("1Hotspot") == 0.010

@@ -1,0 +1,80 @@
+"""Tests for JSON export of experiment results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.export import (
+    figure_to_dict, jsonable, save_all, save_figure_json,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import Table
+from repro.params import SimulationParams
+
+TINY = ExperimentConfig(
+    sim=SimulationParams(warmup_cycles=30, measure_cycles=150,
+                         drain_cycles=1_500),
+    profile_cycles=500,
+)
+
+
+def toy_result():
+    table = Table("Toy", ["a", "b"])
+    table.add(1, 2.0)
+    table.note("note")
+    return FigureResult(
+        "TOY", table,
+        series={("x", 4): {"v": np.float64(1.5)}, 8: [np.int64(2)]},
+        paper={"claim": True},
+    )
+
+
+class TestJsonable:
+    def test_primitives_pass_through(self):
+        assert jsonable(3) == 3
+        assert jsonable("s") == "s"
+        assert jsonable(None) is None
+
+    def test_numpy_scalars(self):
+        assert jsonable(np.float64(2.5)) == 2.5
+        assert jsonable(np.int32(7)) == 7.0
+
+    def test_tuple_keys_flattened(self):
+        out = jsonable({("a", 1): 2})
+        assert out == {"a/1": 2}
+
+    def test_dataclass(self):
+        from repro.experiments.repetition import RepeatedMeasure
+
+        out = jsonable(RepeatedMeasure((1.0, 2.0)))
+        assert out == {"values": [1.0, 2.0]}
+
+    def test_sets_become_lists(self):
+        assert sorted(jsonable(frozenset({1, 2}))) == [1, 2]
+
+
+class TestFigureExport:
+    def test_roundtrips_through_json(self, tmp_path):
+        path = save_figure_json(toy_result(), tmp_path / "toy.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["experiment"] == "TOY"
+        assert loaded["rows"] == [["1", "2.000"]]
+        assert loaded["series"]["x/4"]["v"] == 1.5
+        assert loaded["paper"]["claim"] is True
+
+    def test_save_all(self, tmp_path):
+        paths = save_all([toy_result()], tmp_path / "out")
+        assert len(paths) == 1
+        assert paths[0].name == "toy.json"
+
+    def test_real_figure_exports(self, tmp_path):
+        runner = ExperimentRunner(TINY)
+        from repro.experiments import fig2_topologies
+
+        result = fig2_topologies(runner)
+        data = figure_to_dict(result)
+        json.dumps(data)  # must not raise
+        assert data["experiment"] == "F2"
+        assert len(data["series"]["static_shortcuts"]) == 16

@@ -1,0 +1,121 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+import pytest
+
+from repro.core import adaptive_rf_multicast
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.multicast import MulticastAwareSource, RFRealization
+from repro.noc.simulator import Simulator
+from repro.params import SimulationParams
+from repro.traffic import (
+    CombinedTraffic, MulticastConfig, MulticastTraffic, ProbabilisticTraffic,
+)
+
+TINY = ExperimentConfig(
+    sim=SimulationParams(warmup_cycles=100, measure_cycles=500,
+                         drain_cycles=6_000),
+    profile_cycles=2_000,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(TINY)
+
+
+class TestMCSCDesign:
+    """The paper's headline multicast design: 15 shortcuts + the MC band."""
+
+    def test_end_to_end(self, runner):
+        topo = runner.topology
+        design = adaptive_rf_multicast(
+            runner.profile("uniform"), 16, 50, runner.params, topo
+        )
+        assert len(design.shortcuts) == 15
+        assert len(design.plan.multicast_receivers) == 35
+
+        network = design.new_network()
+        workload = CombinedTraffic([
+            ProbabilisticTraffic(topo, runner.patterns["uniform"], 0.01,
+                                 seed=3),
+            MulticastTraffic(topo, MulticastConfig(rate=0.002), seed=3),
+        ])
+        realization = RFRealization(
+            network, list(design.plan.multicast_receivers), epoch_cycles=4
+        )
+        source = MulticastAwareSource(workload, realization)
+        stats = Simulator(network, [source], TINY.sim).run()
+
+        # Unicast traffic used the shortcuts; multicast used the band.
+        assert stats.rf_hop_sum > 0
+        assert stats.activity.rf_mc_flits_tx > 0
+        assert stats.delivery_ratio == pytest.approx(1.0, abs=0.02)
+        # Power model accepts the combined design.
+        report = runner.power_model.power(design, stats)
+        assert report.rf_static_w > 0
+        assert report.rf_dynamic_w > 0
+
+    def test_shortcut_receivers_disjoint_from_band(self, runner):
+        design = adaptive_rf_multicast(
+            runner.profile("1Hotspot"), 16, 50, runner.params, runner.topology
+        )
+        shortcut_rx = {sc.dst for sc in design.shortcuts}
+        assert not shortcut_rx & set(design.plan.multicast_receivers)
+
+
+class TestFigureSmoke:
+    """Each figure function runs end to end at tiny scale."""
+
+    def test_fig2(self, runner):
+        from repro.experiments import fig2_topologies
+
+        result = fig2_topologies(runner)
+        assert len(result.series["static_shortcuts"]) == 16
+
+    def test_t2(self, runner):
+        from repro.experiments import table2_area
+
+        result = table2_area(runner)
+        assert result.series["adaptive4_vs_baseline16_reduction"] == pytest.approx(
+            0.823, abs=0.03
+        )
+
+    def test_e4(self, runner):
+        from repro.experiments import e4_heuristic_ablation
+
+        result = e4_heuristic_ablation(runner)
+        assert result.series["cost_ratio"] < 1.2
+
+    def test_f1(self, runner):
+        from repro.experiments import fig1_traffic_locality
+
+        result = fig1_traffic_locality(runner, num_messages=3_000)
+        assert max(result.series["bodytrack"]) <= 13
+
+
+class TestCoherenceOverRF:
+    def test_directory_protocol_drives_band(self, runner):
+        import dataclasses
+
+        from repro.coherence import CoherenceConfig, DirectoryProtocol
+        from repro.core import RFIOverlay, baseline
+
+        topo = runner.topology
+        design = baseline(16, runner.params, topo)
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        overlay.configure_multicast(topo.central_bank(0))
+        design = dataclasses.replace(design, overlay=overlay)
+        network = design.new_network()
+        protocol = DirectoryProtocol(
+            topo, CoherenceConfig(num_blocks=64, accesses_per_cycle=0.3,
+                                  seed=5),
+        )
+        realization = RFRealization(
+            network, overlay.multicast_receivers, epoch_cycles=4
+        )
+        stats = Simulator(
+            network, [MulticastAwareSource(protocol, realization)], TINY.sim
+        ).run()
+        assert protocol.stats["multicast_messages"] > 0
+        assert stats.activity.rf_mc_flits_tx > 0
+        assert realization.engine.gated_receptions > 0

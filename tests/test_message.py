@@ -1,0 +1,63 @@
+"""Unit tests for messages and packetization."""
+
+import pytest
+
+from repro.noc import Message, MessageClass, Packet, message_bytes
+from repro.params import MessageParams
+
+PARAMS = MessageParams()
+
+
+class TestMessageSizes:
+    def test_paper_sizes(self):
+        assert message_bytes(MessageClass.REQUEST, PARAMS) == 7
+        assert message_bytes(MessageClass.DATA, PARAMS) == 39
+        assert message_bytes(MessageClass.MEMORY, PARAMS) == 132
+
+    def test_multicast_sizes(self):
+        """Invalidates are control-sized; fills carry a block."""
+        assert message_bytes(MessageClass.MULTICAST_INV, PARAMS) == 7
+        assert message_bytes(MessageClass.MULTICAST_FILL, PARAMS) == 39
+
+
+class TestPacketization:
+    @pytest.mark.parametrize(
+        "size,width,flits",
+        [
+            (7, 16, 1), (39, 16, 3), (132, 16, 9),
+            (7, 8, 1), (39, 8, 5), (132, 8, 17),
+            (7, 4, 2), (39, 4, 10), (132, 4, 33),
+            (16, 16, 1), (17, 16, 2),
+        ],
+    )
+    def test_flit_counts(self, size, width, flits):
+        msg = Message(src=0, dst=1, size_bytes=size)
+        assert msg.num_flits(width) == flits
+
+    def test_zero_size_rejected(self):
+        msg = Message(src=0, dst=1, size_bytes=0)
+        with pytest.raises(ValueError):
+            msg.num_flits(16)
+
+    def test_packet_inherits_message(self):
+        msg = Message(src=3, dst=7, size_bytes=39, cls=MessageClass.DATA)
+        pkt = Packet(msg, 16)
+        assert pkt.src == 3
+        assert pkt.dst == 7
+        assert pkt.num_flits == 3
+        assert not pkt.escape
+
+    def test_packet_uids_unique(self):
+        msg = Message(src=0, dst=1, size_bytes=7)
+        uids = {Packet(msg, 16).uid for _ in range(50)}
+        assert len(uids) == 50
+
+    def test_latency_requires_delivery(self):
+        pkt = Packet(Message(src=0, dst=1, size_bytes=7), 16)
+        with pytest.raises(ValueError):
+            _ = pkt.latency
+
+    def test_multicast_flag(self):
+        mc = Message(src=0, dst=0, size_bytes=7, dbv=frozenset({1, 2}))
+        assert mc.is_multicast
+        assert not Message(src=0, dst=1, size_bytes=7).is_multicast

@@ -1,0 +1,215 @@
+"""Unit + integration tests for the multicast engines."""
+
+import pytest
+
+from repro.core import RFIOverlay, baseline
+from repro.multicast import (
+    BandSchedule, MulticastAwareSource, RFMulticastEngine, RFRealization,
+    UnicastExpansion, VCTEngine, VCTRealization, on_xy_path,
+)
+from repro.noc import Message, MessageClass, MeshTopology
+from repro.params import ArchitectureParams, MeshParams
+
+PARAMS = ArchitectureParams()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+def mc_message(topo, dests, cls=MessageClass.MULTICAST_FILL, src=None):
+    bank = src if src is not None else topo.caches[0]
+    return Message(
+        src=bank, dst=bank, size_bytes=39, cls=cls, dbv=frozenset(dests)
+    )
+
+
+class TestXYTree:
+    def test_source_is_on_path(self, topo):
+        assert on_xy_path(topo, 5, 77, 5)
+        assert on_xy_path(topo, 5, 77, 77)
+
+    def test_intermediate_hops(self, topo):
+        src = topo.router_id(0, 0)
+        dst = topo.router_id(3, 2)
+        assert on_xy_path(topo, src, dst, topo.router_id(2, 0))  # x leg
+        assert on_xy_path(topo, src, dst, topo.router_id(3, 1))  # y leg
+        assert not on_xy_path(topo, src, dst, topo.router_id(1, 1))
+
+
+class TestVCT:
+    def test_delivers_to_every_destination(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = VCTEngine(net)
+        dests = {topo.cores[0], topo.cores[20], topo.cores[50]}
+        delivered = []
+        net.delivery_hooks.append(lambda p, c: delivered.append(c))
+        engine.inject(mc_message(topo, dests))
+        for _ in range(500):
+            engine.tick(net)
+            net.step()
+            if net.in_flight == 0:
+                break
+        assert net.in_flight == 0
+        assert len(delivered) == len(dests)
+
+    def test_tree_reuse_counted(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = VCTEngine(net)
+        dests = {topo.cores[1], topo.cores[2]}
+        for _ in range(3):
+            engine.inject(mc_message(topo, dests))
+            for _ in range(400):
+                engine.tick(net)
+                net.step()
+                if net.in_flight == 0:
+                    break
+        assert engine.reuse_ratio() == pytest.approx(2 / 3)
+
+    def test_first_use_pays_setup(self, topo):
+        dests = {topo.cores[0], topo.cores[30]}
+
+        def run_once(n_msgs):
+            net = baseline(16, topology=topo).new_network()
+            engine = VCTEngine(net)
+            latencies = []
+            net.delivery_hooks.append(
+                lambda p, c: latencies.append(c - p.inject_cycle)
+            )
+            for _ in range(n_msgs):
+                engine.inject(mc_message(topo, dests))
+                for _ in range(500):
+                    engine.tick(net)
+                    net.step()
+                    if net.in_flight == 0:
+                        break
+            return latencies
+
+        lats = run_once(2)
+        first = max(lats[: len(dests)])
+        second = max(lats[len(dests):])
+        assert first > second  # setup charged only once
+
+    def test_rejects_unicast(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = VCTEngine(net)
+        with pytest.raises(ValueError):
+            engine.inject(Message(src=0, dst=5, size_bytes=7))
+
+    def test_table_area(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = VCTEngine(net)
+        assert engine.table_area_mm2(30.0) == pytest.approx(1.62)
+
+
+class TestBandSchedule:
+    def test_epoch_ownership(self):
+        sched = BandSchedule(epoch_cycles=4, num_clusters=4)
+        assert sched.owner_at(0) == 0
+        assert sched.owner_at(4) == 1
+        assert sched.owner_at(15) == 3
+        assert sched.owner_at(16) == 0
+
+    def test_next_slot_waits_for_owner(self):
+        sched = BandSchedule(epoch_cycles=4, num_clusters=4)
+        assert sched.next_slot(0, earliest=0) == 0
+        assert sched.next_slot(1, earliest=0) == 4
+        assert sched.next_slot(3, earliest=5) == 12
+
+    def test_reserve_serializes(self):
+        sched = BandSchedule(epoch_cycles=4, num_clusters=4)
+        sched.reserve(0, 3)
+        assert sched.next_slot(0, earliest=0) == 3
+        sched.reserve(3, 2)
+        # Band busy into cycle 5, next epoch of cluster 0 is 16.
+        assert sched.next_slot(0, earliest=0) == 16
+
+
+class TestRFMulticast:
+    def make_engine(self, topo, net):
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        overlay.configure_multicast(topo.central_bank(0))
+        return RFMulticastEngine(net, overlay.multicast_receivers, epoch_cycles=4)
+
+    def test_every_core_served_once(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = self.make_engine(topo, net)
+        served = [c for cores in engine.service_map.values() for c in cores]
+        assert sorted(served) == sorted(topo.cores)
+
+    def test_delivers_to_all_dbv_cores(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = self.make_engine(topo, net)
+        dests = {topo.cores[3], topo.cores[33], topo.cores[63]}
+        delivered = []
+        net.delivery_hooks.append(
+            lambda p, c: delivered.append(p.dst) if p.dst in dests else None
+        )
+        msg = mc_message(topo, dests)
+        msg.inject_cycle = net.cycle
+        engine.submit(msg)
+        for _ in range(600):
+            engine.tick(net)
+            net.step()
+            if net.in_flight == 0 and engine.pending == 0:
+                break
+        assert sorted(delivered) == sorted(dests)
+
+    def test_transmitter_skips_leg1(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = self.make_engine(topo, net)
+        tx = engine.transmitters[0]
+        msg = mc_message(topo, {topo.cores[0]}, src=tx)
+        engine.submit(msg)
+        assert engine.pending == 1
+        assert not engine._awaiting_leg1  # went straight to the band queue
+
+    def test_power_gating_counted(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = self.make_engine(topo, net)
+        net.stats.measure_start = 0  # count band activity
+        # Submit from the transmitter itself so the broadcast queues at once.
+        msg = mc_message(topo, {topo.cores[0]}, src=engine.transmitters[0])
+        msg.inject_cycle = net.cycle
+        engine.submit(msg)
+        # Only receivers serving cores[0] stay awake.
+        assert engine.gated_receptions > 0
+        act = net.stats.activity
+        assert act.rf_mc_flits_tx > 0
+        assert act.rf_mc_flits_rx >= len(engine.receivers)
+
+    def test_rejects_unicast(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        engine = self.make_engine(topo, net)
+        with pytest.raises(ValueError):
+            engine.submit(Message(src=0, dst=1, size_bytes=7))
+
+
+class TestAdapters:
+    def test_unicast_expansion_counts(self, topo):
+        net = baseline(16, topology=topo).new_network()
+        expansion = UnicastExpansion(net)
+        dests = {topo.cores[0], topo.cores[10], topo.cores[20]}
+        msg = mc_message(topo, dests)
+        expansion.handle(msg)
+        assert net.in_flight == len(dests)
+        assert net.drain(2000)
+
+    def test_aware_source_dispatches(self, topo):
+        class OneShot:
+            def __init__(self, msg):
+                self.msg = msg
+                self.done = False
+
+            def sample_messages(self, cycle):
+                if self.done:
+                    return []
+                self.done = True
+                return [self.msg]
+
+        net = baseline(16, topology=topo).new_network()
+        msg = mc_message(topo, {topo.cores[0], topo.cores[1]})
+        source = MulticastAwareSource(OneShot(msg), UnicastExpansion(net))
+        source.tick(net)
+        assert net.in_flight == 2

@@ -1,0 +1,156 @@
+"""Tests for runtime (online) reconfiguration and network retuning."""
+
+import pytest
+
+from repro.core import (
+    OnlineReconfigurator, PhasedSource, RFIOverlay, baseline,
+)
+from repro.core.reconfig import ReconfigurationController
+from repro.noc import (
+    Message, MeshTopology, Network, RoutingPolicy, RoutingTables, Shortcut,
+)
+from repro.noc.simulator import Simulator
+from repro.params import ArchitectureParams, MeshParams, SimulationParams
+from repro.traffic import ProbabilisticTraffic, all_patterns, hotspot_at
+
+PARAMS = ArchitectureParams()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+class TestApplyShortcuts:
+    def test_retune_idle_network(self, topo):
+        first = RoutingTables(topo, [Shortcut(11, 88)])
+        net = Network(topo, PARAMS, first)
+        net.inject(Message(src=11, dst=88, size_bytes=39))
+        assert net.drain(300)
+        second = RoutingTables(topo, [Shortcut(22, 77)])
+        net.apply_shortcuts(second)
+        # Old RF port gone, new one present and usable end to end.
+        assert 5 not in net.routers[11].out_links
+        assert 5 in net.routers[22].out_links
+        pkt = net.inject(Message(src=22, dst=77, size_bytes=39))
+        assert net.drain(300)
+        assert pkt.rf_hops == 1
+
+    def test_refuses_with_packets_in_flight(self, topo):
+        net = Network(topo, PARAMS, RoutingTables(topo, [Shortcut(11, 88)]))
+        net.inject(Message(src=0, dst=99, size_bytes=39))
+        net.step()
+        with pytest.raises(RuntimeError):
+            net.apply_shortcuts(RoutingTables(topo, []))
+
+    def test_retune_to_empty(self, topo):
+        net = Network(topo, PARAMS, RoutingTables(topo, [Shortcut(11, 88)]))
+        net.apply_shortcuts(RoutingTables(topo, []))
+        net.inject(Message(src=11, dst=88, size_bytes=39))
+        assert net.drain(500)
+        assert net.stats.rf_hop_sum == 0
+
+
+class TestPhasedSource:
+    def test_cycles_through_phases(self, topo):
+        pats = all_patterns(topo)
+        a = ProbabilisticTraffic(topo, pats["uniform"], 0.05, seed=1)
+        b = ProbabilisticTraffic(topo, pats["1Hotspot"], 0.05, seed=2)
+        phased = PhasedSource([a, b], phase_cycles=10)
+        assert phased.current(0) is a
+        assert phased.current(10) is b
+        assert phased.current(20) is a
+
+    def test_requires_sources(self):
+        with pytest.raises(ValueError):
+            PhasedSource([], phase_cycles=10)
+
+
+class TestOnlineReconfigurator:
+    def make(self, topo, interval=800, **kwargs):
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        controller = ReconfigurationController(topo, overlay)
+        pattern = hotspot_at(topo, [(7, 0)], strength=16)
+        source = ProbabilisticTraffic(topo, pattern, 0.02, seed=3)
+        net = baseline(16, PARAMS, topo).new_network()
+        online = OnlineReconfigurator(source, controller,
+                                      interval_cycles=interval, **kwargs)
+        return net, online
+
+    def test_reconfigures_on_schedule(self, topo):
+        net, online = self.make(topo)
+        sim = SimulationParams(warmup_cycles=100, measure_cycles=2_500,
+                               drain_cycles=6_000)
+        stats = Simulator(net, [online], sim).run()
+        assert online.reconfigurations >= 2
+        assert stats.delivered_packets > 0
+        # The adapted network actually uses its shortcuts.
+        assert stats.rf_hop_sum > 0
+
+    def test_overhead_charged(self, topo):
+        net, online = self.make(topo)
+        for _ in range(2_500):
+            online.tick(net)
+            net.step()
+        assert online.events
+        for event in online.events:
+            # 99-cycle table update + tuning, plus a non-negative drain.
+            assert event.overhead_cycles >= 99
+            assert event.drain_cycles >= 0
+            assert len(event.shortcuts) == 16
+
+    def test_postpones_without_evidence(self, topo):
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        controller = ReconfigurationController(topo, overlay)
+
+        class Silent:
+            def sample_messages(self, cycle):
+                return []
+
+        net = baseline(16, PARAMS, topo).new_network()
+        online = OnlineReconfigurator(Silent(), controller, interval_cycles=50)
+        for _ in range(500):
+            online.tick(net)
+            net.step()
+        assert online.reconfigurations == 0
+
+    def test_decay_validated(self, topo):
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        controller = ReconfigurationController(topo, overlay)
+        with pytest.raises(ValueError):
+            OnlineReconfigurator(object(), controller, decay=1.5)
+
+
+class TestVisualize:
+    def test_heatmap_and_links(self, topo):
+        from repro.noc.visualize import (
+            hottest_links, render_link_report, render_traffic_heatmap,
+            render_shortcuts,
+        )
+
+        net = Network(topo, PARAMS, RoutingTables(topo, [Shortcut(11, 88)]))
+        source = ProbabilisticTraffic(
+            topo, all_patterns(topo)["1Hotspot"], 0.03, seed=4
+        )
+        sim = SimulationParams(warmup_cycles=100, measure_cycles=600,
+                               drain_cycles=4_000)
+        stats = Simulator(net, [source], sim).run()
+        heat = render_traffic_heatmap(stats, topo)
+        assert len(heat.splitlines()) == 10
+        links = hottest_links(stats, topo, count=5)
+        assert len(links) == 5
+        assert links[0][1] >= links[-1][1]
+        report = render_link_report(stats, topo)
+        assert "flits/cycle" in report
+        drawing = render_shortcuts(topo, [Shortcut(11, 88)])
+        assert drawing.count("s") == 1
+        assert drawing.count("d") == 1
+
+    def test_link_utilization_accessor(self, topo):
+        net = Network(topo, PARAMS)
+        net.stats.measure_start = 0
+        net.inject(Message(src=0, dst=9, size_bytes=39))
+        net.drain(300)
+        net.stats.activity.cycles = net.cycle
+        assert net.stats.link_utilization(0, 1) > 0
+        assert net.stats.link_utilization(9, 8) == 0

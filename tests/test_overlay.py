@@ -1,0 +1,145 @@
+"""Unit tests for the RF-I overlay and reconfiguration controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import RFIOverlay, ReconfigurationController
+from repro.noc import MeshTopology, RoutingTables, Shortcut
+from repro.params import MeshParams
+from repro.traffic import ProbabilisticTraffic, all_patterns
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+@pytest.fixture()
+def overlay(topo):
+    return RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+
+
+def make_shortcuts(topo, n, exclude_sources=()):
+    aps = [r for r in topo.rf_enabled_routers(50) if r not in exclude_sources]
+    return [Shortcut(aps[i], aps[-(i + 1)]) for i in range(n)]
+
+
+class TestOverlay:
+    def test_configure_shortcuts(self, topo, overlay):
+        shortcuts = make_shortcuts(topo, 16)
+        overlay.configure_shortcuts(shortcuts)
+        assert overlay.bands_used() == 16
+        assert overlay.routing_shortcuts() == shortcuts
+        # Every endpoint's mixers are tuned to matching bands.
+        for i, sc in enumerate(shortcuts):
+            tx = overlay.access_points[sc.src].tx
+            rx = overlay.access_points[sc.dst].rx
+            assert tx.band == rx.band
+
+    def test_budget_enforced(self, topo, overlay):
+        with pytest.raises(ValueError):
+            overlay.configure_shortcuts(make_shortcuts(topo, 17))
+
+    def test_non_access_point_rejected(self, topo, overlay):
+        non_ap = next(
+            r for r in range(100) if r not in overlay.access_points
+        )
+        ap = next(iter(overlay.access_points))
+        with pytest.raises(ValueError):
+            overlay.configure_shortcuts([Shortcut(non_ap, ap)])
+
+    def test_one_outbound_per_router(self, topo, overlay):
+        aps = topo.rf_enabled_routers(50)
+        with pytest.raises(ValueError):
+            overlay.configure_shortcuts(
+                [Shortcut(aps[0], aps[1]), Shortcut(aps[0], aps[2])]
+            )
+
+    def test_multicast_consumes_a_band(self, topo, overlay):
+        tx = topo.central_bank(0)
+        receivers = overlay.configure_multicast(tx)
+        assert overlay.multicast_band is not None
+        assert len(receivers) == 50  # every access point's Rx, Tx's included
+        overlay.configure_shortcuts(make_shortcuts(topo, 15, {tx}))
+        assert overlay.bands_used() == 16
+        # The 15 shortcut Rx's were re-tuned away from the multicast band.
+        assert len(overlay.multicast_receivers) == 35
+
+    def test_multicast_leaves_room_for_15_shortcuts_only(self, topo):
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        tx = topo.central_bank(0)
+        overlay.configure_multicast(tx)
+        with pytest.raises(ValueError):
+            overlay.configure_shortcuts(make_shortcuts(topo, 16, {tx}))
+
+    def test_clear_resets_everything(self, topo, overlay):
+        overlay.configure_shortcuts(make_shortcuts(topo, 4))
+        overlay.clear()
+        assert overlay.bands_used() == 0
+        assert all(
+            not ap.tx.enabled and not ap.rx.enabled
+            for ap in overlay.access_points.values()
+        )
+
+    def test_static_overlay_area(self, topo):
+        shortcuts = make_shortcuts(topo, 16)
+        overlay = RFIOverlay.for_static_shortcuts(topo, shortcuts)
+        assert not overlay.adaptive
+        assert overlay.active_area_mm2() == pytest.approx(0.508, abs=0.01)
+
+    def test_adaptive_overlay_area(self, overlay, topo):
+        overlay.configure_shortcuts(make_shortcuts(topo, 16))
+        assert overlay.active_area_mm2() == pytest.approx(1.587, abs=0.01)
+
+
+class TestReconfiguration:
+    @pytest.fixture()
+    def profile(self, topo):
+        pattern = all_patterns(topo)["1Hotspot"]
+        return ProbabilisticTraffic(topo, pattern, 0.03, seed=2).collect_profile(
+            5_000
+        )
+
+    def test_plan_contents(self, topo, overlay, profile):
+        controller = ReconfigurationController(topo, overlay)
+        plan = controller.reconfigure(profile)
+        assert len(plan.shortcuts) == 16
+        assert isinstance(plan.tables, RoutingTables)
+        assert plan.table_update_cycles == 99
+        assert plan.total_overhead_cycles > 99
+
+    def test_shortcuts_restricted_to_access_points(self, topo, overlay, profile):
+        plan = ReconfigurationController(topo, overlay).reconfigure(profile)
+        aps = set(overlay.access_points)
+        for sc in plan.shortcuts:
+            assert sc.src in aps and sc.dst in aps
+
+    def test_multicast_plan_uses_fifteen_shortcuts(self, topo, overlay, profile):
+        controller = ReconfigurationController(topo, overlay)
+        tx = topo.central_bank(0)
+        plan = controller.reconfigure(
+            profile, multicast=True, multicast_transmitter=tx
+        )
+        assert len(plan.shortcuts) == 15
+        assert overlay.multicast_band is not None
+        # Receivers + shortcut Rx's never overlap.
+        shortcut_rx = {sc.dst for sc in plan.shortcuts}
+        assert not shortcut_rx & set(plan.multicast_receivers)
+
+    def test_reconfigure_twice(self, topo, overlay, profile):
+        controller = ReconfigurationController(topo, overlay)
+        first = controller.reconfigure(profile)
+        second = controller.reconfigure(profile)
+        assert [tuple(s) for s in map(lambda x: (x.src, x.dst), first.shortcuts)] == [
+            (s.src, s.dst) for s in second.shortcuts
+        ]
+
+    def test_static_overlay_rejected(self, topo):
+        static = RFIOverlay.for_static_shortcuts(topo, make_shortcuts(topo, 4))
+        with pytest.raises(ValueError):
+            ReconfigurationController(topo, static)
+
+    def test_multicast_requires_transmitter(self, topo, overlay, profile):
+        controller = ReconfigurationController(topo, overlay)
+        with pytest.raises(ValueError):
+            controller.reconfigure(profile, multicast=True)

@@ -1,0 +1,127 @@
+"""Unit tests for the Table 1 probabilistic traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.noc import MeshTopology, NodeKind
+from repro.params import MeshParams
+from repro.traffic import (
+    PATTERN_NAMES, TrafficPattern, all_patterns, dataflow, hot_bidf, hotspot,
+    hotspot_routers, legality_mask, message_class_matrix, uniform,
+)
+from repro.noc.message import MessageClass
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+class TestLegality:
+    def test_no_self_traffic(self, topo):
+        mask = legality_mask(topo)
+        assert not np.diagonal(mask).any()
+
+    def test_core_talks_to_core_and_cache(self, topo):
+        mask = legality_mask(topo)
+        core, core2 = topo.cores[0], topo.cores[1]
+        cache = topo.caches[0]
+        mem = topo.memports[0]
+        assert mask[core, core2] == 1
+        assert mask[core, cache] == 1
+        assert mask[core, mem] == 0
+
+    def test_memory_only_talks_to_quadrant_banks(self, topo):
+        mask = legality_mask(topo)
+        for mem in topo.memports:
+            partners = np.flatnonzero(mask[mem])
+            assert partners.size > 0
+            for p in partners:
+                assert topo.kind(int(p)) is NodeKind.CACHE
+                # Same quadrant: both on the same side of both midlines.
+                mx, my = topo.coord(mem)
+                px, py = topo.coord(int(p))
+                assert (mx >= 5) == (px >= 5)
+                assert (my >= 5) == (py >= 5)
+
+    def test_cache_to_cache_disallowed(self, topo):
+        mask = legality_mask(topo)
+        a, b = topo.caches[0], topo.caches[1]
+        assert mask[a, b] == 0
+
+
+class TestClassMatrix:
+    def test_classes_follow_endpoints(self, topo):
+        table = message_class_matrix(topo)
+        core, cache, mem = topo.cores[0], topo.caches[0], topo.memports[0]
+        assert table[core][cache] is MessageClass.REQUEST
+        assert table[cache][core] is MessageClass.DATA
+        assert table[core][topo.cores[1]] is MessageClass.DATA
+        assert table[cache][mem] is MessageClass.MEMORY
+        assert table[mem][cache] is MessageClass.MEMORY
+
+
+class TestPatterns:
+    def test_all_seven_present(self, topo):
+        pats = all_patterns(topo)
+        assert set(pats) == set(PATTERN_NAMES)
+        for p in pats.values():
+            assert isinstance(p, TrafficPattern)
+
+    def test_uniform_is_flat_over_legal_pairs(self, topo):
+        w = uniform(topo).weights
+        legal = w[w > 0]
+        assert np.allclose(legal, legal[0])
+
+    def test_unidf_biases_downstream(self, topo):
+        w = dataflow(topo, bidirectional=False).weights
+        left = topo.router_id(1, 5)   # group 0
+        right_neighbor = topo.router_id(3, 5)  # group 1
+        far = topo.router_id(9, 5)    # group 4
+        # downstream-neighbor weight exceeds far-group weight
+        assert w[left, right_neighbor] > w[left, far] > 0
+
+    def test_bidf_is_symmetric_in_groups(self, topo):
+        w = dataflow(topo, bidirectional=True).weights
+        g1 = topo.router_id(3, 5)
+        g0 = topo.router_id(1, 5)
+        g2 = topo.router_id(5, 5)
+        assert w[g1, g0] == w[g1, g2]
+
+    def test_hotspot_attracts_traffic(self, topo):
+        w = hotspot(topo, 1).weights
+        hot = hotspot_routers(topo, 1)[0]
+        core = topo.cores[10]
+        other_cache = next(c for c in topo.caches if c != hot)
+        assert w[core, hot] > w[core, other_cache]
+
+    def test_hotspot_is_the_paper_bank(self, topo):
+        assert hotspot_routers(topo, 1) == [topo.router_id(7, 0)]
+
+    def test_hotspot_counts(self, topo):
+        assert len(hotspot_routers(topo, 2)) == 2
+        assert len(hotspot_routers(topo, 4)) == 4
+        with pytest.raises(ValueError):
+            hotspot_routers(topo, 3)
+
+    def test_four_hotspots_are_central_banks(self, topo):
+        spots = set(hotspot_routers(topo, 4))
+        centrals = {topo.central_bank(i) for i in range(4)}
+        assert spots == centrals
+
+    def test_hot_bidf_overloads_one_group(self, topo):
+        base = dataflow(topo, bidirectional=True).weights
+        hot = hot_bidf(topo).weights
+        member = topo.router_id(1, 5)   # group 0 (the hot stage)
+        outside = topo.router_id(9, 5)  # group 4
+        boost_member = hot[member].sum() / base[member].sum()
+        boost_outside = hot[outside].sum() / base[outside].sum()
+        assert boost_member > boost_outside
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            TrafficPattern("bad", np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            TrafficPattern("bad", -np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            TrafficPattern("bad", np.eye(3))

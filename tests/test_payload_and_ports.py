@@ -1,0 +1,124 @@
+"""Tests for payload propagation through realizations and port plumbing."""
+
+import pytest
+
+from repro.core import baseline
+from repro.multicast import UnicastExpansion, VCTEngine
+from repro.noc import Message, MessageClass, MeshTopology, Port
+from repro.noc.topology import PORT_STEP
+from repro.params import ArchitectureParams, MeshParams
+
+PARAMS = ArchitectureParams()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+class TestPayload:
+    def test_unicast_carries_payload(self, topo):
+        net = baseline(16, PARAMS, topo).new_network()
+        payloads = []
+        net.delivery_hooks.append(
+            lambda p, c: payloads.append(p.message.payload)
+        )
+        net.inject(Message(src=0, dst=50, size_bytes=7,
+                           payload=("tag", 42)))
+        assert net.drain(300)
+        assert payloads == [("tag", 42)]
+
+    def test_unicast_expansion_copies_payload(self, topo):
+        net = baseline(16, PARAMS, topo).new_network()
+        payloads = []
+        net.delivery_hooks.append(
+            lambda p, c: payloads.append(p.message.payload)
+        )
+        expansion = UnicastExpansion(net)
+        expansion.handle(
+            Message(src=topo.caches[0], dst=topo.caches[0], size_bytes=7,
+                    cls=MessageClass.MULTICAST_INV,
+                    dbv=frozenset(topo.cores[:3]),
+                    payload=("inv", 9)),
+        )
+        assert net.drain(500)
+        assert payloads == [("inv", 9)] * 3
+
+    def test_vct_shares_payload(self, topo):
+        net = baseline(16, PARAMS, topo).new_network()
+        payloads = []
+        net.delivery_hooks.append(
+            lambda p, c: payloads.append(p.message.payload)
+        )
+        engine = VCTEngine(net)
+        bank = topo.caches[0]
+        engine.inject(
+            Message(src=bank, dst=bank, size_bytes=39,
+                    cls=MessageClass.MULTICAST_FILL,
+                    dbv=frozenset(topo.cores[:2]),
+                    payload=("fill", 3)),
+        )
+        for _ in range(500):
+            engine.tick(net)
+            net.step()
+            if net.in_flight == 0:
+                break
+        assert payloads == [("fill", 3)] * 2
+
+    def test_rf_fanout_copies_payload(self, topo):
+        import dataclasses
+
+        from repro.core import RFIOverlay
+        from repro.multicast import RFMulticastEngine
+
+        design = baseline(16, PARAMS, topo)
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        overlay.configure_multicast(topo.central_bank(0))
+        design = dataclasses.replace(design, overlay=overlay)
+        net = design.new_network()
+        engine = RFMulticastEngine(net, overlay.multicast_receivers,
+                                   epoch_cycles=4)
+        payloads = []
+        net.delivery_hooks.append(
+            lambda p, c: payloads.append(p.message.payload)
+            if p.dst in topo.cores else None
+        )
+        tx = engine.transmitters[0]
+        msg = Message(src=tx, dst=tx, size_bytes=7,
+                      cls=MessageClass.MULTICAST_INV,
+                      dbv=frozenset({topo.cores[5]}),
+                      payload=("inv", 77))
+        msg.inject_cycle = net.cycle
+        engine.submit(msg)
+        for _ in range(400):
+            engine.tick(net)
+            net.step()
+            if net.in_flight == 0 and engine.pending == 0:
+                break
+        assert ("inv", 77) in payloads
+
+
+class TestPorts:
+    def test_port_steps_are_inverses(self):
+        assert PORT_STEP[Port.NORTH] == (0, 1)
+        assert PORT_STEP[Port.SOUTH] == (0, -1)
+        n = PORT_STEP[Port.NORTH]
+        s = PORT_STEP[Port.SOUTH]
+        assert (n[0] + s[0], n[1] + s[1]) == (0, 0)
+        e = PORT_STEP[Port.EAST]
+        w = PORT_STEP[Port.WEST]
+        assert (e[0] + w[0], e[1] + w[1]) == (0, 0)
+
+    def test_rf_is_sixth_port(self):
+        assert int(Port.RF) == 5
+        assert int(Port.LOCAL) == 0
+
+    def test_overlay_report_fields(self, topo):
+        from repro.core import static_rf
+
+        design = static_rf(16, PARAMS, topo)
+        report = design.overlay.report()
+        assert report.num_shortcuts == 16
+        assert report.bands_available == 16
+        assert report.waveguide_mm > 0
+        assert not report.multicast_enabled

@@ -1,0 +1,87 @@
+"""Tests for the synthetic permutation patterns."""
+
+import numpy as np
+import pytest
+
+from repro.noc import MeshTopology
+from repro.params import MeshParams
+from repro.traffic.permutations import (
+    all_permutations, bit_complement, shuffle, transpose,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+class TestTranspose:
+    def test_partner_is_mirror(self, topo):
+        w = transpose(topo).weights
+        src = topo.router_id(2, 7)
+        dst = topo.router_id(7, 2)
+        assert w[src, dst] == 1.0
+        assert w[src].sum() == 1.0
+
+    def test_diagonal_is_silent(self, topo):
+        w = transpose(topo).weights
+        for d in range(10):
+            assert w[topo.router_id(d, d)].sum() == 0
+
+    def test_requires_square(self):
+        rect = MeshTopology(MeshParams(width=5, height=4, num_cores=12,
+                                       num_caches=4, num_memports=4))
+        with pytest.raises(ValueError):
+            transpose(rect)
+
+    def test_is_an_involution(self, topo):
+        w = transpose(topo).weights
+        assert np.array_equal(w, w.T)
+
+
+class TestBitComplement:
+    def test_crosses_centre(self, topo):
+        w = bit_complement(topo).weights
+        src = topo.router_id(0, 0)
+        assert w[src, topo.router_id(9, 9)] == 1.0
+
+    def test_every_router_injects(self, topo):
+        w = bit_complement(topo).weights
+        # 10x10 has no fixed point for (x,y) -> (9-x, 9-y).
+        assert (w.sum(axis=1) == 1.0).all()
+
+
+class TestShuffle:
+    def test_modular_doubling(self, topo):
+        w = shuffle(topo).weights
+        assert w[5, 10] == 1.0
+        assert w[60, (120) % 99] == 1.0
+
+    def test_fixed_points_silent(self, topo):
+        w = shuffle(topo).weights
+        assert w[99].sum() == 0  # maps to itself by convention
+        assert w[0].sum() == 0   # 2*0 mod 99 == 0
+
+    def test_all_permutations_dict(self, topo):
+        pats = all_permutations(topo)
+        assert set(pats) == {"transpose", "bit-complement", "shuffle"}
+
+
+class TestOnNetwork:
+    def test_transpose_runs_and_shortcuts_help(self, topo):
+        from repro.core import baseline, static_rf
+        from repro.noc.simulator import Simulator
+        from repro.params import ArchitectureParams, SimulationParams
+        from repro.traffic import ProbabilisticTraffic
+
+        params = ArchitectureParams()
+        sim = SimulationParams(warmup_cycles=100, measure_cycles=400,
+                               drain_cycles=4_000)
+        pattern = transpose(topo)
+        lat = {}
+        for dp in (baseline(16, params, topo), static_rf(16, params, topo)):
+            net = dp.new_network()
+            source = ProbabilisticTraffic(topo, pattern, 0.02, seed=3)
+            stats = Simulator(net, [source], sim).run()
+            lat[dp.name] = stats.avg_packet_latency
+        assert lat["static-16B"] < lat["baseline-16B"]

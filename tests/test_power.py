@@ -1,0 +1,159 @@
+"""Unit tests for the power and area models."""
+
+import pytest
+
+from repro.core import baseline, static_rf, wire_static
+from repro.noc import MeshTopology
+from repro.noc.stats import ActivityCounts, NetworkStats
+from repro.params import ArchitectureParams, MeshParams
+from repro.power import (
+    DEFAULT_TECHNOLOGY, LinkPowerModel, NoCPowerModel, RouterConfig,
+    RouterPowerModel,
+)
+
+PARAMS = ArchitectureParams()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NoCPowerModel()
+
+
+def fake_stats(cycles=1000, **activity) -> NetworkStats:
+    stats = NetworkStats()
+    stats.activity = ActivityCounts(cycles=cycles, **activity)
+    return stats
+
+
+class TestTechnology:
+    def test_kopt_reasonable(self):
+        assert 10 < DEFAULT_TECHNOLOGY.k_opt < 100
+
+    def test_hopt_submillimeter(self):
+        assert 0.05 < DEFAULT_TECHNOLOGY.h_opt_mm < 1.0
+
+    def test_link_energy_scale(self):
+        # tens of fJ per bit-mm at 32 nm.
+        e = DEFAULT_TECHNOLOGY.link_energy_pj_per_bit_mm
+        assert 0.01 < e < 0.5
+
+    def test_wire_delay_much_slower_than_rf(self):
+        # Repeated RC wire: ~ns across 20 mm; RF-I: 0.3 ns.
+        assert DEFAULT_TECHNOLOGY.wire_delay_ns_per_mm() * 20 > 0.3
+
+
+class TestRouterModel:
+    def test_dynamic_scales_with_width(self):
+        m = RouterPowerModel()
+        narrow = RouterConfig(ports=5, num_vcs=6, buffer_depth=4, flit_bytes=4)
+        wide = RouterConfig(ports=5, num_vcs=6, buffer_depth=4, flit_bytes=16)
+        assert m.dynamic_energy_per_flit_pj(wide) > m.dynamic_energy_per_flit_pj(narrow)
+
+    def test_area_matches_table2_baseline(self):
+        """100 x 5-port routers: 30.21 / 9.34 / 3.23 mm^2 at 16/8/4 B."""
+        m = RouterPowerModel()
+        for width, target in ((16, 30.21), (8, 9.34), (4, 3.23)):
+            cfg = RouterConfig(ports=5, num_vcs=6, buffer_depth=4, flit_bytes=width)
+            assert 100 * m.area_mm2(cfg) == pytest.approx(target, rel=0.02)
+
+    def test_six_port_overhead_matches_table2(self):
+        """Upgrading 50 routers to 6 ports at 16 B adds ~5.78 mm^2."""
+        m = RouterPowerModel()
+        five = RouterConfig(ports=5, num_vcs=6, buffer_depth=4, flit_bytes=16)
+        six = RouterConfig(ports=6, num_vcs=6, buffer_depth=4, flit_bytes=16)
+        delta = 50 * (m.area_mm2(six) - m.area_mm2(five))
+        assert delta == pytest.approx(5.78, rel=0.05)
+
+    def test_leakage_linear_in_width(self):
+        m = RouterPowerModel()
+        cfgs = {
+            w: RouterConfig(ports=5, num_vcs=6, buffer_depth=4, flit_bytes=w)
+            for w in (4, 8, 16)
+        }
+        l4, l8, l16 = (m.leakage_w(cfgs[w]) for w in (4, 8, 16))
+        assert (l16 - l8) == pytest.approx(l8 - l4 + (l8 - l4), rel=0.01)
+
+
+class TestLinkModel:
+    def test_area_matches_table2(self, topo, model):
+        """360 mesh links x 2 mm x 128 bits = 0.08 mm^2 at 16 B."""
+        area = model.area(baseline(16, topology=topo))
+        assert area.link_mm2 == pytest.approx(0.08, rel=0.03)
+
+    def test_energy_proportional_to_bits_and_length(self):
+        m = LinkPowerModel()
+        assert m.dynamic_energy_pj(100, 2.0) == pytest.approx(
+            2 * m.dynamic_energy_pj(100, 1.0)
+        )
+        assert m.dynamic_energy_pj(200, 1.0) == pytest.approx(
+            2 * m.dynamic_energy_pj(100, 1.0)
+        )
+
+
+class TestNoCPower:
+    def test_requires_measured_cycles(self, topo, model):
+        with pytest.raises(ValueError):
+            model.power(baseline(16, topology=topo), fake_stats(cycles=0))
+
+    def test_idle_network_burns_leakage_only(self, topo, model):
+        report = model.power(baseline(16, topology=topo), fake_stats())
+        assert report.dynamic_w == 0.0
+        assert report.static_w > 0.0
+
+    def test_power_scales_linearly_with_width(self, topo, model):
+        """The Fig 8 calibration: P ~ 0.04 + 0.06 * W relative."""
+        totals = {}
+        for width in (16, 8, 4):
+            design = baseline(width, topology=topo)
+            totals[width] = model.power(design, fake_stats()).total_w
+        r8 = totals[8] / totals[16]
+        r4 = totals[4] / totals[16]
+        assert 0.45 < r8 < 0.60
+        assert 0.22 < r4 < 0.36
+
+    def test_rf_dynamic_counted(self, topo, model):
+        design = static_rf(16, topology=topo)
+        quiet = model.power(design, fake_stats())
+        busy = model.power(design, fake_stats(rf_flits=10_000))
+        # 10k flits x 128 bits x 0.75 pJ = 0.96 uJ over 500 ns = 1.92 W.
+        assert busy.rf_dynamic_w - quiet.rf_dynamic_w == pytest.approx(1.92, rel=0.01)
+
+    def test_rf_static_present_only_with_overlay(self, topo, model):
+        with_rf = model.power(static_rf(16, topology=topo), fake_stats())
+        without = model.power(baseline(16, topology=topo), fake_stats())
+        assert with_rf.rf_static_w > 0
+        assert without.rf_static_w == 0
+
+    def test_wire_shortcuts_add_link_not_rf(self, topo, model):
+        wire = wire_static(16, topology=topo)
+        rf = static_rf(16, topology=topo)
+        wire_area = model.area(wire)
+        rf_area = model.area(rf)
+        assert wire_area.rfi_mm2 == 0
+        assert wire_area.link_mm2 > rf_area.link_mm2
+        wire_power = model.power(wire, fake_stats())
+        assert wire_power.rf_static_w == 0
+
+    def test_six_port_routers_leak_more(self, topo, model):
+        base = model.power(baseline(16, topology=topo), fake_stats())
+        rf = model.power(static_rf(16, topology=topo), fake_stats())
+        assert rf.router_leakage_w > base.router_leakage_w
+
+    def test_breakdown_sums(self, topo, model):
+        report = model.power(
+            baseline(16, topology=topo),
+            fake_stats(buffer_writes=5000, switch_traversals=5000,
+                       mesh_flit_hops=4000, mesh_flit_mm=8000.0,
+                       local_flit_hops=1000),
+        )
+        b = report.breakdown()
+        parts = (
+            b["router_dynamic_w"] + b["link_dynamic_w"] + b["rf_dynamic_w"]
+            + b["router_leakage_w"] + b["link_leakage_w"] + b["rf_static_w"]
+        )
+        assert b["total_w"] == pytest.approx(parts)

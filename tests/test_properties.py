@@ -1,0 +1,148 @@
+"""Hypothesis property tests on core invariants.
+
+These cover the properties the whole evaluation rests on: conservation of
+flits, termination (deadlock freedom), routing-table correctness under
+arbitrary shortcut sets, and packetization arithmetic.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import (
+    Message, MeshTopology, Network, RoutingPolicy, RoutingTables, Shortcut,
+)
+from repro.params import ArchitectureParams, MeshParams
+
+SMALL = MeshParams(width=5, height=5, num_cores=13, num_caches=8, num_memports=4)
+PARAMS = ArchitectureParams().with_mesh(
+    width=5, height=5, num_cores=13, num_caches=8, num_memports=4
+)
+
+
+def small_topo():
+    return MeshTopology(SMALL)
+
+
+@st.composite
+def shortcut_sets(draw):
+    """Random shortcut sets honouring the one-in/one-out port limit."""
+    topo = small_topo()
+    n = topo.params.num_routers
+    count = draw(st.integers(0, 6))
+    sources = draw(
+        st.lists(st.integers(0, n - 1), min_size=count, max_size=count,
+                 unique=True)
+    )
+    dests = draw(
+        st.lists(st.integers(0, n - 1), min_size=count, max_size=count,
+                 unique=True)
+    )
+    return [
+        Shortcut(s, d) for s, d in zip(sources, dests) if s != d
+    ]
+
+
+class TestRoutingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(shortcut_sets())
+    def test_tables_route_everything(self, shortcuts):
+        """From any router, following the tables reaches any destination in
+        at most the table's claimed distance."""
+        topo = small_topo()
+        tables = RoutingTables(topo, shortcuts)
+        from repro.noc.routing import EJECT
+        from repro.noc.topology import PORT_STEP, Port
+
+        rng = random.Random(0)
+        n = topo.params.num_routers
+        for _ in range(20):
+            src, dst = rng.randrange(n), rng.randrange(n)
+            cur, hops = src, 0
+            while cur != dst:
+                port = tables.port_for(cur, dst)
+                assert port != EJECT
+                if port == int(Port.RF):
+                    cur = tables.rf_destination(cur)
+                else:
+                    dx, dy = PORT_STEP[Port(port)]
+                    x, y = topo.coord(cur)
+                    cur = topo.router_id(x + dx, y + dy)
+                hops += 1
+                assert hops <= tables.distance(src, dst)
+            assert hops == tables.distance(src, dst)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shortcut_sets())
+    def test_shortcuts_never_hurt_distance(self, shortcuts):
+        topo = small_topo()
+        base = RoutingTables(topo)
+        with_sc = RoutingTables(topo, shortcuts)
+        n = topo.params.num_routers
+        for a in range(n):
+            for b in range(n):
+                assert with_sc.distance(a, b) <= base.distance(a, b)
+
+
+class TestNetworkProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        shortcut_sets(),
+        st.integers(1, 1000),
+        st.booleans(),
+    )
+    def test_conservation_and_termination(self, shortcuts, seed, adaptive):
+        """Any random burst over any shortcut overlay drains completely,
+        delivering every injected flit exactly once."""
+        topo = small_topo()
+        tables = RoutingTables(topo, shortcuts)
+        net = Network(topo, PARAMS, tables, RoutingPolicy(adaptive=adaptive))
+        rng = random.Random(seed)
+        n = topo.params.num_routers
+        delivered_uids = []
+        net.delivery_hooks.append(lambda p, c: delivered_uids.append(p.uid))
+        injected_uids = []
+        for _ in range(120):
+            for _ in range(rng.randrange(0, 4)):
+                src, dst = rng.sample(range(n), 2)
+                size = rng.choice([7, 39, 132])
+                pkt = net.inject(Message(src=src, dst=dst, size_bytes=size))
+                injected_uids.append(pkt.uid)
+            net.step()
+        assert net.drain(30_000), "network failed to drain (deadlock?)"
+        assert sorted(delivered_uids) == sorted(injected_uids)
+        assert net.stats.delivered_flits == net.stats.injected_flits
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(1, 500))
+    def test_idle_state_restored(self, seed):
+        """After a drain every VC, credit, and busy flag is back to reset."""
+        topo = small_topo()
+        net = Network(topo, PARAMS)
+        rng = random.Random(seed)
+        n = topo.params.num_routers
+        for _ in range(60):
+            if rng.random() < 0.5:
+                src, dst = rng.sample(range(n), 2)
+                net.inject(Message(src=src, dst=dst, size_bytes=39))
+            net.step()
+        assert net.drain(20_000)
+        for router in net.routers:
+            for ip in router.in_ports.values():
+                assert not ip.occupied
+            for link in router.out_links.values():
+                if not link.is_ejection:
+                    assert all(c == net.buffer_depth for c in link.credits)
+                    assert not any(link.vc_busy)
+        assert not net.active
+
+
+class TestPacketizationProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 4096), st.sampled_from([4, 8, 16, 32]))
+    def test_flit_count_covers_size(self, size, width):
+        msg = Message(src=0, dst=1, size_bytes=size)
+        flits = msg.num_flits(width)
+        assert flits * width >= size
+        assert (flits - 1) * width < size

@@ -1,0 +1,81 @@
+"""Hypothesis property tests for the CMP cache structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp import L1Cache, L2Bank
+
+
+class TestL1Properties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), max_size=200), st.integers(1, 128))
+    def test_fill_then_lookup_hits(self, blocks, lines):
+        """Immediately after a fill, the same block always hits."""
+        l1 = L1Cache(lines)
+        for block in blocks:
+            l1.fill(block)
+            assert l1.lookup(block)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 500), max_size=300))
+    def test_counters_add_up(self, blocks):
+        l1 = L1Cache(32)
+        for block in blocks:
+            if not l1.lookup(block):
+                l1.fill(block)
+        assert l1.hits + l1.misses == len(blocks)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 1000), st.integers(1, 64))
+    def test_invalidate_then_miss(self, block, lines):
+        l1 = L1Cache(lines)
+        l1.fill(block)
+        assert l1.invalidate(block)
+        assert not l1.lookup(block)
+
+
+class TestL2Properties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2_000), min_size=1, max_size=300),
+        st.integers(1, 8), st.integers(1, 8),
+    )
+    def test_sets_never_overflow(self, blocks, num_sets, ways):
+        bank = L2Bank(num_sets=num_sets, ways=ways)
+        for block in blocks:
+            if bank.lookup(block) is None:
+                bank.install(block)
+            for lines in bank.sets:
+                assert len(lines) <= ways
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 2_000), min_size=1, max_size=300))
+    def test_resident_blocks_unique(self, blocks):
+        bank = L2Bank(num_sets=4, ways=4)
+        for block in blocks:
+            if bank.lookup(block) is None:
+                bank.install(block)
+        resident = [line.block for lines in bank.sets for line in lines]
+        assert len(resident) == len(set(resident))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    def test_occupancy_bounded_by_installs(self, blocks):
+        bank = L2Bank(num_sets=2, ways=2)
+        installs = 0
+        for block in blocks:
+            if bank.lookup(block) is None:
+                bank.install(block)
+                installs += 1
+        assert bank.occupancy == installs - bank.evictions
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1_000))
+    def test_mru_survives_fill_pressure(self, hot):
+        """A block re-touched before every install survives ways-1 inserts."""
+        bank = L2Bank(num_sets=1, ways=4)
+        bank.install(hot)
+        for other in range(hot + 1, hot + 4):
+            assert bank.lookup(hot) is not None  # refresh LRU position
+            bank.install(other)
+        assert bank.peek(hot) is not None

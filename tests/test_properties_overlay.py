@@ -1,0 +1,170 @@
+"""Hypothesis property tests: overlay, band schedule, traces, patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RFIOverlay
+from repro.multicast import BandSchedule
+from repro.noc import MeshTopology, MessageClass, Shortcut
+from repro.params import MeshParams, RFIParams
+from repro.traffic import (
+    Trace, TraceRecord, TraceReplay, TrafficPattern, expected_frequency,
+)
+
+
+def topo10():
+    return MeshTopology(MeshParams())
+
+
+class TestOverlayProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 16), st.integers(0, 10_000))
+    def test_any_valid_tuning_is_consistent(self, count, seed):
+        """For any feasible shortcut set: bands are exclusive per direction,
+        every tuned Tx has a matching Rx, and the budget holds."""
+        import random
+
+        topo = topo10()
+        rng = random.Random(seed)
+        aps = topo.rf_enabled_routers(50)
+        sources = rng.sample(aps, count)
+        dests = rng.sample(aps, count)
+        shortcuts = [
+            Shortcut(s, d) for s, d in zip(sources, dests) if s != d
+        ]
+        overlay = RFIOverlay(topo, aps, adaptive=True)
+        overlay.configure_shortcuts(shortcuts)
+        tx_bands = [
+            ap.tx.band for ap in overlay.access_points.values() if ap.tx.enabled
+        ]
+        rx_bands = [
+            ap.rx.band for ap in overlay.access_points.values() if ap.rx.enabled
+        ]
+        assert len(tx_bands) == len(set(tx_bands)) == len(shortcuts)
+        assert sorted(tx_bands) == sorted(rx_bands)
+        assert overlay.bands_used() <= len(overlay.band_plan)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 100))
+    def test_waveguide_length_scales_sanely(self, count):
+        from repro.rfi import Waveguide
+
+        topo = topo10()
+        aps = topo.rf_enabled_routers(count)
+        wg = Waveguide(topo, aps)
+        # Bounded below by spanning the points once, above by a full tour.
+        assert wg.length_mm() >= 0
+        assert wg.length_mm() <= 2.0 * 18 * count  # spacing * diameter * n
+
+
+class TestBandScheduleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 64), st.integers(1, 8),
+        st.integers(0, 500), st.integers(0, 4),
+    )
+    def test_next_slot_is_owned_and_after_earliest(
+        self, epoch, clusters, earliest, cluster_index
+    ):
+        sched = BandSchedule(epoch_cycles=epoch, num_clusters=clusters)
+        cluster = cluster_index % clusters
+        slot = sched.next_slot(cluster, earliest)
+        assert slot >= earliest
+        assert sched.owner_at(slot) == cluster
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 6)),
+                    min_size=1, max_size=20))
+    def test_reservations_never_overlap(self, requests):
+        sched = BandSchedule(epoch_cycles=8, num_clusters=4)
+        busy_intervals = []
+        clock = 0
+        for cluster, duration in requests:
+            start = sched.next_slot(cluster, clock)
+            end = sched.reserve(start, duration)
+            for s, e in busy_intervals:
+                assert end <= s or start >= e, "band double-booked"
+            busy_intervals.append((start, end))
+            clock = start  # next request may arrive while this one runs
+
+
+class TestTraceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 200), st.integers(0, 99), st.integers(0, 99),
+                st.sampled_from([7, 39, 132]),
+            ),
+            max_size=40,
+        )
+    )
+    def test_roundtrip_any_trace(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        trace = Trace()
+        for cycle, src, dst, size in sorted(rows, key=lambda r: r[0]):
+            trace.append(
+                TraceRecord(cycle, src, dst, size, MessageClass.DATA)
+            )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.jsonl"
+            trace.save(path)
+            assert Trace.load(path).records == trace.records
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(1, 50))
+    def test_replay_emits_every_record_once(self, seed, cycles):
+        import random
+
+        rng = random.Random(seed)
+        trace = Trace()
+        clock = 0
+        for _ in range(rng.randrange(0, 30)):
+            clock += rng.randrange(0, 3)
+            if clock >= cycles:
+                break
+            trace.append(
+                TraceRecord(clock, rng.randrange(100), rng.randrange(100),
+                            39, MessageClass.DATA)
+            )
+        replay = TraceReplay(trace)
+        emitted = []
+        for cycle in range(cycles):
+            emitted.extend(replay.sample_messages(cycle))
+        expected = [r for r in trace.records if r.cycle < cycles]
+        assert len(emitted) == len(expected)
+
+
+class TestPatternProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.001, 0.5))
+    def test_expected_frequency_sums_to_rate(self, rate):
+        topo = topo10()
+        from repro.traffic import uniform
+
+        freq = expected_frequency(uniform(topo), rate)
+        rows = freq.sum(axis=1)
+        nonzero = rows[rows > 0]
+        assert np.allclose(nonzero, rate)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 40), st.floats(1.0, 64.0))
+    def test_hotspot_strength_monotone(self, seed, strength):
+        """Stronger hotspots concentrate more probability on the hotspot."""
+        from repro.traffic import hotspot, hotspot_routers
+
+        topo = topo10()
+        weak = hotspot(topo, 1, strength=1.0).weights
+        strong = hotspot(topo, 1, strength=strength).weights
+        hot = hotspot_routers(topo, 1)[0]
+        core = topo.cores[seed % len(topo.cores)]
+
+        def share(weights):
+            row = weights[core]
+            return row[hot] / row.sum()
+
+        assert share(strong) >= share(weak) - 1e-12

@@ -1,0 +1,197 @@
+"""Unit tests for traffic generation, application models, and traces."""
+
+import numpy as np
+import pytest
+
+from repro.noc import MeshTopology, MessageClass
+from repro.params import ArchitectureParams, MeshParams
+from repro.traffic import (
+    APPLICATIONS, MulticastConfig, MulticastTraffic, ProbabilisticTraffic,
+    Trace, TraceRecord, TraceReplay, all_patterns, application_pattern,
+    distance_histogram, expected_frequency, record_trace,
+)
+
+PARAMS = ArchitectureParams()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(MeshParams())
+
+
+@pytest.fixture(scope="module")
+def uniform_pattern(topo):
+    return all_patterns(topo)["uniform"]
+
+
+class TestProbabilistic:
+    def test_deterministic_given_seed(self, topo, uniform_pattern):
+        a = ProbabilisticTraffic(topo, uniform_pattern, 0.05, seed=1)
+        b = ProbabilisticTraffic(topo, uniform_pattern, 0.05, seed=1)
+        for cycle in range(50):
+            ma = [(m.src, m.dst, m.size_bytes) for m in a.sample_messages(cycle)]
+            mb = [(m.src, m.dst, m.size_bytes) for m in b.sample_messages(cycle)]
+            assert ma == mb
+
+    def test_rate_respected(self, topo, uniform_pattern):
+        source = ProbabilisticTraffic(topo, uniform_pattern, 0.05, seed=2)
+        count = sum(len(source.sample_messages(c)) for c in range(2000))
+        expected = 0.05 * 100 * 2000
+        assert abs(count - expected) < 0.1 * expected
+
+    def test_rate_validation(self, topo, uniform_pattern):
+        with pytest.raises(ValueError):
+            ProbabilisticTraffic(topo, uniform_pattern, 1.5)
+
+    def test_messages_respect_pattern_support(self, topo):
+        pattern = all_patterns(topo)["1Hotspot"]
+        source = ProbabilisticTraffic(topo, pattern, 0.05, seed=3)
+        for cycle in range(200):
+            for msg in source.sample_messages(cycle):
+                assert pattern.weights[msg.src, msg.dst] > 0
+
+    def test_classes_and_sizes_consistent(self, topo, uniform_pattern):
+        source = ProbabilisticTraffic(topo, uniform_pattern, 0.05, seed=4)
+        sizes = {MessageClass.REQUEST: 7, MessageClass.DATA: 39,
+                 MessageClass.MEMORY: 132}
+        for cycle in range(100):
+            for msg in source.sample_messages(cycle):
+                assert msg.size_bytes == sizes[msg.cls]
+
+    def test_profile_counts_everything(self, topo, uniform_pattern):
+        source = ProbabilisticTraffic(topo, uniform_pattern, 0.05, seed=5)
+        profile = source.collect_profile(500)
+        assert profile.sum() == source.injected
+
+    def test_expected_frequency_rows(self, uniform_pattern):
+        freq = expected_frequency(uniform_pattern, rate=0.1)
+        rows = freq.sum(axis=1)
+        assert np.allclose(rows[rows > 0], 0.1)
+
+
+class TestApplications:
+    def test_bodytrack_is_local(self, topo):
+        x264 = distance_histogram(
+            topo, application_pattern(topo, APPLICATIONS["x264"]), 4000
+        )
+        body = distance_histogram(
+            topo, application_pattern(topo, APPLICATIONS["bodytrack"]), 4000
+        )
+        assert body.share_within(3) > x264.share_within(3)
+
+    def test_bodytrack_distance_cutoff(self, topo):
+        body = distance_histogram(
+            topo, application_pattern(topo, APPLICATIONS["bodytrack"]), 4000
+        )
+        assert max(body.counts) <= 13
+
+    def test_x264_reaches_cross_chip(self, topo):
+        x264 = distance_histogram(
+            topo, application_pattern(topo, APPLICATIONS["x264"]), 8000
+        )
+        assert max(x264.counts) >= 14
+
+    def test_median_line(self):
+        from repro.traffic import DistanceHistogram
+
+        h = DistanceHistogram(counts={1: 10, 2: 20, 3: 30})
+        assert h.median_count == 20
+        assert h.total == 60
+        assert h.share_within(2) == pytest.approx(0.5)
+
+    def test_all_five_applications_build(self, topo):
+        for name, model in APPLICATIONS.items():
+            pattern = application_pattern(topo, model)
+            assert (pattern.weights > 0).any(), name
+
+
+class TestTrace:
+    def test_record_and_replay(self, topo, uniform_pattern):
+        source = ProbabilisticTraffic(topo, uniform_pattern, 0.05, seed=6)
+        trace = record_trace(source, cycles=100)
+        assert len(trace) > 0
+        replay = TraceReplay(trace)
+        replayed = []
+        for cycle in range(100):
+            replayed.extend(replay.sample_messages(cycle))
+        assert len(replayed) == len(trace)
+        assert [(m.src, m.dst) for m in replayed] == [
+            (r.src, r.dst) for r in trace.records
+        ]
+
+    def test_save_load_roundtrip(self, topo, uniform_pattern, tmp_path):
+        source = ProbabilisticTraffic(topo, uniform_pattern, 0.05, seed=7)
+        trace = record_trace(source, cycles=50)
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.records == trace.records
+
+    def test_multicast_records_roundtrip(self, tmp_path):
+        trace = Trace()
+        trace.append(
+            TraceRecord(0, 5, 5, 39, MessageClass.MULTICAST_FILL,
+                        dbv=frozenset({1, 2, 3}))
+        )
+        path = tmp_path / "mc.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.records[0].dbv == frozenset({1, 2, 3})
+
+    def test_out_of_order_rejected(self):
+        trace = Trace()
+        trace.append(TraceRecord(5, 0, 1, 7, MessageClass.REQUEST))
+        with pytest.raises(ValueError):
+            trace.append(TraceRecord(4, 0, 1, 7, MessageClass.REQUEST))
+
+    def test_looped_replay(self, topo, uniform_pattern):
+        source = ProbabilisticTraffic(topo, uniform_pattern, 0.1, seed=8)
+        trace = record_trace(source, cycles=20)
+        replay = TraceReplay(trace, loop=True)
+        count = 0
+        for cycle in range(100):
+            count += len(replay.sample_messages(cycle))
+        assert count > len(trace)  # wrapped around at least once
+
+
+class TestMulticastTraffic:
+    def test_pool_size_matches_locality(self, topo):
+        for pct in (20, 50):
+            cfg = MulticastConfig(locality_percent=pct, expected_total=1000)
+            source = MulticastTraffic(topo, cfg, seed=9)
+            assert source.distinct_pairs_used() == 1000 * pct // 100
+
+    def test_messages_come_from_banks_to_cores(self, topo):
+        source = MulticastTraffic(topo, MulticastConfig(rate=0.05), seed=10)
+        cores = set(topo.cores)
+        banks = set(topo.caches)
+        seen = 0
+        for cycle in range(200):
+            for msg in source.sample_messages(cycle):
+                seen += 1
+                assert msg.src in banks
+                assert msg.is_multicast
+                assert msg.dbv <= cores
+                assert msg.cls in (
+                    MessageClass.MULTICAST_INV, MessageClass.MULTICAST_FILL
+                )
+        assert seen > 0
+
+    def test_destination_set_sizes(self, topo):
+        cfg = MulticastConfig(rate=0.05, min_dests=2, max_dests=16)
+        source = MulticastTraffic(topo, cfg, seed=11)
+        for cycle in range(100):
+            for msg in source.sample_messages(cycle):
+                assert 2 <= len(msg.dbv) <= 16
+
+    def test_pairs_actually_reused(self, topo):
+        cfg = MulticastConfig(rate=0.05, locality_percent=20, expected_total=100)
+        source = MulticastTraffic(topo, cfg, seed=12)
+        pairs = set()
+        total = 0
+        for cycle in range(2000):
+            for msg in source.sample_messages(cycle):
+                pairs.add((msg.src, msg.dbv))
+                total += 1
+        assert total > len(pairs)  # reuse happened
+        assert len(pairs) <= source.distinct_pairs_used()
