@@ -4,13 +4,32 @@ Unlike the figure benches (one-shot table generators), this one uses
 pytest-benchmark's repeated timing to track the engine's simulation rate:
 cycles per second on the full 10x10 mesh under moderate uniform load.  A
 regression here makes every experiment slower, so it is worth a number.
+
+Besides the human-readable assertion, the bench writes a machine-readable
+``results/BENCH_b0.json`` — engine cycles/sec, wall time, and the result
+store's hit/miss behavior on a one-cell sweep — so the performance
+trajectory can be tracked across commits.
 """
 
+from pathlib import Path
+
+from repro.exec import ResultStore, run_sweep, sweep_grid
+from repro.experiments import ExperimentConfig
+from repro.experiments.export import save_json
 from repro.noc.simulator import Simulator
 from repro.params import SimulationParams
 from repro.traffic import ProbabilisticTraffic
 
+RESULTS_DIR = Path(__file__).parent / "results"
+
 SIM = SimulationParams(warmup_cycles=0, measure_cycles=400, drain_cycles=0)
+
+#: Short windows for the store-behavior probe (a one-cell sweep, run twice).
+SWEEP_CONFIG = ExperimentConfig(
+    sim=SimulationParams(warmup_cycles=100, measure_cycles=400,
+                         drain_cycles=2_000),
+    profile_cycles=2_000,
+)
 
 
 def test_b0_engine_throughput(benchmark, runner):
@@ -29,3 +48,30 @@ def test_b0_engine_throughput(benchmark, runner):
     # Sanity floor: the engine must stay above ~200 sim-cycles/second even
     # on slow machines (it runs ~1000+ on typical hardware).
     assert benchmark.stats["mean"] < 2.0
+
+    # Machine-readable perf record: engine rate plus store behavior on a
+    # one-cell sweep (second pass must be able to hit the cache).
+    store = ResultStore(RESULTS_DIR / "cache")
+    specs = sweep_grid(["baseline"], [16], ["uniform"])
+    first = run_sweep(specs, config=SWEEP_CONFIG, store=store)
+    second = run_sweep(specs, config=SWEEP_CONFIG, store=store)
+    assert second.hits == 1 and second.misses == 0
+
+    mean = benchmark.stats["mean"]
+    save_json(
+        {
+            "bench": "B0",
+            "engine": {
+                "sim_cycles": cycles,
+                "wall_s_mean": mean,
+                "cycles_per_sec": cycles / mean,
+            },
+            "sweep": {
+                "first": first.summary(),
+                "warm": second.summary(),
+                "store": store.stats.as_dict(),
+            },
+        },
+        RESULTS_DIR / "BENCH_b0.json",
+    )
+    assert (RESULTS_DIR / "BENCH_b0.json").exists()

@@ -22,12 +22,14 @@ Packages
 ``repro.coherence``    directory-protocol traffic model
 ``repro.cmp``          closed-loop CMP substrate (cores/caches/memory)
 ``repro.experiments``  per-figure reproduction harness
+``repro.exec``         parallel execution engine + persistent result store
 """
 
 from repro.core import (
     DesignPoint, RFIOverlay, ReconfigurationController, adaptive_rf,
     adaptive_rf_multicast, baseline, static_rf, wire_static,
 )
+from repro.exec import JobSpec, ResultStore, run_sweep, sweep_grid
 from repro.experiments import (
     DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig, ExperimentRunner,
     FigureResult, RunResult, e1_load_latency, e2_adaptive_routing,
@@ -54,6 +56,7 @@ __all__ = [
     "ExperimentRunner",
     "FAST_CONFIG",
     "FigureResult",
+    "JobSpec",
     "Message",
     "MessageClass",
     "MeshTopology",
@@ -64,6 +67,7 @@ __all__ = [
     "PowerReport",
     "RFIOverlay",
     "ReconfigurationController",
+    "ResultStore",
     "RoutingPolicy",
     "RoutingTables",
     "RunResult",
@@ -82,8 +86,10 @@ __all__ = [
     "fig8_bandwidth_reduction",
     "fig9_multicast",
     "fig10_unified",
+    "run_sweep",
     "simulate",
     "static_rf",
+    "sweep_grid",
     "table2_area",
     "wire_static",
 ]

@@ -7,9 +7,12 @@ Commands
 ``list``        list the reproducible experiments
 ``run``         run one experiment (or ``all``) and print its table
 ``simulate``    one-off simulation of a (design, trace) cell
+``sweep``       parallel (styles x widths x traces) grid through the
+                execution engine, with the persistent result cache
 
 All output is plain text; ``run --out DIR`` additionally writes each
-experiment's table to ``DIR/<id>.txt``.
+experiment's table to ``DIR/<id>.txt``, and ``sweep --out FILE`` writes
+the grid's results plus telemetry as JSON.
 """
 
 from __future__ import annotations
@@ -169,6 +172,72 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Run a (styles x widths x traces) grid through the parallel engine."""
+    from repro.exec import ResultStore, run_sweep, sweep_grid
+    from repro.experiments.export import jsonable, save_json
+
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    styles = [s for s in args.styles.split(",") if s]
+    widths = [int(w) for w in args.widths.split(",") if w]
+    traces = [t for t in args.traces.split(",") if t]
+    specs = sweep_grid(styles, widths, traces,
+                       adaptive_routing=args.adaptive_routing)
+    store = None if args.no_cache else ResultStore(args.cache)
+
+    def progress(event: dict) -> None:
+        label = {"hit": "cache", "done": "ran", "retry": "retry"}[
+            event["event"]
+        ]
+        wall = f" ({event['wall_s']:.1f}s)" if "wall_s" in event else ""
+        print(f"[{event['index'] + 1}/{len(specs)}] {label:<5} "
+              f"{event['job']}{wall}", file=sys.stderr)
+
+    report = run_sweep(specs, config=config, store=store, jobs=args.jobs,
+                       progress=progress)
+    header = (f"{'design':<22} {'trace':<12} {'latency':>8} {'power W':>8} "
+              f"{'source':>7} {'wall s':>7}")
+    print(header)
+    print("-" * len(header))
+    for outcome in report.outcomes:
+        result = outcome.result
+        print(f"{result.design:<22} {result.workload:<12} "
+              f"{result.avg_latency:>8.2f} {result.total_power_w:>8.2f} "
+              f"{'cache' if outcome.cached else 'sim':>7} "
+              f"{outcome.wall_s:>7.2f}")
+    summary = report.summary()
+    print()
+    print(f"{summary['jobs']} jobs in {summary['wall_s']:.1f}s with "
+          f"{args.jobs} worker(s): {summary['cache_hits']} cache hits, "
+          f"{summary['cache_misses']} simulated "
+          f"({summary['cycles_per_sec']:.0f} sim cycles/s)")
+    if args.out:
+        payload = {
+            "summary": summary,
+            "jobs": [
+                {
+                    "spec": jsonable(outcome.spec),
+                    "digest": outcome.digest,
+                    "cached": outcome.cached,
+                    "wall_s": outcome.wall_s,
+                    "attempts": outcome.attempts,
+                    "result": {
+                        "design": outcome.result.design,
+                        "workload": outcome.result.workload,
+                        "avg_latency": outcome.result.avg_latency,
+                        "avg_flit_latency": outcome.result.avg_flit_latency,
+                        "power_w": outcome.result.total_power_w,
+                        "area_mm2": outcome.result.total_area_mm2,
+                    },
+                }
+                for outcome in report.outcomes
+            ],
+        }
+        path = save_json(payload, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -210,6 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--heatmap", action="store_true",
                           help="print the traffic heatmap afterwards")
     simulate.set_defaults(fn=cmd_simulate)
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel design-grid sweep with the result cache"
+    )
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--styles", default="baseline,static,adaptive",
+                       help="comma-separated design styles")
+    sweep.add_argument("--widths", default="16,8,4",
+                       help="comma-separated mesh link widths (bytes)")
+    sweep.add_argument("--traces", default="uniform",
+                       help="comma-separated workload names")
+    sweep.add_argument("--adaptive-routing", action="store_true")
+    sweep.add_argument("--cache", default="benchmarks/results/cache",
+                       help="persistent result-store directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent store entirely")
+    sweep.add_argument("--fast", action="store_true",
+                       help="short simulation windows")
+    sweep.add_argument("--out", help="also write results + telemetry JSON")
+    sweep.set_defaults(fn=cmd_sweep)
     return parser
 
 

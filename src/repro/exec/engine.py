@@ -1,0 +1,248 @@
+"""Parallel sweep engine: run many JobSpecs, cache-aware and deterministic.
+
+Experiment cells are embarrassingly parallel (each is one self-contained
+simulation), so the engine fans misses out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while the parent process
+owns the store: it resolves cache hits up front, writes every fresh result
+back, and assembles the report **in submission order** — the output of a
+parallel sweep is byte-identical to a serial one, whatever order workers
+finish in.
+
+Each worker process builds one :class:`ExperimentRunner` lazily and reuses
+it across jobs (topology, patterns, and profiles amortize).  A job that
+raises is retried once (transient failures — OOM-killed sibling, signal —
+shouldn't sink a long sweep); a second failure propagates.
+
+Telemetry: every :class:`JobOutcome` records wall time, measured simulation
+cycles, cycles/second, attempts, and whether it came from the cache; the
+:class:`SweepReport` aggregates hit/miss counts and total wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.exec.jobs import JobSpec, job_digest, normalize_spec
+from repro.exec.serialize import decode_result, encode_result
+from repro.exec.store import ResultStore
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.export import jsonable
+from repro.params import DEFAULT_PARAMS, ArchitectureParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import ExperimentRunner, RunResult
+
+#: Progress callback: receives small event dicts as the sweep advances.
+ProgressFn = Callable[[dict], None]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's result plus its execution telemetry."""
+
+    spec: JobSpec
+    digest: str
+    result: "RunResult"
+    cached: bool
+    wall_s: float
+    sim_cycles: int
+    attempts: int
+
+    @property
+    def cycles_per_sec(self) -> float:
+        """Measured-window simulation cycles per wall-clock second."""
+        if self.wall_s <= 0:
+            return float("inf") if self.sim_cycles else 0.0
+        return self.sim_cycles / self.wall_s
+
+
+@dataclass
+class SweepReport:
+    """All outcomes of one sweep, in submission order."""
+
+    outcomes: list[JobOutcome]
+    wall_s: float
+    hits: int
+    misses: int
+
+    @property
+    def results(self) -> list["RunResult"]:
+        """Just the results, aligned with the submitted spec order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def summary(self) -> dict:
+        """Aggregate telemetry as a JSON-safe dict."""
+        sim_wall = sum(o.wall_s for o in self.outcomes if not o.cached)
+        sim_cycles = sum(o.sim_cycles for o in self.outcomes if not o.cached)
+        return {
+            "jobs": len(self.outcomes),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "wall_s": self.wall_s,
+            "simulated_wall_s": sim_wall,
+            "simulated_cycles": sim_cycles,
+            "cycles_per_sec": sim_cycles / sim_wall if sim_wall else 0.0,
+        }
+
+
+# -- job execution (shared by the serial path and pool workers) --------------
+
+def execute_spec(runner: "ExperimentRunner", spec: JobSpec) -> "RunResult":
+    """Run one spec on a runner (the runner consults its own store, if any)."""
+    if spec.kind == "unicast":
+        design = runner.design(
+            spec.style, spec.link_bytes,
+            workload=spec.design_workload,
+            num_access_points=spec.num_access_points,
+            adaptive_routing=spec.adaptive_routing,
+        )
+        return runner.run_unicast(design, spec.workload, seed=spec.seed)
+    if spec.kind == "multicast":
+        design = runner.design(
+            spec.style, spec.link_bytes,
+            workload=spec.design_workload,
+            num_access_points=spec.num_access_points,
+            adaptive_routing=spec.adaptive_routing,
+        )
+        return runner.run_multicast(
+            design, spec.realization, spec.locality_percent
+        )
+    raise ValueError(f"cannot execute job kind {spec.kind!r}")
+
+
+_WORKER_RUNNER: Optional["ExperimentRunner"] = None
+
+
+def _init_worker(config: ExperimentConfig, params: ArchitectureParams) -> None:
+    """Build this worker's long-lived runner (no store: the parent owns it)."""
+    global _WORKER_RUNNER
+    from repro.experiments.runner import ExperimentRunner
+
+    _WORKER_RUNNER = ExperimentRunner(config, params)
+
+
+def _run_job(spec: JobSpec) -> tuple[dict, float, int]:
+    """Worker-side: simulate one spec; ship the payload back picklable."""
+    start = time.perf_counter()
+    result = execute_spec(_WORKER_RUNNER, spec)
+    wall = time.perf_counter() - start
+    return encode_result(result), wall, result.stats.activity.cycles
+
+
+# -- the sweep ---------------------------------------------------------------
+
+def run_sweep(
+    specs: Sequence[JobSpec],
+    *,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    params: ArchitectureParams = DEFAULT_PARAMS,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+    retries: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Run every spec, consulting/filling ``store``, ``jobs``-wide.
+
+    Results come back in submission order regardless of completion order,
+    so ``jobs=8`` and ``jobs=1`` produce identical reports.  ``jobs <= 1``
+    runs in-process (no pool); misses are retried up to ``retries`` extra
+    times before the failure propagates.
+    """
+    specs = [normalize_spec(spec, config) for spec in specs]
+    start = time.perf_counter()
+    outcomes: list[Optional[JobOutcome]] = [None] * len(specs)
+    digests = [job_digest(spec, config, params) for spec in specs]
+
+    def emit(event: str, index: int, **extra) -> None:
+        if progress is not None:
+            progress({"event": event, "index": index,
+                      "job": specs[index].describe(), **extra})
+
+    pending: list[int] = []
+    for i, (spec, digest) in enumerate(zip(specs, digests)):
+        payload = store.load(digest) if store is not None else None
+        if payload is not None:
+            outcomes[i] = JobOutcome(
+                spec=spec, digest=digest, result=decode_result(payload),
+                cached=True, wall_s=0.0, sim_cycles=0, attempts=0,
+            )
+            emit("hit", i)
+        else:
+            pending.append(i)
+
+    def finish(i: int, payload: dict, wall: float, cycles: int,
+               attempts: int) -> None:
+        if store is not None:
+            store.save(digests[i], payload,
+                       meta={"spec": jsonable(specs[i])})
+        outcomes[i] = JobOutcome(
+            spec=specs[i], digest=digests[i], result=decode_result(payload),
+            cached=False, wall_s=wall, sim_cycles=cycles, attempts=attempts,
+        )
+        emit("done", i, wall_s=wall)
+
+    if pending and jobs > 1:
+        _sweep_parallel(specs, pending, finish, emit, config, params,
+                        jobs, retries)
+    elif pending:
+        _sweep_serial(specs, pending, finish, emit, config, params, retries)
+
+    return SweepReport(
+        outcomes=list(outcomes),
+        wall_s=time.perf_counter() - start,
+        hits=len(specs) - len(pending),
+        misses=len(pending),
+    )
+
+
+def _sweep_serial(specs, pending, finish, emit, config, params,
+                  retries) -> None:
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(config, params)
+    for i in pending:
+        attempts = 0
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            try:
+                result = execute_spec(runner, specs[i])
+            except Exception:
+                if attempts > retries:
+                    raise
+                emit("retry", i, attempts=attempts)
+                continue
+            wall = time.perf_counter() - start
+            finish(i, encode_result(result), wall,
+                   result.stats.activity.cycles, attempts)
+            break
+
+
+def _sweep_parallel(specs, pending, finish, emit, config, params,
+                    jobs, retries) -> None:
+    attempts = dict.fromkeys(pending, 0)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)),
+        initializer=_init_worker, initargs=(config, params),
+    ) as pool:
+        waiting = {}
+        for i in pending:
+            attempts[i] += 1
+            waiting[pool.submit(_run_job, specs[i])] = i
+        while waiting:
+            done, _ = wait(waiting, return_when=FIRST_COMPLETED)
+            for future in done:
+                i = waiting.pop(future)
+                try:
+                    payload, wall, cycles = future.result()
+                except Exception:
+                    if attempts[i] > retries:
+                        raise
+                    attempts[i] += 1
+                    emit("retry", i, attempts=attempts[i])
+                    waiting[pool.submit(_run_job, specs[i])] = i
+                    continue
+                finish(i, payload, wall, cycles, attempts[i])

@@ -1,0 +1,133 @@
+"""Addressable experiment jobs: frozen specs with stable content digests.
+
+Every experiment cell the harness can run — a (design, workload, seed)
+unicast point, a multicast comparison, a saturation probe, an ablation
+measurement — is described by a :class:`JobSpec`: a frozen dataclass of
+plain values.  Together with the :class:`~repro.experiments.config.ExperimentConfig`
+and :class:`~repro.params.ArchitectureParams` it runs under, a spec has a
+stable SHA-256 *digest*; the digest is the address of the cell's result in
+the persistent :class:`~repro.exec.store.ResultStore` and changes whenever
+any input that could change the result changes (any spec field, any config
+knob, any architecture parameter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import jsonable
+from repro.params import ArchitectureParams
+
+#: Design styles whose shortcut selection needs a profiled workload.
+PROFILED_STYLES = ("adaptive", "adaptive+mc")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One addressable experiment cell.
+
+    ``kind`` selects the run recipe:
+
+    * ``'unicast'`` — :meth:`ExperimentRunner.run_unicast` of ``workload``
+      on the (``style``, ``link_bytes``) design;
+    * ``'multicast'`` — :meth:`ExperimentRunner.run_multicast` with
+      ``realization`` at ``locality_percent``;
+    * ``'probe'`` — a single fixed-``rate`` measurement (saturation search);
+    * ``'stats'`` — a hand-addressed ablation cell, identified by ``style``
+      (used as a tag) and ``extra``.
+    """
+
+    kind: str = "unicast"
+    style: str = "baseline"
+    link_bytes: int = 16
+    workload: str = "uniform"
+    seed: Optional[int] = None              # traffic seed (None -> config's)
+    num_access_points: Optional[int] = None  # None -> config's
+    adaptive_routing: bool = False
+    design_workload: Optional[str] = None   # profile the design tunes for
+    realization: Optional[str] = None       # multicast: 'unicast'|'vct'|'rf'
+    locality_percent: Optional[int] = None
+    rate: Optional[float] = None            # probe injection-rate override
+    extra: tuple[tuple[str, str], ...] = () # free-form addressing fields
+
+    def describe(self) -> str:
+        """Short human-readable label for progress output."""
+        parts = [self.kind, f"{self.style}-{self.link_bytes}B", self.workload]
+        if self.realization:
+            parts.append(f"{self.realization}@{self.locality_percent}%")
+        if self.rate is not None:
+            parts.append(f"rate={self.rate:g}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+
+def normalize_spec(spec: JobSpec, config: ExperimentConfig) -> JobSpec:
+    """Resolve config-defaulted fields so equal cells get equal digests.
+
+    A spec with ``seed=None`` under ``traffic_seed=5`` is the same cell as
+    one with ``seed=5``; normalizing before digesting keeps the store from
+    holding duplicate entries for them.
+    """
+    changes = {}
+    if spec.seed is None:
+        changes["seed"] = config.traffic_seed
+    if spec.num_access_points is None:
+        changes["num_access_points"] = config.num_access_points
+    if spec.design_workload is None and spec.style in PROFILED_STYLES:
+        changes["design_workload"] = spec.workload
+    return replace(spec, **changes) if changes else spec
+
+
+def job_digest(
+    spec: JobSpec,
+    config: ExperimentConfig,
+    params: ArchitectureParams,
+) -> str:
+    """Stable SHA-256 content digest of (spec, config, params).
+
+    Canonical JSON (sorted keys, no whitespace) over the normalized spec
+    plus every config and architecture field, so any change that could
+    alter the simulated result yields a different address.
+    """
+    blob = {
+        "spec": jsonable(normalize_spec(spec, config)),
+        "config": jsonable(config),
+        "params": jsonable(params),
+    }
+    text = json.dumps(blob, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def sweep_grid(
+    styles: Sequence[str],
+    widths: Sequence[int],
+    workloads: Sequence[str],
+    *,
+    adaptive_routing: bool = False,
+    seeds: Iterable[Optional[int]] = (None,),
+) -> list[JobSpec]:
+    """The full (style x link-width x workload x seed) unicast grid.
+
+    Cells are emitted in deterministic nested order (styles outermost),
+    which is also the order the sweep engine reports results in.
+    """
+    return [
+        JobSpec(
+            kind="unicast",
+            style=style,
+            link_bytes=width,
+            workload=workload,
+            seed=seed,
+            adaptive_routing=adaptive_routing,
+            design_workload=workload if style in PROFILED_STYLES else None,
+        )
+        for style in styles
+        for width in widths
+        for workload in workloads
+        for seed in seeds
+    ]

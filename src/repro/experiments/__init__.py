@@ -13,7 +13,7 @@ from repro.experiments.figures import (
     fig9_multicast, fig10_unified, table2_area,
 )
 from repro.experiments.repetition import (
-    RepeatedMeasure, RepeatedRun, repeat_unicast, seed_stability,
+    RepeatedMeasure, RepeatedRun, repeat_unicast, seed_stability, t_critical,
 )
 from repro.experiments.report import Table, geomean, normalized
 from repro.experiments.runner import ExperimentRunner, RunResult
@@ -43,6 +43,7 @@ __all__ = [
     "find_saturation",
     "repeat_unicast",
     "seed_stability",
+    "t_critical",
     "e1_load_latency",
     "e2_adaptive_routing",
     "e3_static_shortcut_gains",

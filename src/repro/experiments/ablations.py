@@ -52,8 +52,11 @@ def a1_shortcut_budget(
             if budget else []
         )
         tables = RoutingTables(topo, shortcuts)
-        stats = _unicast_stats(
-            runner, Network(topo, runner.params, tables), "uniform"
+        stats = runner.cached_stats(
+            "a1-budget", {"budget": budget, "trace": "uniform"},
+            lambda: _unicast_stats(
+                runner, Network(topo, runner.params, tables), "uniform"
+            ),
         )
         series[budget] = {
             "avg_distance": tables.average_distance(),
@@ -98,10 +101,13 @@ def a2_access_points(
             add_edge_inplace(dist, sc.src, sc.dst)
         cost = total_cost(dist, profile)
         overlay = RFIOverlay(topo, sorted(aps), runner.params.rfi, adaptive=True)
-        stats = _unicast_stats(
-            runner,
-            Network(topo, runner.params, RoutingTables(topo, shortcuts)),
-            trace,
+        stats = runner.cached_stats(
+            "a2-access-points", {"count": count, "trace": trace},
+            lambda: _unicast_stats(
+                runner,
+                Network(topo, runner.params, RoutingTables(topo, shortcuts)),
+                trace,
+            ),
         )
         series[count] = {
             "weighted_cost": cost,
@@ -209,25 +215,40 @@ def a4_multicast_epoch(
     series = {}
     # Baseline: multicasts as serial unicasts.
     base_design = runner.design("baseline", 16)
-    base_net = base_design.new_network()
-    base_stats = Simulator(
-        base_net, [MulticastAwareSource(workload(), UnicastExpansion(base_net))],
-        runner.config.sim,
-    ).run()
+
+    def run_serial_unicast():
+        base_net = base_design.new_network()
+        return Simulator(
+            base_net,
+            [MulticastAwareSource(workload(), UnicastExpansion(base_net))],
+            runner.config.sim,
+        ).run()
+
+    base_stats = runner.cached_stats(
+        "a4-epoch", {"realization": "unicast", "locality": 20},
+        run_serial_unicast,
+    )
     series["unicast"] = base_stats.avg_packet_latency
     table.add("serial unicast", base_stats.avg_packet_latency)
 
     overlay_design = runner.design("mc-only", 16)
-    for epoch in epochs:
+
+    def run_epoch(epoch_cycles: int):
         network = overlay_design.new_network()
         realization = RFRealization(
             network, list(overlay_design.overlay.multicast_receivers),
-            epoch_cycles=epoch,
+            epoch_cycles=epoch_cycles,
         )
-        stats = Simulator(
+        return Simulator(
             network, [MulticastAwareSource(workload(), realization)],
             runner.config.sim,
         ).run()
+
+    for epoch in epochs:
+        stats = runner.cached_stats(
+            "a4-epoch", {"epoch": epoch, "locality": 20},
+            lambda: run_epoch(epoch),
+        )
         series[epoch] = stats.avg_packet_latency
         table.add(epoch, stats.avg_packet_latency)
     table.note("short epochs keep RF multicast ahead of serial unicasts")
@@ -255,12 +276,18 @@ def a5_router_buffers(
             runner.params,
             router=dataclasses.replace(runner.params.router, num_vcs=vcs),
         )
-        network = Network(topo, params, RoutingTables(topo))
-        source = ProbabilisticTraffic(
-            topo, runner.patterns["uniform"], rate,
-            seed=runner.config.traffic_seed,
+
+        def run_cell(cell_params=params):
+            network = Network(topo, cell_params, RoutingTables(topo))
+            source = ProbabilisticTraffic(
+                topo, runner.patterns["uniform"], rate,
+                seed=runner.config.traffic_seed,
+            )
+            return Simulator(network, [source], runner.config.sim).run()
+
+        stats = runner.cached_stats(
+            "a5-buffers", {"vcs": vcs, "rate": rate}, run_cell
         )
-        stats = Simulator(network, [source], runner.config.sim).run()
         series[vcs] = {
             "latency": stats.avg_packet_latency,
             "delivery": stats.delivery_ratio,

@@ -46,6 +46,18 @@ def _key(key) -> str:
     return str(key)
 
 
+def save_json(data, path: str | Path) -> Path:
+    """Write any jsonable payload to ``path`` (parents created) and return it.
+
+    Keys are sorted so repeated exports of identical data are byte-identical
+    (the sweep engine's determinism checks rely on this).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(jsonable(data), indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def figure_to_dict(result) -> dict:
     """Flatten a FigureResult (table rows + series + paper targets)."""
     return {

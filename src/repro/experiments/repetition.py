@@ -6,6 +6,10 @@ shorter windows, so the harness provides explicit repetition support: run a
 mean, standard deviation, and coefficient of variation.  The A6 bench uses
 this to show the normalized comparisons are seed-stable at the default
 window lengths.
+
+Per-seed cells route through :meth:`ExperimentRunner.run_unicast`, so they
+are memoized, persisted when the runner has a result store, and — with
+``jobs > 1`` — dispatched through the parallel sweep engine.
 """
 
 from __future__ import annotations
@@ -15,8 +19,28 @@ from dataclasses import dataclass
 
 from repro.core.architectures import DesignPoint
 from repro.experiments.runner import ExperimentRunner
-from repro.noc.simulator import Simulator
-from repro.traffic import ProbabilisticTraffic
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.  Between
+#: tabulated rows the next-*smaller* df applies (t decreases with df, so
+#: rounding down stays conservative); beyond the table, the normal limit.
+T_TABLE_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    12: 2.179, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+T_NORMAL_LIMIT = 1.960
+
+
+def t_critical(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("need at least 1 degree of freedom (2 samples)")
+    candidates = [entry for entry in T_TABLE_95 if entry <= df]
+    if len(candidates) == len(T_TABLE_95):
+        return T_NORMAL_LIMIT if df > max(T_TABLE_95) else T_TABLE_95[df]
+    return T_TABLE_95[max(candidates)]
 
 
 @dataclass(frozen=True)
@@ -46,8 +70,17 @@ class RepeatedMeasure:
         mu = self.mean
         return self.std / mu if mu else float("nan")
 
-    def confidence_halfwidth(self, t_value: float = 2.78) -> float:
-        """~95% CI half-width (default t for 4 degrees of freedom)."""
+    def confidence_halfwidth(self, t_value: float | None = None) -> float:
+        """~95% CI half-width; the t value defaults to the sample count's.
+
+        Pass ``t_value`` explicitly to override (e.g. a different
+        confidence level); single-sample measures have no spread and
+        return 0.
+        """
+        if len(self.values) < 2:
+            return 0.0
+        if t_value is None:
+            t_value = t_critical(len(self.values) - 1)
         return t_value * self.std / math.sqrt(len(self.values))
 
 
@@ -66,23 +99,31 @@ def repeat_unicast(
     design: DesignPoint,
     workload: str,
     seeds: tuple[int, ...] = (5, 17, 29, 41, 53),
+    jobs: int = 1,
 ) -> RepeatedRun:
-    """Run one unicast cell across several traffic seeds."""
-    latencies, powers = [], []
-    for seed in seeds:
-        network = design.new_network()
-        source = ProbabilisticTraffic(
-            runner.topology, runner.pattern(workload), runner.rate(workload),
-            seed=seed,
+    """Run one unicast cell across several traffic seeds.
+
+    ``jobs > 1`` dispatches the seed grid through the parallel sweep engine
+    (runner-built designs only; hand-built designs fall back to serial).
+    """
+    specs = [runner.spec_for(design, workload, seed=seed) for seed in seeds]
+    if jobs > 1 and all(spec is not None for spec in specs):
+        from repro.exec.engine import run_sweep
+
+        report = run_sweep(
+            specs, config=runner.config, params=runner.params,
+            store=runner.store, jobs=jobs,
         )
-        stats = Simulator(network, [source], runner.config.sim).run()
-        latencies.append(stats.avg_packet_latency)
-        powers.append(runner.power_model.power(design, stats).total_w)
+        results = report.results
+    else:
+        results = [
+            runner.run_unicast(design, workload, seed=seed) for seed in seeds
+        ]
     return RepeatedRun(
         design=design.name,
         workload=workload,
-        latency=RepeatedMeasure(tuple(latencies)),
-        power_w=RepeatedMeasure(tuple(powers)),
+        latency=RepeatedMeasure(tuple(r.avg_latency for r in results)),
+        power_w=RepeatedMeasure(tuple(r.total_power_w for r in results)),
     )
 
 
@@ -90,10 +131,11 @@ def seed_stability(
     runner: ExperimentRunner,
     workload: str = "uniform",
     seeds: tuple[int, ...] = (5, 17, 29),
+    jobs: int = 1,
 ) -> dict[str, RepeatedRun]:
     """Repeat the baseline and static cells; returns per-design summaries."""
     return {
         name: repeat_unicast(runner, runner.design(style, 16, workload=workload),
-                             workload, seeds)
+                             workload, seeds, jobs=jobs)
         for name, style in (("baseline", "baseline"), ("static", "static"))
     }

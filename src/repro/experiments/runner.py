@@ -4,13 +4,22 @@ Many figures share design points and workloads (Fig 7 is the 16 B column of
 Fig 8's grid; Fig 10 replots both), so results are memoized on
 (design, workload, realization) — one simulation feeds every figure that
 needs it.
+
+Memoization is two-level.  In memory, results are keyed on the full design
+cache key (style, link width, profile workload, access points, adaptive
+routing) so two designs that happen to share a name can never alias.  When
+the runner is given a :class:`~repro.exec.store.ResultStore`, every cell
+that is addressable as a :class:`~repro.exec.jobs.JobSpec` is also looked
+up in — and written back to — the persistent on-disk cache, so repeated
+harness invocations (and parallel sweeps; see :mod:`repro.exec.engine`)
+never re-simulate a cell whose inputs have not changed.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -31,6 +40,11 @@ from repro.traffic import (
     APPLICATIONS, CombinedTraffic, MulticastConfig, MulticastTraffic,
     ProbabilisticTraffic, all_patterns, application_pattern,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.jobs import JobSpec
+    from repro.exec.store import ResultStore
+    from repro.params import SimulationParams
 
 
 @dataclass(frozen=True)
@@ -63,15 +77,19 @@ class ExperimentRunner:
         self,
         config: ExperimentConfig = DEFAULT_CONFIG,
         params: ArchitectureParams = DEFAULT_PARAMS,
+        store: Optional["ResultStore"] = None,
     ):
         self.config = config
         self.params = params
+        self.store = store
         self.topology = MeshTopology(params.mesh)
         self.power_model = NoCPowerModel()
         self.patterns = all_patterns(self.topology)
+        self.simulations_run = 0       # real Simulator executions (not cached)
         self._profiles: dict[str, np.ndarray] = {}
         self._results: dict[tuple, RunResult] = {}
         self._designs: dict[tuple, DesignPoint] = {}
+        self._design_keys: dict[int, tuple] = {}   # id(design) -> design key
 
     # -- workloads -----------------------------------------------------------
 
@@ -101,10 +119,10 @@ class ExperimentRunner:
             )
         return self._profiles[workload]
 
-    def _unicast_source(self, workload: str):
+    def _unicast_source(self, workload: str, seed: Optional[int] = None):
         return ProbabilisticTraffic(
             self.topology, self.pattern(workload), self.rate(workload),
-            seed=self.config.traffic_seed,
+            seed=self.config.traffic_seed if seed is None else seed,
         )
 
     def _multicast_workload(self, locality_percent: int):
@@ -141,6 +159,8 @@ class ExperimentRunner:
         overlay reconfigures for).
         """
         aps = num_access_points or self.config.num_access_points
+        if style not in ("adaptive", "adaptive+mc"):
+            workload = None            # non-profiled styles ignore the profile
         key = (style, link_bytes, workload, aps, adaptive_routing)
         if key in self._designs:
             return self._designs[key]
@@ -166,6 +186,7 @@ class ExperimentRunner:
         else:
             raise ValueError(f"unknown design style {style!r}")
         self._designs[key] = point
+        self._design_keys[id(point)] = key
         return point
 
     def _mc_only_design(self, link_bytes: int, aps: int) -> DesignPoint:
@@ -180,18 +201,96 @@ class ExperimentRunner:
             point, name=f"mc-only-{link_bytes}B", overlay=overlay
         )
 
+    # -- job addressing and the persistent store -----------------------------
+
+    def _design_key(self, design: DesignPoint) -> tuple:
+        """Collision-proof cache key for a design.
+
+        Designs built by :meth:`design` key on their full construction
+        parameters; hand-built designs key on object identity (never
+        shared, so never aliased — but also never persisted).
+        """
+        key = self._design_keys.get(id(design))
+        if key is not None:
+            return key
+        return ("anon", design.name, id(design))
+
+    def spec_for(
+        self,
+        design: DesignPoint,
+        workload: str,
+        *,
+        kind: str = "unicast",
+        seed: Optional[int] = None,
+        **fields,
+    ) -> Optional["JobSpec"]:
+        """The JobSpec addressing a cell, or None for hand-built designs."""
+        key = self._design_keys.get(id(design))
+        if key is None:
+            return None
+        from repro.exec.jobs import JobSpec, normalize_spec
+
+        style, link_bytes, design_workload, aps, adaptive = key
+        return normalize_spec(
+            JobSpec(
+                kind=kind, style=style, link_bytes=link_bytes,
+                workload=workload, seed=seed, num_access_points=aps,
+                adaptive_routing=adaptive, design_workload=design_workload,
+                **fields,
+            ),
+            self.config,
+        )
+
+    def _store_load(self, spec: Optional["JobSpec"]) -> Optional[dict]:
+        if self.store is None or spec is None:
+            return None
+        from repro.exec.jobs import job_digest
+
+        return self.store.load(job_digest(spec, self.config, self.params))
+
+    def _store_save(self, spec: Optional["JobSpec"], payload: dict) -> None:
+        if self.store is None or spec is None:
+            return
+        from repro.exec.jobs import job_digest
+        from repro.experiments.export import jsonable
+
+        self.store.save(
+            job_digest(spec, self.config, self.params), payload,
+            meta={"spec": jsonable(spec)},
+        )
+
     # -- running ------------------------------------------------------------------
 
-    def run_unicast(self, design: DesignPoint, workload: str) -> RunResult:
-        """Simulate a probabilistic/application workload on a design."""
-        key = ("unicast", design.name, workload)
+    def run_unicast(
+        self,
+        design: DesignPoint,
+        workload: str,
+        seed: Optional[int] = None,
+    ) -> RunResult:
+        """Simulate a probabilistic/application workload on a design.
+
+        ``seed`` overrides the config's traffic seed (repetition studies);
+        the default is the shared :attr:`ExperimentConfig.traffic_seed`.
+        """
+        resolved_seed = self.config.traffic_seed if seed is None else seed
+        key = ("unicast", self._design_key(design), workload, resolved_seed)
         if key in self._results:
             return self._results[key]
-        network = design.new_network()
-        stats = Simulator(
-            network, [self._unicast_source(workload)], self.config.sim
-        ).run()
-        result = self._package(design, workload, stats)
+        from repro.exec.serialize import decode_result, encode_result
+
+        spec = self.spec_for(design, workload, seed=resolved_seed)
+        payload = self._store_load(spec)
+        if payload is not None:
+            result = decode_result(payload)
+        else:
+            network = design.new_network()
+            stats = Simulator(
+                network, [self._unicast_source(workload, resolved_seed)],
+                self.config.sim,
+            ).run()
+            self.simulations_run += 1
+            result = self._package(design, workload, stats)
+            self._store_save(spec, encode_result(result))
         self._results[key] = result
         return result
 
@@ -205,9 +304,21 @@ class ExperimentRunner:
 
         ``realization_style``: 'unicast', 'vct', or 'rf'.
         """
-        key = ("mc", design.name, realization_style, locality_percent)
+        key = ("mc", self._design_key(design), realization_style,
+               locality_percent)
         if key in self._results:
             return self._results[key]
+        from repro.exec.serialize import decode_result, encode_result
+
+        spec = self.spec_for(
+            design, f"multicast-{locality_percent}", kind="multicast",
+            realization=realization_style, locality_percent=locality_percent,
+        )
+        payload = self._store_load(spec)
+        if payload is not None:
+            result = decode_result(payload)
+            self._results[key] = result
+            return result
         network = design.new_network()
         if realization_style == "unicast":
             realization = UnicastExpansion(network)
@@ -225,11 +336,76 @@ class ExperimentRunner:
             self._multicast_workload(locality_percent), realization
         )
         stats = Simulator(network, [source], self.config.sim).run()
+        self.simulations_run += 1
         result = self._package(
             design, f"multicast-{locality_percent}", stats
         )
+        self._store_save(spec, encode_result(result))
         self._results[key] = result
         return result
+
+    def probe_unicast(
+        self,
+        design: DesignPoint,
+        workload: str,
+        rate: float,
+        sim: Optional["SimulationParams"] = None,
+    ) -> NetworkStats:
+        """One measurement at an explicit injection rate (saturation probes).
+
+        ``sim`` overrides the config's windows (probes use trimmed ones);
+        the override is folded into the job digest so cached probes are
+        only reused under identical windows.
+        """
+        sim = sim or self.config.sim
+        spec = self.spec_for(
+            design, workload, kind="probe", rate=rate,
+            extra=(("sim", f"{sim.warmup_cycles}/{sim.measure_cycles}"
+                           f"/{sim.drain_cycles}"),),
+        )
+        return self._cached_simulation(spec, lambda: Simulator(
+            design.new_network(),
+            [ProbabilisticTraffic(
+                self.topology, self.pattern(workload), rate,
+                seed=self.config.traffic_seed,
+            )],
+            sim,
+        ).run())
+
+    def cached_stats(
+        self,
+        tag: str,
+        fields: dict,
+        simulate: Callable[[], NetworkStats],
+    ) -> NetworkStats:
+        """Store-backed stats for a hand-built cell (the ablation drivers).
+
+        ``tag`` and ``fields`` must uniquely address the cell among all
+        callers; the shared config and params are folded into the digest
+        automatically, so changing either invalidates every cached cell.
+        """
+        from repro.exec.jobs import JobSpec
+
+        spec = JobSpec(
+            kind="stats", style=tag,
+            extra=tuple(sorted((k, str(v)) for k, v in fields.items())),
+        )
+        return self._cached_simulation(spec, simulate)
+
+    def _cached_simulation(
+        self,
+        spec: Optional["JobSpec"],
+        simulate: Callable[[], NetworkStats],
+    ) -> NetworkStats:
+        from repro.exec.serialize import decode_stats, encode_stats
+
+        payload = self._store_load(spec)
+        if payload is not None:
+            return decode_stats(payload["stats"])
+        stats = simulate()
+        self.simulations_run += 1
+        self._store_save(spec, {"stats": encode_stats(stats)})
+        return stats
 
     def _rf_receivers(self, design: DesignPoint) -> list[int]:
         if design.overlay is None or design.overlay.multicast_band is None:

@@ -14,9 +14,6 @@ from dataclasses import dataclass
 
 from repro.core.architectures import DesignPoint
 from repro.experiments.runner import ExperimentRunner
-from repro.noc.network import Network
-from repro.noc.simulator import Simulator
-from repro.traffic import ProbabilisticTraffic
 
 
 @dataclass(frozen=True)
@@ -49,12 +46,7 @@ def _probe_sim(runner: ExperimentRunner):
 def _latency_at(
     runner: ExperimentRunner, design: DesignPoint, workload: str, rate: float
 ) -> tuple[float, float]:
-    network: Network = design.new_network()
-    source = ProbabilisticTraffic(
-        runner.topology, runner.pattern(workload), rate,
-        seed=runner.config.traffic_seed,
-    )
-    stats = Simulator(network, [source], _probe_sim(runner)).run()
+    stats = runner.probe_unicast(design, workload, rate, sim=_probe_sim(runner))
     return stats.avg_packet_latency, stats.delivery_ratio
 
 
