@@ -6,9 +6,9 @@ same group (see DESIGN.md for the provenance note).
 
 Quick start::
 
-    from repro import ExperimentRunner, fig7_rf_router_count
-    runner = ExperimentRunner()
-    print(fig7_rf_router_count(runner).render())
+    import repro
+    result = repro.simulate("static", "uniform", fast=True)
+    print(result.design, result.avg_latency, result.total_power_w)
 
 Packages
 --------
@@ -23,8 +23,11 @@ Packages
 ``repro.cmp``          closed-loop CMP substrate (cores/caches/memory)
 ``repro.experiments``  per-figure reproduction harness
 ``repro.exec``         parallel execution engine + persistent result store
+``repro.obs``          observability: metrics, event tracing, profiling
+``repro.api``          the unified ``simulate``/``sweep``/``compare`` facade
 """
 
+from repro.api import Comparison, compare, simulate, sweep
 from repro.core import (
     DesignPoint, RFIOverlay, ReconfigurationController, adaptive_rf,
     adaptive_rf_multicast, baseline, static_rf, wire_static,
@@ -39,8 +42,9 @@ from repro.experiments import (
 )
 from repro.noc import (
     Message, MessageClass, MeshTopology, Network, NetworkStats, Packet,
-    RoutingPolicy, RoutingTables, Shortcut, Simulator, simulate,
+    RoutingPolicy, RoutingTables, Shortcut, Simulator,
 )
+from repro.obs import EventTracer, MetricsRegistry, Observation
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
 from repro.power import AreaReport, NoCPowerModel, PowerReport
 
@@ -49,9 +53,11 @@ __version__ = "1.0.0"
 __all__ = [
     "AreaReport",
     "ArchitectureParams",
+    "Comparison",
     "DEFAULT_CONFIG",
     "DEFAULT_PARAMS",
     "DesignPoint",
+    "EventTracer",
     "ExperimentConfig",
     "ExperimentRunner",
     "FAST_CONFIG",
@@ -60,9 +66,11 @@ __all__ = [
     "Message",
     "MessageClass",
     "MeshTopology",
+    "MetricsRegistry",
     "Network",
     "NetworkStats",
     "NoCPowerModel",
+    "Observation",
     "Packet",
     "PowerReport",
     "RFIOverlay",
@@ -76,6 +84,7 @@ __all__ = [
     "adaptive_rf",
     "adaptive_rf_multicast",
     "baseline",
+    "compare",
     "e1_load_latency",
     "e2_adaptive_routing",
     "e3_static_shortcut_gains",
@@ -89,6 +98,7 @@ __all__ = [
     "run_sweep",
     "simulate",
     "static_rf",
+    "sweep",
     "sweep_grid",
     "table2_area",
     "wire_static",

@@ -1,0 +1,209 @@
+"""One coherent run API: ``simulate()``, ``sweep()``, ``compare()``.
+
+The three historical entrypoints each took and returned differently-shaped
+objects (``Simulator.run`` -> stats, ``ExperimentRunner.run_unicast`` ->
+runner results, ``run_sweep`` -> engine outcomes).  This facade puts one
+surface over all of them, returning the unified
+:class:`~repro.obs.result.RunResult` everywhere::
+
+    import repro
+    result = repro.simulate("adaptive", "1Hotspot", trace_events="ev.jsonl")
+    result.metrics["rf_band_occupancy"]       # per-band utilization
+    report = repro.sweep(["baseline", "static"], [16, 8], ["uniform"])
+    report.results                             # list[RunResult]
+    comparison = repro.compare(["baseline", "static"], "uniform")
+    comparison.normalized_latency()            # vs the first design
+
+The legacy shapes keep working as deprecation shims; new code (and the
+CLI) should come through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.exec.engine import ProgressFn, SweepReport, run_sweep
+from repro.exec.jobs import sweep_grid
+from repro.exec.store import ResultStore
+from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.obs import EventTracer, MetricsRegistry, Observation
+from repro.obs.result import RunResult
+from repro.params import DEFAULT_PARAMS, ArchitectureParams
+
+__all__ = ["Comparison", "RunResult", "compare", "simulate", "sweep"]
+
+
+def _resolve_config(
+    config: Optional[ExperimentConfig], fast: bool,
+) -> ExperimentConfig:
+    return config or (FAST_CONFIG if fast else DEFAULT_CONFIG)
+
+
+def _resolve_store(store: Union[ResultStore, str, Path, None]) -> Optional[ResultStore]:
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+def simulate(
+    design: str = "baseline",
+    workload: str = "uniform",
+    *,
+    width: int = 16,
+    access_points: Optional[int] = None,
+    adaptive_routing: bool = False,
+    seed: Optional[int] = None,
+    fast: bool = False,
+    config: Optional[ExperimentConfig] = None,
+    params: ArchitectureParams = DEFAULT_PARAMS,
+    metrics: bool = True,
+    trace_events: Union[str, Path, bool, None] = None,
+    trace_buffer: Optional[int] = None,
+    observation: Optional[Observation] = None,
+    store: Union[ResultStore, str, Path, None] = None,
+) -> RunResult:
+    """Simulate one (design, workload) cell; return the unified result.
+
+    ``design`` is a style name ('baseline', 'static', 'wire', 'adaptive',
+    'adaptive+mc', 'mc-only'); ``workload`` a pattern or application name.
+    ``metrics`` attaches a :class:`MetricsRegistry` (snapshot rides in
+    ``result.metrics``); ``trace_events`` additionally enables the
+    cycle-level tracer — pass a path to also write the JSONL file, or
+    ``True`` to keep events in memory only (reachable via ``observation``).
+    Observed runs always simulate fresh; pass ``metrics=False,
+    trace_events=None`` to go through the memo/result store instead.
+    """
+    resolved_config = _resolve_config(config, fast)
+    runner = ExperimentRunner(
+        resolved_config, params, store=_resolve_store(store)
+    )
+    design_point = runner.design(
+        design, width, workload=workload,
+        num_access_points=access_points, adaptive_routing=adaptive_routing,
+    )
+    if observation is None and (metrics or trace_events):
+        tracer = None
+        if trace_events:
+            capacity = (
+                trace_buffer or resolved_config.sim.trace_buffer_events
+            )
+            tracer = EventTracer(capacity)
+        observation = Observation(
+            metrics=MetricsRegistry() if metrics else None, tracer=tracer,
+        )
+    result = runner.run_unicast(
+        design_point, workload, seed=seed, observation=observation
+    )
+    if (
+        observation is not None
+        and observation.tracer is not None
+        and not isinstance(trace_events, bool)
+        and trace_events is not None
+    ):
+        observation.tracer.write_jsonl(trace_events)
+    return result
+
+
+def sweep(
+    styles: Sequence[str],
+    widths: Sequence[int] = (16,),
+    workloads: Sequence[str] = ("uniform",),
+    *,
+    jobs: int = 1,
+    seeds: Sequence[Optional[int]] = (None,),
+    adaptive_routing: bool = False,
+    fast: bool = False,
+    config: Optional[ExperimentConfig] = None,
+    params: ArchitectureParams = DEFAULT_PARAMS,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressFn] = None,
+    trace_dir: Union[str, Path, None] = None,
+) -> SweepReport:
+    """Run the (styles x widths x workloads x seeds) grid.
+
+    Fans out over ``jobs`` worker processes through the execution engine;
+    ``report.results`` is a list of the same :class:`RunResult` type
+    :func:`simulate` returns, in deterministic grid order, and
+    ``report.summary()`` carries cache and phase-profile telemetry.
+    ``trace_dir`` writes one JSONL event trace per cell (and forces every
+    cell to simulate fresh, bypassing ``store``).
+    """
+    specs = sweep_grid(
+        styles, widths, workloads,
+        adaptive_routing=adaptive_routing, seeds=seeds,
+    )
+    return run_sweep(
+        specs,
+        config=_resolve_config(config, fast),
+        params=params,
+        store=_resolve_store(store),
+        jobs=jobs,
+        progress=progress,
+        trace_dir=trace_dir,
+    )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Several designs measured on one workload, first design = baseline."""
+
+    workload: str
+    results: tuple[RunResult, ...]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def baseline(self) -> RunResult:
+        """The reference design (first in the requested order)."""
+        return self.results[0]
+
+    def by_design(self) -> dict[str, RunResult]:
+        """Results keyed by design name, in requested order."""
+        return {result.design: result for result in self.results}
+
+    def normalized_latency(self) -> dict[str, float]:
+        """Each design's average latency relative to the baseline's."""
+        ref = self.baseline.avg_latency
+        return {r.design: r.avg_latency / ref for r in self.results}
+
+    def normalized_power(self) -> dict[str, float]:
+        """Each design's total power relative to the baseline's."""
+        ref = self.baseline.total_power_w
+        return {r.design: r.total_power_w / ref for r in self.results}
+
+    def summary(self) -> dict:
+        """JSON-safe comparison table."""
+        return {
+            "workload": self.workload,
+            "baseline": self.baseline.design,
+            "designs": [r.summary() for r in self.results],
+            "normalized_latency": self.normalized_latency(),
+        }
+
+
+def compare(
+    designs: Sequence[Union[str, tuple[str, int]]],
+    workload: str = "uniform",
+    *,
+    width: int = 16,
+    **kwargs,
+) -> Comparison:
+    """Measure several designs on one workload under identical settings.
+
+    ``designs`` entries are style names or (style, width) pairs; remaining
+    keyword arguments are forwarded to :func:`simulate`.  The first design
+    is the normalization baseline.
+    """
+    results = []
+    for entry in designs:
+        style, entry_width = (
+            entry if isinstance(entry, tuple) else (entry, width)
+        )
+        results.append(
+            simulate(style, workload, width=entry_width, **kwargs)
+        )
+    return Comparison(workload=workload, results=tuple(results))

@@ -5,19 +5,28 @@ Commands
 ``params``      print the network-simulation parameter table (Fig 5a)
 ``floorplan``   render the CMP floorplan with RF access points (Fig 2a)
 ``list``        list the reproducible experiments
+``workloads``   characterize every workload (locality, hotspots)
 ``run``         run one experiment (or ``all``) and print its table
-``simulate``    one-off simulation of a (design, trace) cell
-``sweep``       parallel (styles x widths x traces) grid through the
+``simulate``    one-off simulation of a (design, workload) cell
+``sweep``       parallel (styles x widths x workloads) grid through the
                 execution engine, with the persistent result cache
 
-All output is plain text; ``run --out DIR`` additionally writes each
-experiment's table to ``DIR/<id>.txt``, and ``sweep --out FILE`` writes
-the grid's results plus telemetry as JSON.
+The executing verbs (``run``/``simulate``/``sweep``) share one flag
+vocabulary: ``--jobs``, ``--seed``, ``--out``, ``--fast``, and
+``--trace-events`` mean the same thing everywhere, and every subcommand
+takes ``--json`` to emit machine-readable output on stdout instead of
+text.  ``simulate --trace-events FILE`` writes the run's cycle-level
+events as JSONL; ``sweep --trace-events DIR`` writes one JSONL per
+simulated cell (tracing forces fresh, uncached runs).  The pre-1.0 flag
+spellings (``simulate --trace``, ``sweep --traces``) keep working as
+hidden aliases.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from pathlib import Path
 
@@ -43,11 +52,37 @@ EXPERIMENTS = {
     "T2": (table2_area, "NoC area (Table 2)"),
 }
 
+DESIGN_STYLES = ["baseline", "static", "wire", "adaptive", "adaptive+mc",
+                 "mc-only"]
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _config_for(args):
+    """The experiment config implied by ``--fast``/``--seed``."""
+    config = FAST_CONFIG if getattr(args, "fast", False) else DEFAULT_CONFIG
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        config = dataclasses.replace(config, traffic_seed=seed)
+    return config
+
 
 def render_parameters() -> str:
     """The Fig 5a 'Network Simulation Parameters' table."""
+    rows = parameter_rows()
+    width = max(len(name) for name, _ in rows)
+    lines = ["Network Simulation Parameters (Fig 5a)",
+             "=" * 40]
+    lines += [f"{name:<{width}}  {value}" for name, value in rows]
+    return "\n".join(lines)
+
+
+def parameter_rows() -> list[tuple[str, str]]:
+    """The Fig 5a table as (name, value) rows."""
     p = DEFAULT_PARAMS
-    rows = [
+    return [
         ("Topology", f"{p.mesh.width}x{p.mesh.height} mesh"),
         ("Components", f"{p.mesh.num_cores} cores, {p.mesh.num_caches} "
                        f"cache banks, {p.mesh.num_memports} memory ports"),
@@ -74,16 +109,14 @@ def render_parameters() -> str:
                          f"single-cycle cross-chip"),
         ("Deadlock", "escape VC class, XY on mesh links only"),
     ]
-    width = max(len(name) for name, _ in rows)
-    lines = ["Network Simulation Parameters (Fig 5a)",
-             "=" * 40]
-    lines += [f"{name:<{width}}  {value}" for name, value in rows]
-    return "\n".join(lines)
 
 
-def cmd_params(_args) -> int:
+def cmd_params(args) -> int:
     """Print the Fig 5a parameter table."""
-    print(render_parameters())
+    if args.json:
+        _print_json({name: value for name, value in parameter_rows()})
+    else:
+        print(render_parameters())
     return 0
 
 
@@ -91,14 +124,24 @@ def cmd_floorplan(args) -> int:
     """Render the CMP floorplan with RF access points."""
     runner = ExperimentRunner(FAST_CONFIG)
     topo = runner.topology
-    rf = set(topo.rf_enabled_routers(args.access_points))
+    rf = sorted(topo.rf_enabled_routers(args.access_points))
+    if args.json:
+        _print_json({
+            "access_points": rf,
+            "width": topo.params.width,
+            "height": topo.params.height,
+        })
+        return 0
     print(f"C=core  $=cache  M=memory  *=RF access point ({len(rf)})")
-    print(topo.render(rf))
+    print(topo.render(set(rf)))
     return 0
 
 
-def cmd_list(_args) -> int:
+def cmd_list(args) -> int:
     """List the reproducible experiments."""
+    if args.json:
+        _print_json({key: desc for key, (_fn, desc) in EXPERIMENTS.items()})
+        return 0
     for key, (_fn, description) in EXPERIMENTS.items():
         print(f"{key:<4} {description}")
     return 0
@@ -113,28 +156,47 @@ def cmd_workloads(args) -> int:
 
     runner = ExperimentRunner(FAST_CONFIG)
     topo = runner.topology
-    print(f"{'workload':<15} {'rate':>6} {'locality':>9} {'hotspots':>9}")
+    seed = 4 if args.seed is None else args.seed
+    rows = []
     for name in PATTERN_NAMES + tuple(APPLICATIONS):
         source = ProbabilisticTraffic(
-            topo, runner.pattern(name), runner.rate(name), seed=args.seed
+            topo, runner.pattern(name), runner.rate(name), seed=seed
         )
         profile = source.collect_profile(args.cycles)
-        hotspots = detect_hotspots(profile)
-        print(
-            f"{name:<15} {runner.rate(name):>6.3f} "
-            f"{locality_index(profile, topo):>9.2f} {len(hotspots):>9}"
-        )
+        rows.append({
+            "workload": name,
+            "rate": runner.rate(name),
+            "locality": locality_index(profile, topo),
+            "hotspots": len(detect_hotspots(profile)),
+        })
+    if args.json:
+        _print_json(rows)
+        return 0
+    print(f"{'workload':<15} {'rate':>6} {'locality':>9} {'hotspots':>9}")
+    for row in rows:
+        print(f"{row['workload']:<15} {row['rate']:>6.3f} "
+              f"{row['locality']:>9.2f} {row['hotspots']:>9}")
     return 0
+
+
+def _warn_trace_ignored(args) -> None:
+    if getattr(args, "trace_events", None):
+        print("note: --trace-events records cycle-level events for "
+              "'simulate' and 'sweep'; 'run' executes many cells and "
+              "ignores it", file=sys.stderr)
 
 
 def cmd_run(args) -> int:
     """Run one experiment (or 'all') and print/write its table."""
-    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
-    runner = ExperimentRunner(config)
+    from repro.experiments.export import jsonable
+
+    _warn_trace_ignored(args)
+    runner = ExperimentRunner(_config_for(args))
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
+    collected = {}
     for name in names:
         key = name.upper()
         if key not in EXPERIMENTS:
@@ -143,47 +205,72 @@ def cmd_run(args) -> int:
         fn, _ = EXPERIMENTS[key]
         result = fn(runner)
         text = result.render()
-        print(text)
-        print()
+        if args.json:
+            collected[key] = jsonable(result)
+        else:
+            print(text)
+            print()
         if out_dir:
             (out_dir / f"{key.lower()}.txt").write_text(text + "\n")
+    if args.json:
+        _print_json(collected)
     return 0
 
 
 def cmd_simulate(args) -> int:
-    """Simulate one (design, trace) cell and print its metrics."""
-    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
-    runner = ExperimentRunner(config)
-    design = runner.design(args.design, args.width, workload=args.trace)
-    result = runner.run_unicast(design, args.trace)
-    print(f"design    : {design.name}")
-    print(f"trace     : {args.trace}")
+    """Simulate one (design, workload) cell and print its metrics."""
+    from repro.api import simulate
+
+    result = simulate(
+        args.design, args.workload, width=args.width, fast=args.fast,
+        seed=args.seed, trace_events=args.trace_events or None,
+    )
+    summary = result.summary()
+    summary["provenance"] = result.provenance
+    if args.trace_events:
+        summary["trace_events"] = str(args.trace_events)
+    if args.out:
+        from repro.experiments.export import save_json
+
+        save_json(result.to_dict(), args.out)
+    if args.json:
+        _print_json(summary)
+        return 0
+    print(f"design    : {result.design}")
+    print(f"workload  : {result.workload}")
     print(f"latency   : {result.avg_latency:.2f} cycles/packet "
           f"({result.avg_flit_latency:.2f} /flit)")
     print(f"power     : {result.total_power_w:.2f} W")
     print(f"area      : {result.total_area_mm2:.2f} mm^2")
     print(f"delivered : {result.stats.delivered_packets} packets "
           f"({result.stats.delivery_ratio:.3f} of injected)")
+    if args.trace_events:
+        print(f"trace     : {args.trace_events}")
     if args.heatmap:
+        from repro.noc import MeshTopology
         from repro.noc.visualize import render_traffic_heatmap
 
         print()
-        print(render_traffic_heatmap(result.stats, runner.topology))
+        print(render_traffic_heatmap(result.stats,
+                                     MeshTopology(DEFAULT_PARAMS.mesh)))
     return 0
 
 
 def cmd_sweep(args) -> int:
-    """Run a (styles x widths x traces) grid through the parallel engine."""
+    """Run a (styles x widths x workloads) grid through the parallel engine."""
     from repro.exec import ResultStore, run_sweep, sweep_grid
     from repro.experiments.export import jsonable, save_json
 
-    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    config = _config_for(args)
     styles = [s for s in args.styles.split(",") if s]
     widths = [int(w) for w in args.widths.split(",") if w]
-    traces = [t for t in args.traces.split(",") if t]
-    specs = sweep_grid(styles, widths, traces,
+    workloads = [t for t in args.workloads.split(",") if t]
+    specs = sweep_grid(styles, widths, workloads,
                        adaptive_routing=args.adaptive_routing)
-    store = None if args.no_cache else ResultStore(args.cache)
+    trace_dir = Path(args.trace_events) if args.trace_events else None
+    # Tracing forces fresh runs, so the persistent cache is bypassed.
+    store = (None if args.no_cache or trace_dir
+             else ResultStore(args.cache))
 
     def progress(event: dict) -> None:
         label = {"hit": "cache", "done": "ran", "retry": "retry"}[
@@ -194,48 +281,69 @@ def cmd_sweep(args) -> int:
               f"{event['job']}{wall}", file=sys.stderr)
 
     report = run_sweep(specs, config=config, store=store, jobs=args.jobs,
-                       progress=progress)
-    header = (f"{'design':<22} {'trace':<12} {'latency':>8} {'power W':>8} "
-              f"{'source':>7} {'wall s':>7}")
-    print(header)
-    print("-" * len(header))
-    for outcome in report.outcomes:
-        result = outcome.result
-        print(f"{result.design:<22} {result.workload:<12} "
-              f"{result.avg_latency:>8.2f} {result.total_power_w:>8.2f} "
-              f"{'cache' if outcome.cached else 'sim':>7} "
-              f"{outcome.wall_s:>7.2f}")
+                       progress=progress, trace_dir=trace_dir)
     summary = report.summary()
-    print()
-    print(f"{summary['jobs']} jobs in {summary['wall_s']:.1f}s with "
-          f"{args.jobs} worker(s): {summary['cache_hits']} cache hits, "
-          f"{summary['cache_misses']} simulated "
-          f"({summary['cycles_per_sec']:.0f} sim cycles/s)")
+    payload = {
+        "summary": summary,
+        "jobs": [
+            {
+                "spec": jsonable(outcome.spec),
+                "digest": outcome.digest,
+                "cached": outcome.cached,
+                "wall_s": outcome.wall_s,
+                "attempts": outcome.attempts,
+                "profile": outcome.profile,
+                "result": {
+                    "design": outcome.result.design,
+                    "workload": outcome.result.workload,
+                    "avg_latency": outcome.result.avg_latency,
+                    "avg_flit_latency": outcome.result.avg_flit_latency,
+                    "power_w": outcome.result.total_power_w,
+                    "area_mm2": outcome.result.total_area_mm2,
+                    "provenance": outcome.result.provenance,
+                },
+            }
+            for outcome in report.outcomes
+        ],
+    }
+    if args.json:
+        _print_json(payload)
+    else:
+        header = (f"{'design':<22} {'workload':<12} {'latency':>8} "
+                  f"{'power W':>8} {'source':>7} {'wall s':>7}")
+        print(header)
+        print("-" * len(header))
+        for outcome in report.outcomes:
+            result = outcome.result
+            print(f"{result.design:<22} {result.workload:<12} "
+                  f"{result.avg_latency:>8.2f} {result.total_power_w:>8.2f} "
+                  f"{'cache' if outcome.cached else 'sim':>7} "
+                  f"{outcome.wall_s:>7.2f}")
+        print()
+        print(f"{summary['jobs']} jobs in {summary['wall_s']:.1f}s with "
+              f"{args.jobs} worker(s): {summary['cache_hits']} cache hits, "
+              f"{summary['cache_misses']} simulated "
+              f"({summary['cycles_per_sec']:.0f} sim cycles/s)")
     if args.out:
-        payload = {
-            "summary": summary,
-            "jobs": [
-                {
-                    "spec": jsonable(outcome.spec),
-                    "digest": outcome.digest,
-                    "cached": outcome.cached,
-                    "wall_s": outcome.wall_s,
-                    "attempts": outcome.attempts,
-                    "result": {
-                        "design": outcome.result.design,
-                        "workload": outcome.result.workload,
-                        "avg_latency": outcome.result.avg_latency,
-                        "avg_flit_latency": outcome.result.avg_flit_latency,
-                        "power_w": outcome.result.total_power_w,
-                        "area_mm2": outcome.result.total_area_mm2,
-                    },
-                }
-                for outcome in report.outcomes
-            ],
-        }
         path = save_json(payload, args.out)
-        print(f"wrote {path}")
+        print(f"wrote {path}", file=sys.stderr if args.json else sys.stdout)
     return 0
+
+
+def _add_common(parser, *, jobs: bool = False, trace: bool = False,
+                trace_help: str = "") -> None:
+    """The shared flag vocabulary of the executing verbs."""
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the traffic seed")
+    parser.add_argument("--fast", action="store_true",
+                        help="short simulation windows")
+    if jobs:
+        parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (1 = in-process serial)")
+    if trace:
+        parser.add_argument("--trace-events", metavar="PATH", default=None,
+                            help=trace_help or "write cycle-level event "
+                            "trace(s) as JSONL to PATH")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,58 +354,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("params", help="print Fig 5a parameters").set_defaults(
-        fn=cmd_params
-    )
+    def add(name: str, help: str) -> argparse.ArgumentParser:
+        cmd = sub.add_parser(name, help=help)
+        cmd.add_argument("--json", action="store_true",
+                         help="machine-readable output on stdout")
+        return cmd
 
-    floorplan = sub.add_parser("floorplan", help="render the CMP floorplan")
+    add("params", "print Fig 5a parameters").set_defaults(fn=cmd_params)
+
+    floorplan = add("floorplan", "render the CMP floorplan")
     floorplan.add_argument("--access-points", type=int, default=50)
     floorplan.set_defaults(fn=cmd_floorplan)
 
-    sub.add_parser("list", help="list experiments").set_defaults(fn=cmd_list)
+    add("list", "list experiments").set_defaults(fn=cmd_list)
 
-    workloads = sub.add_parser(
-        "workloads", help="characterize every workload (locality, hotspots)"
+    workloads = add(
+        "workloads", "characterize every workload (locality, hotspots)"
     )
     workloads.add_argument("--cycles", type=int, default=8_000)
-    workloads.add_argument("--seed", type=int, default=4)
+    workloads.add_argument("--seed", type=int, default=None)
     workloads.set_defaults(fn=cmd_workloads)
 
-    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run = add("run", "run an experiment (or 'all')")
     run.add_argument("experiment")
-    run.add_argument("--fast", action="store_true",
-                     help="short simulation windows")
+    _add_common(run, jobs=True, trace=True)
     run.add_argument("--out", help="also write tables to this directory")
     run.set_defaults(fn=cmd_run)
 
-    simulate = sub.add_parser("simulate", help="one (design, trace) cell")
+    simulate = add("simulate", "one (design, workload) cell")
     simulate.add_argument("--design", default="baseline",
-                          choices=["baseline", "static", "wire", "adaptive"])
+                          choices=DESIGN_STYLES)
     simulate.add_argument("--width", type=int, default=16, choices=[16, 8, 4])
-    simulate.add_argument("--trace", default="uniform")
-    simulate.add_argument("--fast", action="store_true")
+    simulate.add_argument("--workload", default="uniform")
+    # Pre-1.0 spelling, kept as a hidden alias.
+    simulate.add_argument("--trace", dest="workload",
+                          default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    _add_common(simulate, jobs=True, trace=True,
+                trace_help="write this run's cycle-level events as JSONL "
+                           "to PATH")
+    simulate.add_argument("--out", help="also write the full result as JSON")
     simulate.add_argument("--heatmap", action="store_true",
                           help="print the traffic heatmap afterwards")
     simulate.set_defaults(fn=cmd_simulate)
 
-    sweep = sub.add_parser(
-        "sweep", help="parallel design-grid sweep with the result cache"
-    )
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (1 = in-process serial)")
+    sweep = add("sweep", "parallel design-grid sweep with the result cache")
     sweep.add_argument("--styles", default="baseline,static,adaptive",
                        help="comma-separated design styles")
     sweep.add_argument("--widths", default="16,8,4",
                        help="comma-separated mesh link widths (bytes)")
-    sweep.add_argument("--traces", default="uniform",
+    sweep.add_argument("--workloads", default="uniform",
                        help="comma-separated workload names")
+    # Pre-1.0 spelling, kept as a hidden alias.
+    sweep.add_argument("--traces", dest="workloads",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     sweep.add_argument("--adaptive-routing", action="store_true")
     sweep.add_argument("--cache", default="benchmarks/results/cache",
                        help="persistent result-store directory")
     sweep.add_argument("--no-cache", action="store_true",
                        help="skip the persistent store entirely")
-    sweep.add_argument("--fast", action="store_true",
-                       help="short simulation windows")
+    _add_common(sweep, jobs=True, trace=True,
+                trace_help="directory: write one JSONL event trace per "
+                           "simulated cell (bypasses the cache)")
     sweep.add_argument("--out", help="also write results + telemetry JSON")
     sweep.set_defaults(fn=cmd_sweep)
     return parser

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.exec.jobs import JobSpec, job_digest, normalize_spec
@@ -30,6 +30,7 @@ from repro.exec.serialize import decode_result, encode_result
 from repro.exec.store import ResultStore
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.export import jsonable
+from repro.obs.profile import Profiler
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +51,9 @@ class JobOutcome:
     wall_s: float
     sim_cycles: int
     attempts: int
+    #: Wall-clock per phase (``{"simulate_s": ..., "encode_s": ...}``) for
+    #: fresh runs; empty for cache hits.
+    profile: dict = field(default_factory=dict, compare=False)
 
     @property
     def cycles_per_sec(self) -> float:
@@ -67,11 +71,21 @@ class SweepReport:
     wall_s: float
     hits: int
     misses: int
+    #: Parent-process phases (store lookups/writes), from the engine.
+    profile: dict = field(default_factory=dict)
 
     @property
     def results(self) -> list["RunResult"]:
         """Just the results, aligned with the submitted spec order."""
         return [outcome.result for outcome in self.outcomes]
+
+    def phase_profile(self) -> dict[str, float]:
+        """Per-phase wall totals: parent phases + every job's phases."""
+        merged = Profiler()
+        merged.merge(self.profile)
+        for outcome in self.outcomes:
+            merged.merge(outcome.profile)
+        return merged.as_dict()
 
     def summary(self) -> dict:
         """Aggregate telemetry as a JSON-safe dict."""
@@ -85,13 +99,22 @@ class SweepReport:
             "simulated_wall_s": sim_wall,
             "simulated_cycles": sim_cycles,
             "cycles_per_sec": sim_cycles / sim_wall if sim_wall else 0.0,
+            "profile": self.phase_profile(),
         }
 
 
 # -- job execution (shared by the serial path and pool workers) --------------
 
-def execute_spec(runner: "ExperimentRunner", spec: JobSpec) -> "RunResult":
-    """Run one spec on a runner (the runner consults its own store, if any)."""
+def execute_spec(
+    runner: "ExperimentRunner",
+    spec: JobSpec,
+    observation=None,
+) -> "RunResult":
+    """Run one spec on a runner (the runner consults its own store, if any).
+
+    An ``observation`` attaches metrics/tracing and forces a fresh,
+    uncached run (see :meth:`ExperimentRunner.run_unicast`).
+    """
     if spec.kind == "unicast":
         design = runner.design(
             spec.style, spec.link_bytes,
@@ -99,7 +122,8 @@ def execute_spec(runner: "ExperimentRunner", spec: JobSpec) -> "RunResult":
             num_access_points=spec.num_access_points,
             adaptive_routing=spec.adaptive_routing,
         )
-        return runner.run_unicast(design, spec.workload, seed=spec.seed)
+        return runner.run_unicast(design, spec.workload, seed=spec.seed,
+                                  observation=observation)
     if spec.kind == "multicast":
         design = runner.design(
             spec.style, spec.link_bytes,
@@ -108,7 +132,8 @@ def execute_spec(runner: "ExperimentRunner", spec: JobSpec) -> "RunResult":
             adaptive_routing=spec.adaptive_routing,
         )
         return runner.run_multicast(
-            design, spec.realization, spec.locality_percent
+            design, spec.realization, spec.locality_percent,
+            observation=observation,
         )
     raise ValueError(f"cannot execute job kind {spec.kind!r}")
 
@@ -124,12 +149,37 @@ def _init_worker(config: ExperimentConfig, params: ArchitectureParams) -> None:
     _WORKER_RUNNER = ExperimentRunner(config, params)
 
 
-def _run_job(spec: JobSpec) -> tuple[dict, float, int]:
-    """Worker-side: simulate one spec; ship the payload back picklable."""
+def _trace_observation(trace_path):
+    """A metrics+tracer observation for one traced job, or None."""
+    if trace_path is None:
+        return None
+    from repro.obs import EventTracer, MetricsRegistry, Observation
+
+    return Observation(metrics=MetricsRegistry(), tracer=EventTracer())
+
+
+def _run_job(spec: JobSpec, trace_path=None) -> tuple[dict, float, int, dict]:
+    """Worker-side: simulate one spec; ship the payload back picklable.
+
+    When ``trace_path`` is given the job runs observed (fresh, with
+    metrics and the event tracer) and writes its JSONL trace before
+    returning — the events stay worker-side; only the path crosses back.
+    """
+    prof = Profiler()
+    observation = _trace_observation(trace_path)
     start = time.perf_counter()
-    result = execute_spec(_WORKER_RUNNER, spec)
+    with prof.phase("simulate"):
+        if observation is None:
+            result = execute_spec(_WORKER_RUNNER, spec)
+        else:
+            result = execute_spec(_WORKER_RUNNER, spec, observation)
+    with prof.phase("encode"):
+        payload = encode_result(result)
+    if observation is not None:
+        with prof.phase("trace_write"):
+            observation.tracer.write_jsonl(trace_path)
     wall = time.perf_counter() - start
-    return encode_result(result), wall, result.stats.activity.cycles
+    return payload, wall, result.stats.activity.cycles, prof.as_dict()
 
 
 # -- the sweep ---------------------------------------------------------------
@@ -143,18 +193,33 @@ def run_sweep(
     jobs: int = 1,
     retries: int = 1,
     progress: Optional[ProgressFn] = None,
+    trace_dir=None,
 ) -> SweepReport:
     """Run every spec, consulting/filling ``store``, ``jobs``-wide.
 
     Results come back in submission order regardless of completion order,
     so ``jobs=8`` and ``jobs=1`` produce identical reports.  ``jobs <= 1``
     runs in-process (no pool); misses are retried up to ``retries`` extra
-    times before the failure propagates.
+    times before the failure propagates.  ``trace_dir`` runs every job
+    observed and writes one JSONL event trace per job into the directory;
+    traced runs never consult or fill the store (``store`` is ignored).
     """
     specs = [normalize_spec(spec, config) for spec in specs]
     start = time.perf_counter()
     outcomes: list[Optional[JobOutcome]] = [None] * len(specs)
     digests = [job_digest(spec, config, params) for spec in specs]
+    parent_prof = Profiler()
+    trace_paths: list = [None] * len(specs)
+    if trace_dir is not None:
+        from pathlib import Path
+
+        store = None                 # traced runs are always fresh
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_paths = [
+            trace_dir / f"{i:03d}_{digest[:12]}.jsonl"
+            for i, digest in enumerate(digests)
+        ]
 
     def emit(event: str, index: int, **extra) -> None:
         if progress is not None:
@@ -163,7 +228,11 @@ def run_sweep(
 
     pending: list[int] = []
     for i, (spec, digest) in enumerate(zip(specs, digests)):
-        payload = store.load(digest) if store is not None else None
+        if store is not None:
+            with parent_prof.phase("store_load"):
+                payload = store.load(digest)
+        else:
+            payload = None
         if payload is not None:
             outcomes[i] = JobOutcome(
                 spec=spec, digest=digest, result=decode_result(payload),
@@ -174,32 +243,38 @@ def run_sweep(
             pending.append(i)
 
     def finish(i: int, payload: dict, wall: float, cycles: int,
-               attempts: int) -> None:
+               attempts: int, profile: Optional[dict] = None) -> None:
         if store is not None:
-            store.save(digests[i], payload,
-                       meta={"spec": jsonable(specs[i])})
+            with parent_prof.phase("store_save"):
+                store.save(digests[i], payload,
+                           meta={"spec": jsonable(specs[i])})
+        with parent_prof.phase("decode"):
+            result = decode_result(payload)
         outcomes[i] = JobOutcome(
-            spec=specs[i], digest=digests[i], result=decode_result(payload),
+            spec=specs[i], digest=digests[i], result=result,
             cached=False, wall_s=wall, sim_cycles=cycles, attempts=attempts,
+            profile=dict(profile or {}),
         )
         emit("done", i, wall_s=wall)
 
     if pending and jobs > 1:
         _sweep_parallel(specs, pending, finish, emit, config, params,
-                        jobs, retries)
+                        jobs, retries, trace_paths)
     elif pending:
-        _sweep_serial(specs, pending, finish, emit, config, params, retries)
+        _sweep_serial(specs, pending, finish, emit, config, params, retries,
+                      trace_paths)
 
     return SweepReport(
         outcomes=list(outcomes),
         wall_s=time.perf_counter() - start,
         hits=len(specs) - len(pending),
         misses=len(pending),
+        profile=parent_prof.as_dict(),
     )
 
 
 def _sweep_serial(specs, pending, finish, emit, config, params,
-                  retries) -> None:
+                  retries, trace_paths) -> None:
     from repro.experiments.runner import ExperimentRunner
 
     runner = ExperimentRunner(config, params)
@@ -207,22 +282,33 @@ def _sweep_serial(specs, pending, finish, emit, config, params,
         attempts = 0
         while True:
             attempts += 1
+            prof = Profiler()
+            observation = _trace_observation(trace_paths[i])
             start = time.perf_counter()
             try:
-                result = execute_spec(runner, specs[i])
+                with prof.phase("simulate"):
+                    if observation is None:
+                        result = execute_spec(runner, specs[i])
+                    else:
+                        result = execute_spec(runner, specs[i], observation)
             except Exception:
                 if attempts > retries:
                     raise
                 emit("retry", i, attempts=attempts)
                 continue
+            with prof.phase("encode"):
+                payload = encode_result(result)
+            if observation is not None:
+                with prof.phase("trace_write"):
+                    observation.tracer.write_jsonl(trace_paths[i])
             wall = time.perf_counter() - start
-            finish(i, encode_result(result), wall,
-                   result.stats.activity.cycles, attempts)
+            finish(i, payload, wall, result.stats.activity.cycles,
+                   attempts, prof.as_dict())
             break
 
 
 def _sweep_parallel(specs, pending, finish, emit, config, params,
-                    jobs, retries) -> None:
+                    jobs, retries, trace_paths) -> None:
     attempts = dict.fromkeys(pending, 0)
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(pending)),
@@ -231,18 +317,19 @@ def _sweep_parallel(specs, pending, finish, emit, config, params,
         waiting = {}
         for i in pending:
             attempts[i] += 1
-            waiting[pool.submit(_run_job, specs[i])] = i
+            waiting[pool.submit(_run_job, specs[i], trace_paths[i])] = i
         while waiting:
             done, _ = wait(waiting, return_when=FIRST_COMPLETED)
             for future in done:
                 i = waiting.pop(future)
                 try:
-                    payload, wall, cycles = future.result()
+                    payload, wall, cycles, profile = future.result()
                 except Exception:
                     if attempts[i] > retries:
                         raise
                     attempts[i] += 1
                     emit("retry", i, attempts=attempts[i])
-                    waiting[pool.submit(_run_job, specs[i])] = i
+                    waiting[pool.submit(_run_job, specs[i],
+                                        trace_paths[i])] = i
                     continue
-                finish(i, payload, wall, cycles, attempts[i])
+                finish(i, payload, wall, cycles, attempts[i], profile)

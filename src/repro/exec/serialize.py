@@ -15,9 +15,9 @@ from __future__ import annotations
 import dataclasses
 from collections import defaultdict
 
-from repro.experiments.runner import RunResult
 from repro.noc.message import MessageClass
 from repro.noc.stats import ActivityCounts, NetworkStats
+from repro.obs.result import RunResult
 from repro.power import AreaReport, PowerReport
 
 
@@ -99,26 +99,45 @@ def decode_stats(payload: dict) -> NetworkStats:
 # -- RunResult ---------------------------------------------------------------
 
 def encode_result(result: RunResult) -> dict:
-    """A RunResult as a JSON-safe payload dict."""
-    return {
+    """A RunResult as a JSON-safe payload dict.
+
+    ``metrics`` (a registry snapshot) and ``provenance`` ride along when
+    present; entries written before these fields existed decode fine (the
+    decoder treats them as absent).
+    """
+    payload = {
         "design": result.design,
         "workload": result.workload,
         "avg_latency": result.avg_latency,
         "avg_flit_latency": result.avg_flit_latency,
-        "power": _fields(result.power),
-        "area": _fields(result.area),
-        "stats": encode_stats(result.stats),
+        "power": _fields(result.power) if result.power is not None else None,
+        "area": _fields(result.area) if result.area is not None else None,
+        "stats": (
+            encode_stats(result.stats) if result.stats is not None else None
+        ),
     }
+    if result.metrics is not None:
+        payload["metrics"] = result.metrics
+    if result.provenance is not None:
+        payload["provenance"] = result.provenance
+    return payload
 
 
 def decode_result(payload: dict) -> RunResult:
     """Rebuild a RunResult from :func:`encode_result` output."""
+    power = payload.get("power")
+    area = payload.get("area")
     return RunResult(
         design=payload["design"],
         workload=payload["workload"],
         avg_latency=payload["avg_latency"],
         avg_flit_latency=payload["avg_flit_latency"],
-        power=PowerReport(**payload["power"]),
-        area=AreaReport(**payload["area"]),
-        stats=decode_stats(payload["stats"]),
+        power=PowerReport(**power) if power is not None else None,
+        area=AreaReport(**area) if area is not None else None,
+        stats=(
+            decode_stats(payload["stats"])
+            if payload.get("stats") is not None else None
+        ),
+        metrics=payload.get("metrics"),
+        provenance=payload.get("provenance"),
     )

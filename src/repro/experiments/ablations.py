@@ -15,10 +15,10 @@ from repro.experiments.figures import FigureResult
 from repro.experiments.report import Table
 from repro.experiments.runner import ExperimentRunner
 from repro.multicast import MulticastAwareSource, RFRealization, UnicastExpansion
-from repro.noc import Network, RoutingTables
-from repro.noc.simulator import Simulator
-from repro.shortcuts import SelectionConfig, select_architecture_shortcuts
-from repro.shortcuts.region import select_region_shortcuts
+from repro.noc import Network, RoutingTables, Simulator
+from repro.shortcuts import (
+    SelectionConfig, select_architecture_shortcuts, select_region_shortcuts,
+)
 from repro.traffic import (
     CombinedTraffic, MulticastConfig, MulticastTraffic, ProbabilisticTraffic,
 )
@@ -133,7 +133,7 @@ def a3_escape_vcs(runner: ExperimentRunner) -> FigureResult:
     them every burst drains.
     """
     topo = runner.topology
-    from repro.noc.routing import Shortcut
+    from repro.noc import Shortcut
 
     ring = [
         Shortcut(topo.router_id(1, 1), topo.router_id(8, 1)),

@@ -18,8 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.experiments.report import Table, geomean, normalized
 from repro.experiments.runner import ExperimentRunner
-from repro.noc import RoutingPolicy, RoutingTables
-from repro.noc.simulator import Simulator
+from repro.noc import RoutingPolicy, RoutingTables, Simulator
 from repro.shortcuts import (
     SelectionConfig, mesh_distances, select_architecture_shortcuts, total_cost,
 )
@@ -411,8 +410,7 @@ def e2_adaptive_routing(
     wait against the mesh-detour cost and peels marginal flows off first,
     recovering most of the contention loss.
     """
-    from repro.noc.network import Network
-    from repro.noc.routing import RoutingPolicy
+    from repro.noc import Network, RoutingPolicy
 
     table = Table(
         f"E2 — adaptive shortcut routing ({trace}, static shortcut set)",

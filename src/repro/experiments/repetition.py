@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.architectures import DesignPoint
+from repro.core import DesignPoint
 from repro.experiments.runner import ExperimentRunner
 
 #: Two-sided 95% Student-t critical values by degrees of freedom.  Between
@@ -108,7 +108,7 @@ def repeat_unicast(
     """
     specs = [runner.spec_for(design, workload, seed=seed) for seed in seeds]
     if jobs > 1 and all(spec is not None for spec in specs):
-        from repro.exec.engine import run_sweep
+        from repro.exec import run_sweep
 
         report = run_sweep(
             specs, config=runner.config, params=runner.params,

@@ -18,7 +18,6 @@ never re-simulate a cell whose inputs have not changed.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
@@ -31,11 +30,10 @@ from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.multicast import (
     MulticastAwareSource, RFRealization, UnicastExpansion, VCTRealization,
 )
-from repro.noc import MeshTopology
-from repro.noc.simulator import Simulator
-from repro.noc.stats import NetworkStats
+from repro.noc import MeshTopology, NetworkStats, Simulator
+from repro.obs.result import RunResult
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
-from repro.power import AreaReport, NoCPowerModel, PowerReport
+from repro.power import NoCPowerModel
 from repro.traffic import (
     APPLICATIONS, CombinedTraffic, MulticastConfig, MulticastTraffic,
     ProbabilisticTraffic, all_patterns, application_pattern,
@@ -44,30 +42,10 @@ from repro.traffic import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.jobs import JobSpec
     from repro.exec.store import ResultStore
+    from repro.obs import Observation
     from repro.params import SimulationParams
 
-
-@dataclass(frozen=True)
-class RunResult:
-    """One simulated (design, workload) cell."""
-
-    design: str
-    workload: str
-    avg_latency: float
-    avg_flit_latency: float
-    power: PowerReport
-    area: AreaReport
-    stats: NetworkStats
-
-    @property
-    def total_power_w(self) -> float:
-        """Total NoC power of this run, in Watts."""
-        return self.power.total_w
-
-    @property
-    def total_area_mm2(self) -> float:
-        """Total NoC active area of this design, in mm^2."""
-        return self.area.total_mm2
+__all__ = ["ExperimentRunner", "RunResult"]
 
 
 class ExperimentRunner:
@@ -228,7 +206,7 @@ class ExperimentRunner:
         key = self._design_keys.get(id(design))
         if key is None:
             return None
-        from repro.exec.jobs import JobSpec, normalize_spec
+        from repro.exec import JobSpec, normalize_spec
 
         style, link_bytes, design_workload, aps, adaptive = key
         return normalize_spec(
@@ -241,22 +219,26 @@ class ExperimentRunner:
             self.config,
         )
 
+    def _digest_for(self, spec: Optional["JobSpec"]) -> Optional[str]:
+        """The store address (and provenance digest) of a spec, or None."""
+        if spec is None:
+            return None
+        from repro.exec import job_digest
+
+        return job_digest(spec, self.config, self.params)
+
     def _store_load(self, spec: Optional["JobSpec"]) -> Optional[dict]:
         if self.store is None or spec is None:
             return None
-        from repro.exec.jobs import job_digest
-
-        return self.store.load(job_digest(spec, self.config, self.params))
+        return self.store.load(self._digest_for(spec))
 
     def _store_save(self, spec: Optional["JobSpec"], payload: dict) -> None:
         if self.store is None or spec is None:
             return
-        from repro.exec.jobs import job_digest
         from repro.experiments.export import jsonable
 
         self.store.save(
-            job_digest(spec, self.config, self.params), payload,
-            meta={"spec": jsonable(spec)},
+            self._digest_for(spec), payload, meta={"spec": jsonable(spec)},
         )
 
     # -- running ------------------------------------------------------------------
@@ -266,32 +248,38 @@ class ExperimentRunner:
         design: DesignPoint,
         workload: str,
         seed: Optional[int] = None,
+        observation: Optional["Observation"] = None,
     ) -> RunResult:
         """Simulate a probabilistic/application workload on a design.
 
         ``seed`` overrides the config's traffic seed (repetition studies);
         the default is the shared :attr:`ExperimentConfig.traffic_seed`.
+        An ``observation`` forces a fresh (uncached, unmemoized) run with
+        metrics/tracing attached; its snapshot rides in the result.
         """
         resolved_seed = self.config.traffic_seed if seed is None else seed
-        key = ("unicast", self._design_key(design), workload, resolved_seed)
-        if key in self._results:
-            return self._results[key]
-        from repro.exec.serialize import decode_result, encode_result
-
         spec = self.spec_for(design, workload, seed=resolved_seed)
-        payload = self._store_load(spec)
+        key = ("unicast", self._design_key(design), workload, resolved_seed)
+        if observation is None and key in self._results:
+            return self._results[key]
+        from repro.exec import encode_result
+
+        payload = None if observation is not None else self._store_load(spec)
         if payload is not None:
-            result = decode_result(payload)
+            result = self._restore(payload, spec)
         else:
             network = design.new_network()
             stats = Simulator(
                 network, [self._unicast_source(workload, resolved_seed)],
-                self.config.sim,
+                self.config.sim, observation=observation,
             ).run()
             self.simulations_run += 1
-            result = self._package(design, workload, stats)
-            self._store_save(spec, encode_result(result))
-        self._results[key] = result
+            result = self._package(design, workload, stats,
+                                   spec=spec, observation=observation)
+            if observation is None:
+                self._store_save(spec, encode_result(result))
+        if observation is None:
+            self._results[key] = result
         return result
 
     def run_multicast(
@@ -299,24 +287,26 @@ class ExperimentRunner:
         design: DesignPoint,
         realization_style: str,
         locality_percent: int,
+        observation: Optional["Observation"] = None,
     ) -> RunResult:
         """Simulate the Section 5.2 multicast workload on a design.
 
-        ``realization_style``: 'unicast', 'vct', or 'rf'.
+        ``realization_style``: 'unicast', 'vct', or 'rf'.  An
+        ``observation`` forces a fresh run with metrics/tracing attached.
         """
         key = ("mc", self._design_key(design), realization_style,
                locality_percent)
-        if key in self._results:
+        if observation is None and key in self._results:
             return self._results[key]
-        from repro.exec.serialize import decode_result, encode_result
+        from repro.exec import encode_result
 
         spec = self.spec_for(
             design, f"multicast-{locality_percent}", kind="multicast",
             realization=realization_style, locality_percent=locality_percent,
         )
-        payload = self._store_load(spec)
+        payload = None if observation is not None else self._store_load(spec)
         if payload is not None:
-            result = decode_result(payload)
+            result = self._restore(payload, spec)
             self._results[key] = result
             return result
         network = design.new_network()
@@ -335,13 +325,16 @@ class ExperimentRunner:
         source = MulticastAwareSource(
             self._multicast_workload(locality_percent), realization
         )
-        stats = Simulator(network, [source], self.config.sim).run()
+        stats = Simulator(network, [source], self.config.sim,
+                          observation=observation).run()
         self.simulations_run += 1
         result = self._package(
-            design, f"multicast-{locality_percent}", stats
+            design, f"multicast-{locality_percent}", stats,
+            spec=spec, observation=observation,
         )
-        self._store_save(spec, encode_result(result))
-        self._results[key] = result
+        if observation is None:
+            self._store_save(spec, encode_result(result))
+            self._results[key] = result
         return result
 
     def probe_unicast(
@@ -384,7 +377,7 @@ class ExperimentRunner:
         callers; the shared config and params are folded into the digest
         automatically, so changing either invalidates every cached cell.
         """
-        from repro.exec.jobs import JobSpec
+        from repro.exec import JobSpec
 
         spec = JobSpec(
             kind="stats", style=tag,
@@ -397,7 +390,7 @@ class ExperimentRunner:
         spec: Optional["JobSpec"],
         simulate: Callable[[], NetworkStats],
     ) -> NetworkStats:
-        from repro.exec.serialize import decode_stats, encode_stats
+        from repro.exec import decode_stats, encode_stats
 
         payload = self._store_load(spec)
         if payload is not None:
@@ -413,7 +406,12 @@ class ExperimentRunner:
         return list(design.overlay.multicast_receivers)
 
     def _package(
-        self, design: DesignPoint, workload: str, stats: NetworkStats
+        self,
+        design: DesignPoint,
+        workload: str,
+        stats: NetworkStats,
+        spec: Optional["JobSpec"] = None,
+        observation: Optional["Observation"] = None,
     ) -> RunResult:
         return RunResult(
             design=design.name,
@@ -423,4 +421,15 @@ class ExperimentRunner:
             power=self.power_model.power(design, stats),
             area=self.power_model.area(design),
             stats=stats,
+            metrics=observation.snapshot() if observation is not None else None,
+            provenance=self._digest_for(spec),
         )
+
+    def _restore(self, payload: dict, spec: Optional["JobSpec"]) -> RunResult:
+        """Decode a cached payload, back-filling provenance if it predates it."""
+        from repro.exec import decode_result
+
+        result = decode_result(payload)
+        if result.provenance is None and spec is not None:
+            result = result.with_provenance(self._digest_for(spec))
+        return result

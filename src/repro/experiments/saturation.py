@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.architectures import DesignPoint
+from repro.core import DesignPoint
 from repro.experiments.runner import ExperimentRunner
 
 

@@ -18,7 +18,7 @@ cycle loop.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.noc.message import Message, Packet
 from repro.noc.router import (
@@ -28,6 +28,9 @@ from repro.noc.routing import EJECT, RoutingPolicy, RoutingTables, xy_port
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import MeshTopology, Port
 from repro.params import ArchitectureParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observation
 
 #: RC hook signature for multicast packets: (network, router_id, packet) ->
 #: list of output ports the packet must be replicated to at this router.
@@ -101,6 +104,15 @@ class Network:
         self._open_deliveries: dict[int, int] = {}  # packet uid -> remaining ejects
         self.delivery_hooks: list[Callable[[Packet, int], None]] = []
         self.mc_targets_fn: Optional[McTargetsFn] = None
+        #: Observability sink (metrics + tracing); None keeps the hot path
+        #: at a single attribute check per instrumented event.
+        self.observation: Optional["Observation"] = None
+
+    def observe(self, observation: Optional["Observation"]) -> None:
+        """Attach (or, with None, detach) an observation sink."""
+        self.observation = observation
+        if observation is not None:
+            observation.bind(self)
 
     # -- construction --------------------------------------------------------
 
@@ -200,6 +212,8 @@ class Network:
         self.tables = tables
         for sc in tables.shortcuts:
             self._wire_shortcut(sc)
+        if self.observation is not None:
+            self.observation.bind(self)  # the band map changed
 
     # -- injection ----------------------------------------------------------
 
@@ -223,6 +237,11 @@ class Network:
             else 0
         )
         self.stats.record_injection(packet, distance)
+        if (
+            self.observation is not None
+            and self.stats.in_window(packet.inject_cycle)
+        ):
+            self.observation.on_inject(packet, message.src, packet.inject_cycle)
         return packet
 
     def _destination_count(self, packet: Packet) -> int:
@@ -234,6 +253,10 @@ class Network:
     def in_flight(self) -> int:
         """Packets injected but not yet delivered to every destination."""
         return self._open_packets
+
+    def open_packet_uids(self) -> list[int]:
+        """UIDs of packets still in flight (undelivered destinations)."""
+        return list(self._open_deliveries)
 
     # -- cycle loop -----------------------------------------------------------
 
@@ -257,17 +280,27 @@ class Network:
             ip.occupied.add(vci)
             if in_window:
                 self.stats.activity.buffer_writes += 1
+                if self.observation is not None:
+                    self.observation.on_buffer_write(rid, port, c, packet)
             self.active.add(rid)
 
     def _complete_ejections(self, c: int) -> None:
         for packet in self._deliveries.pop(c, ()):
             packet.tail_eject_cycle = max(packet.tail_eject_cycle, c)
             self.stats.record_delivery(packet, c)
+            observed = (
+                self.observation is not None
+                and self.stats.in_window(packet.inject_cycle)
+            )
+            if observed:
+                self.observation.on_deliver(packet, c)
             remaining = self._open_deliveries.get(packet.uid, 0) - 1
             if remaining <= 0:
                 self._open_deliveries.pop(packet.uid, None)
                 self._open_packets -= 1
                 self.stats.record_completion(packet)
+                if observed:
+                    self.observation.on_complete(packet, c)
             else:
                 self._open_deliveries[packet.uid] = remaining
             for hook in self.delivery_hooks:
@@ -326,6 +359,13 @@ class Network:
             and self._rf_congested(rid, packet.dst)
         ):
             packet.route_class = "adaptive-fallback"
+            if (
+                self.observation is not None
+                and self.stats.in_window(self.cycle)
+            ):
+                self.observation.on_route_divert(
+                    packet, rid, self.cycle, "adaptive-fallback"
+                )
             return [self.tables.mesh_port_for(rid, packet.dst)]
         return [port]
 
@@ -397,6 +437,8 @@ class Network:
             self._release_partial_va(router, vc)
             vc.packet.escape = True
             vc.packet.route_class = "escape"
+            if self.observation is not None and self.stats.in_window(c):
+                self.observation.on_route_divert(vc.packet, rid, c, "escape")
             vc.targets = [(xy_port(self.topology, rid, vc.packet.dst), -1)]
             vc.va_since = c  # restart the timeout clock in the escape class
 
@@ -481,10 +523,13 @@ class Network:
         is_tail = vc.sent == packet.num_flits
         activity = self.stats.activity
 
+        observation = self.observation if in_window else None
         for port, out_vc in targets:
             link = router.out_links[port]
             if in_window:
                 activity.switch_traversals += 1
+                if observation is not None:
+                    observation.on_flit(router.router_id, port, link, packet, c)
             if link.is_ejection:
                 if in_window:
                     activity.local_flit_hops += 1

@@ -7,15 +7,26 @@ injected inside the measurement window, and the run finishes with a drain
 phase — still under load — that waits for the window's packets to be
 delivered (bounded by ``drain_cycles``, so saturated networks terminate and
 report their delivery ratio honestly).
+
+Observability: pass an :class:`~repro.obs.Observation` (or set
+``SimulationParams.trace_events``) and the driver attaches it to the
+network for the run — metrics and cycle-level events then mirror the
+statistics the window records.  :meth:`Simulator.run` keeps its historical
+:class:`NetworkStats` return shape; :meth:`Simulator.run_result` wraps the
+same run in the unified :class:`~repro.obs.result.RunResult`.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 from repro.noc.network import Network
 from repro.noc.stats import NetworkStats
 from repro.params import SimulationParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observation
+    from repro.obs.result import RunResult
 
 
 class TrafficSource(Protocol):
@@ -33,20 +44,36 @@ class Simulator:
         self,
         network: Network,
         sources: list[TrafficSource],
-        sim: SimulationParams = SimulationParams(),
+        sim: Optional[SimulationParams] = None,
+        *,
+        observation: Optional["Observation"] = None,
     ):
         self.network = network
         self.sources = list(sources)
-        self.sim = sim
+        self.sim = SimulationParams() if sim is None else sim
+        if observation is None and self.sim.trace_events:
+            from repro.obs import EventTracer, MetricsRegistry, Observation
+
+            observation = Observation(
+                metrics=MetricsRegistry(),
+                tracer=EventTracer(self.sim.trace_buffer_events),
+            )
+        self.observation = observation
 
     def _tick_sources(self) -> None:
         for source in self.sources:
             source.tick(self.network)
 
     def run(self) -> NetworkStats:
-        """Execute warm-up, measurement, and drain; return the statistics."""
+        """Execute warm-up, measurement, and drain; return the statistics.
+
+        (Legacy shape — :meth:`run_result` returns the unified
+        :class:`~repro.obs.result.RunResult` instead.)
+        """
         net = self.network
         stats = net.stats
+        if self.observation is not None:
+            net.observe(self.observation)
 
         # Warm-up traffic must not be recorded at all: close the window
         # entirely, then open it for exactly the measurement cycles.
@@ -68,13 +95,54 @@ class Simulator:
                 break
             self._tick_sources()
             net.step()
+
+        if self.observation is not None:
+            for uid in net.open_packet_uids():
+                self.observation.on_drop(uid, net.cycle)
+            self.observation.finalize(net, stats)
         return stats
+
+    def run_result(
+        self,
+        *,
+        design: str = "custom",
+        workload: str = "custom",
+    ) -> "RunResult":
+        """Run and return the unified result type.
+
+        No design point is available at this level, so ``power``/``area``
+        are None; the provenance digest covers the simulation windows and
+        the network's architecture parameters.
+        """
+        from repro.obs.result import RunResult, provenance_digest
+
+        stats = self.run()
+        obs = self.observation
+        return RunResult(
+            design=design,
+            workload=workload,
+            avg_latency=stats.avg_packet_latency,
+            avg_flit_latency=stats.avg_flit_latency,
+            stats=stats,
+            metrics=obs.snapshot() if obs is not None else None,
+            provenance=provenance_digest(
+                sim=self.sim,
+                params=self.network.params,
+                design=design,
+                workload=workload,
+            ),
+        )
 
 
 def simulate(
     network: Network,
     sources: list[TrafficSource],
-    sim: SimulationParams = SimulationParams(),
+    sim: Optional[SimulationParams] = None,
 ) -> NetworkStats:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    Deprecated shim — prefer :func:`repro.api.simulate`, which returns the
+    unified :class:`~repro.obs.result.RunResult`; this function keeps the
+    historical bare-:class:`NetworkStats` shape.
+    """
     return Simulator(network, sources, sim).run()

@@ -1,0 +1,186 @@
+"""Labeled metrics: counters, gauges, and histograms in one registry.
+
+The registry is the publication point for every instrumented component —
+:class:`~repro.noc.network.Network` publishes per-router/per-port flit
+counters, the RF-I phy publishes per-band occupancy and energy gauges, and
+the execution engine publishes per-job timing histograms.  A metric is
+identified by a name plus a set of labels, e.g.::
+
+    registry.counter("flits_routed", router="(3,4)", port="E").inc()
+    registry.gauge("rf_band_occupancy", band=2).set(0.41)
+
+Design constraints (these are the hot-path seams later perf PRs must keep):
+
+* **get-or-create is a dict lookup** — callers that fire per flit cache the
+  returned instrument object instead of re-resolving labels every event;
+* **snapshots are JSON-safe** — :meth:`MetricsRegistry.snapshot` flattens
+  everything to plain dicts so a snapshot can ride inside a
+  :class:`~repro.obs.result.RunResult` payload through the result store;
+* **no global state** — registries are plain objects owned by whoever runs
+  the simulation, so parallel sweep workers never share one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: A label set in canonical (sorted, stringified) form.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: dict) -> LabelKey:
+    """Canonical hashable form of a label mapping."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count of events."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time measurement that can move both ways."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by ``amount``."""
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Power-of-two bucketed distribution of observed values.
+
+    Buckets hold counts of observations with ``2**(b-1) < value <= 2**b``
+    (bucket 0 holds everything <= 1), which is plenty for latency and
+    timing distributions while staying tiny and JSON-safe.
+    """
+
+    name: str
+    labels: LabelKey = ()
+    count: int = 0
+    total: float = 0.0
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        bucket = 0
+        threshold = 1.0
+        while value > threshold:
+            bucket += 1
+            threshold *= 2.0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """All instruments of one observed run, keyed (name, labels)."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelKey], Instrument] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def _get_or_create(self, cls, name: str, labels: dict):
+        key = (name, label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name=name, labels=key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        return self._get_or_create(Histogram, name, labels)
+
+    # -- reading -------------------------------------------------------------
+
+    def series(self, name: str) -> list[Instrument]:
+        """Every instrument published under ``name``, any labels."""
+        return [
+            inst for (n, _), inst in self._instruments.items() if n == name
+        ]
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """The value under exactly (name, labels), or None if unpublished."""
+        inst = self._instruments.get((name, label_key(labels)))
+        if inst is None:
+            return None
+        return inst.count if isinstance(inst, Histogram) else inst.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family's values across all label sets."""
+        return sum(
+            inst.value for inst in self.series(name)
+            if not isinstance(inst, Histogram)
+        )
+
+    def snapshot(self) -> dict:
+        """The registry as a JSON-safe dict (ready to ride in a RunResult).
+
+        Shape: ``{name: [{"labels": {...}, "value"|...: ...}, ...]}`` with
+        one entry per label set, sorted for deterministic output.
+        """
+        out: dict[str, list[dict]] = {}
+        for (name, labels), inst in sorted(self._instruments.items()):
+            entry: dict = {"labels": dict(labels)}
+            if isinstance(inst, Histogram):
+                entry.update(
+                    count=inst.count, total=inst.total,
+                    buckets={str(b): n for b, n in sorted(inst.buckets.items())},
+                )
+            else:
+                entry["value"] = inst.value
+            out.setdefault(name, []).append(entry)
+        return out
+
+    @staticmethod
+    def snapshot_total(snapshot: dict, name: str) -> float:
+        """Sum a counter/gauge family's values inside a snapshot dict."""
+        return sum(
+            entry.get("value", entry.get("count", 0.0))
+            for entry in snapshot.get(name, ())
+        )

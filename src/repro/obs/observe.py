@@ -1,0 +1,200 @@
+"""The observation sink: where the network publishes metrics and events.
+
+One :class:`Observation` bundles an optional :class:`MetricsRegistry` and an
+optional :class:`EventTracer` and exposes the narrow callback surface the
+cycle loop fires into (`on_inject`, `on_buffer_write`, `on_flit`, ...).
+:meth:`Network.observe` installs it; a network with no observation attached
+pays exactly one ``is None`` check per instrumented event, which keeps the
+tracing-off hot path within noise of the uninstrumented baseline.
+
+Counter handles are cached per (router, port) / per band, so steady-state
+publishing is one dict hit plus a float add per event.  Metrics mirror the
+:class:`~repro.noc.stats.ActivityCounts` bookkeeping exactly — the
+reconciliation tests hold them equal on seeded runs:
+
+=============================  =========================================
+metric family                  reconciles with
+=============================  =========================================
+``flits_routed{router,port}``  ``activity.switch_traversals`` (total)
+``buffer_writes{router}``      ``activity.buffer_writes`` (total)
+``rf_band_flits{band}``        ``activity.rf_flits`` (total)
+``packets_injected``           ``stats.injected_packets``
+``deliveries``                 ``stats.delivery_events``
+``packets_completed``          ``stats.delivered_packets``
+=============================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EventTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+    from repro.noc.stats import NetworkStats
+
+#: Short display names for router ports (EJECT aliases LOCAL).
+PORT_NAMES = {0: "LOCAL", 1: "N", 2: "S", 3: "E", 4: "W", 5: "RF"}
+
+
+def port_name(port: int) -> str:
+    """Human-readable label for a port number."""
+    return PORT_NAMES.get(port, str(port))
+
+
+class Observation:
+    """Metrics + tracing attached to one simulation run."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[EventTracer] = None,
+    ):
+        self.metrics = metrics
+        self.tracer = tracer
+        self._coord = None                    # router id -> "(x, y)" label
+        self._rf_bands: dict[int, int] = {}   # src router -> band index
+        self._flit_counters: dict = {}
+        self._buffer_counters: dict = {}
+        self._band_counters: dict = {}
+        self._injected = None
+        self._deliveries = None
+        self._completed = None
+        self._latency = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, network: "Network") -> None:
+        """Attach to a network: learn coordinates and the RF band map."""
+        topology = network.topology
+        self._coord = {
+            rid: str(topology.coord(rid))
+            for rid in range(topology.params.num_routers)
+        }
+        self._rf_bands = {
+            sc.src: band for band, sc in enumerate(network.tables.shortcuts)
+        }
+        if self.metrics is not None:
+            self._injected = self.metrics.counter("packets_injected")
+            self._deliveries = self.metrics.counter("deliveries")
+            self._completed = self.metrics.counter("packets_completed")
+            self._latency = self.metrics.histogram("packet_latency_cycles")
+
+    def _router_label(self, rid: int) -> str:
+        return self._coord[rid] if self._coord else str(rid)
+
+    def _flit_counter(self, rid: int, port: int):
+        counter = self._flit_counters.get((rid, port))
+        if counter is None:
+            counter = self.metrics.counter(
+                "flits_routed",
+                router=self._router_label(rid), port=port_name(port),
+            )
+            self._flit_counters[(rid, port)] = counter
+        return counter
+
+    def _buffer_counter(self, rid: int):
+        counter = self._buffer_counters.get(rid)
+        if counter is None:
+            counter = self.metrics.counter(
+                "buffer_writes", router=self._router_label(rid)
+            )
+            self._buffer_counters[rid] = counter
+        return counter
+
+    def _band_counter(self, band: int):
+        counter = self._band_counters.get(band)
+        if counter is None:
+            counter = self.metrics.counter("rf_band_flits", band=band)
+            self._band_counters[band] = counter
+        return counter
+
+    # -- cycle-loop callbacks (fired only inside the measurement window) ------
+
+    def on_inject(self, packet, router: int, cycle: int) -> None:
+        """A packet entered the network at ``router``."""
+        if self._injected is not None:
+            self._injected.inc()
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "inject", packet.uid, router=router,
+                             dst=packet.dst)
+
+    def on_buffer_write(self, router: int, port: int, cycle: int,
+                        packet) -> None:
+        """A flit arrived into a VC buffer at (``router``, ``port``)."""
+        if self.metrics is not None:
+            self._buffer_counter(router).inc()
+
+    def on_flit(self, router: int, port: int, link, packet,
+                cycle: int) -> None:
+        """A flit was granted through ``router``'s crossbar toward ``port``."""
+        if self.metrics is not None:
+            self._flit_counter(router, port).inc()
+        if link.is_rf:
+            band = self._rf_bands.get(router)
+            if self.metrics is not None and band is not None:
+                self._band_counter(band).inc()
+            if self.tracer is not None:
+                self.tracer.emit(cycle, "rf", packet.uid, router=router,
+                                 port=port_name(port), dst=link.dst_router,
+                                 band=band)
+        elif self.tracer is not None and not link.is_ejection:
+            self.tracer.emit(cycle, "hop", packet.uid, router=router,
+                             port=port_name(port), dst=link.dst_router)
+
+    def on_route_divert(self, packet, router: int, cycle: int,
+                        detail: str) -> None:
+        """RC abandoned the table route (escape timeout, adaptive fallback)."""
+        if self.metrics is not None:
+            self.metrics.counter("route_diversions", kind=detail).inc()
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "route", packet.uid, router=router,
+                             dst=packet.dst, detail=detail)
+
+    def on_deliver(self, packet, cycle: int) -> None:
+        """One destination received the packet's tail flit."""
+        if self._deliveries is not None:
+            self._deliveries.inc()
+            self._latency.observe(cycle - packet.inject_cycle)
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "deliver", packet.uid, router=packet.dst)
+
+    def on_complete(self, packet, cycle: int) -> None:
+        """The packet reached every destination."""
+        if self._completed is not None:
+            self._completed.inc()
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "complete", packet.uid)
+
+    def on_drop(self, packet_uid: int, cycle: int) -> None:
+        """The run ended with the packet still in flight (capped drain)."""
+        if self.metrics is not None:
+            self.metrics.counter("packets_dropped").inc()
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "drop", packet_uid)
+
+    # -- end-of-run summary gauges -------------------------------------------
+
+    def finalize(self, network: "Network", stats: "NetworkStats") -> None:
+        """Publish derived gauges once the run is over.
+
+        ``rf_band_occupancy{band}`` — flits per measured cycle on each RF
+        band; ``rf_energy_pj`` — dynamic RF-I energy of the window, from the
+        phy's published pJ/bit constant.
+        """
+        if self.metrics is None:
+            return
+        from repro.rfi.phy import RFIPhysicalModel
+
+        cycles = stats.activity.cycles
+        for band, counter in sorted(self._band_counters.items()):
+            occupancy = counter.value / cycles if cycles else 0.0
+            self.metrics.gauge("rf_band_occupancy", band=band).set(occupancy)
+        phy = RFIPhysicalModel(network.params.rfi)
+        phy.publish(self.metrics, stats.activity, network.link_bytes)
+
+    def snapshot(self) -> Optional[dict]:
+        """The metrics registry's snapshot (None when metrics are off)."""
+        return self.metrics.snapshot() if self.metrics is not None else None

@@ -1,0 +1,55 @@
+"""Phase profiler for the execution engine's per-job telemetry.
+
+A :class:`Profiler` accumulates named wall-clock phases::
+
+    prof = Profiler()
+    with prof.phase("simulate"):
+        result = execute_spec(runner, spec)
+    with prof.phase("encode"):
+        payload = encode_result(result)
+    prof.as_dict()  # {"simulate_s": 1.93, "encode_s": 0.004, ...}
+
+The sweep engine profiles every job this way (and the parent process its
+store lookups); phase totals roll into ``SweepReport.summary()["profile"]``
+and from there into the committed ``BENCH_*.json`` perf records, so a perf
+PR can see *which* phase it moved, not just the total.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Profiler:
+    """Accumulates wall-clock time per named phase."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time the enclosed block under ``name`` (re-entrant accumulation)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into phase ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def merge(self, other: dict[str, float]) -> None:
+        """Fold another profiler's ``as_dict()`` output into this one."""
+        for key, seconds in other.items():
+            name = key[:-2] if key.endswith("_s") else key
+            self.add(name, seconds)
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase totals as ``{"<name>_s": seconds}`` (JSON-safe)."""
+        return {f"{name}_s": total for name, total in sorted(self.totals.items())}

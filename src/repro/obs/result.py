@@ -1,0 +1,113 @@
+"""The unified run result: one shape for every entrypoint.
+
+Historically the three entrypoints returned differently-shaped objects —
+``Simulator.run`` a bare :class:`~repro.noc.stats.NetworkStats`,
+``ExperimentRunner.run_unicast``/``run_multicast`` a runner-local result,
+and ``run_sweep`` engine outcomes.  :class:`RunResult` is now the single
+currency: stats + activity + an optional metrics snapshot + a provenance
+digest identifying exactly which inputs produced it.  The legacy shapes
+remain as deprecation shims (``Simulator.run`` still returns stats;
+``repro.experiments.runner.RunResult`` re-exports this class).
+
+``power``/``area`` are optional because a bare :class:`Simulator` has no
+design point to cost; runner- and sweep-produced results always carry them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.noc.stats import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.power import AreaReport, PowerReport
+
+
+def provenance_digest(**components) -> str:
+    """Stable SHA-256 digest over named run inputs.
+
+    Canonical JSON (sorted keys) over JSON-safe-ified components — the same
+    construction :func:`repro.exec.jobs.job_digest` uses, so a result's
+    provenance changes whenever any input that could change it changes.
+    """
+    from repro.experiments.export import jsonable
+
+    text = json.dumps(
+        {name: jsonable(value) for name, value in components.items()},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One simulated (design, workload) cell, any entrypoint."""
+
+    design: str
+    workload: str
+    avg_latency: float
+    avg_flit_latency: float
+    power: Optional["PowerReport"] = None
+    area: Optional["AreaReport"] = None
+    stats: Optional[NetworkStats] = None
+    #: JSON-safe :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, when
+    #: the run was observed; None otherwise.
+    metrics: Optional[dict] = field(default=None, compare=False)
+    #: Content digest of the inputs that produced this result, when the run
+    #: was addressable (job digest) or observed (provenance digest).
+    provenance: Optional[str] = None
+
+    @property
+    def total_power_w(self) -> float:
+        """Total NoC power of this run, in Watts (NaN without a model)."""
+        return self.power.total_w if self.power is not None else float("nan")
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total NoC active area of this design, in mm^2 (NaN without one)."""
+        return self.area.total_mm2 if self.area is not None else float("nan")
+
+    @property
+    def activity(self):
+        """The run's :class:`~repro.noc.stats.ActivityCounts` (or None)."""
+        return self.stats.activity if self.stats is not None else None
+
+    def with_provenance(self, digest: str) -> "RunResult":
+        """A copy carrying ``digest`` (used when decoding legacy payloads)."""
+        return replace(self, provenance=digest)
+
+    def summary(self) -> dict:
+        """Headline metrics as a JSON-safe dict (CLI ``--json`` output)."""
+        out = {
+            "design": self.design,
+            "workload": self.workload,
+            "avg_latency": self.avg_latency,
+            "avg_flit_latency": self.avg_flit_latency,
+            "power_w": self.total_power_w,
+            "area_mm2": self.total_area_mm2,
+            "provenance": self.provenance,
+        }
+        if self.stats is not None:
+            out.update(
+                delivered_packets=self.stats.delivered_packets,
+                injected_packets=self.stats.injected_packets,
+                delivery_ratio=self.stats.delivery_ratio,
+                throughput_flits_per_cycle=(
+                    self.stats.throughput_flits_per_cycle
+                ),
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        """Full JSON-safe payload: summary + activity + metrics snapshot."""
+        from repro.experiments.export import jsonable
+
+        out = self.summary()
+        if self.stats is not None:
+            out["activity"] = jsonable(self.stats.activity)
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out

@@ -1,0 +1,162 @@
+"""Cycle-level event tracer: a bounded ring buffer with JSONL persistence.
+
+Off by default.  When enabled (``SimulationParams.trace_events`` or the
+CLI's ``--trace-events``), the network emits one structured event per
+observable action inside the measurement window:
+
+===========  =============================================================
+kind         meaning
+===========  =============================================================
+``inject``   a packet entered at its source network interface
+``route``    RC diverted a packet off its table route (escape / adaptive)
+``hop``      a flit crossed an inter-router mesh link
+``rf``       a flit crossed an RF-I shortcut (carries the band index)
+``deliver``  one destination received the packet's tail flit
+``complete`` the packet reached every destination
+``drop``     the run ended with the packet still undelivered (capped drain)
+===========  =============================================================
+
+The buffer is a ring: when more than ``capacity`` events fire, the oldest
+are discarded and counted in :attr:`EventTracer.dropped_events` — a bounded
+memory footprint whatever the run length.  :func:`write_jsonl` /
+:func:`read_jsonl` round-trip the buffer through one-JSON-object-per-line
+files for replay and heatmap tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Every kind an event may carry, in the order they occur in a packet's life.
+EVENT_KINDS = ("inject", "route", "hop", "rf", "deliver", "complete", "drop")
+
+#: Field -> required type(s); None-able fields are optional per kind.
+EVENT_SCHEMA: dict[str, tuple] = {
+    "cycle": (int,),
+    "kind": (str,),
+    "packet": (int,),
+    "router": (int, type(None)),
+    "port": (str, type(None)),
+    "dst": (int, type(None)),
+    "band": (int, type(None)),
+    "detail": (str, type(None)),
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured simulation event."""
+
+    cycle: int
+    kind: str
+    packet: int
+    router: Optional[int] = None
+    port: Optional[str] = None
+    dst: Optional[int] = None
+    band: Optional[int] = None
+    detail: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict with None-valued fields elided."""
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+def validate_event(payload: dict) -> TraceEvent:
+    """Check one decoded JSONL object against the schema; return the event.
+
+    Raises ``ValueError`` on unknown fields, missing required fields, wrong
+    types, or an unknown ``kind`` — the contract tests and any external
+    consumer share this one validator.
+    """
+    unknown = set(payload) - set(EVENT_SCHEMA)
+    if unknown:
+        raise ValueError(f"unknown trace-event fields {sorted(unknown)}")
+    for name in ("cycle", "kind", "packet"):
+        if name not in payload:
+            raise ValueError(f"trace event missing required field {name!r}")
+    for name, types in EVENT_SCHEMA.items():
+        value = payload.get(name)
+        if not isinstance(value, types):
+            raise ValueError(
+                f"trace-event field {name!r} has type "
+                f"{type(value).__name__}, expected one of "
+                f"{[t.__name__ for t in types]}"
+            )
+    if payload["kind"] not in EVENT_KINDS:
+        raise ValueError(f"unknown trace-event kind {payload['kind']!r}")
+    return TraceEvent(**payload)
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted_events = 0
+
+    def emit(
+        self,
+        cycle: int,
+        kind: str,
+        packet: int,
+        router: Optional[int] = None,
+        port: Optional[str] = None,
+        dst: Optional[int] = None,
+        band: Optional[int] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Append one event (evicting the oldest when the ring is full)."""
+        self.emitted_events += 1
+        self._ring.append(TraceEvent(
+            cycle=cycle, kind=kind, packet=packet, router=router,
+            port=port, dst=dst, band=band, detail=detail,
+        ))
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted because the ring was full."""
+        return self.emitted_events - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    def events(self, kind: Optional[str] = None) -> list[TraceEvent]:
+        """Buffered events, optionally filtered to one kind."""
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind == kind]
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Persist the buffered events, one JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for event in self._ring:
+                fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        return path
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load and validate a JSONL trace written by :meth:`write_jsonl`."""
+    events = []
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not valid JSON") from exc
+            events.append(validate_event(payload))
+    return events

@@ -159,6 +159,10 @@ class SimulationParams:
     measure_cycles: int = 10_000
     drain_cycles: int = 20_000   # extra cycles allowed for in-flight packets
     seed: int = 2008
+    #: Cycle-level event tracing (repro.obs): off by default — when on, the
+    #: simulator attaches an Observation and fills its bounded ring buffer.
+    trace_events: bool = False
+    trace_buffer_events: int = 65_536
 
 
 @dataclass(frozen=True)

@@ -19,8 +19,13 @@ Area accounting reproduces Table 2's two provisioning styles:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.params import RFIParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.stats import ActivityCounts
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,29 @@ class RFIPhysicalModel:
     def adaptive_area_mm2(self, num_access_points: int) -> float:
         """Active area of ``num_access_points`` tunable access points."""
         return self.area_mm2(num_access_points * self.adaptive_access_point_gbps())
+
+    # -- observability -------------------------------------------------------
+
+    def publish(
+        self,
+        registry: "MetricsRegistry",
+        activity: "ActivityCounts",
+        flit_bytes: int,
+    ) -> None:
+        """Publish the window's RF-I energy and utilization as gauges.
+
+        ``rf_flits`` and ``rf_mc_flits_tx`` come straight from the activity
+        counters; energies apply this phy's published pJ/bit constant —
+        the same conversion the power model performs.
+        """
+        registry.gauge("rf_flits").set(activity.rf_flits)
+        registry.gauge("rf_energy_pj").set(
+            self.energy_per_flit_pj(flit_bytes) * activity.rf_flits
+        )
+        if activity.rf_mc_flits_tx:
+            registry.gauge("rf_mc_energy_pj").set(
+                self.energy_per_flit_pj(flit_bytes) * activity.rf_mc_flits_tx
+            )
 
     # -- latency ---------------------------------------------------------------
 

@@ -1,0 +1,126 @@
+"""Tests for the unified ``repro.api`` facade."""
+
+import pytest
+
+import repro
+from repro.api import Comparison, compare, simulate, sweep
+from repro.exec import run_sweep, sweep_grid
+from repro.experiments import FAST_CONFIG
+from repro.obs import MetricsRegistry, read_jsonl
+from repro.obs.result import RunResult
+
+
+class TestSimulate:
+    def test_returns_unified_result(self):
+        result = simulate("static", "uniform", fast=True)
+        assert isinstance(result, RunResult)
+        assert result.design == "static-16B"
+        assert result.workload == "uniform"
+        assert result.avg_latency > 0
+        assert result.total_power_w > 0
+        assert result.provenance is not None
+
+    def test_metrics_ride_in_result(self):
+        result = simulate("static", "uniform", fast=True)
+        assert result.metrics is not None
+        assert MetricsRegistry.snapshot_total(
+            result.metrics, "flits_routed"
+        ) == result.stats.activity.switch_traversals
+
+    def test_metrics_off_uses_memo_path(self):
+        result = simulate("baseline", "uniform", fast=True, metrics=False)
+        assert result.metrics is None
+        assert result.stats is not None
+
+    def test_trace_events_writes_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        result = simulate("static", "uniform", fast=True, trace_events=path)
+        events = read_jsonl(path)
+        assert events, "trace file should not be empty"
+        rf = sum(1 for e in events if e.kind == "rf")
+        assert rf == result.stats.activity.rf_flits
+
+    def test_seed_changes_traffic(self):
+        a = simulate("baseline", "uniform", fast=True, metrics=False)
+        b = simulate("baseline", "uniform", fast=True, metrics=False,
+                     seed=1234)
+        assert a.stats.injected_packets != b.stats.injected_packets or (
+            a.avg_latency != b.avg_latency
+        )
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(ValueError):
+            simulate("warp-drive", "uniform", fast=True)
+
+
+class TestSweep:
+    def test_results_are_unified(self, tmp_path):
+        report = sweep(["baseline", "static"], [16], ["uniform"], fast=True,
+                       store=tmp_path / "cache")
+        assert [r.design for r in report.results] == [
+            "baseline-16B", "static-16B"
+        ]
+        assert all(isinstance(r, RunResult) for r in report.results)
+        assert all(r.provenance for r in report.results)
+
+    def test_matches_legacy_run_sweep(self, tmp_path):
+        styles, widths, workloads = ["baseline"], [16], ["uniform"]
+        new = sweep(styles, widths, workloads, fast=True)
+        legacy = run_sweep(
+            sweep_grid(styles, widths, workloads), config=FAST_CONFIG
+        )
+        assert new.results[0].avg_latency == legacy.results[0].avg_latency
+        assert new.results[0].stats.activity == (
+            legacy.results[0].stats.activity
+        )
+
+    def test_profile_telemetry_present(self):
+        report = sweep(["baseline"], [16], ["uniform"], fast=True)
+        profile = report.summary()["profile"]
+        assert profile.get("simulate_s", 0) > 0
+        assert "encode_s" in profile
+
+    def test_trace_dir_writes_one_file_per_cell(self, tmp_path):
+        report = sweep(["baseline", "static"], [16], ["uniform"], fast=True,
+                       trace_dir=tmp_path / "traces")
+        files = sorted((tmp_path / "traces").glob("*.jsonl"))
+        assert len(files) == 2
+        for path, result in zip(files, report.results):
+            events = read_jsonl(path)
+            rf = sum(1 for e in events if e.kind == "rf")
+            assert rf == result.stats.activity.rf_flits
+
+
+class TestCompare:
+    def test_compare_designs(self):
+        comparison = compare(["baseline", "static"], "uniform", fast=True)
+        assert isinstance(comparison, Comparison)
+        assert comparison.baseline.design == "baseline-16B"
+        normalized = comparison.normalized_latency()
+        assert normalized["baseline-16B"] == 1.0
+        # Static shortcuts beat the bare mesh on uniform traffic.
+        assert normalized["static-16B"] < 1.0
+
+    def test_width_pairs(self):
+        comparison = compare([("baseline", 16), ("baseline", 8)], "uniform",
+                             fast=True, metrics=False)
+        assert [r.design for r in comparison] == [
+            "baseline-16B", "baseline-8B"
+        ]
+        summary = comparison.summary()
+        assert summary["baseline"] == "baseline-16B"
+        assert len(summary["designs"]) == 2
+
+
+class TestPublicSurface:
+    def test_package_reexports(self):
+        assert repro.simulate is simulate
+        assert repro.sweep is sweep
+        assert repro.compare is compare
+        assert repro.RunResult is RunResult
+        assert repro.MetricsRegistry is MetricsRegistry
+
+    def test_runner_runresult_is_unified(self):
+        from repro.experiments.runner import RunResult as RunnerResult
+
+        assert RunnerResult is RunResult

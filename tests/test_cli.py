@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main, render_parameters
@@ -84,16 +86,128 @@ class TestSimulate:
     def test_baseline_cell(self, capsys):
         assert main([
             "simulate", "--design", "baseline", "--width", "16",
-            "--trace", "uniform", "--fast",
+            "--workload", "uniform", "--fast",
         ]) == 0
         out = capsys.readouterr().out
         assert "latency" in out
         assert "power" in out
 
+    def test_legacy_trace_alias(self, capsys):
+        """The pre-1.0 ``--trace`` spelling still selects the workload."""
+        assert main([
+            "simulate", "--design", "baseline", "--trace", "uniform",
+            "--fast",
+        ]) == 0
+        assert "workload  : uniform" in capsys.readouterr().out
+
+    def test_trace_alias_hidden_from_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--workload" in help_text
+        assert "--trace " not in help_text and "--trace\n" not in help_text
+
     def test_heatmap_flag(self, capsys):
         assert main([
-            "simulate", "--design", "baseline", "--trace", "1Hotspot",
+            "simulate", "--design", "baseline", "--workload", "1Hotspot",
             "--fast", "--heatmap",
         ]) == 0
         out = capsys.readouterr().out
         assert len(out.splitlines()) > 12  # report + 10-row heatmap
+
+    def test_json_output(self, capsys):
+        assert main([
+            "simulate", "--design", "static", "--fast", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "static-16B"
+        assert payload["avg_latency"] > 0
+        assert len(payload["provenance"]) == 64
+
+    def test_trace_events_emits_valid_jsonl(self, tmp_path, capsys):
+        """Acceptance: traced events validate and reconcile with activity."""
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        assert main([
+            "simulate", "--design", "static", "--fast",
+            "--trace-events", str(path), "--json",
+        ]) == 0
+        events = read_jsonl(path)       # read_jsonl validates every event
+        assert events
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_events"] == str(path)
+        # Per-router flit counts sum to the ActivityCounts totals.
+        per_router: dict[int, int] = {}
+        for event in events:
+            if event.kind in ("hop", "rf"):
+                per_router[event.router] = per_router.get(event.router, 0) + 1
+        import repro
+
+        result = repro.simulate("static", "uniform", fast=True, metrics=False)
+        activity = result.stats.activity
+        assert sum(per_router.values()) == (
+            activity.mesh_flit_hops + activity.rf_flits
+        )
+
+    def test_out_writes_full_result(self, tmp_path):
+        out = tmp_path / "result.json"
+        assert main([
+            "simulate", "--design", "baseline", "--fast",
+            "--out", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["design"] == "baseline-16B"
+        assert "metrics" in payload
+
+
+class TestJsonEverywhere:
+    """Every subcommand honors ``--json``."""
+
+    def test_params_json(self, capsys):
+        assert main(["params", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["Topology"] == "10x10 mesh"
+
+    def test_floorplan_json(self, capsys):
+        assert main(["floorplan", "--access-points", "25", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["access_points"]) == 25
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        assert set(json.loads(capsys.readouterr().out)) == set(EXPERIMENTS)
+
+    def test_workloads_json(self, capsys):
+        assert main(["workloads", "--cycles", "1000", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["workload"]: row for row in rows}
+        assert by_name["4Hotspot"]["hotspots"] == 4
+
+    def test_run_json(self, capsys):
+        assert main(["run", "T2", "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["T2"]["experiment"] == "T2"
+
+
+class TestSweepCommand:
+    def test_sweep_json_and_legacy_traces_alias(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--styles", "baseline", "--widths", "16",
+            "--traces", "uniform", "--fast", "--json",
+            "--cache", str(tmp_path / "cache"),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["jobs"] == 1
+        job = payload["jobs"][0]
+        assert job["result"]["design"] == "baseline-16B"
+        assert job["result"]["provenance"] == job["digest"]
+
+    def test_sweep_trace_events_dir(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert main([
+            "sweep", "--styles", "baseline", "--widths", "16",
+            "--workloads", "uniform", "--fast", "--json",
+            "--trace-events", str(trace_dir),
+        ]) == 0
+        assert len(list(trace_dir.glob("*.jsonl"))) == 1
