@@ -24,6 +24,7 @@ Packages
 ``repro.experiments``  per-figure reproduction harness
 ``repro.exec``         parallel execution engine + persistent result store
 ``repro.obs``          observability: metrics, event tracing, profiling
+``repro.faults``       fault injection and graceful degradation
 ``repro.api``          the unified ``simulate``/``sweep``/``compare`` facade
 """
 
@@ -38,11 +39,15 @@ from repro.experiments import (
     FigureResult, RunResult, e1_load_latency, e2_adaptive_routing,
     e3_static_shortcut_gains, e4_heuristic_ablation, fig1_traffic_locality,
     fig2_topologies, fig7_rf_router_count, fig8_bandwidth_reduction,
-    fig9_multicast, fig10_unified, table2_area,
+    fig9_multicast, fig10_unified, r1_shortcut_degradation,
+    r2_transient_outage, table2_area,
+)
+from repro.faults import (
+    Fault, FaultPartitionError, FaultSchedule, kill_bands, mtbf_schedule,
 )
 from repro.noc import (
-    Message, MessageClass, MeshTopology, Network, NetworkStats, Packet,
-    RoutingPolicy, RoutingTables, Shortcut, Simulator,
+    DisconnectedMeshError, Message, MessageClass, MeshTopology, Network,
+    NetworkStats, Packet, RoutingPolicy, RoutingTables, Shortcut, Simulator,
 )
 from repro.obs import EventTracer, MetricsRegistry, Observation
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
@@ -57,10 +62,14 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DEFAULT_PARAMS",
     "DesignPoint",
+    "DisconnectedMeshError",
     "EventTracer",
     "ExperimentConfig",
     "ExperimentRunner",
     "FAST_CONFIG",
+    "Fault",
+    "FaultPartitionError",
+    "FaultSchedule",
     "FigureResult",
     "JobSpec",
     "Message",
@@ -95,6 +104,10 @@ __all__ = [
     "fig8_bandwidth_reduction",
     "fig9_multicast",
     "fig10_unified",
+    "kill_bands",
+    "mtbf_schedule",
+    "r1_shortcut_degradation",
+    "r2_transient_outage",
     "run_sweep",
     "simulate",
     "static_rf",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.exec.engine import ProgressFn, SweepReport, run_sweep
 from repro.exec.jobs import sweep_grid
@@ -32,6 +32,9 @@ from repro.experiments.runner import ExperimentRunner
 from repro.obs import EventTracer, MetricsRegistry, Observation
 from repro.obs.result import RunResult
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultSchedule
 
 __all__ = ["Comparison", "RunResult", "compare", "simulate", "sweep"]
 
@@ -56,6 +59,7 @@ def simulate(
     access_points: Optional[int] = None,
     adaptive_routing: bool = False,
     seed: Optional[int] = None,
+    faults: Union[str, "FaultSchedule", None] = None,
     fast: bool = False,
     config: Optional[ExperimentConfig] = None,
     params: ArchitectureParams = DEFAULT_PARAMS,
@@ -75,6 +79,11 @@ def simulate(
     ``True`` to keep events in memory only (reachable via ``observation``).
     Observed runs always simulate fresh; pass ``metrics=False,
     trace_events=None`` to go through the memo/result store instead.
+    ``faults`` injects a fault schedule (spec string like
+    ``"band:3;link:12-13@100-500"`` or a
+    :class:`~repro.faults.FaultSchedule`): the design degrades gracefully
+    around structural faults and dodges transient ones at runtime — see
+    ``docs/faults.md``.
     """
     resolved_config = _resolve_config(config, fast)
     runner = ExperimentRunner(
@@ -95,7 +104,8 @@ def simulate(
             metrics=MetricsRegistry() if metrics else None, tracer=tracer,
         )
     result = runner.run_unicast(
-        design_point, workload, seed=seed, observation=observation
+        design_point, workload, seed=seed, observation=observation,
+        faults=faults,
     )
     if (
         observation is not None
@@ -115,6 +125,7 @@ def sweep(
     jobs: int = 1,
     seeds: Sequence[Optional[int]] = (None,),
     adaptive_routing: bool = False,
+    faults: Union[str, "FaultSchedule", None] = None,
     fast: bool = False,
     config: Optional[ExperimentConfig] = None,
     params: ArchitectureParams = DEFAULT_PARAMS,
@@ -129,11 +140,15 @@ def sweep(
     :func:`simulate` returns, in deterministic grid order, and
     ``report.summary()`` carries cache and phase-profile telemetry.
     ``trace_dir`` writes one JSONL event trace per cell (and forces every
-    cell to simulate fresh, bypassing ``store``).
+    cell to simulate fresh, bypassing ``store``).  ``faults`` applies one
+    fault schedule (spec string or :class:`~repro.faults.FaultSchedule`)
+    to every cell in the grid.
     """
+    if faults is not None and not isinstance(faults, str):
+        faults = faults.canonical()
     specs = sweep_grid(
         styles, widths, workloads,
-        adaptive_routing=adaptive_routing, seeds=seeds,
+        adaptive_routing=adaptive_routing, seeds=seeds, faults=faults,
     )
     return run_sweep(
         specs,

@@ -17,9 +17,10 @@ vocabulary: ``--jobs``, ``--seed``, ``--out``, ``--fast``, and
 takes ``--json`` to emit machine-readable output on stdout instead of
 text.  ``simulate --trace-events FILE`` writes the run's cycle-level
 events as JSONL; ``sweep --trace-events DIR`` writes one JSONL per
-simulated cell (tracing forces fresh, uncached runs).  The pre-1.0 flag
-spellings (``simulate --trace``, ``sweep --traces``) keep working as
-hidden aliases.
+simulated cell (tracing forces fresh, uncached runs); both take
+``--faults SPEC`` to inject a fault schedule (see ``docs/faults.md``).
+The pre-1.0 flag spellings (``simulate --trace``, ``sweep --traces``)
+keep working as hidden aliases.
 """
 
 from __future__ import annotations
@@ -34,7 +35,8 @@ from repro.experiments import (
     DEFAULT_CONFIG, FAST_CONFIG, ExperimentRunner, e1_load_latency,
     e2_adaptive_routing, e3_static_shortcut_gains, e4_heuristic_ablation,
     fig1_traffic_locality, fig2_topologies, fig7_rf_router_count,
-    fig8_bandwidth_reduction, fig9_multicast, fig10_unified, table2_area,
+    fig8_bandwidth_reduction, fig9_multicast, fig10_unified,
+    r1_shortcut_degradation, r2_transient_outage, table2_area,
 )
 from repro.params import DEFAULT_PARAMS
 
@@ -49,6 +51,8 @@ EXPERIMENTS = {
     "F8": (fig8_bandwidth_reduction, "mesh bandwidth reduction (Fig 8)"),
     "F9": (fig9_multicast, "multicast comparison (Fig 9)"),
     "F10": (fig10_unified, "unified power/performance (Fig 10)"),
+    "R1": (r1_shortcut_degradation, "resilience: latency/power vs dead bands"),
+    "R2": (r2_transient_outage, "resilience: transient mid-run outage"),
     "T2": (table2_area, "NoC area (Table 2)"),
 }
 
@@ -223,10 +227,13 @@ def cmd_simulate(args) -> int:
 
     result = simulate(
         args.design, args.workload, width=args.width, fast=args.fast,
-        seed=args.seed, trace_events=args.trace_events or None,
+        seed=args.seed, faults=args.faults or None,
+        trace_events=args.trace_events or None,
     )
     summary = result.summary()
     summary["provenance"] = result.provenance
+    if args.faults:
+        summary["faults"] = args.faults
     if args.trace_events:
         summary["trace_events"] = str(args.trace_events)
     if args.out:
@@ -244,6 +251,11 @@ def cmd_simulate(args) -> int:
     print(f"area      : {result.total_area_mm2:.2f} mm^2")
     print(f"delivered : {result.stats.delivered_packets} packets "
           f"({result.stats.delivery_ratio:.3f} of injected)")
+    if args.faults:
+        stats = result.stats
+        print(f"faults    : {args.faults} (drops={stats.fault_drops} "
+              f"retries={stats.fault_retries} "
+              f"reroutes={stats.fault_reroutes})")
     if args.trace_events:
         print(f"trace     : {args.trace_events}")
     if args.heatmap:
@@ -266,7 +278,8 @@ def cmd_sweep(args) -> int:
     widths = [int(w) for w in args.widths.split(",") if w]
     workloads = [t for t in args.workloads.split(",") if t]
     specs = sweep_grid(styles, widths, workloads,
-                       adaptive_routing=args.adaptive_routing)
+                       adaptive_routing=args.adaptive_routing,
+                       faults=args.faults or None)
     trace_dir = Path(args.trace_events) if args.trace_events else None
     # Tracing forces fresh runs, so the persistent cache is bypassed.
     store = (None if args.no_cache or trace_dir
@@ -331,7 +344,7 @@ def cmd_sweep(args) -> int:
 
 
 def _add_common(parser, *, jobs: bool = False, trace: bool = False,
-                trace_help: str = "") -> None:
+                trace_help: str = "", faults: bool = False) -> None:
     """The shared flag vocabulary of the executing verbs."""
     parser.add_argument("--seed", type=int, default=None,
                         help="override the traffic seed")
@@ -344,6 +357,12 @@ def _add_common(parser, *, jobs: bool = False, trace: bool = False,
         parser.add_argument("--trace-events", metavar="PATH", default=None,
                             help=trace_help or "write cycle-level event "
                             "trace(s) as JSONL to PATH")
+    if faults:
+        parser.add_argument(
+            "--faults", metavar="SPEC", default=None,
+            help="fault schedule, e.g. 'band:3;link:12-13@100-500' or "
+                 "'mtbf:bands=16,mtbf=50000,horizon=12000,seed=1' "
+                 "(see docs/faults.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -389,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Pre-1.0 spelling, kept as a hidden alias.
     simulate.add_argument("--trace", dest="workload",
                           default=argparse.SUPPRESS, help=argparse.SUPPRESS)
-    _add_common(simulate, jobs=True, trace=True,
+    _add_common(simulate, jobs=True, trace=True, faults=True,
                 trace_help="write this run's cycle-level events as JSONL "
                            "to PATH")
     simulate.add_argument("--out", help="also write the full result as JSON")
@@ -412,7 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent result-store directory")
     sweep.add_argument("--no-cache", action="store_true",
                        help="skip the persistent store entirely")
-    _add_common(sweep, jobs=True, trace=True,
+    _add_common(sweep, jobs=True, trace=True, faults=True,
                 trace_help="directory: write one JSONL event trace per "
                            "simulated cell (bypasses the cache)")
     sweep.add_argument("--out", help="also write results + telemetry JSON")

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cmp.address import make_kernel
 from repro.cmp.caches import L1Cache, L2Bank
@@ -80,9 +81,10 @@ class CMPSystem:
     def __init__(
         self,
         network: Network,
-        config: CMPConfig = CMPConfig(),
+        config: Optional[CMPConfig] = None,
         invalidation_realization=None,
     ):
+        config = config if config is not None else CMPConfig()
         self.network = network
         self.config = config
         self.topology: MeshTopology = network.topology

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.noc.message import Message, MessageClass, message_bytes
 from repro.noc.topology import MeshTopology
@@ -51,12 +52,15 @@ class DirectoryProtocol:
     def __init__(
         self,
         topology: MeshTopology,
-        config: CoherenceConfig = CoherenceConfig(),
-        message_params: MessageParams = MessageParams(),
+        config: Optional[CoherenceConfig] = None,
+        message_params: Optional[MessageParams] = None,
     ):
+        config = config if config is not None else CoherenceConfig()
         self.topology = topology
         self.config = config
-        self.message_params = message_params
+        self.message_params = (
+            message_params if message_params is not None else MessageParams()
+        )
         self.rng = random.Random(config.seed)
         banks = topology.caches
         self.blocks = [

@@ -23,7 +23,7 @@ expensive artifacts — selection, tables — are computed once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.params import DEFAULT_PARAMS, ArchitectureParams
 from repro.shortcuts.selection import (
     SelectionConfig, select_architecture_shortcuts,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.model import FaultSchedule
 
 
 @dataclass
@@ -50,6 +53,10 @@ class DesignPoint:
     policy: RoutingPolicy = field(default_factory=RoutingPolicy)
     shortcut_style: str = "rf"
     plan: Optional[ReconfigurationPlan] = None
+    #: The fault schedule this design was degraded for (see
+    #: :func:`repro.faults.degraded_design`); structural faults are already
+    #: folded into ``tables``, runtime ones become a per-network FaultState.
+    faults: Optional["FaultSchedule"] = None
 
     @property
     def shortcuts(self) -> list[Shortcut]:
@@ -63,10 +70,19 @@ class DesignPoint:
 
     def new_network(self) -> Network:
         """A fresh simulation instance of this design."""
-        return Network(
+        network = Network(
             self.topology, self.params, self.tables, self.policy,
             shortcut_style=self.shortcut_style,
         )
+        if self.faults is not None:
+            from repro.faults.state import FaultState
+
+            state = FaultState(
+                self.faults, self.tables, self.topology, self.params.rfi
+            )
+            if not state.inert:
+                network.fault_state = state
+        return network
 
 
 def _resolve(

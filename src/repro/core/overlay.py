@@ -17,6 +17,7 @@ of allocated bands never exceeds the 256 B aggregate budget (16 channels of
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.noc.routing import Shortcut
 from repro.noc.topology import MeshTopology
@@ -48,9 +49,10 @@ class RFIOverlay:
         self,
         topology: MeshTopology,
         access_points: list[int],
-        rfi_params: RFIParams = RFIParams(),
+        rfi_params: Optional[RFIParams] = None,
         adaptive: bool = True,
     ):
+        rfi_params = rfi_params if rfi_params is not None else RFIParams()
         self.topology = topology
         self.rfi_params = rfi_params
         self.adaptive = adaptive
@@ -184,7 +186,7 @@ class RFIOverlay:
         cls,
         topology: MeshTopology,
         shortcuts: list[Shortcut],
-        rfi_params: RFIParams = RFIParams(),
+        rfi_params: Optional[RFIParams] = None,
     ) -> "RFIOverlay":
         """Overlay whose access points are exactly the shortcut endpoints.
 

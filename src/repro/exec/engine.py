@@ -123,7 +123,8 @@ def execute_spec(
             adaptive_routing=spec.adaptive_routing,
         )
         return runner.run_unicast(design, spec.workload, seed=spec.seed,
-                                  observation=observation)
+                                  observation=observation,
+                                  faults=dict(spec.extra).get("faults"))
     if spec.kind == "multicast":
         design = runner.design(
             spec.style, spec.link_bytes,

@@ -110,12 +110,23 @@ def sweep_grid(
     *,
     adaptive_routing: bool = False,
     seeds: Iterable[Optional[int]] = (None,),
+    faults: Optional[str] = None,
 ) -> list[JobSpec]:
     """The full (style x link-width x workload x seed) unicast grid.
 
     Cells are emitted in deterministic nested order (styles outermost),
     which is also the order the sweep engine reports results in.
+    ``faults`` (a canonical fault-spec string) applies one schedule to
+    every cell, folded into each spec's ``extra`` — and therefore its
+    digest — so faulted sweeps address distinct store entries.
     """
+    extra: tuple[tuple[str, str], ...] = ()
+    if faults:
+        from repro.faults import as_schedule
+
+        schedule = as_schedule(faults)
+        if schedule is not None:
+            extra = (("faults", schedule.canonical()),)
     return [
         JobSpec(
             kind="unicast",
@@ -125,6 +136,7 @@ def sweep_grid(
             seed=seed,
             adaptive_routing=adaptive_routing,
             design_workload=workload if style in PROFILED_STYLES else None,
+            extra=extra,
         )
         for style in styles
         for width in widths

@@ -44,6 +44,9 @@ def encode_stats(stats: NetworkStats) -> dict:
         "hop_sum": stats.hop_sum,
         "rf_hop_sum": stats.rf_hop_sum,
         "escape_packets": stats.escape_packets,
+        "fault_drops": stats.fault_drops,
+        "fault_retries": stats.fault_retries,
+        "fault_reroutes": stats.fault_reroutes,
         "latencies": list(stats.latencies),
         "class_counts": {c.value: n for c, n in stats.class_counts.items()},
         "class_latency_sum": {
@@ -78,6 +81,10 @@ def decode_stats(payload: dict) -> NetworkStats:
         hop_sum=payload["hop_sum"],
         rf_hop_sum=payload["rf_hop_sum"],
         escape_packets=payload["escape_packets"],
+        # Fault counters postdate the store schema; old entries decode as 0.
+        fault_drops=payload.get("fault_drops", 0),
+        fault_retries=payload.get("fault_retries", 0),
+        fault_reroutes=payload.get("fault_reroutes", 0),
         latencies=list(payload["latencies"]),
     )
     for value, n in payload["class_counts"].items():

@@ -16,6 +16,9 @@ from repro.experiments.repetition import (
     RepeatedMeasure, RepeatedRun, repeat_unicast, seed_stability, t_critical,
 )
 from repro.experiments.report import Table, geomean, normalized
+from repro.experiments.resilience import (
+    r1_shortcut_degradation, r2_transient_outage,
+)
 from repro.experiments.runner import ExperimentRunner, RunResult
 from repro.experiments.saturation import SaturationResult, find_saturation
 
@@ -56,5 +59,7 @@ __all__ = [
     "fig10_unified",
     "geomean",
     "normalized",
+    "r1_shortcut_degradation",
+    "r2_transient_outage",
     "table2_area",
 ]

@@ -1,0 +1,135 @@
+"""R-series resilience experiments: graceful degradation under faults.
+
+The paper's architecture argument leans on the mesh remaining a correct
+fallback whenever RF-I resources disappear.  These experiments measure
+that claim as degradation curves:
+
+* :func:`r1_shortcut_degradation` — kill 0..all RF bands (a fixed seeded
+  permutation, so each fault set nests inside the next) and track
+  latency/power for the baseline, static, and adaptive designs.  The
+  baseline has no shortcuts, so its row is the flat reference; at the
+  far end (every band dead) both overlay designs must collapse onto it.
+* :func:`r2_transient_outage` — drop RF bands and a mesh link for a
+  window in the middle of the measured phase and compare against the
+  fault-free run, alongside the drop/retry/reroute counters that show
+  the runtime machinery absorbing the outage.
+
+Both return the same :class:`FigureResult` shape as the paper-figure
+experiments, so they plug into ``python -m repro run R1``/``R2``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import Table, normalized
+from repro.experiments.runner import ExperimentRunner
+from repro.faults import FaultSchedule, kill_bands
+
+#: Dead-band counts R1 sweeps over (out of the 16-band budget).
+R1_STEPS = (0, 4, 8, 12, 16)
+
+#: Seed for the R1 band-kill permutation (fixed: curves must nest).
+R1_SEED = 17
+
+
+def r1_shortcut_degradation(
+    runner: ExperimentRunner, workload: str = "uniform",
+) -> FigureResult:
+    """Latency/power vs dead RF bands for baseline/static/adaptive.
+
+    Fault sets are nested (``kill_bands`` kills a prefix of one seeded
+    permutation), so the curves are monotone-comparable: each step only
+    adds faults.  Expected shape: overlay latency degrades monotonically
+    toward the baseline's as bands die, with the adaptive design both
+    starting lower and degrading more gently than the static one; power
+    falls with the shed RF traffic.
+    """
+    num_bands = runner.params.rfi.shortcut_budget
+    designs = [
+        ("baseline", runner.design("baseline", 16)),
+        ("static", runner.design("static", 16)),
+        ("adaptive", runner.design("adaptive", 16, workload=workload)),
+    ]
+    table = Table(
+        f"R1 — degradation vs dead RF bands ({workload})",
+        ["dead bands"] + [f"{name} lat" for name, _ in designs]
+        + [f"{name} W" for name, _ in designs],
+    )
+    series: dict = {
+        name: {"latency": {}, "power": {}} for name, _ in designs
+    }
+    for dead in R1_STEPS:
+        schedule = kill_bands(dead, num_bands=num_bands, seed=R1_SEED)
+        row = []
+        for name, design in designs:
+            result = runner.run_unicast(design, workload, faults=schedule)
+            series[name]["latency"][dead] = result.avg_latency
+            series[name]["power"][dead] = result.total_power_w
+            row.append(result)
+        table.add(dead, *(r.avg_latency for r in row),
+                  *(r.total_power_w for r in row))
+    for name, _ in designs[1:]:
+        lat = series[name]["latency"]
+        series[f"{name}_vs_baseline_at_{num_bands}"] = normalized(
+            lat[num_bands], series["baseline"]["latency"][num_bands]
+        )
+    table.note("fault sets nest (seeded prefix kill); baseline = flat "
+               "reference; all-dead overlay rows must match it")
+    paper = {
+        "all_bands_dead_matches_baseline": True,
+        "adaptive_degrades_more_gently_than_static": True,
+    }
+    return FigureResult("R1", table, series, paper)
+
+
+def r2_transient_outage(
+    runner: ExperimentRunner, workload: str = "uniform",
+) -> FigureResult:
+    """A mid-run RF + mesh-link outage window vs the fault-free run.
+
+    The outage opens shortly after warmup and spans half the measured
+    window: two RF bands and one central mesh link go down, then repair.
+    Latency should rise versus the clean run but delivery must stay
+    complete — the runtime fault state stalls, retries, and reroutes
+    around the dead resources instead of losing packets.
+    """
+    sim = runner.config.sim
+    start = sim.warmup_cycles + 200
+    end = start + sim.measure_cycles // 2
+    spec = (f"band:0@{start}-{end};band:1@{start}-{end};"
+            f"link:44-45@{start}-{end}")
+    schedule = FaultSchedule.parse(spec)
+    designs = [
+        ("static", runner.design("static", 16)),
+        ("adaptive", runner.design("adaptive", 16, workload=workload)),
+    ]
+    table = Table(
+        f"R2 — transient outage cycles {start}-{end} ({workload})",
+        ["design", "clean lat", "outage lat", "ratio", "delivery",
+         "drops", "retries", "reroutes"],
+    )
+    series: dict = {"outage": spec}
+    for name, design in designs:
+        clean = runner.run_unicast(design, workload)
+        faulted = runner.run_unicast(design, workload, faults=schedule)
+        stats = faulted.stats
+        ratio = normalized(faulted.avg_latency, clean.avg_latency)
+        table.add(name, clean.avg_latency, faulted.avg_latency, ratio,
+                  stats.delivery_ratio, stats.fault_drops,
+                  stats.fault_retries, stats.fault_reroutes)
+        series[name] = {
+            "clean_latency": clean.avg_latency,
+            "outage_latency": faulted.avg_latency,
+            "latency_ratio": ratio,
+            "delivery_ratio": stats.delivery_ratio,
+            "fault_drops": stats.fault_drops,
+            "fault_retries": stats.fault_retries,
+            "fault_reroutes": stats.fault_reroutes,
+        }
+    table.note("transient faults repair mid-run; delivery stays complete "
+               "while latency absorbs the outage")
+    paper = {
+        "delivery_stays_complete": True,
+        "outage_latency_above_clean": True,
+    }
+    return FigureResult("R2", table, series, paper)

@@ -68,6 +68,7 @@ class ExperimentRunner:
         self._results: dict[tuple, RunResult] = {}
         self._designs: dict[tuple, DesignPoint] = {}
         self._design_keys: dict[int, tuple] = {}   # id(design) -> design key
+        self._degraded: dict[tuple, DesignPoint] = {}  # (key, faults) -> point
 
     # -- workloads -----------------------------------------------------------
 
@@ -167,6 +168,23 @@ class ExperimentRunner:
         self._design_keys[id(point)] = key
         return point
 
+    def degraded(self, design: DesignPoint, faults) -> DesignPoint:
+        """``design`` re-planned around a fault schedule (cached).
+
+        ``faults`` is a spec string or :class:`FaultSchedule`; the degraded
+        tables are built once per (design, schedule) pair.  With an empty
+        schedule the original design is returned unchanged.
+        """
+        from repro.faults import as_schedule, degraded_design
+
+        schedule = as_schedule(faults)
+        if schedule is None:
+            return design
+        key = (self._design_key(design), schedule.canonical())
+        if key not in self._degraded:
+            self._degraded[key] = degraded_design(design, schedule)
+        return self._degraded[key]
+
     def _mc_only_design(self, link_bytes: int, aps: int) -> DesignPoint:
         """Baseline mesh + the multicast band on every access-point Rx."""
         point = baseline(link_bytes, self.params, self.topology)
@@ -249,6 +267,7 @@ class ExperimentRunner:
         workload: str,
         seed: Optional[int] = None,
         observation: Optional["Observation"] = None,
+        faults=None,
     ) -> RunResult:
         """Simulate a probabilistic/application workload on a design.
 
@@ -256,10 +275,27 @@ class ExperimentRunner:
         the default is the shared :attr:`ExperimentConfig.traffic_seed`.
         An ``observation`` forces a fresh (uncached, unmemoized) run with
         metrics/tracing attached; its snapshot rides in the result.
+        ``faults`` (a spec string or :class:`~repro.faults.FaultSchedule`)
+        degrades the design first; the schedule's canonical form is folded
+        into the memo key and store digest, so zero-fault cells keep their
+        historical addresses and faulted cells get their own.
         """
+        from repro.faults import as_schedule
+
+        schedule = as_schedule(faults)
         resolved_seed = self.config.traffic_seed if seed is None else seed
-        spec = self.spec_for(design, workload, seed=resolved_seed)
-        key = ("unicast", self._design_key(design), workload, resolved_seed)
+        if schedule is None:
+            spec = self.spec_for(design, workload, seed=resolved_seed)
+            key = ("unicast", self._design_key(design), workload,
+                   resolved_seed)
+        else:
+            spec = self.spec_for(
+                design, workload, seed=resolved_seed,
+                extra=(("faults", schedule.canonical()),),
+            )
+            key = ("unicast", self._design_key(design), workload,
+                   resolved_seed, schedule.canonical())
+            design = self.degraded(design, schedule)
         if observation is None and key in self._results:
             return self._results[key]
         from repro.exec import encode_result

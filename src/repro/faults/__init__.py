@@ -1,0 +1,46 @@
+"""Fault injection and graceful degradation for the RF-I NoC.
+
+The paper's architectural bet only holds if the mesh remains a correct
+fallback when RF-I resources disappear; this package makes that claim
+testable.  :mod:`repro.faults.model` defines what can break (bands, lines,
+mesh links, routers — permanently or for a window) as frozen, hashable,
+canonically-serializable schedules; :mod:`repro.faults.degrade` re-plans a
+design around structural faults (band remapping, fault-excluding routing
+tables, partition refusal, escape-VC deadlock-freedom validation); and
+:mod:`repro.faults.state` tracks transient faults cycle by cycle inside
+the network loop.
+
+Entry points::
+
+    schedule = FaultSchedule.parse("band:3;link:12-13@100-500")
+    schedule = kill_bands(4, num_bands=16, seed=7)
+    schedule = mtbf_schedule([("band", (i,)) for i in range(16)],
+                             mtbf=5e4, repair=5e3, horizon=12_000, seed=1)
+    repro.simulate("static", "uniform", faults="band:0;band:1")
+"""
+
+from repro.faults.degrade import (
+    FaultPartitionError, degraded_design, mesh_faults, remap_bands,
+    usable_band_count, validate_schedule,
+)
+from repro.faults.model import (
+    FAULT_KINDS, Fault, FaultSchedule, as_schedule, kill_bands,
+    mtbf_schedule,
+)
+from repro.faults.state import FaultState
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "as_schedule",
+    "FaultPartitionError",
+    "FaultSchedule",
+    "FaultState",
+    "degraded_design",
+    "kill_bands",
+    "mesh_faults",
+    "mtbf_schedule",
+    "remap_bands",
+    "usable_band_count",
+    "validate_schedule",
+]

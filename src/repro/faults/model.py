@@ -1,0 +1,300 @@
+"""Fault models: what can break, when, and for how long.
+
+The RF-I overlay's central promise — single-cycle shortcuts over a mesh
+that remains a correct fallback — is only testable if the simulator can
+take resources away.  Four things can fail:
+
+* a **band** — one frequency channel of the bundle (a mistuned or dead
+  mixer pair).  The shortcut carried on that band loses its medium;
+  survivors are remapped onto the remaining channels.
+* a **line** — one physical transmission line of the bundle.  The
+  aggregate bandwidth drops by that line's share, shrinking the number of
+  channels the band plan can fund; the lowest-priority shortcuts are shed.
+* a **link** — one bidirectional mesh link (both directed channels).
+* a **router** — a whole router: every link touching it, any shortcut
+  terminating at it, and its ability to source or sink traffic.
+
+A :class:`Fault` is *permanent* (``end is None``) or a *transient window*
+``[start, end)`` in network cycles.  A :class:`FaultSchedule` is a frozen,
+hashable, canonically-ordered set of faults with a stable text form
+(:meth:`FaultSchedule.canonical`) — that string is what rides in a
+:class:`~repro.exec.jobs.JobSpec`'s ``extra`` field, so the result store
+addresses faulted cells without perturbing the digest of fault-free ones.
+
+Seeded MTBF-style schedules (:func:`mtbf_schedule`) draw exponential
+fail/repair processes per component from one :class:`random.Random`, so the
+same seed always yields the same schedule (and therefore the same digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+#: The resource classes a fault can target.
+FAULT_KINDS = ("band", "line", "link", "router")
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One failed resource: permanent, or down for ``[start, end)`` cycles."""
+
+    kind: str
+    target: tuple[int, ...]
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        arity = 2 if self.kind == "link" else 1
+        if len(self.target) != arity or any(t < 0 for t in self.target):
+            raise ValueError(
+                f"{self.kind} fault target must be {arity} non-negative "
+                f"int(s), got {self.target!r}"
+            )
+        if self.kind == "link" and self.target[0] == self.target[1]:
+            raise ValueError("a link fault must name two distinct routers")
+        if self.start < 0:
+            raise ValueError("fault start must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("fault window must be non-empty (end > start)")
+
+    @property
+    def permanent(self) -> bool:
+        """True when the fault never repairs."""
+        return self.end is None
+
+    @property
+    def structural(self) -> bool:
+        """Present from cycle 0 and never repaired — can be routed around
+        at table-build time rather than dodged cycle by cycle."""
+        return self.start == 0 and self.end is None
+
+    def active(self, cycle: int) -> bool:
+        """Is the resource down at ``cycle``?"""
+        if cycle < self.start:
+            return False
+        return self.end is None or cycle < self.end
+
+    def canonical(self) -> str:
+        """Stable text form, e.g. ``band:3``, ``link:12-13@100-500``."""
+        target = "-".join(str(t) for t in self.target)
+        if self.structural:
+            return f"{self.kind}:{target}"
+        window = f"@{self.start}" if self.end is None else f"@{self.start}-{self.end}"
+        return f"{self.kind}:{target}{window}"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A canonically-ordered, hashable set of faults."""
+
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.faults)))
+        object.__setattr__(self, "faults", ordered)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # -- views ----------------------------------------------------------------
+
+    def structural(self) -> tuple[Fault, ...]:
+        """Faults applicable at table-build time (from cycle 0, permanent)."""
+        return tuple(f for f in self.faults if f.structural)
+
+    def runtime(self) -> tuple[Fault, ...]:
+        """Faults that fire or repair mid-run (everything non-structural)."""
+        return tuple(f for f in self.faults if not f.structural)
+
+    def of_kind(self, kind: str) -> tuple[Fault, ...]:
+        """The faults targeting one resource class."""
+        return tuple(f for f in self.faults if f.kind == kind)
+
+    def event_cycles(self) -> list[int]:
+        """Every cycle at which some fault fails or repairs, ascending."""
+        cycles = set()
+        for fault in self.faults:
+            cycles.add(fault.start)
+            if fault.end is not None:
+                cycles.add(fault.end)
+        return sorted(cycles)
+
+    # -- identity -------------------------------------------------------------
+
+    def canonical(self) -> str:
+        """The schedule as a stable ``;``-joined spec string.
+
+        ``parse(s.canonical()) == s`` for every schedule, and equal
+        schedules always produce equal strings — this is the form that is
+        folded into job digests and store addresses.
+        """
+        return ";".join(f.canonical() for f in self.faults)
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical form (the schedule's content address)."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    @property
+    def short(self) -> str:
+        """A 10-hex-char digest prefix for display names."""
+        return self.digest()[:10]
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def of(cls, faults: Iterable[Fault]) -> "FaultSchedule":
+        """A schedule from any iterable of faults."""
+        return cls(tuple(faults))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Parse the ``--faults`` spec format.
+
+        ``spec := entry (';' entry)*`` where each entry is either
+
+        * ``<kind>:<target>[@<start>[-<end>]]`` — ``band:3``,
+          ``line:7@2000``, ``link:12-13@100-500``, ``router:45``; or
+        * ``mtbf:<k>=<v>,...`` — a seeded exponential fail/repair process,
+          expanded here so the canonical form is always concrete faults.
+          Keys: ``bands``/``lines``/``routers`` (component counts),
+          ``links`` (``a-b+c-d`` pairs), ``mtbf`` (mean cycles between
+          failures), ``repair`` (mean outage length), ``horizon`` (cycles
+          covered) and ``seed``.
+        """
+        faults: list[Fault] = []
+        for raw in text.split(";"):
+            entry = raw.strip()
+            if not entry:
+                continue
+            kind, _, rest = entry.partition(":")
+            kind = kind.strip()
+            if not rest:
+                raise ValueError(f"fault entry {entry!r} has no target")
+            if kind == "mtbf":
+                faults.extend(_parse_mtbf(rest))
+                continue
+            target_text, _, window = rest.partition("@")
+            target = tuple(int(t) for t in target_text.split("-") if t != "")
+            start, end = 0, None
+            if window:
+                start_text, sep, end_text = window.partition("-")
+                start = int(start_text)
+                end = int(end_text) if sep else None
+            faults.append(Fault(kind=kind, target=target, start=start, end=end))
+        return cls.of(faults)
+
+
+def as_schedule(value) -> Optional[FaultSchedule]:
+    """Coerce a user-facing fault argument to a schedule (or None).
+
+    Accepts ``None``, a spec string (see :meth:`FaultSchedule.parse`), or a
+    ready :class:`FaultSchedule`; empty schedules normalize to ``None`` so
+    the zero-fault path stays the historical, digest-stable one.
+    """
+    if value is None:
+        return None
+    if isinstance(value, FaultSchedule):
+        return value if value else None
+    if isinstance(value, str):
+        schedule = FaultSchedule.parse(value)
+        return schedule if schedule else None
+    raise TypeError(
+        f"faults must be a spec string or FaultSchedule, not "
+        f"{type(value).__name__}"
+    )
+
+
+def _parse_mtbf(spec: str) -> list[Fault]:
+    fields: dict[str, str] = {}
+    for pair in spec.split(","):
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"mtbf parameter {pair!r} is not key=value")
+        fields[key.strip()] = value.strip()
+    components: list[tuple[str, tuple[int, ...]]] = []
+    for key, kind in (("bands", "band"), ("lines", "line"),
+                      ("routers", "router")):
+        if key in fields:
+            components.extend(
+                (kind, (i,)) for i in range(int(fields.pop(key)))
+            )
+    if "links" in fields:
+        for pair_text in fields.pop("links").split("+"):
+            a, _, b = pair_text.partition("-")
+            components.append(("link", (int(a), int(b))))
+    try:
+        mtbf = float(fields.pop("mtbf"))
+        horizon = int(fields.pop("horizon"))
+        seed = int(fields.pop("seed"))
+    except KeyError as exc:
+        raise ValueError(f"mtbf spec missing required parameter {exc}") from exc
+    repair = float(fields.pop("repair", mtbf / 10))
+    if fields:
+        raise ValueError(f"unknown mtbf parameters {sorted(fields)}")
+    if not components:
+        raise ValueError("mtbf spec names no components (bands=/lines=/...)")
+    return list(mtbf_schedule(components, mtbf=mtbf, repair=repair,
+                              horizon=horizon, seed=seed))
+
+
+def mtbf_schedule(
+    components: Sequence[tuple[str, tuple[int, ...]]],
+    *,
+    mtbf: float,
+    repair: float,
+    horizon: int,
+    seed: int,
+) -> FaultSchedule:
+    """Seeded exponential fail/repair process over ``components``.
+
+    Each component alternates up and down phases with exponentially
+    distributed lengths (means ``mtbf`` and ``repair``); faults are emitted
+    for every down phase that starts before ``horizon``.  The draw order is
+    fixed (components in the given order, phases in time order) so the same
+    arguments always produce the identical schedule.
+    """
+    if mtbf <= 0 or repair <= 0:
+        raise ValueError("mtbf and repair must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    rng = random.Random(seed)
+    faults: list[Fault] = []
+    for kind, target in components:
+        t = 0.0
+        while True:
+            t += rng.expovariate(1.0 / mtbf)
+            start = int(t)
+            if start >= horizon:
+                break
+            t += rng.expovariate(1.0 / repair)
+            end = max(start + 1, int(t))
+            faults.append(Fault(kind=kind, target=tuple(target),
+                                start=start, end=end))
+    return FaultSchedule.of(faults)
+
+
+def kill_bands(count: int, *, num_bands: int, seed: int) -> FaultSchedule:
+    """Permanent faults on ``count`` bands, drawn in a seeded shuffle order.
+
+    The order is a fixed permutation of ``range(num_bands)`` for a given
+    seed, and ``kill_bands(k)`` always fails a superset of
+    ``kill_bands(k - 1)`` — degradation sweeps built from it are nested,
+    which is what makes their latency curves comparable point to point.
+    """
+    if not 0 <= count <= num_bands:
+        raise ValueError(f"count must be in [0, {num_bands}]")
+    order = random.Random(seed).sample(range(num_bands), num_bands)
+    return FaultSchedule.of(
+        Fault(kind="band", target=(band,)) for band in order[:count]
+    )

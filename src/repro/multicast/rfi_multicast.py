@@ -144,7 +144,8 @@ class RFMulticastEngine:
             inject_cycle=message.inject_cycle,
         )
         packet = self.network.inject(leg1, inject_cycle=message.inject_cycle)
-        self._awaiting_leg1[packet.uid] = message
+        if packet is not None:   # None: dropped at a faulted endpoint
+            self._awaiting_leg1[packet.uid] = message
 
     def _on_delivery(self, packet: Packet, cycle: int) -> None:
         original = self._awaiting_leg1.pop(packet.uid, None)

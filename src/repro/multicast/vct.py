@@ -24,6 +24,8 @@ Costs modeled:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.noc.message import Message, Packet
 from repro.noc.network import Network
 from repro.noc.routing import EJECT, xy_port
@@ -88,7 +90,7 @@ class VCTEngine:
 
     # -- injection ---------------------------------------------------------------
 
-    def inject(self, message: Message) -> Packet:
+    def inject(self, message: Message) -> Optional[Packet]:
         """Inject a multicast message, charging setup on first tree use."""
         if not message.is_multicast:
             raise ValueError("VCTEngine.inject expects a multicast message")
@@ -96,6 +98,8 @@ class VCTEngine:
         first_use = key not in self.trees
         self.trees[key] = self.trees.get(key, 0) + 1
         packet = self.network.inject(message)
+        if packet is None:       # dropped at a faulted endpoint
+            return None
         if first_use:
             # Tree setup: the message's latency still starts at injection,
             # but the packet is held out of the NI queue until the tree's

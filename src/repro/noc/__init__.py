@@ -8,7 +8,8 @@ cycle-level :class:`Network`, and the :class:`Simulator` driver.
 from repro.noc.message import Message, MessageClass, Packet, message_bytes
 from repro.noc.network import Network, NetworkInterface
 from repro.noc.routing import (
-    EJECT, RoutingPolicy, RoutingTables, Shortcut, xy_port,
+    EJECT, DisconnectedMeshError, RoutingPolicy, RoutingTables, Shortcut,
+    xy_port,
 )
 from repro.noc.simulator import Simulator, simulate
 from repro.noc.stats import ActivityCounts, NetworkStats
@@ -16,6 +17,7 @@ from repro.noc.topology import MeshTopology, NodeKind, Port
 
 __all__ = [
     "ActivityCounts",
+    "DisconnectedMeshError",
     "EJECT",
     "Message",
     "MessageClass",

@@ -24,12 +24,13 @@ from repro.noc.message import Message, Packet
 from repro.noc.router import (
     ACTIVE, IDLE, ROUTE, VA, InputPort, OutputLink, Router, VirtualChannel,
 )
-from repro.noc.routing import EJECT, RoutingPolicy, RoutingTables, xy_port
+from repro.noc.routing import EJECT, RoutingPolicy, RoutingTables
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import MeshTopology, Port
 from repro.params import ArchitectureParams
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.state import FaultState
     from repro.obs import Observation
 
 #: RC hook signature for multicast packets: (network, router_id, packet) ->
@@ -72,7 +73,7 @@ class Network:
         topology: MeshTopology,
         params: ArchitectureParams,
         tables: Optional[RoutingTables] = None,
-        policy: RoutingPolicy = RoutingPolicy(),
+        policy: Optional[RoutingPolicy] = None,
         shortcut_style: str = "rf",
     ):
         if shortcut_style not in ("rf", "wire"):
@@ -80,7 +81,7 @@ class Network:
         self.topology = topology
         self.params = params
         self.tables = tables or RoutingTables(topology, [])
-        self.policy = policy
+        self.policy = policy if policy is not None else RoutingPolicy()
         self.shortcut_style = shortcut_style
         self.stats = NetworkStats()
         self.cycle = 0
@@ -107,6 +108,10 @@ class Network:
         #: Observability sink (metrics + tracing); None keeps the hot path
         #: at a single attribute check per instrumented event.
         self.observation: Optional["Observation"] = None
+        #: Runtime fault tracking (repro.faults); None — the overwhelmingly
+        #: common case — keeps the cycle loop at one ``is None`` check per
+        #: fault-sensitive decision.
+        self.fault_state: Optional["FaultState"] = None
 
     def observe(self, observation: Optional["Observation"]) -> None:
         """Attach (or, with None, detach) an observation sink."""
@@ -217,14 +222,32 @@ class Network:
 
     # -- injection ----------------------------------------------------------
 
-    def inject(self, message: Message, inject_cycle: Optional[int] = None) -> Packet:
+    def inject(self, message: Message, inject_cycle: Optional[int] = None) -> Optional[Packet]:
         """Queue a message at its source network interface.
 
         ``inject_cycle`` defaults to the current cycle; multicast engines
         pass the *original* injection cycle when they inject stitched legs
         (e.g. the local-distribution hop after an RF broadcast), so the
         recorded latency spans the whole end-to-end path.
+
+        Returns ``None`` — the message is *dropped*, counted in
+        ``stats.fault_drops`` — when a fault state marks the source (or a
+        unicast destination) router dead.
         """
+        if self.fault_state is not None and (
+            self.fault_state.blocks_endpoint(message.src)
+            or (
+                not message.is_multicast
+                and self.fault_state.blocks_endpoint(message.dst)
+            )
+        ):
+            if self.stats.in_window(self.cycle):
+                self.stats.fault_drops += 1
+                if self.observation is not None:
+                    self.observation.on_fault_drop(
+                        message.src, message.dst, self.cycle
+                    )
+            return None
         message.inject_cycle = self.cycle if inject_cycle is None else inject_cycle
         packet = Packet(message, self.link_bytes)
         self.interfaces[message.src].queue.append(packet)
@@ -266,6 +289,17 @@ class Network:
         in_window = self.stats.in_window(c)
         if in_window:
             self.stats.activity.cycles += 1
+
+        if self.fault_state is not None:
+            for fault, went_down in self.fault_state.advance(c):
+                if self.observation is not None:
+                    self.observation.on_fault(fault, c, went_down)
+                # A repair can unblock stalled RCs anywhere; reschedule all
+                # routers holding work so they retry this cycle.
+                if not went_down:
+                    for rid, router in enumerate(self.routers):
+                        if router.has_work():
+                            self.active.add(rid)
 
         self._deliver_arrivals(c, in_window)
         self._complete_ejections(c)
@@ -344,15 +378,33 @@ class Network:
     # -- route computation and VC allocation ---------------------------------
 
     def _compute_route(self, rid: int, vc: VirtualChannel) -> list[int]:
-        """Output ports for the packet heading this VC (RC stage)."""
+        """Output ports for the packet heading this VC (RC stage).
+
+        An empty list means "no live route this cycle" (runtime faults):
+        the head stays in RC and retries next cycle, counted in
+        ``stats.fault_retries``.
+        """
         packet = vc.packet
         if packet.message.is_multicast and self.mc_targets_fn is not None:
             return self.mc_targets_fn(self, rid, packet)
         if packet.dst == rid:
+            if (
+                self.fault_state is not None
+                and self.fault_state.out_dead(rid, EJECT)
+            ):
+                return []
             return [EJECT]
         if vc.is_escape or packet.escape:
-            return [xy_port(self.topology, rid, packet.dst)]
+            port = self.tables.escape_port_for(rid, packet.dst)
+            if (
+                self.fault_state is not None
+                and self.fault_state.out_dead(rid, port)
+            ):
+                return []
+            return [port]
         port = self.tables.port_for(rid, packet.dst)
+        if self.fault_state is not None and self.fault_state.out_dead(rid, port):
+            return self._fault_fallback(rid, packet, port)
         if (
             self.policy.adaptive
             and port == int(Port.RF)
@@ -368,6 +420,28 @@ class Network:
                 )
             return [self.tables.mesh_port_for(rid, packet.dst)]
         return [port]
+
+    def _fault_fallback(self, rid: int, packet: Packet, port: int) -> list[int]:
+        """The table's next hop is dead right now: detour or stall.
+
+        Try the mesh fallback, then the escape route; if every option is
+        dead too, stall (empty route) and retry — transient faults repair.
+        Diverts count as ``fault_reroutes`` and trace as ``route`` events.
+        """
+        for fallback in (
+            self.tables.mesh_port_for(rid, packet.dst),
+            self.tables.escape_port_for(rid, packet.dst),
+        ):
+            if fallback != port and not self.fault_state.out_dead(rid, fallback):
+                packet.route_class = "fault-fallback"
+                if self.stats.in_window(self.cycle):
+                    self.stats.fault_reroutes += 1
+                    if self.observation is not None:
+                        self.observation.on_route_divert(
+                            packet, rid, self.cycle, "fault-fallback"
+                        )
+                return [fallback]
+        return []
 
     def _rf_congested(self, rid: int, dst: int) -> bool:
         """Should this packet skip the RF shortcut and take the mesh?
@@ -402,6 +476,11 @@ class Network:
                 if vc.state == ROUTE:
                     if c >= vc.head_arrival + 1:
                         ports = self._compute_route(rid, vc)
+                        if not ports:
+                            # No live route (runtime fault): retry next cycle.
+                            if self.stats.in_window(c):
+                                self.stats.fault_retries += 1
+                            continue
                         vc.targets = [(p, -1) for p in ports]
                         vc.state = VA
                         vc.va_eligible = c + 1
@@ -439,7 +518,9 @@ class Network:
             vc.packet.route_class = "escape"
             if self.observation is not None and self.stats.in_window(c):
                 self.observation.on_route_divert(vc.packet, rid, c, "escape")
-            vc.targets = [(xy_port(self.topology, rid, vc.packet.dst), -1)]
+            vc.targets = [
+                (self.tables.escape_port_for(rid, vc.packet.dst), -1)
+            ]
             vc.va_since = c  # restart the timeout clock in the escape class
 
     def _release_partial_va(self, router: Router, vc: VirtualChannel) -> None:
@@ -479,6 +560,11 @@ class Network:
         self, router: Router, port: int, candidates: list,
         c: int, capacity: dict[int, int], in_window: bool,
     ) -> None:
+        if (
+            self.fault_state is not None
+            and self.fault_state.out_dead(router.router_id, port)
+        ):
+            return  # link is down: flits hold their VCs until the repair
         link = router.out_links[port]
         order = sorted(candidates, key=lambda pair: (pair[0].port, pair[1].index))
         n = len(order)
@@ -507,6 +593,11 @@ class Network:
         for port, out_vc in vc.targets:
             link = router.out_links[port]
             if capacity[port] <= 0 or not link.has_credit(out_vc):
+                return
+            if (
+                self.fault_state is not None
+                and self.fault_state.out_dead(router.router_id, port)
+            ):
                 return
         self._send_flit(router, ip, vc, c, list(vc.targets), in_window)
         for port, _ in vc.targets:

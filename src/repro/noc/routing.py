@@ -22,11 +22,22 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.noc.topology import MeshTopology, Port
 
 #: Sentinel port value meaning "deliver to the local component".
 EJECT = int(Port.LOCAL)
+
+
+class DisconnectedMeshError(ValueError):
+    """The surviving graph cannot route between every pair of live routers.
+
+    Raised at table-build time when a fault set partitions the mesh (or,
+    without faults, when the graph was never strongly connected).  Fault
+    schedules that trigger this are *refused* rather than silently producing
+    tables with unreachable destinations.
+    """
 
 
 def xy_port(topology: MeshTopology, cur: int, dst: int) -> int:
@@ -62,22 +73,73 @@ class RoutingTables:
     ``port_for(cur, dst)`` returns the table next hop; ``mesh_port_for``
     returns the best next hop restricted to mesh links (the adaptive
     fallback); ``distance(cur, dst)`` is the hop count of the table route.
+
+    ``failed_links`` (undirected router pairs) and ``failed_routers``
+    exclude dead mesh resources: tables route around them, the mesh-only
+    fallback is rebuilt by BFS over the surviving links, and the escape
+    class switches from XY to spanning-tree routing (see
+    :meth:`escape_port_for`).  A fault set that partitions the surviving
+    mesh raises :class:`DisconnectedMeshError`.  With no failures the
+    tables are bit-identical to the historical behaviour.
     """
 
-    def __init__(self, topology: MeshTopology, shortcuts: list[Shortcut] = ()):  # type: ignore[assignment]
+    def __init__(
+        self,
+        topology: MeshTopology,
+        shortcuts: Sequence[Shortcut] = (),
+        *,
+        failed_links: Iterable[tuple[int, int]] = (),
+        failed_routers: Iterable[int] = (),
+    ):
         self.topology = topology
         self.shortcuts = list(shortcuts)
+        self.failed_routers = frozenset(failed_routers)
+        # Link faults kill both directed channels of the mesh link.
+        self.failed_links = frozenset(
+            pair for a, b in failed_links for pair in ((a, b), (b, a))
+        )
+        self.faulted = bool(self.failed_links or self.failed_routers)
         self._rf_next: dict[int, int] = {}
         for sc in self.shortcuts:
             if sc.src in self._rf_next:
                 raise ValueError(f"router {sc.src} already has an outbound shortcut")
+            if sc.src in self.failed_routers or sc.dst in self.failed_routers:
+                raise ValueError(
+                    f"shortcut {sc.src}->{sc.dst} touches a failed router; "
+                    "drop it from the overlay before building tables"
+                )
             self._rf_next[sc.src] = sc.dst
         n = topology.params.num_routers
+        self.alive_routers = tuple(
+            r for r in range(n) if r not in self.failed_routers
+        )
         self._dist: list[list[int]] = [[0] * n for _ in range(n)]
         self._port: list[list[int]] = [[EJECT] * n for _ in range(n)]
+        self._mesh_port: list[list[int]] = []
+        self._escape_port: list[list[int]] = []
         self._build()
+        if self.faulted:
+            self._build_mesh_tables()
+            self._build_escape_tree()
+            self.validate_escape()
 
     # -- construction --------------------------------------------------
+
+    def link_alive(self, a: int, b: int) -> bool:
+        """Is the directed mesh channel ``a -> b`` usable?"""
+        return (
+            a not in self.failed_routers
+            and b not in self.failed_routers
+            and (a, b) not in self.failed_links
+        )
+
+    def _live_neighbors(self, r: int) -> list[tuple[int, int]]:
+        """``(port, neighbor)`` over surviving mesh links out of ``r``."""
+        return [
+            (int(port), neighbor)
+            for port, neighbor in self.topology.neighbors(r).items()
+            if self.link_alive(r, neighbor)
+        ]
 
     def _reverse_adjacency(self) -> list[list[tuple[int, int]]]:
         """For each router, the list of ``(predecessor, port-out-of-pred)``."""
@@ -85,6 +147,8 @@ class RoutingTables:
         radj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
         for r in range(n):
             for port, neighbor in self.topology.neighbors(r).items():
+                if self.faulted and not self.link_alive(r, neighbor):
+                    continue
                 radj[neighbor].append((r, int(port)))
         for sc in self.shortcuts:
             radj[sc.dst].append((sc.src, int(Port.RF)))
@@ -92,10 +156,9 @@ class RoutingTables:
 
     def _build(self) -> None:
         """Per-destination reverse BFS filling distance and next-hop tables."""
-        n = self.topology.params.num_routers
         radj = self._reverse_adjacency()
-        for dst in range(n):
-            dist = [-1] * n
+        for dst in self.alive_routers:
+            dist = [-1] * self.topology.params.num_routers
             dist[dst] = 0
             queue = deque([dst])
             while queue:
@@ -104,14 +167,102 @@ class RoutingTables:
                     if dist[pred] < 0:
                         dist[pred] = dist[v] + 1
                         queue.append(pred)
-            if any(d < 0 for d in dist):
-                raise ValueError("network graph is not strongly connected")
-            for cur in range(n):
+            if any(dist[r] < 0 for r in self.alive_routers):
+                if self.faulted:
+                    raise DisconnectedMeshError(
+                        "fault set partitions the mesh: "
+                        f"router {dst} is unreachable from some live router"
+                    )
+                raise DisconnectedMeshError(
+                    "network graph is not strongly connected"
+                )
+            for cur in self.alive_routers:
                 self._dist[cur][dst] = dist[cur]
                 if cur == dst:
                     self._port[cur][dst] = EJECT
                     continue
                 self._port[cur][dst] = self._best_port(cur, dst, dist)
+
+    def _build_mesh_tables(self) -> None:
+        """Mesh-only next-hop tables by BFS over surviving links.
+
+        Only built when faulted: on the intact grid the mesh-optimal next
+        hop is the closed-form XY port, so no table is needed.  Ties prefer
+        the XY port for determinism (matching the unfaulted behaviour
+        wherever XY is still alive).
+        """
+        n = self.topology.params.num_routers
+        self._mesh_port = [[EJECT] * n for _ in range(n)]
+        for dst in self.alive_routers:
+            dist = [-1] * n
+            dist[dst] = 0
+            queue = deque([dst])
+            while queue:
+                v = queue.popleft()
+                for _, pred in self._live_neighbors(v):
+                    if dist[pred] < 0:
+                        dist[pred] = dist[v] + 1
+                        queue.append(pred)
+            for cur in self.alive_routers:
+                if cur == dst:
+                    continue
+                xy = xy_port(self.topology, cur, dst)
+                best_key, best_port = None, -1
+                for port, nxt in self._live_neighbors(cur):
+                    if dist[nxt] < 0:
+                        continue
+                    key = (dist[nxt], 0 if port == xy else 1, port)
+                    if best_key is None or key < best_key:
+                        best_key, best_port = key, port
+                self._mesh_port[cur][dst] = best_port
+
+    def _build_escape_tree(self) -> None:
+        """Escape routing over a BFS spanning tree of the surviving mesh.
+
+        XY routing is only deadlock-free on the intact grid; once links or
+        routers die, an XY route can be blocked or forced into a turn
+        pattern whose channel-dependency graph cycles.  Routing *on a
+        spanning tree* (up toward the common ancestor, then down) is
+        deadlock-free on any connected graph: tree channels admit no
+        cyclic dependency because the tree has no cycles — the classic
+        up*/down* argument with a single up/down phase per route.
+        """
+        n = self.topology.params.num_routers
+        root = self.alive_routers[0]
+        parent = {root: root}
+        tree_adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for port, nbr in self._live_neighbors(v):
+                if nbr in parent:
+                    continue
+                parent[nbr] = v
+                tree_adj[v].append((port, nbr))
+                back = next(
+                    p for p, m in self._live_neighbors(nbr) if m == v
+                )
+                tree_adj[nbr].append((back, v))
+                queue.append(nbr)
+        self._escape_port = [[EJECT] * n for _ in range(n)]
+        for dst in self.alive_routers:
+            towards = [-1] * n
+            queue = deque([dst])
+            seen = {dst}
+            while queue:
+                v = queue.popleft()
+                for port, nbr in tree_adj[v]:
+                    if nbr in seen:
+                        continue
+                    seen.add(nbr)
+                    # nbr reaches dst through v: record nbr's port toward v.
+                    towards[nbr] = next(
+                        p for p, m in tree_adj[nbr] if m == v
+                    )
+                    queue.append(nbr)
+            for cur in self.alive_routers:
+                if cur != dst:
+                    self._escape_port[cur][dst] = towards[cur]
 
     def _best_port(self, cur: int, dst: int, dist: list[int]) -> int:
         """Choose the outgoing port that makes the most shortest-path progress.
@@ -128,6 +279,8 @@ class RoutingTables:
             candidates.append((int(Port.RF), rf_next, 0))
         xy = xy_port(self.topology, cur, dst)
         for port, neighbor in self.topology.neighbors(cur).items():
+            if self.faulted and not self.link_alive(cur, neighbor):
+                continue
             rank = 1 if int(port) == xy else 2
             candidates.append((int(port), neighbor, rank))
         for port, nxt, rank in candidates:
@@ -146,12 +299,27 @@ class RoutingTables:
         return self._port[cur][dst]
 
     def mesh_port_for(self, cur: int, dst: int) -> int:
-        """Best mesh-only next port (the adaptive fallback is XY).
+        """Best mesh-only next port (the adaptive fallback).
 
-        XY is always a shortest *mesh* path on a full grid, and being
-        dimension-ordered it cannot introduce new channel dependencies.
+        On the intact grid this is XY: always a shortest *mesh* path, and
+        dimension-ordered so it cannot introduce new channel dependencies.
+        With failed links/routers it is the BFS next hop over surviving
+        mesh links (ties prefer the XY port).
         """
-        return xy_port(self.topology, cur, dst)
+        if not self.faulted:
+            return xy_port(self.topology, cur, dst)
+        return self._mesh_port[cur][dst]
+
+    def escape_port_for(self, cur: int, dst: int) -> int:
+        """Deadlock-free escape next port (mesh links only).
+
+        XY on the intact grid; spanning-tree routing over the surviving
+        mesh when links or routers have failed (see
+        :meth:`_build_escape_tree` for the deadlock-freedom argument).
+        """
+        if not self.faulted:
+            return xy_port(self.topology, cur, dst)
+        return self._escape_port[cur][dst]
 
     def distance(self, cur: int, dst: int) -> int:
         """Hop count of the table route from ``cur`` to ``dst``."""
@@ -162,10 +330,85 @@ class RoutingTables:
         return self._rf_next.get(router)
 
     def average_distance(self) -> float:
-        """Mean shortest-path hop count over all ordered router pairs."""
+        """Mean shortest-path hop count over all ordered live router pairs."""
+        alive = self.alive_routers
+        total = sum(self._dist[a][b] for a in alive for b in alive if a != b)
+        return total / (len(alive) * (len(alive) - 1))
+
+    # -- validation ------------------------------------------------------
+
+    def validate_escape(self) -> None:
+        """Prove the escape class deadlock-free and complete.
+
+        Two checks, over every ordered pair of live routers:
+
+        * **termination** — following :meth:`escape_port_for` from ``cur``
+          reaches ``dst`` within ``n`` hops using only live mesh links;
+        * **acyclicity** — the channel-dependency graph induced by all
+          escape routes (edges between consecutive directed links of any
+          route) has no cycle, the Dally–Seitz condition for the escape
+          VC class to break any deadlock.
+
+        Raises :class:`DisconnectedMeshError` on either violation.  Called
+        automatically when tables are built with faults; cheap enough to
+        call directly in tests for the unfaulted XY escape too.
+        """
         n = self.topology.params.num_routers
-        total = sum(self._dist[a][b] for a in range(n) for b in range(n) if a != b)
-        return total / (n * (n - 1))
+        deps: dict[tuple[int, int], set[tuple[int, int]]] = {}
+        for src in self.alive_routers:
+            for dst in self.alive_routers:
+                if src == dst:
+                    continue
+                cur, prev_link = src, None
+                for _ in range(n):
+                    port = self.escape_port_for(cur, dst)
+                    if port == EJECT:
+                        break
+                    neighbors = self.topology.neighbors(cur)
+                    nxt = neighbors.get(Port(port))
+                    if nxt is None or not self.link_alive(cur, nxt):
+                        raise DisconnectedMeshError(
+                            f"escape route {src}->{dst} uses dead port "
+                            f"{port} at router {cur}"
+                        )
+                    link = (cur, nxt)
+                    if prev_link is not None:
+                        deps.setdefault(prev_link, set()).add(link)
+                    prev_link, cur = link, nxt
+                if cur != dst:
+                    raise DisconnectedMeshError(
+                        f"escape route {src}->{dst} does not terminate"
+                    )
+        self._check_acyclic(deps)
+
+    @staticmethod
+    def _check_acyclic(deps: dict) -> None:
+        """Depth-first cycle detection over the channel-dependency graph."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: dict[tuple[int, int], int] = {}
+        for start in deps:
+            if color.get(start, WHITE) != WHITE:
+                continue
+            stack = [(start, iter(deps.get(start, ())))]
+            color[start] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    c = color.get(succ, WHITE)
+                    if c == GREY:
+                        raise DisconnectedMeshError(
+                            "escape channel-dependency graph has a cycle "
+                            f"through link {succ}"
+                        )
+                    if c == WHITE:
+                        color[succ] = GREY
+                        stack.append((succ, iter(deps.get(succ, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,12 @@ class NetworkStats:
     hop_sum: int = 0
     rf_hop_sum: int = 0
     escape_packets: int = 0
+    #: Fault accounting (repro.faults): messages dropped at a dead endpoint,
+    #: RC retries while no live route existed, and route diversions around a
+    #: dead next hop.  All zero unless a fault state is attached.
+    fault_drops: int = 0
+    fault_retries: int = 0
+    fault_reroutes: int = 0
     latencies: list[int] = field(default_factory=list)
     class_counts: dict[MessageClass, int] = field(
         default_factory=lambda: defaultdict(int)
@@ -195,4 +201,7 @@ class NetworkStats:
             "injected_packets": float(self.injected_packets),
             "delivery_ratio": self.delivery_ratio,
             "escape_packets": float(self.escape_packets),
+            "fault_drops": float(self.fault_drops),
+            "fault_retries": float(self.fault_retries),
+            "fault_reroutes": float(self.fault_reroutes),
         }

@@ -175,6 +175,38 @@ class Observation:
         if self.tracer is not None:
             self.tracer.emit(cycle, "drop", packet_uid)
 
+    # -- fault events (repro.faults) ------------------------------------------
+
+    def on_fault(self, fault, cycle: int, went_down: bool) -> None:
+        """A runtime fault fired (``went_down``) or repaired.
+
+        Fault events carry ``packet=-1`` — they belong to the network, not
+        to any packet — and the fault's canonical form in ``detail``, so a
+        trace digest over fault events is stable across runs of one seed.
+        """
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fault_events", kind=fault.kind,
+                edge="down" if went_down else "up",
+            ).inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                cycle, "fault", -1,
+                router=fault.target[0] if fault.kind != "band" else None,
+                band=fault.target[0] if fault.kind == "band" else None,
+                detail=(
+                    f"{'down' if went_down else 'up'}:{fault.canonical()}"
+                ),
+            )
+
+    def on_fault_drop(self, src: int, dst: int, cycle: int) -> None:
+        """A message was dropped at injection: its endpoint router is dead."""
+        if self.metrics is not None:
+            self.metrics.counter("fault_drops").inc()
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "fault", -1, router=src, dst=dst,
+                             detail="drop")
+
     # -- end-of-run summary gauges -------------------------------------------
 
     def finalize(self, network: "Network", stats: "NetworkStats") -> None:

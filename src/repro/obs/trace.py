@@ -14,6 +14,8 @@ kind         meaning
 ``deliver``  one destination received the packet's tail flit
 ``complete`` the packet reached every destination
 ``drop``     the run ended with the packet still undelivered (capped drain)
+``fault``    a fault fired/repaired, or dropped a message at injection
+             (``packet`` is ``-1``: fault events are not tied to a packet)
 ===========  =============================================================
 
 The buffer is a ring: when more than ``capacity`` events fire, the oldest
@@ -32,7 +34,9 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 #: Every kind an event may carry, in the order they occur in a packet's life.
-EVENT_KINDS = ("inject", "route", "hop", "rf", "deliver", "complete", "drop")
+EVENT_KINDS = (
+    "inject", "route", "hop", "rf", "deliver", "complete", "drop", "fault",
+)
 
 #: Field -> required type(s); None-able fields are optional per kind.
 EVENT_SCHEMA: dict[str, tuple] = {

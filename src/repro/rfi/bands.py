@@ -11,6 +11,7 @@ shared multicast band.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.params import RFIParams
 
@@ -33,7 +34,8 @@ class FrequencyBand:
 class BandPlan:
     """Divides the bundle's aggregate bandwidth into equal channels."""
 
-    def __init__(self, params: RFIParams = RFIParams()):
+    def __init__(self, params: Optional[RFIParams] = None):
+        params = params if params is not None else RFIParams()
         self.params = params
         self.num_bands = params.shortcut_budget
         gbps_per_band = (

@@ -17,6 +17,8 @@ Figure 2(c).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.noc.routing import Shortcut
@@ -122,8 +124,9 @@ class RegionSelector(ShortcutSelector):
 def select_region_shortcuts(
     topo: MeshTopology,
     frequency: np.ndarray,
-    config: SelectionConfig = SelectionConfig(),
+    config: Optional[SelectionConfig] = None,
     region_size: int = REGION_SIZE,
 ) -> list[Shortcut]:
     """The paper's full application-specific algorithm (with regions)."""
+    config = config if config is not None else SelectionConfig()
     return RegionSelector(topo, config, frequency, region_size).run_alternating()

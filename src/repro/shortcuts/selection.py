@@ -30,6 +30,7 @@ points).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -161,17 +162,18 @@ class ShortcutSelector:
 
 def select_architecture_shortcuts(
     topo: MeshTopology,
-    config: SelectionConfig = SelectionConfig(),
+    config: Optional[SelectionConfig] = None,
     method: str = "greedy",
 ) -> list[Shortcut]:
     """Design-time (static) shortcuts: minimize the sum of path costs."""
+    config = config if config is not None else SelectionConfig()
     return ShortcutSelector(topo, config, frequency=None).run(method)
 
 
 def select_application_shortcuts(
     topo: MeshTopology,
     frequency: np.ndarray,
-    config: SelectionConfig = SelectionConfig(),
+    config: Optional[SelectionConfig] = None,
     method: str = "greedy",
 ) -> list[Shortcut]:
     """Application-specific shortcuts: minimize sum F(x,y) * W(x,y).
@@ -181,6 +183,7 @@ def select_application_shortcuts(
     For hotspot-aware region alternation use
     :func:`repro.shortcuts.region.select_region_shortcuts`.
     """
+    config = config if config is not None else SelectionConfig()
     freq = np.asarray(frequency, dtype=float)
     if freq.shape != (topo.params.num_routers,) * 2:
         raise ValueError("frequency matrix shape must match the mesh")

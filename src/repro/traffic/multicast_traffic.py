@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.noc.message import Message, MessageClass, message_bytes
 from repro.noc.network import Network
@@ -51,13 +52,15 @@ class MulticastTraffic:
     def __init__(
         self,
         topology: MeshTopology,
-        config: MulticastConfig = MulticastConfig(),
-        message_params: MessageParams = MessageParams(),
+        config: Optional[MulticastConfig] = None,
+        message_params: Optional[MessageParams] = None,
         seed: int = 2008,
     ):
         self.topology = topology
-        self.config = config
-        self.message_params = message_params
+        self.config = config if config is not None else MulticastConfig()
+        self.message_params = (
+            message_params if message_params is not None else MessageParams()
+        )
         self.rng = random.Random(seed)
         self.pool = self._build_pool()
         self.injected = 0

@@ -12,6 +12,8 @@ the network at all.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.noc.message import Message, MessageClass, message_bytes
@@ -43,7 +45,7 @@ class ProbabilisticTraffic:
         topology: MeshTopology,
         pattern: TrafficPattern,
         rate: float,
-        message_params: MessageParams = MessageParams(),
+        message_params: Optional[MessageParams] = None,
         seed: int = 2008,
     ):
         if not (0.0 <= rate <= 1.0):
@@ -51,7 +53,9 @@ class ProbabilisticTraffic:
         self.topology = topology
         self.pattern = pattern
         self.rate = rate
-        self.message_params = message_params
+        self.message_params = (
+            message_params if message_params is not None else MessageParams()
+        )
         self.rng = np.random.default_rng(seed)
 
         weights = pattern.weights
