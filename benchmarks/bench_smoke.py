@@ -33,14 +33,14 @@ RESULTS_DIR = Path(__file__).parent / "results"
 SIM = SimulationParams(warmup_cycles=0, measure_cycles=400, drain_cycles=0)
 
 
-def measure(repeats: int) -> tuple[int, float]:
+def measure(repeats: int, kernel: str = "fast") -> tuple[int, float]:
     """Best-of-``repeats`` wall time of one B0 window; returns (cycles, s)."""
     runner = ExperimentRunner(FAST_CONFIG)
     design = runner.design("static", 16)
     best = float("inf")
     cycles = 0
     for _ in range(repeats):
-        network = design.new_network()
+        network = design.new_network(kernel=kernel)
         source = ProbabilisticTraffic(
             runner.topology, runner.patterns["uniform"], 0.02, seed=1
         )
@@ -60,12 +60,16 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", type=Path,
                         default=RESULTS_DIR / "BENCH_b0.json",
                         help="committed BENCH_b0.json to compare against")
+    parser.add_argument("--kernel", choices=("fast", "reference"),
+                        default="fast",
+                        help="execution kernel to time (default: fast)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
-    target = baseline["engine"]["cycles_per_sec"]
+    key = "engine" if args.kernel == "fast" else "engine_reference"
+    target = baseline.get(key, baseline["engine"])["cycles_per_sec"]
 
-    cycles, wall = measure(args.repeats)
+    cycles, wall = measure(args.repeats, kernel=args.kernel)
     if cycles != SIM.measure_cycles:
         print(f"FAIL: window ran {cycles} cycles, expected "
               f"{SIM.measure_cycles}", file=sys.stderr)
@@ -73,7 +77,7 @@ def main(argv=None) -> int:
     rate = cycles / wall
     floor = target * (1.0 - args.threshold)
     verdict = "ok" if rate >= floor else "REGRESSION"
-    print(f"B0 smoke: {rate:,.0f} sim cycles/s "
+    print(f"B0 smoke [{args.kernel}]: {rate:,.0f} sim cycles/s "
           f"(baseline {target:,.0f}, floor {floor:,.0f}, "
           f"best of {args.repeats}) -> {verdict}")
     if rate < floor:

@@ -51,6 +51,13 @@ def _resolve_store(store: Union[ResultStore, str, Path, None]) -> Optional[Resul
     return ResultStore(store)
 
 
+def _with_kernel(config: ExperimentConfig, kernel: str) -> ExperimentConfig:
+    """A config copy requesting ``kernel`` for every simulation it drives."""
+    from dataclasses import replace
+
+    return replace(config, sim=replace(config.sim, kernel=kernel))
+
+
 def simulate(
     design: str = "baseline",
     workload: str = "uniform",
@@ -61,6 +68,7 @@ def simulate(
     seed: Optional[int] = None,
     faults: Union[str, "FaultSchedule", None] = None,
     fast: bool = False,
+    kernel: Optional[str] = None,
     config: Optional[ExperimentConfig] = None,
     params: ArchitectureParams = DEFAULT_PARAMS,
     metrics: bool = True,
@@ -84,8 +92,14 @@ def simulate(
     :class:`~repro.faults.FaultSchedule`): the design degrades gracefully
     around structural faults and dodges transient ones at runtime — see
     ``docs/faults.md``.
+    ``kernel`` selects the cycle-execution kernel (``"fast"`` /
+    ``"reference"``); the two are bit-identical (see
+    :mod:`repro.noc.kernel`), so this never changes results, caching, or
+    provenance — only wall-clock time.
     """
     resolved_config = _resolve_config(config, fast)
+    if kernel is not None:
+        resolved_config = _with_kernel(resolved_config, kernel)
     runner = ExperimentRunner(
         resolved_config, params, store=_resolve_store(store)
     )
@@ -127,11 +141,13 @@ def sweep(
     adaptive_routing: bool = False,
     faults: Union[str, "FaultSchedule", None] = None,
     fast: bool = False,
+    kernel: Optional[str] = None,
     config: Optional[ExperimentConfig] = None,
     params: ArchitectureParams = DEFAULT_PARAMS,
     store: Union[ResultStore, str, Path, None] = None,
     progress: Optional[ProgressFn] = None,
     trace_dir: Union[str, Path, None] = None,
+    stage_profile: bool = False,
 ) -> SweepReport:
     """Run the (styles x widths x workloads x seeds) grid.
 
@@ -142,7 +158,9 @@ def sweep(
     ``trace_dir`` writes one JSONL event trace per cell (and forces every
     cell to simulate fresh, bypassing ``store``).  ``faults`` applies one
     fault schedule (spec string or :class:`~repro.faults.FaultSchedule`)
-    to every cell in the grid.
+    to every cell in the grid.  ``kernel`` selects the cycle-execution
+    kernel for every cell; results and store addresses are identical
+    either way (the kernel never enters a job digest).
     """
     if faults is not None and not isinstance(faults, str):
         faults = faults.canonical()
@@ -150,14 +168,18 @@ def sweep(
         styles, widths, workloads,
         adaptive_routing=adaptive_routing, seeds=seeds, faults=faults,
     )
+    resolved_config = _resolve_config(config, fast)
+    if kernel is not None:
+        resolved_config = _with_kernel(resolved_config, kernel)
     return run_sweep(
         specs,
-        config=_resolve_config(config, fast),
+        config=resolved_config,
         params=params,
         store=_resolve_store(store),
         jobs=jobs,
         progress=progress,
         trace_dir=trace_dir,
+        stage_profile=stage_profile,
     )
 
 

@@ -65,11 +65,16 @@ def _print_json(payload) -> None:
 
 
 def _config_for(args):
-    """The experiment config implied by ``--fast``/``--seed``."""
+    """The experiment config implied by ``--fast``/``--seed``/``--kernel``."""
     config = FAST_CONFIG if getattr(args, "fast", False) else DEFAULT_CONFIG
     seed = getattr(args, "seed", None)
     if seed is not None:
         config = dataclasses.replace(config, traffic_seed=seed)
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None:
+        config = dataclasses.replace(
+            config, sim=dataclasses.replace(config.sim, kernel=kernel)
+        )
     return config
 
 
@@ -227,6 +232,7 @@ def cmd_simulate(args) -> int:
 
     result = simulate(
         args.design, args.workload, width=args.width, fast=args.fast,
+        kernel=getattr(args, "kernel", None),
         seed=args.seed, faults=args.faults or None,
         trace_events=args.trace_events or None,
     )
@@ -344,12 +350,18 @@ def cmd_sweep(args) -> int:
 
 
 def _add_common(parser, *, jobs: bool = False, trace: bool = False,
-                trace_help: str = "", faults: bool = False) -> None:
+                trace_help: str = "", faults: bool = False,
+                kernel: bool = False) -> None:
     """The shared flag vocabulary of the executing verbs."""
     parser.add_argument("--seed", type=int, default=None,
                         help="override the traffic seed")
     parser.add_argument("--fast", action="store_true",
                         help="short simulation windows")
+    if kernel:
+        parser.add_argument(
+            "--kernel", choices=["fast", "reference"], default=None,
+            help="cycle-execution kernel (bit-identical results; "
+                 "'reference' is the slow differential-testing oracle)")
     if jobs:
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes (1 = in-process serial)")
@@ -408,7 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Pre-1.0 spelling, kept as a hidden alias.
     simulate.add_argument("--trace", dest="workload",
                           default=argparse.SUPPRESS, help=argparse.SUPPRESS)
-    _add_common(simulate, jobs=True, trace=True, faults=True,
+    _add_common(simulate, jobs=True, trace=True, faults=True, kernel=True,
                 trace_help="write this run's cycle-level events as JSONL "
                            "to PATH")
     simulate.add_argument("--out", help="also write the full result as JSON")
@@ -431,7 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent result-store directory")
     sweep.add_argument("--no-cache", action="store_true",
                        help="skip the persistent store entirely")
-    _add_common(sweep, jobs=True, trace=True, faults=True,
+    _add_common(sweep, jobs=True, trace=True, faults=True, kernel=True,
                 trace_help="directory: write one JSONL event trace per "
                            "simulated cell (bypasses the cache)")
     sweep.add_argument("--out", help="also write results + telemetry JSON")

@@ -68,11 +68,16 @@ class DesignPoint:
         """Mesh link width of this design point, in bytes."""
         return self.params.mesh.link_bytes
 
-    def new_network(self) -> Network:
-        """A fresh simulation instance of this design."""
+    def new_network(self, kernel: Optional[str] = None) -> Network:
+        """A fresh simulation instance of this design.
+
+        ``kernel`` selects the cycle-execution kernel (``"fast"`` /
+        ``"reference"``); None takes the default.
+        """
         network = Network(
             self.topology, self.params, self.tables, self.policy,
             shortcut_style=self.shortcut_style,
+            **({} if kernel is None else {"kernel": kernel}),
         )
         if self.faults is not None:
             from repro.faults.state import FaultState

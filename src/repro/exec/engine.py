@@ -109,11 +109,15 @@ def execute_spec(
     runner: "ExperimentRunner",
     spec: JobSpec,
     observation=None,
+    stage_profile=None,
 ) -> "RunResult":
     """Run one spec on a runner (the runner consults its own store, if any).
 
     An ``observation`` attaches metrics/tracing and forces a fresh,
-    uncached run (see :meth:`ExperimentRunner.run_unicast`).
+    uncached run (see :meth:`ExperimentRunner.run_unicast`).  A
+    ``stage_profile`` (:class:`~repro.obs.profile.StageProfile`) makes the
+    kernel account wall time per pipeline stage; it only accumulates when
+    the spec actually simulates (memo/store hits leave it untouched).
     """
     if spec.kind == "unicast":
         design = runner.design(
@@ -124,7 +128,8 @@ def execute_spec(
         )
         return runner.run_unicast(design, spec.workload, seed=spec.seed,
                                   observation=observation,
-                                  faults=dict(spec.extra).get("faults"))
+                                  faults=dict(spec.extra).get("faults"),
+                                  stage_profile=stage_profile)
     if spec.kind == "multicast":
         design = runner.design(
             spec.style, spec.link_bytes,
@@ -134,7 +139,7 @@ def execute_spec(
         )
         return runner.run_multicast(
             design, spec.realization, spec.locality_percent,
-            observation=observation,
+            observation=observation, stage_profile=stage_profile,
         )
     raise ValueError(f"cannot execute job kind {spec.kind!r}")
 
@@ -159,27 +164,34 @@ def _trace_observation(trace_path):
     return Observation(metrics=MetricsRegistry(), tracer=EventTracer())
 
 
-def _run_job(spec: JobSpec, trace_path=None) -> tuple[dict, float, int, dict]:
+def _run_job(
+    spec: JobSpec, trace_path=None, stage_profile: bool = False,
+) -> tuple[dict, float, int, dict]:
     """Worker-side: simulate one spec; ship the payload back picklable.
 
     When ``trace_path`` is given the job runs observed (fresh, with
     metrics and the event tracer) and writes its JSONL trace before
     returning — the events stay worker-side; only the path crosses back.
+    ``stage_profile`` adds per-pipeline-stage kernel timing to the job's
+    phase profile (``stage_*_s`` keys).
     """
+    from repro.obs.profile import StageProfile
+
     prof = Profiler()
     observation = _trace_observation(trace_path)
+    sp = StageProfile() if stage_profile else None
     start = time.perf_counter()
     with prof.phase("simulate"):
-        if observation is None:
-            result = execute_spec(_WORKER_RUNNER, spec)
-        else:
-            result = execute_spec(_WORKER_RUNNER, spec, observation)
+        result = execute_spec(_WORKER_RUNNER, spec, observation,
+                              stage_profile=sp)
     with prof.phase("encode"):
         payload = encode_result(result)
     if observation is not None:
         with prof.phase("trace_write"):
             observation.tracer.write_jsonl(trace_path)
     wall = time.perf_counter() - start
+    if sp is not None and sp.cycles:
+        prof.merge(sp.as_dict())
     return payload, wall, result.stats.activity.cycles, prof.as_dict()
 
 
@@ -195,6 +207,7 @@ def run_sweep(
     retries: int = 1,
     progress: Optional[ProgressFn] = None,
     trace_dir=None,
+    stage_profile: bool = False,
 ) -> SweepReport:
     """Run every spec, consulting/filling ``store``, ``jobs``-wide.
 
@@ -204,6 +217,10 @@ def run_sweep(
     times before the failure propagates.  ``trace_dir`` runs every job
     observed and writes one JSONL event trace per job into the directory;
     traced runs never consult or fill the store (``store`` is ignored).
+    ``stage_profile`` times each simulated job's cycle kernel per pipeline
+    stage; the totals surface as ``stage_*_s`` keys in job profiles and
+    ``report.summary()["profile"]`` (opt-in: the timed cycle path costs
+    throughput, so plain sweeps keep the untimed kernel loop).
     """
     specs = [normalize_spec(spec, config) for spec in specs]
     start = time.perf_counter()
@@ -260,10 +277,10 @@ def run_sweep(
 
     if pending and jobs > 1:
         _sweep_parallel(specs, pending, finish, emit, config, params,
-                        jobs, retries, trace_paths)
+                        jobs, retries, trace_paths, stage_profile)
     elif pending:
         _sweep_serial(specs, pending, finish, emit, config, params, retries,
-                      trace_paths)
+                      trace_paths, stage_profile)
 
     return SweepReport(
         outcomes=list(outcomes),
@@ -275,8 +292,9 @@ def run_sweep(
 
 
 def _sweep_serial(specs, pending, finish, emit, config, params,
-                  retries, trace_paths) -> None:
+                  retries, trace_paths, stage_profile=False) -> None:
     from repro.experiments.runner import ExperimentRunner
+    from repro.obs.profile import StageProfile
 
     runner = ExperimentRunner(config, params)
     for i in pending:
@@ -285,13 +303,20 @@ def _sweep_serial(specs, pending, finish, emit, config, params,
             attempts += 1
             prof = Profiler()
             observation = _trace_observation(trace_paths[i])
+            sp = StageProfile() if stage_profile else None
             start = time.perf_counter()
             try:
                 with prof.phase("simulate"):
-                    if observation is None:
+                    # Extend the call only for the features actually on, so
+                    # tests (and any wrapper) can stub execute_spec with the
+                    # historical narrower signatures.
+                    if observation is None and sp is None:
                         result = execute_spec(runner, specs[i])
-                    else:
+                    elif sp is None:
                         result = execute_spec(runner, specs[i], observation)
+                    else:
+                        result = execute_spec(runner, specs[i], observation,
+                                              stage_profile=sp)
             except Exception:
                 if attempts > retries:
                     raise
@@ -303,13 +328,15 @@ def _sweep_serial(specs, pending, finish, emit, config, params,
                 with prof.phase("trace_write"):
                     observation.tracer.write_jsonl(trace_paths[i])
             wall = time.perf_counter() - start
+            if sp is not None and sp.cycles:
+                prof.merge(sp.as_dict())
             finish(i, payload, wall, result.stats.activity.cycles,
                    attempts, prof.as_dict())
             break
 
 
 def _sweep_parallel(specs, pending, finish, emit, config, params,
-                    jobs, retries, trace_paths) -> None:
+                    jobs, retries, trace_paths, stage_profile=False) -> None:
     attempts = dict.fromkeys(pending, 0)
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(pending)),
@@ -318,7 +345,8 @@ def _sweep_parallel(specs, pending, finish, emit, config, params,
         waiting = {}
         for i in pending:
             attempts[i] += 1
-            waiting[pool.submit(_run_job, specs[i], trace_paths[i])] = i
+            waiting[pool.submit(_run_job, specs[i], trace_paths[i],
+                                stage_profile)] = i
         while waiting:
             done, _ = wait(waiting, return_when=FIRST_COMPLETED)
             for future in done:
@@ -331,6 +359,6 @@ def _sweep_parallel(specs, pending, finish, emit, config, params,
                     attempts[i] += 1
                     emit("retry", i, attempts=attempts[i])
                     waiting[pool.submit(_run_job, specs[i],
-                                        trace_paths[i])] = i
+                                        trace_paths[i], stage_profile)] = i
                     continue
                 finish(i, payload, wall, cycles, attempts[i], profile)

@@ -93,12 +93,19 @@ def job_digest(
     Canonical JSON (sorted keys, no whitespace) over the normalized spec
     plus every config and architecture field, so any change that could
     alter the simulated result yields a different address.
+
+    The simulation *kernel* is deliberately excluded: both kernels are
+    bit-identical by contract (see :mod:`repro.noc.kernel`), so the
+    kernel choice must never fork the result cache — and stripping the
+    field keeps every pre-kernel store address valid.
     """
     blob = {
         "spec": jsonable(normalize_spec(spec, config)),
         "config": jsonable(config),
         "params": jsonable(params),
     }
+    blob["config"].get("sim", {}).pop("kernel", None)
+    blob["params"].get("simulation", {}).pop("kernel", None)
     text = json.dumps(blob, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

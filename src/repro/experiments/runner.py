@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.jobs import JobSpec
     from repro.exec.store import ResultStore
     from repro.obs import Observation
+    from repro.obs.profile import StageProfile
     from repro.params import SimulationParams
 
 __all__ = ["ExperimentRunner", "RunResult"]
@@ -268,6 +269,7 @@ class ExperimentRunner:
         seed: Optional[int] = None,
         observation: Optional["Observation"] = None,
         faults=None,
+        stage_profile: Optional["StageProfile"] = None,
     ) -> RunResult:
         """Simulate a probabilistic/application workload on a design.
 
@@ -308,6 +310,7 @@ class ExperimentRunner:
             stats = Simulator(
                 network, [self._unicast_source(workload, resolved_seed)],
                 self.config.sim, observation=observation,
+                stage_profile=stage_profile,
             ).run()
             self.simulations_run += 1
             result = self._package(design, workload, stats,
@@ -324,6 +327,7 @@ class ExperimentRunner:
         realization_style: str,
         locality_percent: int,
         observation: Optional["Observation"] = None,
+        stage_profile: Optional["StageProfile"] = None,
     ) -> RunResult:
         """Simulate the Section 5.2 multicast workload on a design.
 
@@ -362,7 +366,8 @@ class ExperimentRunner:
             self._multicast_workload(locality_percent), realization
         )
         stats = Simulator(network, [source], self.config.sim,
-                          observation=observation).run()
+                          observation=observation,
+                          stage_profile=stage_profile).run()
         self.simulations_run += 1
         result = self._package(
             design, f"multicast-{locality_percent}", stats,

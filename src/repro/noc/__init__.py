@@ -5,6 +5,10 @@ packets, routing (XY / shortest-path tables / adaptive policy), the
 cycle-level :class:`Network`, and the :class:`Simulator` driver.
 """
 
+from repro.noc.kernel import (
+    DEFAULT_KERNEL, KERNELS, FastKernel, ReferenceKernel, SimKernel,
+    get_kernel,
+)
 from repro.noc.message import Message, MessageClass, Packet, message_bytes
 from repro.noc.network import Network, NetworkInterface
 from repro.noc.routing import (
@@ -17,8 +21,11 @@ from repro.noc.topology import MeshTopology, NodeKind, Port
 
 __all__ = [
     "ActivityCounts",
+    "DEFAULT_KERNEL",
     "DisconnectedMeshError",
     "EJECT",
+    "FastKernel",
+    "KERNELS",
     "Message",
     "MessageClass",
     "MeshTopology",
@@ -28,10 +35,13 @@ __all__ = [
     "NodeKind",
     "Packet",
     "Port",
+    "ReferenceKernel",
     "RoutingPolicy",
     "RoutingTables",
     "Shortcut",
+    "SimKernel",
     "Simulator",
+    "get_kernel",
     "message_bytes",
     "simulate",
     "xy_port",

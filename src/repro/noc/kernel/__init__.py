@@ -1,0 +1,29 @@
+"""Pluggable simulation kernels for the RF-I NoC cycle engine.
+
+A :class:`~repro.noc.kernel.base.SimKernel` owns the per-cycle event
+state (arrival/ejection wheels) and executes the pipeline stages against
+a :class:`~repro.noc.network.Network`, which retains topology, wiring,
+and the injection API.  Two kernels ship:
+
+* ``reference`` — the original loop, stage by stage, with internal
+  assertions.  The correctness oracle.
+* ``fast`` (default) — allocation-free stepping with preallocated
+  per-router tables; bit-identical results by construction, enforced by
+  the differential suite in ``tests/test_kernel_equiv.py``.
+"""
+
+from repro.noc.kernel.base import (
+    DEFAULT_KERNEL, KERNELS, SimKernel, get_kernel, register,
+)
+from repro.noc.kernel.fast import FastKernel
+from repro.noc.kernel.reference import ReferenceKernel
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KERNELS",
+    "SimKernel",
+    "ReferenceKernel",
+    "FastKernel",
+    "get_kernel",
+    "register",
+]

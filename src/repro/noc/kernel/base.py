@@ -1,0 +1,139 @@
+"""The :class:`SimKernel` interface and the kernel registry.
+
+A *kernel* owns the per-cycle execution of the pipeline — the event wheel
+that carries flits between routers and the five-stage loop (arrivals and
+ejections, interface injection, RC/VA, SA/ST/LT).  The
+:class:`~repro.noc.network.Network` keeps everything a kernel must share
+with the rest of the system: topology and wiring, the injection API, the
+``active`` / ``_ni_busy`` scheduling sets, packet accounting, statistics,
+multicast hooks, fault state, and the observation sink.  Swapping kernels
+therefore never changes what traffic generators, multicast engines, or the
+fault subsystem see.
+
+Two kernels are registered:
+
+* ``'reference'`` — :class:`~repro.noc.kernel.reference.ReferenceKernel`,
+  the original cycle loop extracted verbatim into per-stage modules.  It is
+  the semantic oracle: readable, internally asserting, unoptimized.
+* ``'fast'`` — :class:`~repro.noc.kernel.fast.FastKernel`, the default; an
+  allocation-free re-implementation that is bit-identical to the reference
+  (see ``tests/test_kernel_equiv.py`` and ``docs/performance.md``).
+
+The contract between them is *exact*: for any (seed, traffic, shortcut
+set, fault schedule, multicast configuration) both kernels must produce
+identical :meth:`~repro.noc.stats.NetworkStats.digest` values and, when
+tracing is attached, identical event streams.  Anything weaker would let
+an optimization silently change arbitration order and move every
+benchmark table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+    from repro.obs.profile import StageProfile
+
+#: The kernel a Network uses when none is requested.
+DEFAULT_KERNEL = "fast"
+
+#: name -> kernel class; populated by :func:`register`.
+KERNELS: dict[str, type] = {}
+
+
+def register(cls):
+    """Class decorator adding a kernel to the registry under ``cls.name``."""
+    KERNELS[cls.name] = cls
+    return cls
+
+
+def get_kernel(name: str):
+    """The kernel class registered under ``name``.
+
+    Raises ``KeyError`` with the known names so a CLI typo is diagnosable.
+    """
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known kernels: {sorted(KERNELS)}"
+        ) from None
+
+
+class SimKernel:
+    """One cycle-execution strategy bound to a network.
+
+    Subclasses implement :meth:`step` (advance the bound network by one
+    cycle) and may override :meth:`rewire` (invalidate topology-derived
+    caches after :meth:`~repro.noc.network.Network.apply_shortcuts`).
+
+    ``stage_profile`` — normally ``None`` — attaches a
+    :class:`~repro.obs.profile.StageProfile` that accumulates per-stage
+    wall time; kernels must keep the profiled path out of the
+    unprofiled hot loop (one attribute check per cycle, no timers).
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, net: "Network"):
+        self.net = net
+        self.stage_profile: Optional["StageProfile"] = None
+
+    def step(self) -> None:
+        """Advance the bound network by one cycle."""
+        raise NotImplementedError
+
+    def rewire(self) -> None:
+        """Topology changed (shortcut retune): drop derived caches.
+
+        Only called on a quiescent network (no packets in flight, event
+        wheel empty) — :meth:`Network.apply_shortcuts` guarantees this.
+        """
+
+    @property
+    def idle(self) -> bool:
+        """True when the kernel holds no scheduled events."""
+        return self.net._open_packets == 0
+
+
+def advance_faults(net: "Network", c: int) -> None:
+    """Shared step prologue: advance the fault state, reschedule on repair.
+
+    A repair can unblock stalled RCs anywhere, so every router holding
+    work is re-added to the active set — in router-id order, which both
+    kernels must preserve (the active set's internal layout depends on
+    the exact mutation sequence, and arbitration order depends on the
+    layout).
+    """
+    observation = net.observation
+    for fault, went_down in net.fault_state.advance(c):
+        if observation is not None:
+            observation.on_fault(fault, c, went_down)
+        if not went_down:
+            for rid, router in enumerate(net.routers):
+                if router.has_work():
+                    net.active.add(rid)
+
+
+def replay_active_ops(active: set, ops: list) -> None:
+    """Apply deferred active-set mutations in their recorded order.
+
+    The switch stage iterates ``net.active`` while sends add downstream
+    routers and drained routers are removed.  The original code snapshotted
+    the set with ``list(...)`` every cycle and mutated in place; both
+    kernels instead iterate the live set and record each mutation as an
+    int — ``rid + 1`` for an add, ``-(rid + 1)`` for a discard — replayed
+    here after the pass.  Because a CPython set's internal layout (and so
+    its iteration order) is a function of the exact add/discard sequence,
+    replaying the identical sequence keeps future iteration order — and
+    therefore arbitration under contention — bit-identical to the
+    snapshot-and-mutate original, without the per-cycle copy.
+    """
+    for op in ops:
+        if op > 0:
+            active.add(op - 1)
+        else:
+            active.discard(-1 - op)
+    del ops[:]

@@ -1,0 +1,563 @@
+"""The fast kernel: allocation-free stepping, bit-identical to the oracle.
+
+Same semantics as :class:`~repro.noc.kernel.reference.ReferenceKernel`,
+reorganized for speed:
+
+* **Ring-buffer event wheel.**  The reference keeps ``defaultdict(list)``
+  wheels keyed by absolute cycle — every cycle allocates fresh bucket
+  lists and churns dict entries.  Here the wheel is a fixed ring of
+  reused lists sized from the longest link latency; buckets are drained
+  in place and cleared, never reallocated.
+* **Preallocated per-router tables.**  Output links, input ports, and
+  per-port switch capacities are flattened into port-indexed lists at
+  :meth:`rewire` time, replacing per-cycle dict lookups and the per-router
+  capacity dict comprehension.
+* **Deferred active-set mutation.**  The reference snapshotted
+  ``list(net.active)`` every cycle so the switch pass could mutate the
+  set; this kernel iterates the live set and records mutations as ints,
+  replayed afterwards in the identical order (see
+  :func:`~repro.noc.kernel.base.replay_active_ops`) — same final set
+  layout, no copy.
+* **Index-order VC scans.**  ``Router.occupied_vcs`` (generator +
+  ``sorted(ip.occupied)`` per port) is replaced by scanning ``ip.vcs`` in
+  index order and filtering on VC state — the same sequence, because a
+  VC's index is in ``occupied`` exactly while its state is non-IDLE.
+* **Inlined hot leaf calls.**  ``accept_flit`` (sans internal
+  assertions — the reference keeps them), ``flit_eligible``,
+  ``has_credit``, ``has_work``, and the single-target ``send_flit``
+  are inlined with hoisted attribute loads; the candidate sort is
+  skipped for the overwhelmingly common single-candidate port.
+* **Cached route rows.**  The common RC case (no faults, no multicast
+  hook, non-adaptive policy) reads the routing table row directly;
+  every special case goes through the shared
+  :func:`~repro.noc.kernel.rc_va.compute_route` so policy logic exists
+  once.
+
+Everything ordering-sensitive — router iteration in the switch pass,
+per-port candidate order, arrival append order, the active/_ni_busy set
+mutation sequences — is preserved exactly; ``tests/test_kernel_equiv.py``
+holds the two kernels to identical stats and trace digests.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.noc.kernel.base import (
+    SimKernel, advance_faults, register, replay_active_ops,
+)
+from repro.noc.kernel.interface import insort
+from repro.noc.kernel.rc_va import compute_route, try_va
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+
+#: Switch-allocation candidate order: (input-port id, VC index), exactly
+#: the sort key the reference kernel uses.
+def _cand_key(pair):
+    return (pair[0].port, pair[1].index)
+
+
+@register
+class FastKernel(SimKernel):
+    """Optimized execution of the same pipeline semantics."""
+
+    name = "fast"
+
+    def __init__(self, net: "Network"):
+        super().__init__(net)
+        self._ops: list[int] = []
+        self.rewire()
+
+    # -- cache construction --------------------------------------------------
+
+    def rewire(self) -> None:
+        """(Re)build every topology-derived table and the event wheel.
+
+        Called at construction and after
+        :meth:`~repro.noc.network.Network.apply_shortcuts` — the network
+        is quiescent then, so dropping wheel contents is safe (there are
+        none).
+        """
+        net = self.net
+        routers = net.routers
+        max_latency = 1
+        for router in routers:
+            for link in router.out_links.values():
+                if link.latency_cycles > max_latency:
+                    max_latency = link.latency_cycles
+        # Slots in flight at cycle c span (c, c + 1 + max_latency]; +3
+        # leaves margin so a bucket is always drained before reuse.
+        size = self._wsize = max_latency + 3
+        self._arrivals: list[list] = [[] for _ in range(size)]
+        self._deliveries: list[list] = [[] for _ in range(size)]
+        #: Input ports in the reference iteration order (dict insertion).
+        self._ips = [tuple(r.in_ports.values()) for r in routers]
+        #: The same ports' occupied sets (aliases — mutated in place).
+        self._occs = [
+            tuple(ip.occupied for ip in r.in_ports.values()) for r in routers
+        ]
+        #: in_ports / out_links flattened into port-indexed lists.
+        self._inports = [
+            [r.in_ports.get(p) for p in range(6)] for r in routers
+        ]
+        links6 = []
+        cap_tmpl = []
+        for router in routers:
+            row: list = [None] * 6
+            cap = [0] * 6
+            for port, link in router.out_links.items():
+                row[port] = link
+                cap[port] = link.capacity
+            links6.append(row)
+            cap_tmpl.append(cap)
+        self._links = links6
+        self._cap_tmpl = cap_tmpl
+        self._cap = [row[:] for row in cap_tmpl]
+
+    # -- the cycle -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        sp = self.stage_profile
+        if sp is not None:
+            self._step_profiled(sp)
+            return
+        net = self.net
+        c = net.cycle = net.cycle + 1
+        stats = net.stats
+        in_window = stats.measure_start <= c < stats.measure_end
+        if in_window:
+            stats.activity.cycles += 1
+        if net.fault_state is not None:
+            advance_faults(net, c)
+        slot = c % self._wsize
+        bucket = self._arrivals[slot]
+        if bucket:
+            self._deliver_arrivals(net, c, in_window, bucket)
+        bucket = self._deliveries[slot]
+        if bucket:
+            self._complete_ejections(net, c, bucket)
+        if net._ni_busy:
+            self._run_interfaces(net, c)
+        if net.active:
+            self._run_rc_va(net, c)
+            self._run_switch(net, c, in_window)
+
+    def _step_profiled(self, sp) -> None:
+        """The same cycle with per-stage wall-clock accounting."""
+        net = self.net
+        c = net.cycle = net.cycle + 1
+        stats = net.stats
+        in_window = stats.measure_start <= c < stats.measure_end
+        if in_window:
+            stats.activity.cycles += 1
+        if net.fault_state is not None:
+            advance_faults(net, c)
+        sp.cycles += 1
+        slot = c % self._wsize
+        t0 = perf_counter()
+        bucket = self._arrivals[slot]
+        if bucket:
+            self._deliver_arrivals(net, c, in_window, bucket)
+        bucket = self._deliveries[slot]
+        if bucket:
+            self._complete_ejections(net, c, bucket)
+        t1 = perf_counter()
+        if net._ni_busy:
+            self._run_interfaces(net, c)
+        t2 = perf_counter()
+        if net.active:
+            self._run_rc_va(net, c)
+            t3 = perf_counter()
+            self._run_switch(net, c, in_window)
+        else:
+            t3 = perf_counter()
+        t4 = perf_counter()
+        sp.arrivals_s += t1 - t0
+        sp.ni_s += t2 - t1
+        sp.rc_va_s += t3 - t2
+        sp.sa_st_s += t4 - t3
+
+    # -- stage: arrivals / ejections ----------------------------------------
+
+    def _deliver_arrivals(self, net, c, in_window, bucket) -> None:
+        inports = self._inports
+        active = net.active
+        if in_window:
+            activity = net.stats.activity
+            obs = net.observation
+            for rid, port, vci, packet in bucket:
+                ip = inports[rid][port]
+                vc = ip.vcs[vci]
+                if vc.state == 0:                    # IDLE -> ROUTE
+                    vc.packet = packet
+                    vc.state = 1
+                    vc.head_arrival = c
+                vc.arrivals.append(c)
+                vc.received += 1
+                ip.occupied.add(vci)
+                activity.buffer_writes += 1
+                if obs is not None:
+                    obs.on_buffer_write(rid, port, c, packet)
+                active.add(rid)
+        else:
+            for rid, port, vci, packet in bucket:
+                ip = inports[rid][port]
+                vc = ip.vcs[vci]
+                if vc.state == 0:
+                    vc.packet = packet
+                    vc.state = 1
+                    vc.head_arrival = c
+                vc.arrivals.append(c)
+                vc.received += 1
+                ip.occupied.add(vci)
+                active.add(rid)
+        del bucket[:]
+
+    def _complete_ejections(self, net, c, bucket) -> None:
+        stats = net.stats
+        open_deliveries = net._open_deliveries
+        hooks = net.delivery_hooks
+        obs = net.observation
+        for packet in bucket:
+            if packet.tail_eject_cycle < c:
+                packet.tail_eject_cycle = c
+            stats.record_delivery(packet, c)
+            observed = obs is not None and stats.in_window(packet.inject_cycle)
+            if observed:
+                obs.on_deliver(packet, c)
+            remaining = open_deliveries.get(packet.uid, 0) - 1
+            if remaining <= 0:
+                open_deliveries.pop(packet.uid, None)
+                net._open_packets -= 1
+                stats.record_completion(packet)
+                if observed:
+                    obs.on_complete(packet, c)
+            else:
+                open_deliveries[packet.uid] = remaining
+            for hook in hooks:
+                hook(packet, c)
+        del bucket[:]
+
+    # -- stage: interface injection -----------------------------------------
+
+    def _run_interfaces(self, net, c) -> None:
+        busy = net._ni_busy
+        interfaces = net.interfaces
+        num_vcs = net.num_vcs
+        bucket = self._arrivals[(c + 1) % self._wsize]
+        done = None
+        for rid in busy:
+            ni = interfaces[rid]
+            queue = ni.queue
+            senders = ni.senders
+            order = ni.order
+            link = ni.link
+            while queue:
+                vci = link.allocate_vc(escape=False, num_regular=num_vcs)
+                if vci is None:
+                    break
+                packet = queue.popleft()
+                senders[vci] = [packet, packet.num_flits]
+                insort(order, vci)
+            if senders:
+                n = len(order)
+                start = ni.rr % n
+                credits = link.credits
+                for offset in range(n):
+                    vci = order[(start + offset) % n]
+                    if credits[vci] <= 0:
+                        continue
+                    entry = senders[vci]
+                    packet = entry[0]
+                    remaining = entry[1]
+                    credits[vci] -= 1
+                    if remaining == packet.num_flits:
+                        packet.head_inject_cycle = c
+                    bucket.append((rid, 0, vci, packet))  # 0 == Port.LOCAL
+                    remaining -= 1
+                    entry[1] = remaining
+                    if remaining == 0:
+                        del senders[vci]
+                        order.remove(vci)
+                    ni.rr += 1
+                    break
+            if not (queue or senders):
+                if done is None:
+                    done = [rid]
+                else:
+                    done.append(rid)
+        if done is not None:
+            busy.difference_update(done)
+
+    # -- stage: RC / VA ------------------------------------------------------
+
+    def _run_rc_va(self, net, c) -> None:
+        routers = net.routers
+        ips_all = self._ips
+        fault_state = net.fault_state
+        stats = net.stats
+        tables = net.tables
+        escape_port_for = tables.escape_port_for
+        # Common case: table lookup only.  Any fault state, multicast
+        # hook, or adaptive policy routes through the shared compute_route.
+        fastpath = (
+            fault_state is None
+            and net.mc_targets_fn is None
+            and not net.policy.adaptive
+        )
+        port_rows = tables._port  # dense [rid][dst] next-hop table
+        for rid in net.active:
+            row = None
+            for ip in ips_all[rid]:
+                if not ip.occupied:
+                    continue
+                for vc in ip.vcs:
+                    state = vc.state
+                    if state == 1:                        # ROUTE
+                        if vc.head_arrival < c:
+                            if fastpath:
+                                packet = vc.packet
+                                dst = packet.dst
+                                if dst == rid:
+                                    vc.targets = [(0, -1)]   # EJECT
+                                elif vc.is_escape or packet.escape:
+                                    vc.targets = [
+                                        (escape_port_for(rid, dst), -1)
+                                    ]
+                                else:
+                                    if row is None:
+                                        row = port_rows[rid]
+                                    vc.targets = [(row[dst], -1)]
+                            else:
+                                ports = compute_route(net, rid, vc)
+                                if not ports:
+                                    # No live route (runtime fault):
+                                    # retry next cycle.
+                                    if stats.in_window(c):
+                                        stats.fault_retries += 1
+                                    continue
+                                vc.targets = [(p, -1) for p in ports]
+                            vc.state = 2                  # VA
+                            vc.va_eligible = c + 1
+                    elif state == 2 and c >= vc.va_eligible:  # VA
+                        try_va(net, rid, routers[rid], vc, c)
+
+    # -- stage: SA / ST / LT -------------------------------------------------
+
+    def _run_switch(self, net, c, in_window) -> None:
+        ips_all = self._ips
+        occs_all = self._occs
+        links_all = self._links
+        cap_all = self._cap
+        tmpl_all = self._cap_tmpl
+        fault_state = net.fault_state
+        ops = self._ops
+        for rid in net.active:
+            requests = None
+            multicast = None
+            for ip in ips_all[rid]:
+                if not ip.occupied:
+                    continue
+                for vc in ip.vcs:
+                    if vc.state != 3:                     # ACTIVE
+                        continue
+                    arr = vc.arrivals
+                    if not arr:                           # flit_eligible
+                        continue
+                    if vc.sent == 0:
+                        if c < vc.sa_ready:
+                            continue
+                    elif c < arr[0] + 1:
+                        continue
+                    targets = vc.targets
+                    if len(targets) > 1:
+                        if multicast is None:
+                            multicast = [(ip, vc)]
+                        else:
+                            multicast.append((ip, vc))
+                    else:
+                        port = targets[0][0]
+                        if requests is None:
+                            requests = {port: [(ip, vc)]}
+                        else:
+                            lst = requests.get(port)
+                            if lst is None:
+                                requests[port] = [(ip, vc)]
+                            else:
+                                lst.append((ip, vc))
+            if multicast is not None or requests is not None:
+                links = links_all[rid]
+                cap = cap_all[rid]
+                cap[:] = tmpl_all[rid]
+                if multicast is not None:
+                    for ip, vc in multicast:
+                        self._grant_multicast(net, rid, ip, vc, c, links,
+                                              cap, fault_state, in_window)
+                if requests is not None:
+                    for port, candidates in requests.items():
+                        self._grant_port(net, rid, port, candidates, c,
+                                         links, cap, fault_state, in_window)
+            if not any(occs_all[rid]):
+                ops.append(-1 - rid)
+        replay_active_ops(net.active, ops)
+
+    def _grant_port(self, net, rid, port, candidates, c, links, cap,
+                    fault_state, in_window) -> None:
+        if fault_state is not None and fault_state.out_dead(rid, port):
+            return  # link is down: flits hold their VCs until the repair
+        link = links[port]
+        n = len(candidates)
+        if n > 1:
+            candidates.sort(key=_cand_key)
+        start = link.rr % n
+        cap_p = cap[port]
+        eject = link.dst_router is None
+        credits = link.credits
+        is_rf = link.is_rf
+        for offset in range(n):
+            if cap_p <= 0:
+                break
+            ip, vc = candidates[(start + offset) % n]
+            out_vc = vc.targets[0][1]
+            arr = vc.arrivals
+            # RF links may drain several flits of the same packet per cycle.
+            while cap_p > 0:
+                if not arr:                               # flit_eligible
+                    break
+                if vc.sent == 0:
+                    if c < vc.sa_ready:
+                        break
+                elif c < arr[0] + 1:
+                    break
+                if not eject and credits[out_vc] <= 0:    # has_credit
+                    break
+                self._send1(net, rid, ip, vc, c, port, link, out_vc,
+                            eject, is_rf, in_window)
+                cap_p -= 1
+                link.rr += 1
+                if not is_rf:
+                    break
+        cap[port] = cap_p
+
+    def _grant_multicast(self, net, rid, ip, vc, c, links, cap,
+                         fault_state, in_window) -> None:
+        for port, out_vc in vc.targets:
+            link = links[port]
+            if cap[port] <= 0 or not (
+                link.dst_router is None or link.credits[out_vc] > 0
+            ):
+                return
+            if fault_state is not None and fault_state.out_dead(rid, port):
+                return
+        # Bind the target list before the send: a tail send releases the
+        # VC, rebinding vc.targets to [] — and, exactly like the
+        # reference, the capacity decrement below then sees the empty
+        # list (tail flits do not consume switch capacity; a quirk both
+        # kernels must share).
+        targets = vc.targets
+        self._sendm(net, rid, ip, vc, c, links, targets, in_window)
+        for port, _ in vc.targets:
+            cap[port] -= 1
+
+    def _send1(self, net, rid, ip, vc, c, port, link, out_vc,
+               eject, is_rf, in_window) -> None:
+        """Single-target send_flit, inlined (the unicast common case)."""
+        packet = vc.packet
+        vc.arrivals.popleft()
+        vc.sent += 1
+        is_head = vc.sent == 1
+        is_tail = vc.sent == packet.num_flits
+        if in_window:
+            stats = net.stats
+            activity = stats.activity
+            activity.switch_traversals += 1
+            obs = net.observation
+            if obs is not None:
+                obs.on_flit(rid, port, link, packet, c)
+            if eject:
+                activity.local_flit_hops += 1
+            elif is_rf:
+                activity.rf_flits += 1
+                stats.link_flits[(rid, link.dst_router)] += 1
+            else:
+                activity.mesh_flit_hops += 1
+                activity.mesh_flit_mm += link.length_mm
+                stats.link_flits[(rid, link.dst_router)] += 1
+        if eject:
+            if is_tail:
+                self._deliveries[(c + 2) % self._wsize].append(packet)
+        else:
+            link.credits[out_vc] -= 1
+            self._arrivals[(c + 1 + link.latency_cycles) % self._wsize].append(
+                (link.dst_router, link.dst_port, out_vc, packet)
+            )
+            self._ops.append(link.dst_router + 1)
+            if is_head:
+                packet.hops += 1
+                if is_rf:
+                    packet.rf_hops += 1
+        # Return a credit (and, on tail, the VC itself) to whoever feeds us.
+        feeder = ip.feeder
+        if feeder is not None:
+            feeder.credits[vc.index] += 1
+            if is_tail:
+                feeder.vc_busy[vc.index] = False
+            if feeder.out_port == -1 and net.interfaces[rid].busy:
+                net._ni_busy.add(rid)
+        if is_tail:
+            vc.release()
+            ip.occupied.discard(vc.index)
+
+    def _sendm(self, net, rid, ip, vc, c, links, targets, in_window) -> None:
+        """Multi-target send_flit (multicast forks)."""
+        packet = vc.packet
+        vc.arrivals.popleft()
+        vc.sent += 1
+        is_head = vc.sent == 1
+        is_tail = vc.sent == packet.num_flits
+        stats = net.stats
+        activity = stats.activity
+        obs = net.observation if in_window else None
+        size = self._wsize
+        ops = self._ops
+        for port, out_vc in targets:
+            link = links[port]
+            if in_window:
+                activity.switch_traversals += 1
+                if obs is not None:
+                    obs.on_flit(rid, port, link, packet, c)
+            if link.dst_router is None:
+                if in_window:
+                    activity.local_flit_hops += 1
+                if is_tail:
+                    self._deliveries[(c + 2) % size].append(packet)
+                continue
+            link.credits[out_vc] -= 1
+            self._arrivals[(c + 1 + link.latency_cycles) % size].append(
+                (link.dst_router, link.dst_port, out_vc, packet)
+            )
+            ops.append(link.dst_router + 1)
+            if in_window:
+                if link.is_rf:
+                    activity.rf_flits += 1
+                else:
+                    activity.mesh_flit_hops += 1
+                    activity.mesh_flit_mm += link.length_mm
+                stats.link_flits[(rid, link.dst_router)] += 1
+            if is_head:
+                packet.hops += 1
+                if link.is_rf:
+                    packet.rf_hops += 1
+        feeder = ip.feeder
+        if feeder is not None:
+            feeder.credits[vc.index] += 1
+            if is_tail:
+                feeder.vc_busy[vc.index] = False
+            if feeder.out_port == -1 and net.interfaces[rid].busy:
+                net._ni_busy.add(rid)
+        if is_tail:
+            vc.release()
+            ip.occupied.discard(vc.index)

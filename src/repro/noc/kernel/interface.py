@@ -1,0 +1,60 @@
+"""Network-interface injection: queued packets onto the local link.
+
+Extracted from the pre-kernel ``Network._run_interfaces``, with one
+hot-path fix applied to both kernels: the per-cycle ``sorted(ni.senders)``
+is gone.  Each :class:`~repro.noc.network.NetworkInterface` now maintains
+``ni.order`` — the sender VC indices in ascending order — incrementally
+(``insort`` on allocation, ``remove`` on completion), so the round-robin
+scan below sees exactly the sequence the old ``sorted`` call produced
+without re-sorting a dict's keys every cycle for every busy interface.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import TYPE_CHECKING
+
+from repro.noc.topology import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+
+LOCAL = int(Port.LOCAL)
+
+
+def run_interfaces(net: "Network", arrivals: dict[int, list], c: int) -> None:
+    """Start queued packets on free VCs; send one flit per busy interface."""
+    done = []
+    for rid in net._ni_busy:
+        ni = net.interfaces[rid]
+        # Start queued packets on free regular VCs.
+        while ni.queue:
+            vci = ni.link.allocate_vc(escape=False, num_regular=net.num_vcs)
+            if vci is None:
+                break
+            packet = ni.queue.popleft()
+            ni.senders[vci] = [packet, packet.num_flits]
+            insort(ni.order, vci)
+        # Send at most one flit this cycle, round-robin across VCs.
+        if ni.senders:
+            order = ni.order
+            n = len(order)
+            start = ni.rr % n
+            for offset in range(n):
+                vci = order[(start + offset) % n]
+                if ni.link.credits[vci] <= 0:
+                    continue
+                packet, remaining = ni.senders[vci]
+                ni.link.credits[vci] -= 1
+                if remaining == packet.num_flits:
+                    packet.head_inject_cycle = c
+                arrivals[c + 1].append((rid, LOCAL, vci, packet))
+                ni.senders[vci][1] = remaining - 1
+                if ni.senders[vci][1] == 0:
+                    del ni.senders[vci]
+                    order.remove(vci)
+                ni.rr += 1
+                break
+        if not ni.busy:
+            done.append(rid)
+    net._ni_busy.difference_update(done)

@@ -1,0 +1,167 @@
+"""Switch allocation, switch traversal, and link traversal (SA/ST/LT).
+
+Extracted verbatim from the pre-kernel ``Network`` methods, with the
+``list(net.active)`` per-cycle snapshot replaced by iteration over the
+live set plus deferred mutation replay (see
+:func:`repro.noc.kernel.base.replay_active_ops` for why the exact op
+sequence matters).
+
+Unlike RC/VA, *router iteration order is observable here*: granting a
+flit returns a credit to the upstream feeder link in the same cycle (a
+documented modeling simplification), so a router processed later in the
+pass can see credits freed by one processed earlier.  Both kernels must
+therefore walk routers in the same (set-iteration) order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.noc.kernel.base import replay_active_ops
+from repro.noc.router import ACTIVE, InputPort, Router, VirtualChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+
+
+def run_switch(
+    net: "Network", arrivals: dict[int, list], deliveries: dict[int, list],
+    ops: list, c: int, in_window: bool,
+) -> None:
+    """One SA/ST/LT pass over every active router (reference loop)."""
+    for rid in net.active:
+        router = net.routers[rid]
+        requests: dict[int, list] = {}
+        multicast: list = []
+        for ip, vc in router.occupied_vcs():
+            if vc.state != ACTIVE or not vc.flit_eligible(c):
+                continue
+            if len(vc.targets) > 1:
+                multicast.append((ip, vc))
+            else:
+                requests.setdefault(vc.targets[0][0], []).append((ip, vc))
+
+        capacity = {
+            port: link.capacity for port, link in router.out_links.items()
+        }
+        for ip, vc in multicast:
+            grant_multicast(net, arrivals, deliveries, ops, router, ip, vc,
+                            c, capacity, in_window)
+        for port, candidates in requests.items():
+            grant_port(net, arrivals, deliveries, ops, router, port,
+                       candidates, c, capacity, in_window)
+
+        if not router.has_work():
+            ops.append(-1 - rid)
+    replay_active_ops(net.active, ops)
+
+
+def grant_port(
+    net: "Network", arrivals: dict[int, list], deliveries: dict[int, list],
+    ops: list, router: Router, port: int, candidates: list,
+    c: int, capacity: dict[int, int], in_window: bool,
+) -> None:
+    """Round-robin one output port's switch slots among its candidates."""
+    if (
+        net.fault_state is not None
+        and net.fault_state.out_dead(router.router_id, port)
+    ):
+        return  # link is down: flits hold their VCs until the repair
+    link = router.out_links[port]
+    order = sorted(candidates, key=lambda pair: (pair[0].port, pair[1].index))
+    n = len(order)
+    start = link.rr % n
+    for offset in range(n):
+        if capacity[port] <= 0:
+            break
+        ip, vc = order[(start + offset) % n]
+        out_vc = vc.targets[0][1]
+        # RF links may drain several flits of the same packet per cycle.
+        while (
+            capacity[port] > 0
+            and vc.flit_eligible(c)
+            and link.has_credit(out_vc)
+        ):
+            send_flit(net, arrivals, deliveries, ops, router, ip, vc, c,
+                      [(port, out_vc)], in_window)
+            capacity[port] -= 1
+            link.rr += 1
+            if not link.is_rf:
+                break
+
+
+def grant_multicast(
+    net: "Network", arrivals: dict[int, list], deliveries: dict[int, list],
+    ops: list, router: Router, ip: InputPort, vc: VirtualChannel,
+    c: int, capacity: dict[int, int], in_window: bool,
+) -> None:
+    """All-or-nothing grant for a multicast fork (synchronized replication)."""
+    for port, out_vc in vc.targets:
+        link = router.out_links[port]
+        if capacity[port] <= 0 or not link.has_credit(out_vc):
+            return
+        if (
+            net.fault_state is not None
+            and net.fault_state.out_dead(router.router_id, port)
+        ):
+            return
+    send_flit(net, arrivals, deliveries, ops, router, ip, vc, c,
+              list(vc.targets), in_window)
+    for port, _ in vc.targets:
+        capacity[port] -= 1
+
+
+def send_flit(
+    net: "Network", arrivals: dict[int, list], deliveries: dict[int, list],
+    ops: list, router: Router, ip: InputPort, vc: VirtualChannel,
+    c: int, targets: list[tuple[int, int]], in_window: bool,
+) -> None:
+    """Move one flit through the crossbar onto every target link."""
+    packet = vc.packet
+    vc.arrivals.popleft()
+    vc.sent += 1
+    is_head = vc.sent == 1
+    is_tail = vc.sent == packet.num_flits
+    activity = net.stats.activity
+
+    observation = net.observation if in_window else None
+    for port, out_vc in targets:
+        link = router.out_links[port]
+        if in_window:
+            activity.switch_traversals += 1
+            if observation is not None:
+                observation.on_flit(router.router_id, port, link, packet, c)
+        if link.is_ejection:
+            if in_window:
+                activity.local_flit_hops += 1
+            if is_tail:
+                deliveries[c + 2].append(packet)
+            continue
+        link.credits[out_vc] -= 1
+        arrivals[c + 1 + link.latency_cycles].append(
+            (link.dst_router, link.dst_port, out_vc, packet)
+        )
+        ops.append(link.dst_router + 1)
+        if in_window:
+            if link.is_rf:
+                activity.rf_flits += 1
+            else:
+                activity.mesh_flit_hops += 1
+                activity.mesh_flit_mm += link.length_mm
+            net.stats.link_flits[(router.router_id, link.dst_router)] += 1
+        if is_head:
+            packet.hops += 1
+            if link.is_rf:
+                packet.rf_hops += 1
+
+    # Return a credit (and, on tail, the VC itself) to whoever feeds us.
+    feeder = ip.feeder
+    if feeder is not None:
+        feeder.credits[vc.index] += 1
+        if is_tail:
+            feeder.vc_busy[vc.index] = False
+        if feeder.out_port == -1 and net.interfaces[router.router_id].busy:
+            net._ni_busy.add(router.router_id)
+    if is_tail:
+        vc.release()
+        ip.occupied.discard(vc.index)

@@ -48,7 +48,7 @@ def message_bytes(cls: MessageClass, params: MessageParams) -> int:
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One end-to-end communication handed to the network interface.
 

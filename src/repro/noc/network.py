@@ -1,11 +1,15 @@
-"""The network: routers wired by links, driven by a global cycle loop.
+"""The network: routers wired by links, stepped by a pluggable kernel.
 
-:class:`Network` owns every router, output link, and network interface, plus
-the event wheel that carries flits between them.  Traffic generators call
-:meth:`Network.inject`; the simulator calls :meth:`Network.step` once per
-network cycle.  All pipeline behaviour (RC, VA, SA/ST/LT) is executed here so
-cross-router interactions — credits, VC-free signals, flit arrivals — stay in
-one place.
+:class:`Network` owns every router, output link, and network interface —
+the structural model — plus the injection API, packet accounting, and the
+``active`` / ``_ni_busy`` scheduling sets.  The per-cycle pipeline
+execution (arrivals and ejections, interface injection, RC/VA, SA/ST/LT)
+lives in a :mod:`repro.noc.kernel` — ``fast`` by default, ``reference``
+as the differential-testing oracle — selected at construction or swapped
+on a quiescent network with :meth:`Network.use_kernel`.  Traffic
+generators call :meth:`Network.inject`; the simulator calls
+:meth:`Network.step` once per network cycle, which delegates to the
+kernel.
 
 Multicast support: a packet whose route computation yields several targets
 (a VCT tree fork, or the local-distribution fan-out at an RF multicast
@@ -17,13 +21,12 @@ cycle loop.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.noc.kernel import DEFAULT_KERNEL, get_kernel
 from repro.noc.message import Message, Packet
-from repro.noc.router import (
-    ACTIVE, IDLE, ROUTE, VA, InputPort, OutputLink, Router, VirtualChannel,
-)
+from repro.noc.router import OutputLink, Router
 from repro.noc.routing import EJECT, RoutingPolicy, RoutingTables
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import MeshTopology, Port
@@ -31,6 +34,7 @@ from repro.params import ArchitectureParams
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.state import FaultState
+    from repro.noc.routing import Shortcut
     from repro.obs import Observation
 
 #: RC hook signature for multicast packets: (network, router_id, packet) ->
@@ -50,13 +54,16 @@ class NetworkInterface:
     paced by credits against the router's LOCAL input buffers.
     """
 
-    __slots__ = ("router_id", "queue", "link", "senders", "rr")
+    __slots__ = ("router_id", "queue", "link", "senders", "order", "rr")
 
     def __init__(self, router_id: int, link: OutputLink):
         self.router_id = router_id
         self.queue: deque[Packet] = deque()
         self.link = link                       # feeds the LOCAL input port
         self.senders: dict[int, list] = {}     # vc -> [packet, flits_remaining]
+        #: Keys of ``senders`` in ascending order, maintained incrementally
+        #: (kernels round-robin over it instead of re-sorting every cycle).
+        self.order: list[int] = []
         self.rr = 0
 
     @property
@@ -75,6 +82,7 @@ class Network:
         tables: Optional[RoutingTables] = None,
         policy: Optional[RoutingPolicy] = None,
         shortcut_style: str = "rf",
+        kernel: str = DEFAULT_KERNEL,
     ):
         if shortcut_style not in ("rf", "wire"):
             raise ValueError("shortcut_style must be 'rf' or 'wire'")
@@ -97,8 +105,6 @@ class Network:
         self.interfaces: list[NetworkInterface] = []
         self._build()
 
-        self._arrivals: dict[int, list] = defaultdict(list)
-        self._deliveries: dict[int, list] = defaultdict(list)
         self.active: set[int] = set()
         self._ni_busy: set[int] = set()
         self._open_packets = 0
@@ -112,6 +118,24 @@ class Network:
         #: common case — keeps the cycle loop at one ``is None`` check per
         #: fault-sensitive decision.
         self.fault_state: Optional["FaultState"] = None
+        #: The cycle-execution strategy (see :mod:`repro.noc.kernel`).
+        #: Built last: kernels cache topology-derived state at construction.
+        self.kernel = get_kernel(kernel)(self)
+
+    def use_kernel(self, name: str) -> None:
+        """Swap the execution kernel on a *quiescent* network.
+
+        Both kernels produce bit-identical results, so swapping mid-run
+        would be semantically fine — but kernels own the in-flight event
+        wheel, so the network must be drained first.
+        """
+        if name == self.kernel.name:
+            return
+        if self._open_packets:
+            raise RuntimeError(
+                "cannot swap kernels with packets in flight; drain first"
+            )
+        self.kernel = get_kernel(name)(self)
 
     def observe(self, observation: Optional["Observation"]) -> None:
         """Attach (or, with None, detach) an observation sink."""
@@ -169,7 +193,7 @@ class Network:
             router.in_ports[int(Port.LOCAL)].feeder = ni_link
             self.interfaces.append(NetworkInterface(rid, ni_link))
 
-    def _wire_shortcut(self, sc: Shortcut) -> None:
+    def _wire_shortcut(self, sc: "Shortcut") -> None:
         """Create the sixth-port link realizing one shortcut."""
         topo = self.topology
         spacing = topo.params.router_spacing_mm
@@ -217,6 +241,7 @@ class Network:
         self.tables = tables
         for sc in tables.shortcuts:
             self._wire_shortcut(sc)
+        self.kernel.rewire()  # per-router caches and wheel sizing changed
         if self.observation is not None:
             self.observation.bind(self)  # the band map changed
 
@@ -281,392 +306,23 @@ class Network:
         """UIDs of packets still in flight (undelivered destinations)."""
         return list(self._open_deliveries)
 
-    # -- cycle loop -----------------------------------------------------------
+    # -- running ---------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance the network by one cycle."""
-        c = self.cycle = self.cycle + 1
-        in_window = self.stats.in_window(c)
-        if in_window:
-            self.stats.activity.cycles += 1
-
-        if self.fault_state is not None:
-            for fault, went_down in self.fault_state.advance(c):
-                if self.observation is not None:
-                    self.observation.on_fault(fault, c, went_down)
-                # A repair can unblock stalled RCs anywhere; reschedule all
-                # routers holding work so they retry this cycle.
-                if not went_down:
-                    for rid, router in enumerate(self.routers):
-                        if router.has_work():
-                            self.active.add(rid)
-
-        self._deliver_arrivals(c, in_window)
-        self._complete_ejections(c)
-        self._run_interfaces(c)
-        self._run_rc_va(c)
-        self._run_switch(c, in_window)
-
-    def _deliver_arrivals(self, c: int, in_window: bool) -> None:
-        for rid, port, vci, packet in self._arrivals.pop(c, ()):
-            ip = self.routers[rid].in_ports[port]
-            ip.vcs[vci].accept_flit(c, packet)
-            ip.occupied.add(vci)
-            if in_window:
-                self.stats.activity.buffer_writes += 1
-                if self.observation is not None:
-                    self.observation.on_buffer_write(rid, port, c, packet)
-            self.active.add(rid)
-
-    def _complete_ejections(self, c: int) -> None:
-        for packet in self._deliveries.pop(c, ()):
-            packet.tail_eject_cycle = max(packet.tail_eject_cycle, c)
-            self.stats.record_delivery(packet, c)
-            observed = (
-                self.observation is not None
-                and self.stats.in_window(packet.inject_cycle)
-            )
-            if observed:
-                self.observation.on_deliver(packet, c)
-            remaining = self._open_deliveries.get(packet.uid, 0) - 1
-            if remaining <= 0:
-                self._open_deliveries.pop(packet.uid, None)
-                self._open_packets -= 1
-                self.stats.record_completion(packet)
-                if observed:
-                    self.observation.on_complete(packet, c)
-            else:
-                self._open_deliveries[packet.uid] = remaining
-            for hook in self.delivery_hooks:
-                hook(packet, c)
-
-    def _run_interfaces(self, c: int) -> None:
-        done = []
-        for rid in self._ni_busy:
-            ni = self.interfaces[rid]
-            # Start queued packets on free regular VCs.
-            while ni.queue:
-                vci = ni.link.allocate_vc(escape=False, num_regular=self.num_vcs)
-                if vci is None:
-                    break
-                packet = ni.queue.popleft()
-                ni.senders[vci] = [packet, packet.num_flits]
-            # Send at most one flit this cycle, round-robin across VCs.
-            if ni.senders:
-                vcis = sorted(ni.senders)
-                start = ni.rr % len(vcis)
-                for offset in range(len(vcis)):
-                    vci = vcis[(start + offset) % len(vcis)]
-                    if ni.link.credits[vci] <= 0:
-                        continue
-                    packet, remaining = ni.senders[vci]
-                    ni.link.credits[vci] -= 1
-                    if remaining == packet.num_flits:
-                        packet.head_inject_cycle = c
-                    self._arrivals[c + 1].append(
-                        (rid, int(Port.LOCAL), vci, packet)
-                    )
-                    ni.senders[vci][1] = remaining - 1
-                    if ni.senders[vci][1] == 0:
-                        del ni.senders[vci]
-                    ni.rr += 1
-                    break
-            if not ni.busy:
-                done.append(rid)
-        self._ni_busy.difference_update(done)
-
-    # -- route computation and VC allocation ---------------------------------
-
-    def _compute_route(self, rid: int, vc: VirtualChannel) -> list[int]:
-        """Output ports for the packet heading this VC (RC stage).
-
-        An empty list means "no live route this cycle" (runtime faults):
-        the head stays in RC and retries next cycle, counted in
-        ``stats.fault_retries``.
-        """
-        packet = vc.packet
-        if packet.message.is_multicast and self.mc_targets_fn is not None:
-            return self.mc_targets_fn(self, rid, packet)
-        if packet.dst == rid:
-            if (
-                self.fault_state is not None
-                and self.fault_state.out_dead(rid, EJECT)
-            ):
-                return []
-            return [EJECT]
-        if vc.is_escape or packet.escape:
-            port = self.tables.escape_port_for(rid, packet.dst)
-            if (
-                self.fault_state is not None
-                and self.fault_state.out_dead(rid, port)
-            ):
-                return []
-            return [port]
-        port = self.tables.port_for(rid, packet.dst)
-        if self.fault_state is not None and self.fault_state.out_dead(rid, port):
-            return self._fault_fallback(rid, packet, port)
-        if (
-            self.policy.adaptive
-            and port == int(Port.RF)
-            and self._rf_congested(rid, packet.dst)
-        ):
-            packet.route_class = "adaptive-fallback"
-            if (
-                self.observation is not None
-                and self.stats.in_window(self.cycle)
-            ):
-                self.observation.on_route_divert(
-                    packet, rid, self.cycle, "adaptive-fallback"
-                )
-            return [self.tables.mesh_port_for(rid, packet.dst)]
-        return [port]
-
-    def _fault_fallback(self, rid: int, packet: Packet, port: int) -> list[int]:
-        """The table's next hop is dead right now: detour or stall.
-
-        Try the mesh fallback, then the escape route; if every option is
-        dead too, stall (empty route) and retry — transient faults repair.
-        Diverts count as ``fault_reroutes`` and trace as ``route`` events.
-        """
-        for fallback in (
-            self.tables.mesh_port_for(rid, packet.dst),
-            self.tables.escape_port_for(rid, packet.dst),
-        ):
-            if fallback != port and not self.fault_state.out_dead(rid, fallback):
-                packet.route_class = "fault-fallback"
-                if self.stats.in_window(self.cycle):
-                    self.stats.fault_reroutes += 1
-                    if self.observation is not None:
-                        self.observation.on_route_divert(
-                            packet, rid, self.cycle, "fault-fallback"
-                        )
-                return [fallback]
-        return []
-
-    def _rf_congested(self, rid: int, dst: int) -> bool:
-        """Should this packet skip the RF shortcut and take the mesh?
-
-        The HPCA-2008 adaptive policy, as a cost comparison: divert only
-        when the *estimated wait* at the transmitter (queued flits over the
-        shortcut's drain rate, plus a penalty when no VC is free) exceeds
-        the *detour cost* of finishing the trip over mesh links.  Packets
-        that gain many hops from the shortcut keep waiting; marginal ones
-        peel off first, which is exactly what relieves the contention.
-        """
-        link = self.routers[rid].out_links.get(int(Port.RF))
-        if link is None:
-            return True
-        occupancy = sum(
-            self.buffer_depth - link.credits[i] for i in range(self.num_vcs)
-        )
-        wait_estimate = occupancy / link.capacity
-        if not any(not link.vc_busy[i] for i in range(self.num_vcs)):
-            wait_estimate += self.policy.rf_congestion_threshold
-        detour_hops = self.topology.manhattan(rid, dst) - self.tables.distance(rid, dst)
-        detour_cost = detour_hops * self.policy.detour_cycles_per_hop
-        return wait_estimate > detour_cost
-
-    def _escape_class(self, vc: VirtualChannel) -> bool:
-        return vc.is_escape or vc.packet.escape
-
-    def _run_rc_va(self, c: int) -> None:
-        for rid in list(self.active):
-            router = self.routers[rid]
-            for ip, vc in router.occupied_vcs():
-                if vc.state == ROUTE:
-                    if c >= vc.head_arrival + 1:
-                        ports = self._compute_route(rid, vc)
-                        if not ports:
-                            # No live route (runtime fault): retry next cycle.
-                            if self.stats.in_window(c):
-                                self.stats.fault_retries += 1
-                            continue
-                        vc.targets = [(p, -1) for p in ports]
-                        vc.state = VA
-                        vc.va_eligible = c + 1
-                elif vc.state == VA and c >= vc.va_eligible:
-                    self._try_va(rid, router, vc, c)
-
-    def _try_va(self, rid: int, router: Router, vc: VirtualChannel, c: int) -> None:
-        if vc.va_since < 0:
-            vc.va_since = c
-        escape = self._escape_class(vc)
-        complete = True
-        for i, (port, out_vc) in enumerate(vc.targets):
-            if out_vc >= 0:
-                continue
-            link = router.out_links[port]
-            allocated = link.allocate_vc(escape=escape, num_regular=self.num_vcs)
-            if allocated is None:
-                complete = False
-            else:
-                vc.targets[i] = (port, allocated)
-        if complete:
-            vc.state = ACTIVE
-            vc.sa_ready = c + 1
-            return
-        # Escape diversion: a stalled unicast head abandons the table route
-        # and retries over the deadlock-free XY escape class.
-        if (
-            not escape
-            and not vc.packet.message.is_multicast
-            and c - vc.va_since >= self.policy.escape_timeout
-            and vc.packet.dst != rid
-        ):
-            self._release_partial_va(router, vc)
-            vc.packet.escape = True
-            vc.packet.route_class = "escape"
-            if self.observation is not None and self.stats.in_window(c):
-                self.observation.on_route_divert(vc.packet, rid, c, "escape")
-            vc.targets = [
-                (self.tables.escape_port_for(rid, vc.packet.dst), -1)
-            ]
-            vc.va_since = c  # restart the timeout clock in the escape class
-
-    def _release_partial_va(self, router: Router, vc: VirtualChannel) -> None:
-        for port, out_vc in vc.targets:
-            if out_vc >= 0:
-                link = router.out_links[port]
-                if not link.is_ejection:
-                    link.vc_busy[out_vc] = False
-
-    # -- switch allocation / traversal ---------------------------------------
-
-    def _run_switch(self, c: int, in_window: bool) -> None:
-        for rid in list(self.active):
-            router = self.routers[rid]
-            requests: dict[int, list] = {}
-            multicast: list = []
-            for ip, vc in router.occupied_vcs():
-                if vc.state != ACTIVE or not vc.flit_eligible(c):
-                    continue
-                if len(vc.targets) > 1:
-                    multicast.append((ip, vc))
-                else:
-                    requests.setdefault(vc.targets[0][0], []).append((ip, vc))
-
-            capacity = {
-                port: link.capacity for port, link in router.out_links.items()
-            }
-            for ip, vc in multicast:
-                self._grant_multicast(router, ip, vc, c, capacity, in_window)
-            for port, candidates in requests.items():
-                self._grant_port(router, port, candidates, c, capacity, in_window)
-
-            if not router.has_work():
-                self.active.discard(rid)
-
-    def _grant_port(
-        self, router: Router, port: int, candidates: list,
-        c: int, capacity: dict[int, int], in_window: bool,
-    ) -> None:
-        if (
-            self.fault_state is not None
-            and self.fault_state.out_dead(router.router_id, port)
-        ):
-            return  # link is down: flits hold their VCs until the repair
-        link = router.out_links[port]
-        order = sorted(candidates, key=lambda pair: (pair[0].port, pair[1].index))
-        n = len(order)
-        start = link.rr % n
-        for offset in range(n):
-            if capacity[port] <= 0:
-                break
-            ip, vc = order[(start + offset) % n]
-            out_vc = vc.targets[0][1]
-            # RF links may drain several flits of the same packet per cycle.
-            while (
-                capacity[port] > 0
-                and vc.flit_eligible(c)
-                and link.has_credit(out_vc)
-            ):
-                self._send_flit(router, ip, vc, c, [(port, out_vc)], in_window)
-                capacity[port] -= 1
-                link.rr += 1
-                if not link.is_rf:
-                    break
-
-    def _grant_multicast(
-        self, router: Router, ip: InputPort, vc: VirtualChannel,
-        c: int, capacity: dict[int, int], in_window: bool,
-    ) -> None:
-        for port, out_vc in vc.targets:
-            link = router.out_links[port]
-            if capacity[port] <= 0 or not link.has_credit(out_vc):
-                return
-            if (
-                self.fault_state is not None
-                and self.fault_state.out_dead(router.router_id, port)
-            ):
-                return
-        self._send_flit(router, ip, vc, c, list(vc.targets), in_window)
-        for port, _ in vc.targets:
-            capacity[port] -= 1
-
-    def _send_flit(
-        self, router: Router, ip: InputPort, vc: VirtualChannel,
-        c: int, targets: list[tuple[int, int]], in_window: bool,
-    ) -> None:
-        packet = vc.packet
-        vc.arrivals.popleft()
-        vc.sent += 1
-        is_head = vc.sent == 1
-        is_tail = vc.sent == packet.num_flits
-        activity = self.stats.activity
-
-        observation = self.observation if in_window else None
-        for port, out_vc in targets:
-            link = router.out_links[port]
-            if in_window:
-                activity.switch_traversals += 1
-                if observation is not None:
-                    observation.on_flit(router.router_id, port, link, packet, c)
-            if link.is_ejection:
-                if in_window:
-                    activity.local_flit_hops += 1
-                if is_tail:
-                    self._deliveries[c + 2].append(packet)
-                continue
-            link.credits[out_vc] -= 1
-            self._arrivals[c + 1 + link.latency_cycles].append(
-                (link.dst_router, link.dst_port, out_vc, packet)
-            )
-            self.active.add(link.dst_router)
-            if in_window:
-                if link.is_rf:
-                    activity.rf_flits += 1
-                else:
-                    activity.mesh_flit_hops += 1
-                    activity.mesh_flit_mm += link.length_mm
-                self.stats.link_flits[(router.router_id, link.dst_router)] += 1
-            if is_head:
-                packet.hops += 1
-                if link.is_rf:
-                    packet.rf_hops += 1
-
-        # Return a credit (and, on tail, the VC itself) to whoever feeds us.
-        feeder = ip.feeder
-        if feeder is not None:
-            feeder.credits[vc.index] += 1
-            if is_tail:
-                feeder.vc_busy[vc.index] = False
-            if feeder.out_port == -1 and self.interfaces[router.router_id].busy:
-                self._ni_busy.add(router.router_id)
-        if is_tail:
-            vc.release()
-            ip.occupied.discard(vc.index)
-
-    # -- running ---------------------------------------------------------------
+        """Advance the network by one cycle (delegates to the kernel)."""
+        self.kernel.step()
 
     def run(self, cycles: int) -> None:
         """Step the network ``cycles`` times."""
+        step = self.kernel.step
         for _ in range(cycles):
-            self.step()
+            step()
 
     def drain(self, max_cycles: int) -> bool:
         """Step until no packets are in flight; True if fully drained."""
+        step = self.kernel.step
         for _ in range(max_cycles):
             if self._open_packets == 0:
                 return True
-            self.step()
+            step()
         return self._open_packets == 0

@@ -26,6 +26,7 @@ from repro.params import SimulationParams
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observation
+    from repro.obs.profile import StageProfile
     from repro.obs.result import RunResult
 
 
@@ -47,10 +48,12 @@ class Simulator:
         sim: Optional[SimulationParams] = None,
         *,
         observation: Optional["Observation"] = None,
+        stage_profile: Optional["StageProfile"] = None,
     ):
         self.network = network
         self.sources = list(sources)
         self.sim = SimulationParams() if sim is None else sim
+        self.stage_profile = stage_profile
         if observation is None and self.sim.trace_events:
             from repro.obs import EventTracer, MetricsRegistry, Observation
 
@@ -72,6 +75,14 @@ class Simulator:
         """
         net = self.network
         stats = net.stats
+        # sim.kernel is a *request*: None leaves whatever kernel the
+        # network was built with (so explicitly constructed networks —
+        # e.g. the reference oracle in the differential suite — are not
+        # silently clobbered).
+        if self.sim.kernel is not None and self.sim.kernel != net.kernel.name:
+            net.use_kernel(self.sim.kernel)
+        if self.stage_profile is not None:
+            net.kernel.stage_profile = self.stage_profile
         if self.observation is not None:
             net.observe(self.observation)
 

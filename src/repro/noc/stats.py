@@ -103,6 +103,26 @@ class NetworkStats:
         """Is ``cycle`` inside the measurement window?"""
         return self.measure_start <= cycle < self.measure_end
 
+    def digest(self) -> str:
+        """Content hash of every recorded statistic (order-sensitive).
+
+        The ``latencies`` list is kept in delivery-event order, so two
+        digests match only if the runs delivered the same packets with the
+        same latencies *in the same order* — the equality the kernel
+        equivalence contract promises (see :mod:`repro.noc.kernel`).
+        Float fields (``mesh_flit_mm``) are exact: both kernels accumulate
+        them through the identical sequence of additions.
+        """
+        import hashlib
+        import json
+
+        from repro.experiments.export import jsonable
+
+        blob = json.dumps(
+            jsonable(self), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     # -- recording hooks ---------------------------------------------------
 
     def record_injection(self, packet: Packet, distance: int) -> None:

@@ -26,7 +26,7 @@ from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, label_key,
 )
 from repro.obs.observe import Observation, port_name
-from repro.obs.profile import Profiler
+from repro.obs.profile import Profiler, StageProfile
 from repro.obs.result import RunResult, provenance_digest
 from repro.obs.trace import (
     EVENT_KINDS, EVENT_SCHEMA, EventTracer, TraceEvent, read_jsonl,
@@ -44,6 +44,7 @@ __all__ = [
     "Observation",
     "Profiler",
     "RunResult",
+    "StageProfile",
     "TraceEvent",
     "label_key",
     "port_name",

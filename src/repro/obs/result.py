@@ -32,13 +32,21 @@ def provenance_digest(**components) -> str:
     Canonical JSON (sorted keys) over JSON-safe-ified components — the same
     construction :func:`repro.exec.jobs.job_digest` uses, so a result's
     provenance changes whenever any input that could change it changes.
+
+    The simulation *kernel* field (``SimulationParams.kernel``) is
+    stripped wherever it appears: kernels are bit-identical by contract,
+    so the same run under either kernel keeps the same provenance.
     """
     from repro.experiments.export import jsonable
 
-    text = json.dumps(
-        {name: jsonable(value) for name, value in components.items()},
-        sort_keys=True, separators=(",", ":"),
-    )
+    rendered = {name: jsonable(value) for name, value in components.items()}
+    for holder in rendered.values():
+        if isinstance(holder, dict):
+            holder.pop("kernel", None)
+            sim = holder.get("simulation")
+            if isinstance(sim, dict):
+                sim.pop("kernel", None)
+    text = json.dumps(rendered, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
