@@ -1,0 +1,246 @@
+"""Closed-loop load generator for the ``repro.serve`` tier.
+
+Hosts the service in-process (:class:`~repro.serve.http.ServerThread`,
+tiny simulation windows, a throwaway store) and drives it with K
+closed-loop client threads — each thread issues one ``POST /v1/simulate``
+at a time over a small working set of distinct cells, waits for the
+answer, and immediately issues the next.  A 429 is honored: the thread
+backs off for the server's ``Retry-After`` hint and re-offers the same
+cell, so every request eventually settles — the bench fails if any
+accepted request goes unanswered.
+
+What the run proves, and records into ``results/BENCH_serve.json``:
+
+* each distinct cell is computed **exactly once** however many clients
+  ask for it (coalescing while cold, warm store hits after);
+* the ``/metrics`` reconciliation identity holds under saturating load;
+* client-observed latency (p50/p99), throughput, and the warm-hit /
+  coalesce / shed rates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--clients K]
+        [--duration S] [--queue-limit N] [--concurrency N] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.exec import ResultStore
+from repro.experiments import ExperimentConfig
+from repro.params import SimulationParams
+from repro.serve import ServeClient, ServerThread, SimulationService
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Tiny windows: a cold cell simulates in about a second, so a short run
+#: covers the cold/coalesced phase *and* a long warm tail.
+BENCH_CONFIG = ExperimentConfig(
+    sim=SimulationParams(warmup_cycles=50, measure_cycles=200,
+                         drain_cycles=1_500),
+    profile_cycles=1_000,
+)
+
+#: The working set: distinct cells the closed loop cycles over.
+CELLS = [
+    {"design": "baseline", "workload": "uniform"},
+    {"design": "baseline", "workload": "1Hotspot"},
+    {"design": "static", "workload": "uniform"},
+    {"design": "static", "workload": "1Hotspot"},
+    {"design": "wire", "workload": "uniform"},
+    {"design": "adaptive", "workload": "uniform"},
+]
+
+
+class ClientLoop(threading.Thread):
+    """One closed-loop client: request, await, repeat until the deadline."""
+
+    def __init__(self, index: int, port: int, deadline: float,
+                 barrier: threading.Barrier):
+        super().__init__(daemon=True)
+        self.client = ServeClient(port=port, timeout=300.0)
+        self.rng = random.Random(1_000 + index)
+        self.deadline = deadline
+        self.barrier = barrier
+        self.latencies_ms: list[float] = []
+        self.ok = 0
+        self.shed_retries = 0
+        self.errors: list[str] = []
+        self.unanswered = 0
+
+    def run(self) -> None:
+        self.barrier.wait()
+        while time.monotonic() < self.deadline:
+            cell = self.rng.choice(CELLS)
+            start = time.perf_counter()
+            answered = False
+            # Closed loop with shed-honoring retry: the request is not
+            # abandoned until it settles, so "accepted but unanswered"
+            # can only mean a server bug.
+            while True:
+                response = self.client.simulate(**cell)
+                if response.status == 200:
+                    self.latencies_ms.append(
+                        (time.perf_counter() - start) * 1000.0
+                    )
+                    self.ok += 1
+                    answered = True
+                elif response.status == 429:
+                    self.shed_retries += 1
+                    time.sleep(min(response.retry_after_s or 1, 2))
+                    continue
+                else:
+                    self.errors.append(
+                        f"{response.status}: "
+                        f"{response.payload.get('error', '?')}"
+                    )
+                break
+            if not answered and not self.errors:
+                self.unanswered += 1
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def run_bench(clients: int, duration: float, queue_limit: int,
+              concurrency: int, store_root: Path) -> dict:
+    service = SimulationService(
+        config=BENCH_CONFIG, store=ResultStore(store_root),
+        queue_limit=queue_limit, concurrency=concurrency,
+    )
+    thread = ServerThread(service)
+    port = thread.start()
+    barrier = threading.Barrier(clients + 1)
+    deadline = time.monotonic() + duration
+    loops = [ClientLoop(i, port, deadline, barrier)
+             for i in range(clients)]
+    for loop in loops:
+        loop.start()
+    start = time.monotonic()
+    barrier.wait()
+    for loop in loops:
+        loop.join(duration + 300)
+    elapsed = time.monotonic() - start
+
+    client = ServeClient(port=port, timeout=30.0)
+    metrics = client.metrics().payload
+    thread.stop()
+
+    latencies = [ms for loop in loops for ms in loop.latencies_ms]
+    ok = sum(loop.ok for loop in loops)
+    shed_retries = sum(loop.shed_retries for loop in loops)
+    errors = [e for loop in loops for e in loop.errors]
+    unanswered = sum(loop.unanswered for loop in loops)
+    settled = metrics["settled"]
+    answered_total = (settled["store"] + settled["coalesced"]
+                      + settled["computed"])
+    return {
+        "bench": "serve",
+        "config": {
+            "clients": clients,
+            "duration_s": duration,
+            "queue_limit": queue_limit,
+            "concurrency": concurrency,
+            "distinct_cells": len(CELLS),
+            "warmup_cycles": BENCH_CONFIG.sim.warmup_cycles,
+            "measure_cycles": BENCH_CONFIG.sim.measure_cycles,
+        },
+        "requests": {
+            "ok": ok,
+            "shed_retries": shed_retries,
+            "errors": errors[:10],
+            "unanswered": unanswered,
+        },
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50) if latencies else None,
+            "p99": percentile(latencies, 0.99) if latencies else None,
+            "max": max(latencies) if latencies else None,
+            "mean": (sum(latencies) / len(latencies)) if latencies else None,
+        },
+        "throughput_rps": ok / elapsed if elapsed else 0.0,
+        "sources": settled,
+        "rates": {
+            "warm_hit": settled["store"] / answered_total
+            if answered_total else 0.0,
+            "coalesce": settled["coalesced"] / answered_total
+            if answered_total else 0.0,
+            "shed": settled["shed"] / (answered_total + settled["shed"])
+            if answered_total + settled["shed"] else 0.0,
+        },
+        "reconciliation": metrics["reconciliation"],
+        "store": metrics["store"],
+    }
+
+
+def check(report: dict) -> list[str]:
+    """The bench's pass/fail claims; returns failure messages."""
+    failures = []
+    requests = report["requests"]
+    if requests["errors"]:
+        failures.append(f"unexpected errors: {requests['errors']}")
+    if requests["unanswered"]:
+        failures.append(
+            f"{requests['unanswered']} accepted requests never answered"
+        )
+    if not report["reconciliation"]["balanced"]:
+        failures.append(f"/metrics does not reconcile: "
+                        f"{report['reconciliation']}")
+    computed = report["sources"]["computed"]
+    if computed != report["config"]["distinct_cells"]:
+        failures.append(
+            f"{computed} cells computed for "
+            f"{report['config']['distinct_cells']} distinct cells "
+            "(coalescing or warm serving failed)"
+        )
+    if requests["ok"] < report["config"]["distinct_cells"]:
+        failures.append("closed loop finished fewer requests than cells")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=10.0)
+    parser.add_argument("--queue-limit", type=int, default=8)
+    parser.add_argument("--concurrency", type=int, default=2)
+    parser.add_argument("--out", type=Path,
+                        default=RESULTS_DIR / "BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        report = run_bench(args.clients, args.duration, args.queue_limit,
+                           args.concurrency, Path(tmp) / "cache")
+    failures = check(report)
+    report["passed"] = not failures
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    latency = report["latency_ms"]
+    print(f"bench_serve: {report['requests']['ok']} requests in "
+          f"{report['config']['duration_s']:.0f}s "
+          f"({report['throughput_rps']:.1f} req/s), "
+          f"p50 {latency['p50']:.1f} ms, p99 {latency['p99']:.1f} ms")
+    print(f"  sources: {report['sources']}  "
+          f"warm-hit {report['rates']['warm_hit']:.1%}, "
+          f"coalesce {report['rates']['coalesce']:.1%}, "
+          f"shed {report['rates']['shed']:.1%}")
+    print(f"  wrote {args.out}")
+    for failure in failures:
+        print(f"  FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,8 @@ Packages
 ``repro.obs``          observability: metrics, event tracing, profiling
 ``repro.faults``       fault injection and graceful degradation
 ``repro.api``          the unified ``simulate``/``sweep``/``compare`` facade
+``repro.serve``        asyncio HTTP service: coalescing, admission control,
+                       warm-cache serving (``repro serve`` on the CLI)
 """
 
 from repro.api import Comparison, compare, simulate, sweep
@@ -52,8 +54,7 @@ from repro.noc import (
 from repro.obs import EventTracer, MetricsRegistry, Observation
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
 from repro.power import AreaReport, NoCPowerModel, PowerReport
-
-__version__ = "1.0.0"
+from repro.version import __version__, package_version
 
 __all__ = [
     "AreaReport",
@@ -106,6 +107,7 @@ __all__ = [
     "fig10_unified",
     "kill_bands",
     "mtbf_schedule",
+    "package_version",
     "r1_shortcut_degradation",
     "r2_transient_outage",
     "run_sweep",

@@ -10,6 +10,9 @@ Commands
 ``simulate``    one-off simulation of a (design, workload) cell
 ``sweep``       parallel (styles x widths x workloads) grid through the
                 execution engine, with the persistent result cache
+``serve``       host the asyncio simulation service (``repro.serve``)
+``request``     client: query a running service (simulate/sweep/health/
+                metrics/trace/job; see ``docs/serving.md``)
 
 The executing verbs (``run``/``simulate``/``sweep``) share one flag
 vocabulary: ``--jobs``, ``--seed``, ``--out``, ``--fast``, and
@@ -21,6 +24,13 @@ simulated cell (tracing forces fresh, uncached runs); both take
 ``--faults SPEC`` to inject a fault schedule (see ``docs/faults.md``).
 The pre-1.0 flag spellings (``simulate --trace``, ``sweep --traces``)
 keep working as hidden aliases.
+
+Exit codes are uniform: 0 success, 2 bad input (unknown experiment,
+malformed grid, invalid request), 1 anything else.  Under ``--json``
+every payload carries a ``version`` field and bad input additionally
+emits one single-line JSON error object on stderr, so scripted callers
+can always parse what they got.  ``repro --version`` prints the package
+version.
 """
 
 from __future__ import annotations
@@ -39,6 +49,8 @@ from repro.experiments import (
     r1_shortcut_degradation, r2_transient_outage, table2_area,
 )
 from repro.params import DEFAULT_PARAMS
+from repro.serve.protocol import DESIGN_STYLES, known_workloads
+from repro.version import package_version
 
 EXPERIMENTS = {
     "E1": (e1_load_latency, "load-latency: baseline vs static shortcuts"),
@@ -56,11 +68,20 @@ EXPERIMENTS = {
     "T2": (table2_area, "NoC area (Table 2)"),
 }
 
-DESIGN_STYLES = ["baseline", "static", "wire", "adaptive", "adaptive+mc",
-                 "mc-only"]
+class CLIError(Exception):
+    """Bad user input: exit 2, single-line JSON on stderr under --json."""
 
 
 def _print_json(payload) -> None:
+    """Emit a ``--json`` payload, always carrying a ``version`` field.
+
+    Dict payloads gain the field in place; list payloads are wrapped as
+    ``{"version": ..., "items": [...]}`` (a bare array can't carry it).
+    """
+    if isinstance(payload, dict):
+        payload.setdefault("version", package_version())
+    else:
+        payload = {"version": package_version(), "items": payload}
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
@@ -209,8 +230,7 @@ def cmd_run(args) -> int:
     for name in names:
         key = name.upper()
         if key not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}; see 'list'", file=sys.stderr)
-            return 2
+            raise CLIError(f"unknown experiment {name!r}; see 'list'")
         fn, _ = EXPERIMENTS[key]
         result = fn(runner)
         text = result.render()
@@ -230,6 +250,9 @@ def cmd_simulate(args) -> int:
     """Simulate one (design, workload) cell and print its metrics."""
     from repro.api import simulate
 
+    if args.workload not in known_workloads():
+        raise CLIError(f"unknown workload {args.workload!r}; "
+                       "see 'workloads'")
     result = simulate(
         args.design, args.workload, width=args.width, fast=args.fast,
         kernel=getattr(args, "kernel", None),
@@ -280,9 +303,17 @@ def cmd_sweep(args) -> int:
     from repro.experiments.export import jsonable, save_json
 
     config = _config_for(args)
-    styles = [s for s in args.styles.split(",") if s]
-    widths = [int(w) for w in args.widths.split(",") if w]
-    workloads = [t for t in args.workloads.split(",") if t]
+    styles = _split_list(args.styles, "styles")
+    widths = [_parse_width(w) for w in _split_list(args.widths, "widths")]
+    workloads = _split_list(args.workloads, "workloads")
+    for style in styles:
+        if style not in DESIGN_STYLES:
+            raise CLIError(f"unknown design style {style!r}; "
+                           f"one of {','.join(DESIGN_STYLES)}")
+    for workload in workloads:
+        if workload not in known_workloads():
+            raise CLIError(f"unknown workload {workload!r}; "
+                           "see 'workloads'")
     specs = sweep_grid(styles, widths, workloads,
                        adaptive_routing=args.adaptive_routing,
                        faults=args.faults or None)
@@ -349,6 +380,108 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _split_list(text: str, name: str) -> list[str]:
+    values = [item for item in text.split(",") if item]
+    if not values:
+        raise CLIError(f"--{name} must name at least one value")
+    return values
+
+
+def _parse_width(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise CLIError(f"invalid link width {text!r}: widths are "
+                       "comma-separated integers (bytes)") from None
+
+
+def cmd_serve(args) -> int:
+    """Host the asyncio simulation service (blocking; Ctrl-C to stop)."""
+    from repro.exec import ResultStore
+    from repro.serve.http import run as serve_run
+    from repro.serve.service import SimulationService
+
+    store = None if args.no_cache else ResultStore(args.cache)
+    service = SimulationService(
+        config=_config_for(args),
+        store=store,
+        queue_limit=args.queue_limit,
+        concurrency=args.jobs,
+        max_timeout_s=args.timeout,
+    )
+    serve_run(service, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_request(args) -> int:
+    """Query a running service; prints the response envelope."""
+    from repro.serve.client import ServeClient, ServeClientError
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.what == "health":
+            response = client.health()
+        elif args.what == "metrics":
+            response = client.metrics()
+        elif args.what == "trace":
+            response = client.trace()
+        elif args.what == "job":
+            if not args.id:
+                raise CLIError("'request job' needs --id JOB_ID")
+            for event in client.job_events(args.id):
+                print(json.dumps(event, sort_keys=True))
+            return 0
+        elif args.what == "sweep":
+            fields = {
+                "styles": _split_list(args.styles, "styles"),
+                "widths": [_parse_width(w)
+                           for w in _split_list(args.widths, "widths")],
+                "workloads": _split_list(args.workloads, "workloads"),
+            }
+            if args.faults:
+                fields["faults"] = args.faults
+            response = client.sweep(**fields)
+            if response.status == 202 and args.follow:
+                for event in client.job_events(
+                    response.payload["job_id"]
+                ):
+                    print(json.dumps(event, sort_keys=True))
+                return 0
+        else:   # simulate
+            fields = {"design": args.design, "workload": args.workload,
+                      "width": args.width}
+            if args.seed is not None:
+                fields["seed"] = args.seed
+            if args.faults:
+                fields["faults"] = args.faults
+            if args.timeout_s is not None:
+                fields["timeout_s"] = args.timeout_s
+            response = client.simulate(**fields)
+    except ServeClientError as exc:
+        raise CLIError(str(exc)) from exc
+    if response.status == 400:
+        raise CLIError(response.payload.get("error", "bad request"))
+    if args.json or args.what in ("metrics", "trace", "health"):
+        _print_json(response.payload)
+    elif response.ok:
+        payload = response.payload
+        if "result" in payload:
+            result = payload["result"]
+            print(f"source    : {payload['source']}")
+            print(f"design    : {result['design']}")
+            print(f"workload  : {result['workload']}")
+            print(f"latency   : {result['avg_latency']:.2f} cycles/packet")
+            print(f"power     : {result['power_w']:.2f} W")
+            print(f"digest    : {payload['digest']}")
+        else:
+            _print_json(payload)
+    else:
+        print(f"error ({response.status}): "
+              f"{response.payload.get('error', 'request failed')}",
+              file=sys.stderr)
+    return 0 if response.ok else 1
+
+
 def _add_common(parser, *, jobs: bool = False, trace: bool = False,
                 trace_help: str = "", faults: bool = False,
                 kernel: bool = False) -> None:
@@ -383,6 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="RF-I overlaid CMP NoC reproduction (HPCA 2008)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name: str, help: str) -> argparse.ArgumentParser:
@@ -448,13 +583,67 @@ def build_parser() -> argparse.ArgumentParser:
                            "simulated cell (bypasses the cache)")
     sweep.add_argument("--out", help="also write results + telemetry JSON")
     sweep.set_defaults(fn=cmd_sweep)
+
+    serve = add("serve", "host the asyncio simulation service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8032)
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admission queue bound (full -> 429)")
+    serve.add_argument("--timeout", type=float, default=600.0,
+                       help="per-request wait ceiling, seconds")
+    serve.add_argument("--cache", default="benchmarks/results/cache",
+                       help="persistent result-store directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the persistent store")
+    _add_common(serve, jobs=True, kernel=True)
+    serve.set_defaults(fn=cmd_serve)
+
+    request = add("request", "query a running simulation service")
+    request.add_argument(
+        "what", nargs="?", default="simulate",
+        choices=["simulate", "sweep", "health", "metrics", "trace", "job"],
+    )
+    request.add_argument("--host", default="127.0.0.1")
+    request.add_argument("--port", type=int, default=8032)
+    request.add_argument("--timeout", type=float, default=600.0,
+                        help="client socket timeout, seconds")
+    request.add_argument("--timeout-s", type=float, default=None,
+                        help="server-side per-request deadline, seconds")
+    request.add_argument("--design", default="baseline",
+                        choices=list(DESIGN_STYLES))
+    request.add_argument("--width", type=int, default=16,
+                        choices=[16, 8, 4])
+    request.add_argument("--workload", default="uniform")
+    request.add_argument("--seed", type=int, default=None)
+    request.add_argument("--faults", metavar="SPEC", default=None)
+    request.add_argument("--styles", default="baseline")
+    request.add_argument("--widths", default="16")
+    request.add_argument("--workloads", default="uniform")
+    request.add_argument("--follow", action="store_true",
+                        help="after 'sweep', stream the job's NDJSON events")
+    request.add_argument("--id", default=None, help="job id for 'job'")
+    request.set_defaults(fn=cmd_request)
     return parser
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes are normalized: 0 success, 2 bad input.  Bad input under
+    ``--json`` emits one single-line JSON error object on stderr (with
+    the package version), so scripted callers never have to scrape prose.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as exc:
+        if getattr(args, "json", False):
+            print(json.dumps({"error": str(exc),
+                              "version": package_version()}),
+                  file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,7 +8,9 @@ Three layers (see docs/architecture.md, "Execution engine & result store"):
 * :mod:`repro.exec.store` — :class:`ResultStore`, an on-disk JSON cache
   keyed by digest, with schema versioning and corrupt-entry quarantine;
 * :mod:`repro.exec.engine` — :func:`run_sweep`, a process-pool sweep with
-  deterministic (submission-order) results, retry-once, and telemetry.
+  deterministic (submission-order) results, retry-once, and telemetry;
+  plus :class:`JobExecutor`, a long-lived one-spec-at-a-time pool over the
+  same worker recipe (the serving tier's hook, see :mod:`repro.serve`).
 
 Quick start::
 
@@ -22,7 +24,7 @@ Quick start::
 """
 
 from repro.exec.engine import (
-    JobOutcome, SweepReport, execute_spec, run_sweep,
+    JobExecutor, JobOutcome, SweepReport, execute_spec, run_sweep,
 )
 from repro.exec.jobs import JobSpec, job_digest, normalize_spec, sweep_grid
 from repro.exec.serialize import (
@@ -31,6 +33,7 @@ from repro.exec.serialize import (
 from repro.exec.store import SCHEMA_VERSION, ResultStore, StoreStats
 
 __all__ = [
+    "JobExecutor",
     "JobOutcome",
     "JobSpec",
     "ResultStore",

@@ -195,6 +195,53 @@ def _run_job(
     return payload, wall, result.stats.activity.cycles, prof.as_dict()
 
 
+class JobExecutor:
+    """A long-lived process pool executing *individual* JobSpecs.
+
+    The sweep engine owns its pool per :func:`run_sweep` call; the serving
+    tier (:mod:`repro.serve`) instead needs a pool that outlives any one
+    request and accepts cells one at a time.  This wraps the same worker
+    recipe — :func:`_init_worker` builds one
+    :class:`~repro.experiments.runner.ExperimentRunner` per worker process,
+    :func:`_run_job` executes a spec on it — behind a ``submit`` that
+    returns a :class:`concurrent.futures.Future`, so an asyncio caller can
+    ``asyncio.wrap_future`` it.  Specs are normalized against the
+    executor's config before dispatch, keeping addresses identical to the
+    sweep engine's.  The pool never touches any store: result persistence
+    stays with the caller (the scheduler), exactly as in :func:`run_sweep`.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig = DEFAULT_CONFIG,
+        params: ArchitectureParams = DEFAULT_PARAMS,
+        max_workers: int = 2,
+    ):
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.config = config
+        self.params = params
+        self.max_workers = max_workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker, initargs=(config, params),
+        )
+        self.submitted = 0
+
+    def submit(self, spec: JobSpec):
+        """Dispatch one spec; the future resolves to
+        ``(payload, wall_s, sim_cycles, profile)`` — :func:`_run_job`'s
+        shape — and raises whatever the simulation raised."""
+        self.submitted += 1
+        return self._pool.submit(
+            _run_job, normalize_spec(spec, self.config)
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker processes (idempotent)."""
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+
+
 # -- the sweep ---------------------------------------------------------------
 
 def run_sweep(

@@ -18,12 +18,18 @@ Robustness rules:
 * **Explicit invalidation** — parameter/config changes land at different
   digests automatically; :meth:`ResultStore.invalidate` and
   :meth:`ResultStore.clear` drop entries by hand.
+* **Thread-safe accounting** — one store instance may be shared across
+  threads (the serving tier reads it from the event loop while drain
+  tasks write): entries are atomic-replace on disk, temp names are
+  unique per (process, write), and the hit/miss/write/quarantine
+  counters mutate under a lock so concurrent accounting stays exact.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
@@ -59,6 +65,8 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.schema_version = schema_version
         self.stats = StoreStats()
+        self._stats_lock = threading.Lock()
+        self._tmp_seq = 0
 
     def path_for(self, digest: str) -> Path:
         """The entry file a digest maps to."""
@@ -88,14 +96,17 @@ class ResultStore:
                 raise ValueError("entry digest does not match its filename")
             payload = entry["payload"]
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError,
                 UnicodeDecodeError, OSError):
             self._quarantine(path)
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
         return payload
 
     def _quarantine(self, path: Path) -> None:
@@ -109,7 +120,8 @@ class ResultStore:
             path.rename(target)
         except OSError:  # pragma: no cover - racing deleter
             return
-        self.stats.quarantined += 1
+        with self._stats_lock:
+            self.stats.quarantined += 1
 
     # -- write --------------------------------------------------------------
 
@@ -123,10 +135,14 @@ class ResultStore:
             "meta": meta or {},
             "payload": payload,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with self._stats_lock:
+            self._tmp_seq += 1
+            seq = self._tmp_seq
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{seq}")
         tmp.write_text(json.dumps(entry, indent=1) + "\n")
         tmp.replace(path)
-        self.stats.writes += 1
+        with self._stats_lock:
+            self.stats.writes += 1
         return path
 
     # -- maintenance --------------------------------------------------------

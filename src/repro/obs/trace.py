@@ -16,6 +16,9 @@ kind         meaning
 ``drop``     the run ended with the packet still undelivered (capped drain)
 ``fault``    a fault fired/repaired, or dropped a message at injection
              (``packet`` is ``-1``: fault events are not tied to a packet)
+``request``  one serving-tier request settled (``repro.serve``): endpoint
+             in ``port``, status + settlement source in ``detail``,
+             milliseconds since server start in ``cycle``, ``packet`` -1
 ===========  =============================================================
 
 The buffer is a ring: when more than ``capacity`` events fire, the oldest
@@ -36,6 +39,7 @@ from typing import Iterator, Optional
 #: Every kind an event may carry, in the order they occur in a packet's life.
 EVENT_KINDS = (
     "inject", "route", "hop", "rf", "deliver", "complete", "drop", "fault",
+    "request",
 )
 
 #: Field -> required type(s); None-able fields are optional per kind.

@@ -1,0 +1,132 @@
+"""Thin stdlib client for the simulation service.
+
+``http.client`` only — importable anywhere the package is, with no new
+dependencies.  Every call returns a :class:`ServeResponse` carrying the
+HTTP status, headers, and decoded JSON envelope; the caller decides what
+a 429 or 504 means for it (the CLI retries nothing, the benchmark's
+closed loop counts and retries sheds).  ``job_events`` consumes the
+NDJSON progress stream line by line as the server produces it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class ServeClientError(Exception):
+    """The server could not be reached or spoke something unexpected."""
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One HTTP exchange: status + headers + decoded JSON envelope."""
+
+    status: int
+    headers: dict
+    payload: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after_s(self) -> Optional[int]:
+        """The server's ``Retry-After`` hint (on 429), if any."""
+        value = self.headers.get("retry-after")
+        return int(value) if value is not None else None
+
+
+class ServeClient:
+    """Client for one ``repro serve`` endpoint (one connection per call)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8032,
+                 timeout: float = 600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> ServeResponse:
+        conn = self._connect()
+        try:
+            encoded = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServeClientError(
+                    f"non-JSON response from {method} {path}: {raw[:200]!r}"
+                ) from exc
+            return ServeResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.getheaders()},
+                payload=payload,
+            )
+        except (ConnectionError, TimeoutError, OSError,
+                http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"cannot reach repro.serve at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def simulate(self, **fields) -> ServeResponse:
+        """POST one cell request (``design=``, ``workload=``, ...)."""
+        return self._request("POST", "/v1/simulate", fields)
+
+    def sweep(self, **fields) -> ServeResponse:
+        """POST a grid job request (``styles=``, ``widths=``, ...)."""
+        return self._request("POST", "/v1/sweep", fields)
+
+    def job_events(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's NDJSON progress events until it completes."""
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    payload = {"error": raw.decode("utf-8", "replace")}
+                raise ServeClientError(
+                    f"job stream failed ({response.status}): "
+                    f"{payload.get('error', payload)}"
+                )
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        except (ConnectionError, TimeoutError, OSError,
+                http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"job stream to {self.host}:{self.port} broke: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def health(self) -> ServeResponse:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> ServeResponse:
+        return self._request("GET", "/metrics")
+
+    def trace(self) -> ServeResponse:
+        return self._request("GET", "/v1/trace")

@@ -1,0 +1,289 @@
+"""Stdlib-only asyncio HTTP/JSON front end for the simulation service.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework, no new dependencies.  Connections are one-request
+(``Connection: close``): plain responses carry ``Content-Length``;
+``GET /v1/jobs/<id>`` streams newline-delimited JSON progress events and
+ends by closing the connection (close-delimited body), which every
+stdlib client reads naturally.
+
+Routes (see ``docs/serving.md`` for schemas)::
+
+    POST /v1/simulate     settle one cell (warm / coalesced / computed)
+    POST /v1/sweep        register a background grid job -> 202 + job id
+    GET  /v1/jobs/<id>    NDJSON progress stream until the job completes
+    GET  /v1/trace        recent request-trace events
+    GET  /healthz         liveness + queue/inflight/job gauges
+    GET  /metrics         metrics registry + request reconciliation
+
+:class:`ServerThread` runs the whole loop in a daemon thread — the
+harness tests, the closed-loop benchmark, and the CI smoke job all use
+it to host a real server on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional
+
+from repro.serve.protocol import error_envelope
+from repro.serve.service import SimulationService
+
+#: Longest request head (request line + headers) we accept, in bytes.
+MAX_HEAD_BYTES = 32_768
+
+#: Largest request body we accept, in bytes.
+MAX_BODY_BYTES = 1_048_576
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP or JSON input from the client."""
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict, bytes]:
+    """Parse (method, path, headers, body) from one HTTP/1.1 request."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionResetError("empty request")
+    try:
+        method, path, _version = request_line.decode("ascii").split()
+    except ValueError as exc:
+        raise _BadRequest("malformed request line") from exc
+    headers: dict[str, str] = {}
+    head_bytes = len(request_line)
+    while True:
+        line = await reader.readline()
+        head_bytes += len(line)
+        if head_bytes > MAX_HEAD_BYTES:
+            raise _BadRequest("request head too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError as exc:
+        raise _BadRequest("bad Content-Length") from exc
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest("request body too large")
+    body = await reader.readexactly(length) if length > 0 else b""
+    return method, path, headers, body
+
+
+def _encode_response(status: int, payload: dict,
+                     extra_headers: Optional[dict] = None) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+class ServeServer:
+    """One listening socket dispatching into a :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 8032):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        """Start the service and bind the socket (port 0 -> ephemeral)."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, _headers, body = await _read_request(reader)
+            except _BadRequest as exc:
+                writer.write(_encode_response(400, error_envelope(str(exc))))
+                await writer.drain()
+                return
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                return
+            await self._dispatch(method, path, body, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        def respond(status: int, payload: dict,
+                    extra: Optional[dict] = None) -> None:
+            writer.write(_encode_response(status, payload, extra))
+
+        if path.startswith("/v1/jobs/") and method == "GET":
+            await self._stream_job(path[len("/v1/jobs/"):], writer)
+            return
+        if method == "POST" and path in ("/v1/simulate", "/v1/sweep"):
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                respond(400, error_envelope("request body is not valid JSON"))
+                await writer.drain()
+                return
+            handler = (self.service.simulate if path == "/v1/simulate"
+                       else self.service.sweep)
+            status, envelope_, extra = await handler(payload)
+            respond(status, envelope_, extra)
+        elif method == "GET" and path == "/healthz":
+            respond(200, self.service.health())
+        elif method == "GET" and path == "/metrics":
+            respond(200, self.service.metrics())
+        elif method == "GET" and path == "/v1/trace":
+            respond(200, self.service.trace())
+        elif path in ("/v1/simulate", "/v1/sweep", "/healthz", "/metrics",
+                      "/v1/trace"):
+            respond(405, error_envelope(f"{method} not allowed on {path}"))
+        else:
+            respond(404, error_envelope(f"no route for {method} {path}"))
+        await writer.drain()
+
+    async def _stream_job(self, job_id: str,
+                          writer: asyncio.StreamWriter) -> None:
+        events = await self.service.stream_job(job_id)
+        if events is None:
+            writer.write(_encode_response(
+                404, error_envelope(f"unknown job {job_id!r}")
+            ))
+            await writer.drain()
+            return
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+        try:
+            async for event in events:
+                writer.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return  # client went away; the job keeps running
+
+
+async def _run_async(server: ServeServer) -> None:
+    await server.start()
+    print(f"repro.serve listening on http://{server.host}:{server.port} "
+          f"(queue={server.service.scheduler.queue_limit}, "
+          f"concurrency={server.service.scheduler.concurrency})")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def run(service: SimulationService, host: str = "127.0.0.1",
+        port: int = 8032) -> None:
+    """Blocking entry point used by ``repro serve`` (Ctrl-C to stop)."""
+    try:
+        asyncio.run(_run_async(ServeServer(service, host, port)))
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """A real server on an ephemeral port, hosted in a daemon thread.
+
+    The test suite, the closed-loop benchmark, and the CI smoke job all
+    share this helper::
+
+        thread = ServerThread(SimulationService(fast=True, store=store))
+        port = thread.start()
+        ... requests against 127.0.0.1:port ...
+        thread.stop()
+    """
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self, timeout: float = 30.0) -> int:
+        """Start the loop thread; returns the bound port."""
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server thread did not come up in time")
+        if self.error is not None:
+            raise RuntimeError(f"server failed to start: {self.error}")
+        return self.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failure
+            self.error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = ServeServer(self.service, self.host, self.port)
+        try:
+            await server.start()
+        except BaseException as exc:
+            self.error = exc
+            self._ready.set()
+            return
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await server.stop()

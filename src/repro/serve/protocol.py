@@ -1,0 +1,203 @@
+"""Request validation, canonicalization, and response envelopes.
+
+The service speaks plain JSON.  A simulate request names one experiment
+cell with the same vocabulary the CLI uses (design style, workload, link
+width, seed, ...); this module validates it field by field, folds it into
+the **same** frozen :class:`~repro.exec.jobs.JobSpec` the sweep engine
+runs, and addresses it with the **same**
+:func:`~repro.exec.jobs.job_digest` the result store keys on.  That
+shared address is what makes the serving tier cheap: a request whose
+digest is already on disk is answered warm, and identical in-flight
+requests coalesce onto one computation (see
+:mod:`repro.serve.scheduler`).
+
+Every response — success or error — is wrapped in an *envelope* carrying
+the service name and package version, so clients can gate on
+compatibility before trusting the payload shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exec.jobs import JobSpec, job_digest, normalize_spec, sweep_grid
+from repro.experiments.config import ExperimentConfig
+from repro.obs.result import RunResult
+from repro.params import ArchitectureParams
+from repro.version import package_version
+
+#: The design styles a request may name (shared with the CLI).
+DESIGN_STYLES = ("baseline", "static", "wire", "adaptive", "adaptive+mc",
+                 "mc-only")
+
+#: Mesh link widths the parameter tables model (bytes/cycle).
+LINK_WIDTHS = (16, 8, 4)
+
+
+class RequestError(ValueError):
+    """A syntactically or semantically invalid service request (HTTP 400)."""
+
+
+def envelope(**fields) -> dict:
+    """A response envelope: service identity + version + ``fields``."""
+    return {"service": "repro.serve", "version": package_version(), **fields}
+
+
+def error_envelope(message: str, **fields) -> dict:
+    """The error shape every non-2xx response carries."""
+    return envelope(status="error", error=str(message), **fields)
+
+
+def known_workloads() -> tuple[str, ...]:
+    """Every workload name a request may ask for (patterns + applications)."""
+    from repro.traffic import APPLICATIONS, PATTERN_NAMES
+
+    return tuple(PATTERN_NAMES) + tuple(APPLICATIONS)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestError(message)
+
+
+def _opt_int(payload: dict, name: str) -> Optional[int]:
+    value = payload.get(name)
+    if value is None:
+        return None
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{name!r} must be an integer")
+    return value
+
+
+def _faults_extra(value) -> tuple[tuple[str, str], ...]:
+    """Validate a fault-spec string into the spec's ``extra`` field."""
+    if value is None:
+        return ()
+    _require(isinstance(value, str), "'faults' must be a spec string")
+    from repro.faults import as_schedule
+
+    try:
+        schedule = as_schedule(value)
+    except Exception as exc:
+        raise RequestError(f"invalid fault spec {value!r}: {exc}") from exc
+    if schedule is None:
+        return ()
+    return (("faults", schedule.canonical()),)
+
+
+#: Fields a simulate request may carry (anything else is rejected).
+SIMULATE_FIELDS = frozenset({
+    "design", "workload", "width", "seed", "access_points",
+    "adaptive_routing", "faults", "timeout_s",
+})
+
+
+def parse_simulate(payload: dict) -> JobSpec:
+    """Validate one simulate request body into a :class:`JobSpec`.
+
+    Raises :class:`RequestError` on unknown fields, unknown names, or
+    wrong types; the spec comes back un-normalized (the scheduler
+    normalizes against its own config so equal cells share one digest).
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    unknown = set(payload) - SIMULATE_FIELDS
+    _require(not unknown, f"unknown request fields {sorted(unknown)}")
+    design = payload.get("design", "baseline")
+    _require(design in DESIGN_STYLES,
+             f"unknown design {design!r}; one of {list(DESIGN_STYLES)}")
+    workload = payload.get("workload", "uniform")
+    _require(isinstance(workload, str) and workload in known_workloads(),
+             f"unknown workload {workload!r}")
+    width = payload.get("width", 16)
+    _require(width in LINK_WIDTHS,
+             f"width must be one of {list(LINK_WIDTHS)} (bytes/cycle)")
+    adaptive = payload.get("adaptive_routing", False)
+    _require(isinstance(adaptive, bool), "'adaptive_routing' must be boolean")
+    access_points = _opt_int(payload, "access_points")
+    _require(access_points is None or access_points > 0,
+             "'access_points' must be positive")
+    return JobSpec(
+        kind="unicast",
+        style=design,
+        link_bytes=width,
+        workload=workload,
+        seed=_opt_int(payload, "seed"),
+        num_access_points=access_points,
+        adaptive_routing=adaptive,
+        extra=_faults_extra(payload.get("faults")),
+    )
+
+
+#: Fields a sweep request may carry.
+SWEEP_FIELDS = frozenset({
+    "styles", "widths", "workloads", "seeds", "adaptive_routing", "faults",
+})
+
+
+def _str_list(payload: dict, name: str, default: list) -> list:
+    value = payload.get(name, default)
+    _require(isinstance(value, list) and value,
+             f"{name!r} must be a non-empty list")
+    return value
+
+
+def parse_sweep(payload: dict) -> list[JobSpec]:
+    """Validate one sweep request body into the grid of specs it names."""
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    unknown = set(payload) - SWEEP_FIELDS
+    _require(not unknown, f"unknown request fields {sorted(unknown)}")
+    styles = _str_list(payload, "styles", ["baseline"])
+    for style in styles:
+        _require(style in DESIGN_STYLES, f"unknown design {style!r}")
+    widths = _str_list(payload, "widths", [16])
+    for width in widths:
+        _require(width in LINK_WIDTHS,
+                 f"width must be one of {list(LINK_WIDTHS)}")
+    workloads = _str_list(payload, "workloads", ["uniform"])
+    names = known_workloads()
+    for workload in workloads:
+        _require(isinstance(workload, str) and workload in names,
+                 f"unknown workload {workload!r}")
+    seeds = payload.get("seeds", [None])
+    _require(isinstance(seeds, list) and seeds, "'seeds' must be a list")
+    for seed in seeds:
+        _require(seed is None or (isinstance(seed, int)
+                                  and not isinstance(seed, bool)),
+                 "'seeds' entries must be integers or null")
+    adaptive = payload.get("adaptive_routing", False)
+    _require(isinstance(adaptive, bool), "'adaptive_routing' must be boolean")
+    faults = payload.get("faults")
+    if faults is not None:
+        _faults_extra(faults)      # validate eagerly for a clean 400
+    return sweep_grid(styles, widths, workloads, adaptive_routing=adaptive,
+                      seeds=seeds, faults=faults)
+
+
+def request_timeout(payload: dict, maximum: float) -> Optional[float]:
+    """The request's own deadline, capped by the server's ``maximum``."""
+    value = payload.get("timeout_s")
+    if value is None:
+        return None
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool)
+             and value > 0, "'timeout_s' must be a positive number")
+    return min(float(value), maximum)
+
+
+def canonical_digest(
+    spec: JobSpec, config: ExperimentConfig, params: ArchitectureParams,
+) -> tuple[JobSpec, str]:
+    """Normalize a spec against the service config and address it.
+
+    This is exactly the sweep engine's addressing scheme, so the serving
+    tier, the CLI, and batch sweeps all hit the same store entries.
+    """
+    spec = normalize_spec(spec, config)
+    return spec, job_digest(spec, config, params)
+
+
+def result_fields(result: RunResult) -> dict:
+    """The JSON-safe result block a successful response carries."""
+    fields = result.summary()
+    if result.stats is not None:
+        fields["stats_digest"] = result.stats.digest()
+    return fields

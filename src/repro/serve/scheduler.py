@@ -1,0 +1,258 @@
+"""Admission control, request coalescing, and warm-cache scheduling.
+
+The scheduler is the service's brain.  Every request funnels through
+:meth:`SimulationScheduler.submit`, which settles it by exactly one of
+four terminal paths (each counted in the metrics registry, so
+``/metrics`` reconciles request-for-request):
+
+``store``
+    The cell's digest is already in the persistent
+    :class:`~repro.exec.store.ResultStore` — answered warm, the worker
+    pool never hears about it.
+``coalesced``
+    An identical cell is already in flight — this request piggybacks on
+    the existing computation's future.  N identical concurrent requests
+    produce exactly **one** engine job.
+``computed``
+    The cell is admitted into a bounded queue that ``concurrency`` drain
+    tasks feed into the process pool
+    (:class:`~repro.exec.engine.JobExecutor` — the same worker recipe
+    the sweep engine uses); the result is written back to the store
+    before the response settles, so the next identical request is warm.
+``shed``
+    The admission queue is full — the request is refused *before*
+    queueing (:class:`ServiceOverloaded` -> HTTP 429 with a
+    ``Retry-After`` estimated from the recent per-job wall time), so an
+    accepted request is never silently dropped.
+
+A per-request deadline (:class:`RequestTimeout` -> HTTP 504) abandons
+the *wait*, never the *work*: the computation keeps running and still
+fills the store, so a retry after the suggested delay is warm.
+
+The coalescing map and admission decisions run synchronously inside the
+event loop — no ``await`` between the in-flight lookup and registration
+— so two identical requests can never both decide to compute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exec.engine import JobExecutor
+from repro.exec.jobs import JobSpec
+from repro.exec.serialize import decode_result
+from repro.exec.store import ResultStore
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.export import jsonable
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.result import RunResult
+from repro.params import DEFAULT_PARAMS, ArchitectureParams
+from repro.serve.protocol import canonical_digest
+
+#: Terminal settlement paths a request may take (metric label values).
+SOURCES = ("store", "coalesced", "computed")
+
+
+class ServiceOverloaded(Exception):
+    """Admission queue full; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, retry_after_s: int):
+        super().__init__(f"admission queue full; retry in {retry_after_s}s")
+        self.retry_after_s = retry_after_s
+
+
+class RequestTimeout(Exception):
+    """The caller's deadline passed while the cell was still computing."""
+
+    def __init__(self, timeout_s: float):
+        super().__init__(f"request timed out after {timeout_s:g}s "
+                         "(the computation continues and will be cached)")
+        self.timeout_s = timeout_s
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """One settled request: the result plus how it was obtained."""
+
+    spec: JobSpec
+    digest: str
+    result: RunResult
+    source: str          # one of SOURCES
+    wall_s: float        # simulation wall time (0 for store hits)
+
+
+class SimulationScheduler:
+    """Coalescing, admission-controlled front of the simulation pool."""
+
+    def __init__(
+        self,
+        *,
+        config: ExperimentConfig = DEFAULT_CONFIG,
+        params: ArchitectureParams = DEFAULT_PARAMS,
+        store: Optional[ResultStore] = None,
+        executor=None,
+        queue_limit: int = 16,
+        concurrency: int = 2,
+        max_timeout_s: float = 600.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        self.config = config
+        self.params = params
+        self.store = store
+        self.queue_limit = queue_limit
+        self.concurrency = concurrency
+        self.max_timeout_s = max_timeout_s
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._queue: Optional[asyncio.Queue] = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._drains: list[asyncio.Task] = []
+        self._avg_wall_s = 5.0       # EWMA of computed-job wall time
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the queue and drain tasks (and the pool, if unowned)."""
+        if self._started:
+            return
+        if self._executor is None:
+            self._executor = JobExecutor(self.config, self.params,
+                                         max_workers=self.concurrency)
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._drains = [
+            asyncio.create_task(self._drain(), name=f"serve-drain-{i}")
+            for i in range(self.concurrency)
+        ]
+        self._started = True
+
+    async def stop(self) -> None:
+        """Cancel the drain tasks and shut the pool down."""
+        for task in self._drains:
+            task.cancel()
+        for task in self._drains:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._drains = []
+        for fut in self._inflight.values():
+            if not fut.done():
+                fut.set_exception(RuntimeError("scheduler stopped"))
+        self._inflight.clear()
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self._started = False
+
+    # -- metrics helpers ----------------------------------------------------
+
+    def _settled(self, source: str) -> None:
+        self.registry.counter("serve_settled", source=source).inc()
+
+    def _update_gauges(self) -> None:
+        depth = self._queue.qsize() if self._queue is not None else 0
+        self.registry.gauge("serve_queue_depth").set(depth)
+        self.registry.gauge("serve_inflight").set(len(self._inflight))
+
+    def retry_after_s(self) -> int:
+        """Seconds a shed client should back off: queue drain estimate."""
+        depth = self._queue.qsize() if self._queue is not None else 0
+        estimate = (depth + 1) * self._avg_wall_s / self.concurrency
+        return max(1, min(60, int(estimate + 0.5)))
+
+    # -- the request path ---------------------------------------------------
+
+    async def submit(
+        self, spec: JobSpec, timeout_s: Optional[float] = None,
+    ) -> ServeOutcome:
+        """Settle one cell request; raises on overload/timeout/failure."""
+        if not self._started:
+            raise RuntimeError("scheduler not started")
+        spec, digest = canonical_digest(spec, self.config, self.params)
+
+        fut = self._inflight.get(digest)
+        if fut is not None:
+            payload, wall = await self._await(fut, timeout_s)
+            self._settled("coalesced")
+            return ServeOutcome(spec, digest, decode_result(payload),
+                                "coalesced", wall)
+
+        if self.store is not None:
+            payload = self.store.load(digest)
+            if payload is not None:
+                self._settled("store")
+                return ServeOutcome(spec, digest, decode_result(payload),
+                                    "store", 0.0)
+
+        if self._queue.full():
+            self.registry.counter("serve_settled", source="shed").inc()
+            raise ServiceOverloaded(self.retry_after_s())
+
+        fut = asyncio.get_running_loop().create_future()
+        # Retrieve late failures so abandoned (timed-out) futures never
+        # log "exception was never retrieved" at collection time.
+        fut.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight[digest] = fut
+        self._queue.put_nowait((digest, spec, fut))
+        self._update_gauges()
+        payload, wall = await self._await(fut, timeout_s)
+        self._settled("computed")
+        return ServeOutcome(spec, digest, decode_result(payload),
+                            "computed", wall)
+
+    async def _await(
+        self, fut: asyncio.Future, timeout_s: Optional[float],
+    ) -> tuple[dict, float]:
+        timeout = timeout_s if timeout_s is not None else self.max_timeout_s
+        try:
+            return await asyncio.wait_for(asyncio.shield(fut), timeout)
+        except asyncio.TimeoutError:
+            self.registry.counter("serve_settled", source="timeout").inc()
+            raise RequestTimeout(timeout) from None
+        except (ServiceOverloaded, RequestTimeout):
+            raise
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            self.registry.counter("serve_settled", source="error").inc()
+            raise
+
+    # -- the pool side ------------------------------------------------------
+
+    async def _drain(self) -> None:
+        """One drain task: queue -> process pool -> store -> settle."""
+        while True:
+            digest, spec, fut = await self._queue.get()
+            self._update_gauges()
+            try:
+                pool_future = self._executor.submit(spec)
+                payload, wall, _cycles, _profile = await asyncio.wrap_future(
+                    pool_future
+                )
+                self._avg_wall_s += 0.3 * (wall - self._avg_wall_s)
+                if self.store is not None:
+                    self.store.save(digest, payload,
+                                    meta={"spec": jsonable(spec)})
+                if not fut.done():
+                    fut.set_result((payload, wall))
+            except asyncio.CancelledError:
+                if not fut.done():
+                    fut.cancel()
+                raise
+            except Exception as exc:
+                if not fut.done():
+                    fut.set_exception(exc)
+            finally:
+                self._inflight.pop(digest, None)
+                self._queue.task_done()
+                self._update_gauges()

@@ -1,0 +1,345 @@
+"""The service application layer: handlers, jobs, metrics, tracing.
+
+:class:`SimulationService` is everything the HTTP layer dispatches into,
+kept free of sockets so tests (and the CLI) can drive it directly:
+
+* ``simulate(payload)`` — settle one cell through the
+  :class:`~repro.serve.scheduler.SimulationScheduler` (warm store hit,
+  coalesced join, or fresh computation) and wrap it in an envelope;
+* ``sweep(payload)`` — expand a grid request into cells, register a
+  background *job*, and return its id; cells flow through the same
+  scheduler, so batch work shares the cache and coalesces with
+  interactive requests. A shed cell backs off and retries — an accepted
+  job is never silently dropped;
+* ``stream_job(job_id)`` — an async iterator of the job's progress
+  events (NDJSON lines on the wire), ending after the terminal
+  ``complete`` event;
+* ``health()`` / ``metrics()`` — liveness and the full metrics envelope,
+  including a *reconciliation* block proving every settled request is
+  accounted: ``simulate requests - rejected + sweep cells ==
+  store + coalesced + computed + shed + timeout + error``.
+
+Every request leaves one ``kind="request"`` event in a bounded
+:class:`~repro.obs.trace.EventTracer` ring (endpoint in ``port``,
+status/source in ``detail``), exposed at ``GET /v1/trace``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Optional
+
+from repro.exec.jobs import JobSpec
+from repro.exec.store import ResultStore
+from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
+from repro.experiments.export import jsonable
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EventTracer
+from repro.params import DEFAULT_PARAMS, ArchitectureParams
+from repro.serve.protocol import (
+    RequestError, envelope, error_envelope, parse_simulate, parse_sweep,
+    request_timeout, result_fields,
+)
+from repro.serve.scheduler import (
+    RequestTimeout, ServiceOverloaded, SimulationScheduler,
+)
+
+#: Scheduler settlement labels, in reconciliation order.
+SETTLE_SOURCES = ("store", "coalesced", "computed", "shed", "timeout", "error")
+
+
+@dataclass
+class SweepJob:
+    """One background sweep: its cells, progress events, and outcome."""
+
+    job_id: str
+    specs: list[JobSpec]
+    status: str = "running"              # running | done | failed
+    events: list[dict] = field(default_factory=list)
+    summary: Optional[dict] = None
+    cond: asyncio.Condition = field(default_factory=asyncio.Condition)
+    task: Optional[asyncio.Task] = None
+
+
+class SimulationService:
+    """Socket-free core of the serving tier (see :mod:`repro.serve.http`)."""
+
+    def __init__(
+        self,
+        *,
+        config: Optional[ExperimentConfig] = None,
+        params: ArchitectureParams = DEFAULT_PARAMS,
+        store: Optional[ResultStore] = None,
+        executor=None,
+        queue_limit: int = 16,
+        concurrency: int = 2,
+        max_timeout_s: float = 600.0,
+        fast: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[EventTracer] = None,
+    ):
+        resolved = config or (FAST_CONFIG if fast else DEFAULT_CONFIG)
+        self.scheduler = SimulationScheduler(
+            config=resolved, params=params, store=store, executor=executor,
+            queue_limit=queue_limit, concurrency=concurrency,
+            max_timeout_s=max_timeout_s, registry=registry,
+        )
+        self.registry = self.scheduler.registry
+        self.tracer = tracer if tracer is not None else EventTracer(4096)
+        self.jobs: dict[str, SweepJob] = {}
+        self._job_seq = itertools.count(1)
+        self._start_monotonic = time.monotonic()
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self.scheduler.store
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.scheduler.start()
+
+    async def stop(self) -> None:
+        for job in self.jobs.values():
+            if job.task is not None and not job.task.done():
+                job.task.cancel()
+        await self.scheduler.stop()
+
+    # -- shared accounting --------------------------------------------------
+
+    def _count(self, endpoint: str) -> None:
+        self.registry.counter("serve_requests", endpoint=endpoint).inc()
+
+    def _trace(self, endpoint: str, detail: str) -> None:
+        elapsed_ms = int((time.monotonic() - self._start_monotonic) * 1000)
+        self.tracer.emit(cycle=elapsed_ms, kind="request", packet=-1,
+                         port=endpoint, detail=detail)
+
+    def _reject(self, endpoint: str, exc: Exception) -> tuple[int, dict, dict]:
+        self.registry.counter("serve_rejected", endpoint=endpoint).inc()
+        self._trace(endpoint, f"400 {exc}")
+        return 400, error_envelope(str(exc)), {}
+
+    # -- simulate -----------------------------------------------------------
+
+    async def simulate(self, payload: dict) -> tuple[int, dict, dict]:
+        """Settle one cell; returns (HTTP status, envelope, extra headers)."""
+        self._count("simulate")
+        start = time.perf_counter()
+        try:
+            spec = parse_simulate(payload)
+            timeout_s = request_timeout(payload, self.scheduler.max_timeout_s)
+        except RequestError as exc:
+            return self._reject("simulate", exc)
+        try:
+            outcome = await self.scheduler.submit(spec, timeout_s)
+        except ServiceOverloaded as exc:
+            self._trace("simulate", "429 shed")
+            return (429,
+                    error_envelope(str(exc),
+                                   retry_after_s=exc.retry_after_s),
+                    {"Retry-After": str(exc.retry_after_s)})
+        except RequestTimeout as exc:
+            self._trace("simulate", "504 timeout")
+            return 504, error_envelope(str(exc)), {}
+        except Exception as exc:
+            self._trace("simulate", f"500 {type(exc).__name__}")
+            return 500, error_envelope(f"simulation failed: {exc}"), {}
+        request_ms = (time.perf_counter() - start) * 1000.0
+        self.registry.histogram("serve_request_ms").observe(request_ms)
+        self._trace("simulate", f"200 {outcome.source}")
+        return 200, envelope(
+            status="ok",
+            source=outcome.source,
+            digest=outcome.digest,
+            wall_s=outcome.wall_s,
+            request_ms=request_ms,
+            spec=jsonable(outcome.spec),
+            result=result_fields(outcome.result),
+        ), {}
+
+    # -- sweep jobs ---------------------------------------------------------
+
+    async def sweep(self, payload: dict) -> tuple[int, dict, dict]:
+        """Register a background sweep job; returns its id immediately."""
+        self._count("sweep")
+        try:
+            specs = parse_sweep(payload)
+        except RequestError as exc:
+            return self._reject("sweep", exc)
+        job_id = f"job-{next(self._job_seq):04d}-{secrets.token_hex(4)}"
+        job = SweepJob(job_id=job_id, specs=specs)
+        self.jobs[job_id] = job
+        job.task = asyncio.create_task(self._run_sweep_job(job),
+                                       name=f"serve-{job_id}")
+        self._trace("sweep", f"202 {job_id} cells={len(specs)}")
+        return 202, envelope(status="accepted", job_id=job_id,
+                             cells=len(specs)), {}
+
+    async def _job_event(self, job: SweepJob, event: dict) -> None:
+        async with job.cond:
+            job.events.append(event)
+            job.cond.notify_all()
+
+    async def _finish_job(self, job: SweepJob, status: str,
+                          summary: dict) -> None:
+        async with job.cond:
+            job.status = status
+            job.summary = summary
+            job.events.append(
+                {"event": "complete", "status": status, "summary": summary}
+            )
+            job.cond.notify_all()
+
+    async def _run_one_cell(self, job: SweepJob, index: int, spec: JobSpec,
+                            sem: asyncio.Semaphore, tally: dict) -> None:
+        async with sem:
+            while True:
+                self._count("sweep_cell")
+                try:
+                    outcome = await self.scheduler.submit(spec)
+                except ServiceOverloaded as exc:
+                    # Batch cells defer to interactive load instead of
+                    # failing: back off and re-offer the cell.
+                    await self._job_event(job, {
+                        "event": "backoff", "index": index,
+                        "retry_after_s": exc.retry_after_s,
+                    })
+                    await asyncio.sleep(min(exc.retry_after_s, 5))
+                    continue
+                break
+            tally[outcome.source] = tally.get(outcome.source, 0) + 1
+            await self._job_event(job, {
+                "event": "hit" if outcome.source == "store" else "done",
+                "index": index,
+                "source": outcome.source,
+                "digest": outcome.digest,
+                "wall_s": outcome.wall_s,
+                "result": result_fields(outcome.result),
+            })
+
+    async def _run_sweep_job(self, job: SweepJob) -> None:
+        sem = asyncio.Semaphore(self.scheduler.concurrency)
+        tally: dict[str, int] = {}
+        start = time.perf_counter()
+        try:
+            await asyncio.gather(*(
+                self._run_one_cell(job, i, spec, sem, tally)
+                for i, spec in enumerate(job.specs)
+            ))
+        except asyncio.CancelledError:
+            await self._finish_job(job, "failed", {"error": "cancelled"})
+            raise
+        except Exception as exc:
+            await self._finish_job(job, "failed", {"error": str(exc)})
+            return
+        await self._finish_job(job, "done", {
+            "cells": len(job.specs),
+            "wall_s": time.perf_counter() - start,
+            "sources": dict(sorted(tally.items())),
+        })
+
+    async def stream_job(
+        self, job_id: str,
+    ) -> Optional[AsyncIterator[dict]]:
+        """Async iterator over a job's events (None for an unknown id)."""
+        self._count("jobs")
+        job = self.jobs.get(job_id)
+        if job is None:
+            self._trace("jobs", f"404 {job_id}")
+            return None
+        self._trace("jobs", f"200 {job_id}")
+
+        async def _events() -> AsyncIterator[dict]:
+            index = 0
+            while True:
+                async with job.cond:
+                    while index >= len(job.events) and job.status == "running":
+                        await job.cond.wait()
+                    fresh = job.events[index:]
+                    index = len(job.events)
+                    finished = job.status != "running"
+                for event in fresh:
+                    yield event
+                if finished and index >= len(job.events):
+                    return
+
+        return _events()
+
+    def job_status(self, job_id: str) -> Optional[dict]:
+        """A point-in-time job snapshot (no streaming)."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return None
+        return envelope(status=job.status, job_id=job.job_id,
+                        cells=len(job.specs), events=len(job.events),
+                        summary=job.summary)
+
+    # -- health / metrics / trace -------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness payload for ``GET /healthz``."""
+        self._count("healthz")
+        queue = self.scheduler._queue
+        return envelope(
+            status="ok",
+            uptime_s=time.monotonic() - self._start_monotonic,
+            queue_depth=queue.qsize() if queue is not None else 0,
+            queue_limit=self.scheduler.queue_limit,
+            concurrency=self.scheduler.concurrency,
+            inflight=len(self.scheduler._inflight),
+            jobs={
+                status: sum(1 for j in self.jobs.values()
+                            if j.status == status)
+                for status in ("running", "done", "failed")
+            },
+            store_entries=len(self.store) if self.store is not None else 0,
+        )
+
+    def reconciliation(self) -> dict:
+        """Proof that every settled request is accounted exactly once."""
+        reg = self.registry
+        requests = reg.value("serve_requests", endpoint="simulate") or 0
+        rejected = reg.value("serve_rejected", endpoint="simulate") or 0
+        cells = reg.value("serve_requests", endpoint="sweep_cell") or 0
+        settled = {
+            source: reg.value("serve_settled", source=source) or 0
+            for source in SETTLE_SOURCES
+        }
+        accounted = sum(settled.values())
+        expected = requests - rejected + cells
+        return {
+            "requests": requests,
+            "rejected": rejected,
+            "sweep_cells": cells,
+            "settled": settled,
+            "accounted": accounted,
+            "balanced": accounted == expected,
+        }
+
+    def metrics(self) -> dict:
+        """The full metrics envelope for ``GET /metrics``."""
+        self._count("metrics")
+        reg = self.registry
+        requests = {
+            dict(inst.labels).get("endpoint", ""): inst.value
+            for inst in reg.series("serve_requests")
+        }
+        return envelope(
+            status="ok",
+            requests=requests,
+            settled=self.reconciliation()["settled"],
+            reconciliation=self.reconciliation(),
+            store=(self.store.stats.as_dict()
+                   if self.store is not None else None),
+            snapshot=reg.snapshot(),
+        )
+
+    def trace(self, limit: int = 200) -> dict:
+        """The most recent request-trace events (``GET /v1/trace``)."""
+        events = [event.to_dict() for event in self.tracer.events("request")]
+        return envelope(status="ok", events=events[-limit:])

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main, render_parameters
+from repro.version import package_version
 
 
 class TestParser:
@@ -17,6 +18,74 @@ class TestParser:
             "E1", "E2", "E3", "E4", "F1", "F2", "F7", "F8", "F9", "F10",
             "R1", "R2", "T2",
         }
+
+
+class TestServeParsers:
+    def test_serve_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "3", "--queue-limit", "5"]
+        )
+        assert args.port == 0 and args.jobs == 3 and args.queue_limit == 5
+
+    def test_request_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["request", "simulate", "--design", "static", "--json"]
+        )
+        assert args.what == "simulate" and args.design == "static"
+
+    def test_request_job_requires_id(self, capsys):
+        assert main(["request", "job", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().err)
+        assert "--id" in payload["error"]
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {package_version()}"
+
+    def test_package_dunder_matches(self):
+        import repro
+
+        assert repro.__version__ == package_version()
+
+
+class TestErrorContract:
+    """Bad input: exit 2, and under ``--json`` one JSON line on stderr."""
+
+    def test_json_error_is_single_line_on_stderr(self, capsys):
+        assert main(["run", "F99", "--fast", "--json"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert "F99" in payload["error"]
+        assert payload["version"] == package_version()
+
+    def test_plain_error_goes_to_stderr(self, capsys):
+        assert main(["run", "F99", "--fast"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+
+    def test_simulate_unknown_workload(self, capsys):
+        assert main(["simulate", "--workload", "nope", "--fast",
+                     "--json"]) == 2
+        payload = json.loads(capsys.readouterr().err)
+        assert "nope" in payload["error"]
+
+    def test_sweep_bad_width(self, capsys):
+        assert main(["sweep", "--styles", "baseline", "--widths", "wide",
+                     "--workloads", "uniform", "--fast", "--json"]) == 2
+        payload = json.loads(capsys.readouterr().err)
+        assert "width" in payload["error"]
+
+    def test_sweep_unknown_style(self, capsys):
+        assert main(["sweep", "--styles", "warp", "--widths", "16",
+                     "--workloads", "uniform", "--fast"]) == 2
+        assert "warp" in capsys.readouterr().err
 
 
 class TestParams:
@@ -169,6 +238,7 @@ class TestJsonEverywhere:
         assert main(["params", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["Topology"] == "10x10 mesh"
+        assert payload["version"] == package_version()
 
     def test_floorplan_json(self, capsys):
         assert main(["floorplan", "--access-points", "25", "--json"]) == 0
@@ -177,12 +247,14 @@ class TestJsonEverywhere:
 
     def test_list_json(self, capsys):
         assert main(["list", "--json"]) == 0
-        assert set(json.loads(capsys.readouterr().out)) == set(EXPERIMENTS)
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == set(EXPERIMENTS) | {"version"}
 
     def test_workloads_json(self, capsys):
         assert main(["workloads", "--cycles", "1000", "--json"]) == 0
-        rows = json.loads(capsys.readouterr().out)
-        by_name = {row["workload"]: row for row in rows}
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == package_version()
+        by_name = {row["workload"]: row for row in payload["items"]}
         assert by_name["4Hotspot"]["hotspots"] == 4
 
     def test_run_json(self, capsys):

@@ -1,0 +1,154 @@
+"""Threaded tests for :class:`repro.exec.store.ResultStore`.
+
+The serving tier shares one store instance between the event-loop thread
+(synchronous warm-hit reads) and drain-task writes, so the store must
+stay correct under concurrency with no server in the picture: parallel
+readers during writes never observe a torn entry, the hit/miss counters
+stay exact, and a corrupt entry is quarantined exactly once however many
+readers race over it.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.exec.store import ResultStore
+
+PAYLOAD = {"design": "baseline-16B", "avg_latency": 10.0,
+           "samples": list(range(64))}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=fn) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert not any(t.is_alive() for t in threads)
+
+
+class TestParallelReadersDuringWrites:
+    def test_readers_never_see_a_torn_entry(self, store):
+        """Atomic replace: every load is a full old or new payload."""
+        digest = "d" * 12
+        store.save(digest, {**PAYLOAD, "rev": 0})
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            while not stop.is_set():
+                payload = store.load(digest)
+                if payload is None or "rev" not in payload:
+                    bad.append(payload)
+
+        def writer():
+            for rev in range(1, 200):
+                store.save(digest, {**PAYLOAD, "rev": rev})
+            stop.set()
+
+        run_threads([reader, reader, reader, writer])
+        assert bad == []
+        assert store.stats.quarantined == 0
+        assert store.stats.misses == 0
+        assert store.load(digest)["rev"] == 199
+
+    def test_concurrent_writers_leave_a_valid_entry(self, store):
+        digest = "w" * 12
+        barrier = threading.Barrier(4)
+
+        def writer(tag):
+            def body():
+                barrier.wait()
+                for rev in range(50):
+                    store.save(digest, {**PAYLOAD, "writer": tag,
+                                        "rev": rev})
+            return body
+
+        run_threads([writer(i) for i in range(4)])
+        assert store.stats.writes == 200
+        entry = json.loads(store.path_for(digest).read_text())
+        assert entry["digest"] == digest
+        assert entry["payload"]["rev"] == 49
+        # No orphaned temp files left behind by the unique-name scheme.
+        assert list(store.root.glob("*.tmp.*")) == []
+
+
+class TestDigestHitAccounting:
+    def test_hits_stay_exact_under_parallel_readers(self, store):
+        digest = "h" * 12
+        store.save(digest, PAYLOAD)
+        readers, loads = 8, 50
+
+        def reader():
+            for _ in range(loads):
+                assert store.load(digest) is not None
+
+        run_threads([reader for _ in range(readers)])
+        assert store.stats.hits == readers * loads
+        assert store.stats.misses == 0
+
+    def test_misses_stay_exact_under_parallel_readers(self, store):
+        readers, loads = 8, 50
+
+        def reader(tag):
+            def body():
+                for i in range(loads):
+                    assert store.load(f"absent-{tag}-{i}") is None
+            return body
+
+        run_threads([reader(i) for i in range(readers)])
+        assert store.stats.misses == readers * loads
+        assert store.stats.hits == 0
+
+
+class TestQuarantineUnderConcurrency:
+    def test_corrupt_entry_quarantined_once_across_racing_readers(
+        self, store,
+    ):
+        digest = "c" * 12
+        store.path_for(digest).write_text("{ not json at all")
+        barrier = threading.Barrier(6)
+        results = []
+
+        def reader():
+            barrier.wait()
+            results.append(store.load(digest))
+
+        run_threads([reader for _ in range(6)])
+        # Every racing reader sees a miss, the entry is moved exactly once.
+        assert results == [None] * 6
+        assert store.stats.quarantined == 1
+        assert store.stats.misses == 6
+        assert not store.path_for(digest).exists()
+        assert len(list(store.quarantine_dir.glob("*.json"))) == 1
+        # The digest is recomputable: a fresh save serves warm again.
+        store.save(digest, PAYLOAD)
+        assert store.load(digest) == PAYLOAD
+
+    def test_quarantine_while_other_digests_serve_reads(self, store):
+        good, bad = "g" * 12, "b" * 12
+        store.save(good, PAYLOAD)
+        store.path_for(bad).write_text('{"schema": 999, "payload": {}}')
+        stop = threading.Event()
+        failures = []
+
+        def good_reader():
+            while not stop.is_set():
+                if store.load(good) != PAYLOAD:
+                    failures.append("good digest missed")
+
+        def bad_reader():
+            for _ in range(20):
+                if store.load(bad) is not None:
+                    failures.append("bad digest served")
+            stop.set()
+
+        run_threads([good_reader, good_reader, bad_reader])
+        assert failures == []
+        assert store.stats.quarantined == 1
