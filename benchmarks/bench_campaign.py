@@ -1,0 +1,150 @@
+"""Campaign-tier benchmark: resume cost and warm replay.
+
+Runs one 8-cell campaign (tiny simulation windows, throwaway store)
+through :func:`repro.campaign.run_campaign` three ways:
+
+* **interrupted** — stopped at the first chunk boundary (``max_chunks=1``),
+  the way a killed process would leave the manifest;
+* **resumed** — the same campaign directory re-invoked; the bench fails
+  unless the resume carries every checkpointed cell and re-simulates
+  *only* the pending ones (zero store hits, zero recomputation);
+* **warm** — a fresh campaign directory over the now-full store; the
+  bench fails unless every cell is answered warm.
+
+Records cold/warm wall time, the warm-hit rate, and the Pareto frontier
+size into ``results/BENCH_campaign.json`` — the committed history the
+campaign trend report compares against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.exec import ResultStore
+from repro.experiments import ExperimentConfig
+from repro.params import SimulationParams
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Tiny windows, same scale as bench_serve: a cold cell takes ~1 s.
+BENCH_CONFIG = ExperimentConfig(
+    sim=SimulationParams(warmup_cycles=50, measure_cycles=200,
+                         drain_cycles=1_500),
+    profile_cycles=1_000,
+)
+
+SPEC = CampaignSpec(
+    name="bench-campaign",
+    styles=("baseline", "static"),
+    widths=(16, 8),
+    workloads=("uniform", "1Hotspot"),
+    chunk=4,
+)
+
+
+def run_bench(root: Path) -> dict:
+    cache = root / "cache"
+
+    interrupted = run_campaign(SPEC, config=BENCH_CONFIG,
+                               store=ResultStore(cache),
+                               directory=root / "campaign", max_chunks=1)
+    resume_store = ResultStore(cache)
+    resumed = run_campaign(SPEC, config=BENCH_CONFIG, store=resume_store,
+                           directory=root / "campaign")
+    warm_store = ResultStore(cache)
+    warm = run_campaign(SPEC, config=BENCH_CONFIG, store=warm_store,
+                        directory=root / "campaign-warm")
+
+    cells = len(resumed.cells)
+    cold_wall_s = interrupted.wall_s + resumed.wall_s
+    return {
+        "bench": "campaign",
+        "config": {
+            "chunk": SPEC.chunk,
+            "warmup_cycles": BENCH_CONFIG.sim.warmup_cycles,
+            "measure_cycles": BENCH_CONFIG.sim.measure_cycles,
+        },
+        "cells": cells,
+        "cold_wall_s": cold_wall_s,
+        "warm_wall_s": warm.wall_s,
+        "speedup_warm": (cold_wall_s / warm.wall_s) if warm.wall_s else None,
+        "interrupted": {"status": interrupted.status,
+                        "cold": interrupted.cold,
+                        "pending": interrupted.pending},
+        "resumed": {"status": resumed.status, "carried": resumed.carried,
+                    "cold": resumed.cold,
+                    "store": vars(resume_store.stats).copy()},
+        "warm": {"status": warm.status, "warm": warm.warm,
+                 "cold": warm.cold},
+        "rates": {"warm_hit": warm.warm / cells if cells else 0.0},
+        "cycles_per_sec": (resumed.sim_cycles / resumed.sim_wall_s
+                           if resumed.sim_wall_s else None),
+        "pareto_size": len(warm.pareto()),
+    }
+
+
+def check(report: dict) -> list[str]:
+    """The bench's pass/fail claims; returns failure messages."""
+    failures = []
+    interrupted = report["interrupted"]
+    if interrupted["status"] != "running" or interrupted["pending"] == 0:
+        failures.append(f"interruption did not leave pending work: "
+                        f"{interrupted}")
+    resumed = report["resumed"]
+    if resumed["status"] != "done":
+        failures.append(f"resume did not finish: {resumed}")
+    if resumed["carried"] != interrupted["cold"]:
+        failures.append(
+            f"resume carried {resumed['carried']} cells, expected the "
+            f"{interrupted['cold']} checkpointed before the kill")
+    if resumed["store"]["hits"] or (
+            resumed["store"]["writes"] != interrupted["pending"]):
+        failures.append(
+            f"resume was not zero-recomputation: {resumed['store']}")
+    warm = report["warm"]
+    if warm["cold"] or warm["warm"] != report["cells"]:
+        failures.append(f"warm replay simulated cells: {warm}")
+    if not report["pareto_size"]:
+        failures.append("empty Pareto frontier")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=RESULTS_DIR / "BENCH_campaign.json")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as tmp:
+        report = run_bench(Path(tmp))
+    failures = check(report)
+    report["passed"] = not failures
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"bench_campaign: {report['cells']} cells cold in "
+          f"{report['cold_wall_s']:.1f}s, warm replay "
+          f"{report['warm_wall_s']:.2f}s "
+          f"({report['rates']['warm_hit']:.0%} warm), "
+          f"frontier {report['pareto_size']}")
+    print(f"  resume: carried {report['resumed']['carried']}, "
+          f"re-simulated {report['resumed']['cold']}, "
+          f"store {report['resumed']['store']}")
+    print(f"  wrote {args.out}")
+    for failure in failures:
+        print(f"  FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

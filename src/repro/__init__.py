@@ -25,12 +25,23 @@ Packages
 ``repro.exec``         parallel execution engine + persistent result store
 ``repro.obs``          observability: metrics, event tracing, profiling
 ``repro.faults``       fault injection and graceful degradation
-``repro.api``          the unified ``simulate``/``sweep``/``compare`` facade
+``repro.api``          the unified ``simulate``/``sweep``/``compare``/
+                       ``campaign`` facade
 ``repro.serve``        asyncio HTTP service: coalescing, admission control,
                        warm-cache serving (``repro serve`` on the CLI)
+``repro.campaign``     declarative, resumable scenario campaigns with
+                       Pareto reduction (``repro campaign`` on the CLI)
 """
 
+# NOTE: the campaign *facade function* lives at ``repro.api.campaign``;
+# the top-level name ``repro.campaign`` is the subpackage (importing it
+# below binds it as an attribute of this package, so a same-named
+# function export would be shadowed either way).
 from repro.api import Comparison, compare, simulate, sweep
+from repro.campaign import (
+    CampaignError, CampaignResult, CampaignSpec, load_spec, pareto_frontier,
+    run_campaign,
+)
 from repro.core import (
     DesignPoint, RFIOverlay, ReconfigurationController, adaptive_rf,
     adaptive_rf_multicast, baseline, static_rf, wire_static,
@@ -59,6 +70,9 @@ from repro.version import __version__, package_version
 __all__ = [
     "AreaReport",
     "ArchitectureParams",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
     "Comparison",
     "DEFAULT_CONFIG",
     "DEFAULT_PARAMS",
@@ -106,10 +120,13 @@ __all__ = [
     "fig9_multicast",
     "fig10_unified",
     "kill_bands",
+    "load_spec",
     "mtbf_schedule",
     "package_version",
+    "pareto_frontier",
     "r1_shortcut_degradation",
     "r2_transient_outage",
+    "run_campaign",
     "run_sweep",
     "simulate",
     "static_rf",

@@ -34,9 +34,14 @@ from repro.obs.result import RunResult
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaign.runner import CampaignResult
+    from repro.campaign.spec import CampaignSpec
     from repro.faults import FaultSchedule
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve.client import ServeClient
 
-__all__ = ["Comparison", "RunResult", "compare", "simulate", "sweep"]
+__all__ = ["Comparison", "RunResult", "campaign", "compare", "simulate",
+           "sweep"]
 
 
 def _resolve_config(
@@ -180,6 +185,57 @@ def sweep(
         progress=progress,
         trace_dir=trace_dir,
         stage_profile=stage_profile,
+    )
+
+
+def campaign(
+    spec: Union["CampaignSpec", str, Path, dict],
+    *,
+    jobs: int = 1,
+    config: Optional[ExperimentConfig] = None,
+    params: ArchitectureParams = DEFAULT_PARAMS,
+    store: Union[ResultStore, str, Path, None] = None,
+    directory: Union[str, Path, None] = None,
+    client: Optional["ServeClient"] = None,
+    fresh: bool = False,
+    max_chunks: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    registry: Optional["MetricsRegistry"] = None,
+) -> "CampaignResult":
+    """Run (or resume) a declarative scenario campaign.
+
+    ``spec`` is a :class:`~repro.campaign.spec.CampaignSpec`, a plain
+    mapping of its fields, the path to a ``.toml``/``.json`` spec file,
+    or the name of a committed campaign
+    (:data:`repro.experiments.campaigns.NAMED_CAMPAIGNS`).  The campaign
+    expands to digest-addressed cells, executes cold cells in bounded
+    checkpointed chunks (through the local sweep engine, or a running
+    ``repro serve`` when ``client`` is given), and returns one
+    :class:`~repro.campaign.runner.CampaignResult` carrying the manifest,
+    warm/cold telemetry, the Pareto frontier (``.pareto()``), and the
+    trend report (``.trend()``).  A killed campaign re-invoked with the
+    same arguments resumes with zero recomputation — see
+    ``docs/campaigns.md``.
+    """
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec, spec_from_dict
+
+    if isinstance(spec, dict):
+        spec = spec_from_dict(spec)
+    elif isinstance(spec, str) and not spec.endswith((".toml", ".json")):
+        from repro.experiments.campaigns import NAMED_CAMPAIGNS
+
+        named = NAMED_CAMPAIGNS.get(spec)
+        if named is not None:
+            spec = named
+    if not isinstance(spec, (CampaignSpec, str, Path)):
+        raise TypeError(
+            f"spec must be a CampaignSpec, mapping, path, or campaign "
+            f"name, not {type(spec).__name__}")
+    return run_campaign(
+        spec, config=config, params=params, store=store,
+        directory=directory, jobs=jobs, client=client, fresh=fresh,
+        max_chunks=max_chunks, progress=progress, registry=registry,
     )
 
 

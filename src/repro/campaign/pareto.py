@@ -1,0 +1,98 @@
+"""Pareto reduction over campaign cells.
+
+A campaign's deliverable is rarely the raw cell table — it is the set of
+design points that are *not beaten everywhere*: the Pareto frontier over
+the configured objectives (mean latency, power, area, fault drops — all
+minimized; see :data:`repro.campaign.spec.OBJECTIVE_FIELDS`).  This module
+computes that frontier over the JSON-safe cell records a campaign
+manifest carries, so ``repro campaign report`` never re-opens the result
+store, let alone re-simulates.
+
+Dominance is the standard weak form: ``a`` dominates ``b`` when ``a`` is
+no worse on every objective and strictly better on at least one.  Cells
+with a missing or non-finite objective value (e.g. ``power_w`` of a
+result without a power model) can never dominate and never survive — a
+frontier only ever contains fully-measured points.  Ties (identical
+vectors) all survive, and the frontier preserves campaign cell order, so
+equal campaigns reduce to byte-identical frontiers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.campaign.spec import OBJECTIVE_FIELDS, CampaignError
+
+
+def objective_vector(
+    metrics: dict, objectives: Sequence[str],
+) -> Optional[tuple[float, ...]]:
+    """The cell's objective values, or None if any is missing/non-finite."""
+    values = []
+    for objective in objectives:
+        field = OBJECTIVE_FIELDS.get(objective)
+        if field is None:
+            raise CampaignError(
+                f"unknown objective {objective!r}; "
+                f"one of {sorted(OBJECTIVE_FIELDS)}")
+        value = metrics.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return None
+        value = float(value)
+        if not math.isfinite(value):
+            return None
+        values.append(value)
+    return tuple(values)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse everywhere and better somewhere."""
+    return (all(x <= y for x, y in zip(a, b))
+            and any(x < y for x, y in zip(a, b)))
+
+
+def pareto_frontier(
+    cells: Sequence[dict], objectives: Sequence[str],
+) -> list[dict]:
+    """The non-dominated cells, in input order.
+
+    ``cells`` are manifest cell records; each contributes its ``metrics``
+    block.  Returns new dicts: the cell record plus an ``objectives``
+    map of the values it was judged on.
+    """
+    if not objectives:
+        raise CampaignError("at least one objective is required")
+    vectors: list[Optional[tuple[float, ...]]] = [
+        objective_vector(cell.get("metrics") or {}, objectives)
+        for cell in cells
+    ]
+    frontier = []
+    for i, vec in enumerate(vectors):
+        if vec is None:
+            continue
+        beaten = any(
+            other is not None and dominates(other, vec)
+            for j, other in enumerate(vectors) if j != i
+        )
+        if not beaten:
+            frontier.append({
+                **cells[i],
+                "objectives": dict(zip(objectives, vec)),
+            })
+    return frontier
+
+
+def frontier_summary(
+    frontier: Sequence[dict], objectives: Sequence[str],
+) -> dict:
+    """JSON-safe headline block: size + per-objective best values."""
+    best = {}
+    for objective in objectives:
+        values = [cell["objectives"][objective] for cell in frontier]
+        best[objective] = min(values) if values else None
+    return {
+        "size": len(frontier),
+        "objectives": list(objectives),
+        "best": best,
+    }

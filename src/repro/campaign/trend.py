@@ -1,0 +1,97 @@
+"""Trend reports: campaign aggregates vs the committed BENCH_* history.
+
+The repo commits performance records (``benchmarks/results/BENCH_b0.json``
+for raw engine throughput, ``BENCH_serve.json`` for the serving tier,
+``BENCH_campaign.json`` for the campaign harness itself).  A campaign run
+produces the same aggregate surfaces — simulated cycles/second over its
+cold cells, warm-hit rate over its whole cell set — so every campaign
+doubles as a regression probe: the trend report lines its aggregates up
+against the committed history and reports the ratio.
+
+Missing history never fails a report (a fresh checkout, a CI sandbox):
+the entry is emitted with ``baseline: null`` and a note instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+#: Default location of the committed benchmark history.
+DEFAULT_BENCH_DIR = Path("benchmarks/results")
+
+
+def _load_bench(bench_dir: Path, name: str) -> Optional[dict]:
+    try:
+        return json.loads((bench_dir / name).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _entry(campaign_value, baseline, *, higher_is_better: bool,
+           note: Optional[str] = None) -> dict:
+    ratio = None
+    if (isinstance(campaign_value, (int, float))
+            and isinstance(baseline, (int, float)) and baseline):
+        ratio = campaign_value / baseline
+    return {
+        "campaign": campaign_value,
+        "baseline": baseline,
+        "ratio": ratio,
+        "higher_is_better": higher_is_better,
+        **({"note": note} if note else {}),
+    }
+
+
+def trend_report(summary: dict, bench_dir: str | Path = DEFAULT_BENCH_DIR,
+                 ) -> dict:
+    """Line a campaign's aggregates up against the committed history.
+
+    ``summary`` is :meth:`CampaignResult.summary`'s shape (cells, warm,
+    cold, simulated cycles/wall).  Entries:
+
+    * ``cycles_per_sec`` — this campaign's cold-cell simulation
+      throughput vs the committed B0 engine record;
+    * ``warm_hit_rate`` — this campaign's warm fraction vs the serving
+      benchmark's steady-state warm-hit rate;
+    * ``campaign_wall_s`` — wall time vs the last committed campaign
+      bench (when cell counts match; otherwise noted, not compared).
+    """
+    bench_dir = Path(bench_dir)
+    report: dict[str, dict] = {}
+
+    b0 = _load_bench(bench_dir, "BENCH_b0.json")
+    cps = summary.get("cycles_per_sec") or None
+    baseline_cps = (b0 or {}).get("engine", {}).get("cycles_per_sec")
+    report["cycles_per_sec"] = _entry(
+        cps, baseline_cps, higher_is_better=True,
+        note=None if b0 else "no committed BENCH_b0.json",
+    )
+    if cps is None:
+        report["cycles_per_sec"]["note"] = "no cold cells simulated"
+
+    serve = _load_bench(bench_dir, "BENCH_serve.json")
+    cells = summary.get("cells") or 0
+    warm_rate = (summary.get("warm", 0) / cells) if cells else None
+    baseline_warm = (serve or {}).get("rates", {}).get("warm_hit")
+    report["warm_hit_rate"] = _entry(
+        warm_rate, baseline_warm, higher_is_better=True,
+        note=None if serve else "no committed BENCH_serve.json",
+    )
+
+    history = _load_bench(bench_dir, "BENCH_campaign.json")
+    wall = summary.get("wall_s")
+    if history is None:
+        report["campaign_wall_s"] = _entry(
+            wall, None, higher_is_better=False,
+            note="no committed BENCH_campaign.json")
+    elif history.get("cells") != cells:
+        report["campaign_wall_s"] = _entry(
+            wall, None, higher_is_better=False,
+            note=f"committed campaign ran {history.get('cells')} cells, "
+                 f"this one {cells}; not comparable")
+    else:
+        report["campaign_wall_s"] = _entry(
+            wall, history.get("cold_wall_s"), higher_is_better=False)
+    return report

@@ -13,6 +13,10 @@ Commands
 ``serve``       host the asyncio simulation service (``repro.serve``)
 ``request``     client: query a running service (simulate/sweep/health/
                 metrics/trace/job; see ``docs/serving.md``)
+``campaign``    declarative, resumable scenario campaigns: ``run`` a
+                spec (file or named campaign) in checkpointed chunks,
+                ``status`` a manifest, ``report`` Pareto frontiers and
+                trends (see ``docs/campaigns.md``)
 
 The executing verbs (``run``/``simulate``/``sweep``) share one flag
 vocabulary: ``--jobs``, ``--seed``, ``--out``, ``--fast``, and
@@ -482,6 +486,167 @@ def cmd_request(args) -> int:
     return 0 if response.ok else 1
 
 
+def _resolve_campaign_spec(args):
+    """The CampaignSpec named by ``--spec`` (file path or named campaign)."""
+    from repro.campaign import CampaignError, load_spec
+    from repro.experiments.campaigns import NAMED_CAMPAIGNS
+
+    if not args.spec:
+        raise CLIError(
+            "campaign run needs --spec FILE|NAME "
+            f"(named campaigns: {', '.join(sorted(NAMED_CAMPAIGNS))})")
+    named = NAMED_CAMPAIGNS.get(args.spec)
+    if named is not None:
+        return named
+    try:
+        return load_spec(args.spec)
+    except CampaignError as exc:
+        raise CLIError(str(exc)) from exc
+
+
+def _campaign_dir(args, spec=None) -> Path:
+    from repro.campaign import DEFAULT_CAMPAIGN_ROOT
+
+    if args.dir:
+        return Path(args.dir)
+    name = spec.name if spec is not None else args.spec
+    if not name:
+        raise CLIError("campaign status/report needs --dir DIR or "
+                       "--spec FILE|NAME to locate the manifest")
+    from repro.experiments.campaigns import NAMED_CAMPAIGNS
+
+    named = NAMED_CAMPAIGNS.get(name)
+    if named is not None:
+        name = named.name
+    elif name.endswith((".toml", ".json")):
+        name = _resolve_campaign_spec(args).name
+    return DEFAULT_CAMPAIGN_ROOT / name
+
+
+def _load_campaign_manifest(directory: Path) -> dict:
+    from repro.campaign import CampaignError, load_manifest
+
+    try:
+        manifest = load_manifest(directory)
+    except CampaignError as exc:
+        raise CLIError(str(exc)) from exc
+    if manifest is None:
+        raise CLIError(f"no campaign manifest under {directory}; "
+                       "run the campaign first")
+    return manifest
+
+
+def _campaign_objectives(args):
+    if not getattr(args, "objectives", None):
+        return None
+    return tuple(_split_list(args.objectives, "objectives"))
+
+
+def cmd_campaign(args) -> int:
+    """Run/inspect/reduce a scenario campaign (see docs/campaigns.md)."""
+    from repro.campaign import (
+        CampaignError, manifest_report, manifest_status, run_campaign,
+    )
+
+    if args.action == "status":
+        payload = manifest_status(_load_campaign_manifest(_campaign_dir(args)))
+        if args.json:
+            _print_json(payload)
+        else:
+            print(f"campaign  : {payload['name']} [{payload['status']}]")
+            print(f"cells     : {payload['done']}/{payload['cells']} done "
+                  f"({payload['pending']} pending, "
+                  f"{payload['chunks_done']} chunks)")
+            for source, count in payload["sources"].items():
+                print(f"  {source:<9}: {count}")
+        return 0
+
+    if args.action == "report":
+        manifest = _load_campaign_manifest(_campaign_dir(args))
+        try:
+            payload = manifest_report(manifest, _campaign_objectives(args))
+        except CampaignError as exc:
+            raise CLIError(str(exc)) from exc
+        if not payload["frontier"]:
+            raise CLIError("campaign has no completed, fully-measured "
+                           "cells to reduce; run it first")
+        if args.json:
+            _print_json(payload)
+            return 0
+        status = payload["status"]
+        objectives = payload["objectives"]
+        print(f"campaign  : {status['name']} [{status['status']}] "
+              f"{status['done']}/{status['cells']} cells")
+        print(f"objectives: {', '.join(objectives)} (minimized)")
+        print(f"frontier  : {payload['pareto']['size']} non-dominated cells")
+        width = max(len(c["label"]) for c in payload["frontier"])
+        for cell in payload["frontier"]:
+            values = "  ".join(f"{name}={cell['objectives'][name]:.3f}"
+                               for name in objectives)
+            print(f"  {cell['label']:<{width}}  {values}")
+        for metric, entry in payload["trend"].items():
+            ratio = (f"{entry['ratio']:.2f}x" if entry["ratio"] is not None
+                     else entry.get("note", "n/a"))
+            print(f"trend {metric:<18}: {ratio}")
+        return 0
+
+    # -- run ----------------------------------------------------------------
+    from repro.exec import ResultStore
+
+    spec = _resolve_campaign_spec(args)
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        from repro.campaign.spec import with_kernel
+
+        spec = with_kernel(spec, kernel)
+    directory = _campaign_dir(args, spec)
+    client = None
+    store = None
+    if args.via_serve:
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+    else:
+        store = ResultStore(args.cache)
+
+    def progress(event: dict) -> None:
+        if event["event"] == "chunk":
+            print(f"chunk {event['chunk']}/{event['of']} "
+                  f"({event['cells']} cells)", file=sys.stderr)
+        else:
+            label = {"hit": "warm", "done": "ran", "retry": "retry"}.get(
+                event["event"], event["event"])
+            wall = f" ({event['wall_s']:.1f}s)" if event.get("wall_s") else ""
+            print(f"  {label:<5} {event['job']}{wall}", file=sys.stderr)
+
+    try:
+        result = run_campaign(
+            spec, store=store, directory=directory, jobs=args.jobs,
+            client=client, fresh=args.fresh, max_chunks=args.max_chunks,
+            progress=progress,
+        )
+    except CampaignError as exc:
+        raise CLIError(str(exc)) from exc
+    summary = result.summary()
+    if args.json:
+        _print_json({"summary": summary,
+                     "manifest": str(result.directory / "campaign.json"),
+                     "trend": result.trend()})
+        return 0
+    print(f"campaign  : {summary['name']} [{summary['status']}] "
+          f"{summary['done']}/{summary['cells']} cells")
+    print(f"this run  : {summary['cold']} simulated, {summary['warm']} warm, "
+          f"{summary['carried']} carried over "
+          f"({summary['chunks_run']} chunks, {summary['wall_s']:.1f}s)")
+    if summary["cycles_per_sec"]:
+        print(f"throughput: {summary['cycles_per_sec']:.0f} sim cycles/s")
+    pareto = summary["pareto"]
+    print(f"frontier  : {pareto['size']} non-dominated cells over "
+          f"({', '.join(pareto['objectives'])})")
+    print(f"manifest  : {result.directory / 'campaign.json'}")
+    return 0
+
+
 def _add_common(parser, *, jobs: bool = False, trace: bool = False,
                 trace_help: str = "", faults: bool = False,
                 kernel: bool = False) -> None:
@@ -597,6 +762,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve without the persistent store")
     _add_common(serve, jobs=True, kernel=True)
     serve.set_defaults(fn=cmd_serve)
+
+    campaign = add("campaign", "declarative, resumable scenario campaigns")
+    campaign.add_argument(
+        "action", nargs="?", default="run",
+        choices=["run", "status", "report"],
+        help="run a campaign, print a manifest's progress, or reduce "
+             "it to Pareto frontiers + trends")
+    campaign.add_argument(
+        "--spec", default=None,
+        help="campaign spec file (.toml/.json) or a named campaign "
+             "(e-series, r-series, smoke)")
+    campaign.add_argument(
+        "--dir", default=None,
+        help="campaign directory holding the checkpoint manifest "
+             "(default benchmarks/results/campaigns/<name>)")
+    campaign.add_argument("--cache", default="benchmarks/results/cache",
+                          help="persistent result-store directory")
+    campaign.add_argument("--fresh", action="store_true",
+                          help="ignore any existing manifest and restart")
+    campaign.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="execute at most N chunks this invocation, then checkpoint "
+             "and stop (the campaign resumes on the next run)")
+    campaign.add_argument("--via-serve", action="store_true",
+                          help="drive cold cells through a running "
+                               "'repro serve' instead of a local pool")
+    campaign.add_argument("--host", default="127.0.0.1")
+    campaign.add_argument("--port", type=int, default=8032)
+    campaign.add_argument("--timeout", type=float, default=600.0,
+                          help="serve-client socket timeout, seconds")
+    campaign.add_argument(
+        "--objectives", default=None,
+        help="comma-separated reduction objectives for 'report' "
+             "(latency, flit_latency, power, area, fault_drops)")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = in-process serial)")
+    campaign.add_argument(
+        "--kernel", choices=["fast", "reference"], default=None,
+        help="cycle-execution kernel for fresh cells (bit-identical "
+             "results; never changes cell or campaign digests)")
+    campaign.set_defaults(fn=cmd_campaign)
 
     request = add("request", "query a running simulation service")
     request.add_argument(

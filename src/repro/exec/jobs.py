@@ -132,8 +132,14 @@ def sweep_grid(
         from repro.faults import as_schedule
 
         schedule = as_schedule(faults)
-        if schedule is not None:
-            extra = (("faults", schedule.canonical()),)
+        if schedule is None:
+            # A truthy spec that names no faults (e.g. ";;") is almost
+            # certainly a caller mistake; running the grid silently
+            # fault-free would mis-address every cell.
+            raise ValueError(
+                f"fault spec {faults!r} names no faults; pass None for a "
+                "fault-free sweep")
+        extra = (("faults", schedule.canonical()),)
     return [
         JobSpec(
             kind="unicast",

@@ -4,6 +4,12 @@ from repro.experiments.ablations import (
     a1_shortcut_budget, a2_access_points, a3_escape_vcs, a4_multicast_epoch,
     a5_router_buffers,
 )
+# NOTE: repro.experiments.campaigns is deliberately NOT imported here.
+# It depends on repro.campaign, which depends on repro.exec.engine, which
+# imports this package's config submodule mid-load — importing it from
+# this __init__ would close that cycle.  Import it directly::
+#
+#     from repro.experiments.campaigns import NAMED_CAMPAIGNS
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
 from repro.experiments.figures import (
     FIG7_PAPER, FIG8_PAPER, FIG9_PAPER, FIG10_PAPER, TABLE2_PAPER,

@@ -106,6 +106,9 @@ class RunResult:
                 throughput_flits_per_cycle=(
                     self.stats.throughput_flits_per_cycle
                 ),
+                fault_drops=self.stats.fault_drops,
+                fault_retries=self.stats.fault_retries,
+                fault_reroutes=self.stats.fault_reroutes,
             )
         return out
 

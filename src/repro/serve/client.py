@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 
 class ServeClientError(Exception):
@@ -89,6 +90,39 @@ class ServeClient:
     def simulate(self, **fields) -> ServeResponse:
         """POST one cell request (``design=``, ``workload=``, ...)."""
         return self._request("POST", "/v1/simulate", fields)
+
+    def simulate_with_retry(
+        self,
+        *,
+        retries: int = 5,
+        backoff_s: float = 0.25,
+        max_backoff_s: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+        **fields,
+    ) -> ServeResponse:
+        """Simulate, absorbing transient 429 shedding with bounded backoff.
+
+        A 429 is the server's admission controller asking the caller to
+        come back, not a failure; long-running batch drivers (the
+        campaign runner) should wait and re-offer the cell rather than
+        abort.  Honors the server's ``Retry-After`` hint when present,
+        otherwise backs off exponentially from ``backoff_s`` (capped at
+        ``max_backoff_s``), for at most ``retries`` re-attempts.  Any
+        non-429 response — success or error — returns immediately; after
+        the retry budget the last 429 is returned for the caller to
+        judge.
+        """
+        delay = backoff_s
+        response = self.simulate(**fields)
+        for _ in range(retries):
+            if response.status != 429:
+                return response
+            hint = response.retry_after_s
+            wait = float(hint) if hint is not None else delay
+            sleep(min(max(wait, 0.0), max_backoff_s))
+            delay = min(delay * 2, max_backoff_s)
+            response = self.simulate(**fields)
+        return response
 
     def sweep(self, **fields) -> ServeResponse:
         """POST a grid job request (``styles=``, ``widths=``, ...)."""

@@ -87,6 +87,40 @@ class TestErrorContract:
                      "--workloads", "uniform", "--fast"]) == 2
         assert "warp" in capsys.readouterr().err
 
+    def test_campaign_unknown_spec(self, capsys, tmp_path):
+        assert main(["campaign", "run", "--spec", "no-such-campaign",
+                     "--dir", str(tmp_path / "c"),
+                     "--cache", str(tmp_path / "cache"), "--json"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert "no-such-campaign" in payload["error"]
+        assert payload["version"] == package_version()
+
+    def test_campaign_invalid_spec_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('styles = ["warp-drive"]\n')
+        assert main(["campaign", "run", "--spec", str(path),
+                     "--dir", str(tmp_path / "c"),
+                     "--cache", str(tmp_path / "cache"), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().err)
+        assert "warp-drive" in payload["error"]
+
+    def test_campaign_report_without_manifest(self, capsys, tmp_path):
+        assert main(["campaign", "report", "--spec", "smoke",
+                     "--dir", str(tmp_path / "nowhere"), "--json"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        payload = json.loads(captured.err.strip())
+        assert "no campaign manifest" in payload["error"]
+
+    def test_campaign_status_plain_error(self, capsys, tmp_path):
+        assert main(["campaign", "status", "--spec", "smoke",
+                     "--dir", str(tmp_path / "nowhere")]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
 
 class TestParams:
     def test_render_mentions_key_numbers(self):
