@@ -60,13 +60,14 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", type=Path,
                         default=RESULTS_DIR / "BENCH_b0.json",
                         help="committed BENCH_b0.json to compare against")
-    parser.add_argument("--kernel", choices=("fast", "reference"),
+    parser.add_argument("--kernel", choices=("fast", "reference", "batch"),
                         default="fast",
                         help="execution kernel to time (default: fast)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
-    key = "engine" if args.kernel == "fast" else "engine_reference"
+    key = {"fast": "engine", "reference": "engine_reference",
+           "batch": "engine_batch"}[args.kernel]
     target = baseline.get(key, baseline["engine"])["cycles_per_sec"]
 
     cycles, wall = measure(args.repeats, kernel=args.kernel)

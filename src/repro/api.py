@@ -153,6 +153,7 @@ def sweep(
     progress: Optional[ProgressFn] = None,
     trace_dir: Union[str, Path, None] = None,
     stage_profile: bool = False,
+    batch: bool = False,
 ) -> SweepReport:
     """Run the (styles x widths x workloads x seeds) grid.
 
@@ -165,7 +166,9 @@ def sweep(
     fault schedule (spec string or :class:`~repro.faults.FaultSchedule`)
     to every cell in the grid.  ``kernel`` selects the cycle-execution
     kernel for every cell; results and store addresses are identical
-    either way (the kernel never enters a job digest).
+    either way (the kernel never enters a job digest).  ``batch`` runs
+    every cache miss in one process, advanced in lock-step cycle slices
+    (digest-identical to the serial path; ``jobs`` is then ignored).
     """
     if faults is not None and not isinstance(faults, str):
         faults = faults.canonical()
@@ -185,6 +188,7 @@ def sweep(
         progress=progress,
         trace_dir=trace_dir,
         stage_profile=stage_profile,
+        batch=batch,
     )
 
 

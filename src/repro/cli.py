@@ -17,6 +17,8 @@ Commands
                 spec (file or named campaign) in checkpointed chunks,
                 ``status`` a manifest, ``report`` Pareto frontiers and
                 trends (see ``docs/campaigns.md``)
+``kernels``     list the registered cycle-execution kernels and their
+                capability flags (the ``--kernel`` vocabulary)
 
 The executing verbs (``run``/``simulate``/``sweep``) share one flag
 vocabulary: ``--jobs``, ``--seed``, ``--out``, ``--fast``, and
@@ -27,7 +29,8 @@ events as JSONL; ``sweep --trace-events DIR`` writes one JSONL per
 simulated cell (tracing forces fresh, uncached runs); both take
 ``--faults SPEC`` to inject a fault schedule (see ``docs/faults.md``).
 The pre-1.0 flag spellings (``simulate --trace``, ``sweep --traces``)
-keep working as hidden aliases.
+keep working as hidden aliases, but emit a ``DeprecationWarning`` and
+will be removed in v2.0 — use ``--workload``/``--workloads``.
 
 Exit codes are uniform: 0 success, 2 bad input (unknown experiment,
 malformed grid, invalid request), 1 anything else.  Under ``--json``
@@ -43,6 +46,7 @@ import argparse
 import dataclasses
 import json
 import sys
+import warnings
 from pathlib import Path
 
 from repro.experiments import (
@@ -213,6 +217,30 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def _kernel_names() -> list[str]:
+    """Registered kernel names, default first (the ``--kernel`` choices)."""
+    from repro.noc.kernel import list_kernels
+
+    return [row["name"] for row in list_kernels()]
+
+
+def cmd_kernels(args) -> int:
+    """List the registered cycle-execution kernels and their capabilities."""
+    from repro.noc.kernel import list_kernels
+
+    rows = list_kernels()
+    if args.json:
+        _print_json(rows)
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        marker = "*" if row["default"] else " "
+        caps = ",".join(row["capabilities"])
+        print(f"{marker} {row['name']:<{width}}  [{caps}]  {row['summary']}")
+    print("(* = default; see docs/performance.md for the contract)")
+    return 0
+
+
 def _warn_trace_ignored(args) -> None:
     if getattr(args, "trace_events", None):
         print("note: --trace-events records cycle-level events for "
@@ -335,7 +363,8 @@ def cmd_sweep(args) -> int:
               f"{event['job']}{wall}", file=sys.stderr)
 
     report = run_sweep(specs, config=config, store=store, jobs=args.jobs,
-                       progress=progress, trace_dir=trace_dir)
+                       progress=progress, trace_dir=trace_dir,
+                       batch=args.batch)
     summary = report.summary()
     payload = {
         "summary": summary,
@@ -647,6 +676,21 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+class _DeprecatedAlias(argparse.Action):
+    """A hidden pre-1.0 flag spelling: still works, but warns on use.
+
+    ``const`` names the current spelling; the alias is slated for removal
+    in v2.0 (see the parser epilog).
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated and will be removed in "
+            f"v2.0; use {self.const} instead",
+            DeprecationWarning, stacklevel=2)
+        setattr(namespace, self.dest, values)
+
+
 def _add_common(parser, *, jobs: bool = False, trace: bool = False,
                 trace_help: str = "", faults: bool = False,
                 kernel: bool = False) -> None:
@@ -657,9 +701,10 @@ def _add_common(parser, *, jobs: bool = False, trace: bool = False,
                         help="short simulation windows")
     if kernel:
         parser.add_argument(
-            "--kernel", choices=["fast", "reference"], default=None,
-            help="cycle-execution kernel (bit-identical results; "
-                 "'reference' is the slow differential-testing oracle)")
+            "--kernel", choices=_kernel_names(), default=None,
+            help="cycle-execution kernel (bit-identical results; see "
+                 "'repro kernels list' for the registry and capability "
+                 "flags)")
     if jobs:
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes (1 = in-process serial)")
@@ -680,6 +725,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RF-I overlaid CMP NoC reproduction (HPCA 2008)",
+        epilog="Deprecated: the pre-1.0 spellings 'simulate --trace' and "
+               "'sweep --traces' still work but emit a DeprecationWarning; "
+               "they will be removed in v2.0 — use --workload/--workloads.",
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {package_version()}")
@@ -717,8 +765,9 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=DESIGN_STYLES)
     simulate.add_argument("--width", type=int, default=16, choices=[16, 8, 4])
     simulate.add_argument("--workload", default="uniform")
-    # Pre-1.0 spelling, kept as a hidden alias.
-    simulate.add_argument("--trace", dest="workload",
+    # Pre-1.0 spelling, kept as a hidden alias until v2.0.
+    simulate.add_argument("--trace", dest="workload", const="--workload",
+                          action=_DeprecatedAlias,
                           default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     _add_common(simulate, jobs=True, trace=True, faults=True, kernel=True,
                 trace_help="write this run's cycle-level events as JSONL "
@@ -735,8 +784,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated mesh link widths (bytes)")
     sweep.add_argument("--workloads", default="uniform",
                        help="comma-separated workload names")
-    # Pre-1.0 spelling, kept as a hidden alias.
-    sweep.add_argument("--traces", dest="workloads",
+    # Pre-1.0 spelling, kept as a hidden alias until v2.0.
+    sweep.add_argument("--traces", dest="workloads", const="--workloads",
+                       action=_DeprecatedAlias,
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     sweep.add_argument("--adaptive-routing", action="store_true")
     sweep.add_argument("--cache", default="benchmarks/results/cache",
@@ -746,8 +796,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep, jobs=True, trace=True, faults=True, kernel=True,
                 trace_help="directory: write one JSONL event trace per "
                            "simulated cell (bypasses the cache)")
+    sweep.add_argument(
+        "--batch", action="store_true",
+        help="advance every cache miss in one process in lock-step cycle "
+             "slices (digest-identical to the serial path; --jobs is then "
+             "ignored)")
     sweep.add_argument("--out", help="also write results + telemetry JSON")
     sweep.set_defaults(fn=cmd_sweep)
+
+    kernels = add("kernels", "list the registered cycle-execution kernels")
+    kernels.add_argument(
+        "action", nargs="?", default="list", choices=["list"],
+        help="list the registry rows (name, capabilities, default)")
+    kernels.set_defaults(fn=cmd_kernels)
 
     serve = add("serve", "host the asyncio simulation service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -799,7 +860,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes (1 = in-process serial)")
     campaign.add_argument(
-        "--kernel", choices=["fast", "reference"], default=None,
+        "--kernel", choices=_kernel_names(), default=None,
         help="cycle-execution kernel for fresh cells (bit-identical "
              "results; never changes cell or campaign digests)")
     campaign.set_defaults(fn=cmd_campaign)

@@ -71,8 +71,11 @@ class DesignPoint:
     def new_network(self, kernel: Optional[str] = None) -> Network:
         """A fresh simulation instance of this design.
 
-        ``kernel`` selects the cycle-execution kernel (``"fast"`` /
-        ``"reference"``); None takes the default.
+        ``kernel`` selects the cycle-execution kernel (a registered name:
+        ``"fast"`` / ``"batch"`` / ``"reference"``); None takes the
+        default.  Raises
+        :class:`~repro.noc.kernel.KernelCapabilityError` when the chosen
+        kernel cannot execute this design's fault schedule.
         """
         network = Network(
             self.topology, self.params, self.tables, self.policy,
@@ -87,6 +90,15 @@ class DesignPoint:
             )
             if not state.inert:
                 network.fault_state = state
+                from repro.noc.kernel import (
+                    require_capabilities, required_capabilities,
+                )
+
+                require_capabilities(
+                    network.kernel.name,
+                    required_capabilities(network),
+                    "this design's fault schedule",
+                )
         return network
 
 

@@ -46,7 +46,29 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.profile import StageProfile
     from repro.params import SimulationParams
 
-__all__ = ["ExperimentRunner", "RunResult"]
+__all__ = ["ExperimentRunner", "PreparedRun", "RunResult"]
+
+
+@dataclasses.dataclass
+class PreparedRun:
+    """A built-but-unrun experiment cell.
+
+    Either ``result`` is already set (memo or store hit — nothing to
+    simulate) or ``simulator`` holds the ready cell and :meth:`finish`
+    packages its statistics into a :class:`RunResult` (applying the same
+    store/memo writes the monolithic ``run_*`` path performs).  The
+    lock-step batch executor (:func:`repro.exec.run_sweep` with
+    ``batch=True``) drives many prepared cells' simulators concurrently
+    via :meth:`Simulator.start`.
+    """
+
+    result: Optional[RunResult] = None
+    simulator: Optional[Simulator] = None
+    package: Optional[Callable[[NetworkStats], RunResult]] = None
+
+    def finish(self, stats: NetworkStats) -> RunResult:
+        """Package the finished simulation's statistics."""
+        return self.package(stats)
 
 
 class ExperimentRunner:
@@ -282,6 +304,30 @@ class ExperimentRunner:
         into the memo key and store digest, so zero-fault cells keep their
         historical addresses and faulted cells get their own.
         """
+        prep = self.prepare_unicast(
+            design, workload, seed=seed, observation=observation,
+            faults=faults, stage_profile=stage_profile,
+        )
+        if prep.result is not None:
+            return prep.result
+        return prep.finish(prep.simulator.run())
+
+    def prepare_unicast(
+        self,
+        design: DesignPoint,
+        workload: str,
+        seed: Optional[int] = None,
+        observation: Optional["Observation"] = None,
+        faults=None,
+        stage_profile: Optional["StageProfile"] = None,
+    ) -> PreparedRun:
+        """Build a unicast cell without running it (see :class:`PreparedRun`).
+
+        Same caching contract as :meth:`run_unicast` — memo and store hits
+        come back as an immediate ``result``; a miss returns the ready
+        :class:`Simulator`, and :meth:`PreparedRun.finish` applies the
+        packaging and cache writes the monolithic path performs.
+        """
         from repro.faults import as_schedule
 
         schedule = as_schedule(faults)
@@ -299,27 +345,32 @@ class ExperimentRunner:
                    resolved_seed, schedule.canonical())
             design = self.degraded(design, schedule)
         if observation is None and key in self._results:
-            return self._results[key]
+            return PreparedRun(result=self._results[key])
         from repro.exec import encode_result
 
         payload = None if observation is not None else self._store_load(spec)
         if payload is not None:
             result = self._restore(payload, spec)
-        else:
-            network = design.new_network()
-            stats = Simulator(
-                network, [self._unicast_source(workload, resolved_seed)],
-                self.config.sim, observation=observation,
-                stage_profile=stage_profile,
-            ).run()
+            if observation is None:
+                self._results[key] = result
+            return PreparedRun(result=result)
+        simulator = Simulator(
+            design.new_network(),
+            [self._unicast_source(workload, resolved_seed)],
+            self.config.sim, observation=observation,
+            stage_profile=stage_profile,
+        )
+
+        def package(stats: NetworkStats) -> RunResult:
             self.simulations_run += 1
             result = self._package(design, workload, stats,
                                    spec=spec, observation=observation)
             if observation is None:
                 self._store_save(spec, encode_result(result))
-        if observation is None:
-            self._results[key] = result
-        return result
+                self._results[key] = result
+            return result
+
+        return PreparedRun(simulator=simulator, package=package)
 
     def run_multicast(
         self,
@@ -334,10 +385,28 @@ class ExperimentRunner:
         ``realization_style``: 'unicast', 'vct', or 'rf'.  An
         ``observation`` forces a fresh run with metrics/tracing attached.
         """
+        prep = self.prepare_multicast(
+            design, realization_style, locality_percent,
+            observation=observation, stage_profile=stage_profile,
+        )
+        if prep.result is not None:
+            return prep.result
+        return prep.finish(prep.simulator.run())
+
+    def prepare_multicast(
+        self,
+        design: DesignPoint,
+        realization_style: str,
+        locality_percent: int,
+        observation: Optional["Observation"] = None,
+        stage_profile: Optional["StageProfile"] = None,
+    ) -> PreparedRun:
+        """Build a multicast cell without running it (see
+        :meth:`prepare_unicast` for the contract)."""
         key = ("mc", self._design_key(design), realization_style,
                locality_percent)
         if observation is None and key in self._results:
-            return self._results[key]
+            return PreparedRun(result=self._results[key])
         from repro.exec import encode_result
 
         spec = self.spec_for(
@@ -348,7 +417,7 @@ class ExperimentRunner:
         if payload is not None:
             result = self._restore(payload, spec)
             self._results[key] = result
-            return result
+            return PreparedRun(result=result)
         network = design.new_network()
         if realization_style == "unicast":
             realization = UnicastExpansion(network)
@@ -365,18 +434,22 @@ class ExperimentRunner:
         source = MulticastAwareSource(
             self._multicast_workload(locality_percent), realization
         )
-        stats = Simulator(network, [source], self.config.sim,
-                          observation=observation,
-                          stage_profile=stage_profile).run()
-        self.simulations_run += 1
-        result = self._package(
-            design, f"multicast-{locality_percent}", stats,
-            spec=spec, observation=observation,
-        )
-        if observation is None:
-            self._store_save(spec, encode_result(result))
-            self._results[key] = result
-        return result
+        simulator = Simulator(network, [source], self.config.sim,
+                              observation=observation,
+                              stage_profile=stage_profile)
+
+        def package(stats: NetworkStats) -> RunResult:
+            self.simulations_run += 1
+            result = self._package(
+                design, f"multicast-{locality_percent}", stats,
+                spec=spec, observation=observation,
+            )
+            if observation is None:
+                self._store_save(spec, encode_result(result))
+                self._results[key] = result
+            return result
+
+        return PreparedRun(simulator=simulator, package=package)
 
     def probe_unicast(
         self,

@@ -6,8 +6,10 @@ cycle-level :class:`Network`, and the :class:`Simulator` driver.
 """
 
 from repro.noc.kernel import (
-    DEFAULT_KERNEL, KERNELS, FastKernel, ReferenceKernel, SimKernel,
-    get_kernel,
+    CAPABILITIES, DEFAULT_KERNEL, KERNELS, BatchKernel, FastKernel,
+    KernelCapabilityError, KernelSpec, ReferenceKernel, SimKernel,
+    get_kernel, get_spec, kernel_capabilities, list_kernels, register,
+    resolve_kernel, unregister,
 )
 from repro.noc.message import Message, MessageClass, Packet, message_bytes
 from repro.noc.network import Network, NetworkInterface
@@ -21,11 +23,15 @@ from repro.noc.topology import MeshTopology, NodeKind, Port
 
 __all__ = [
     "ActivityCounts",
+    "BatchKernel",
+    "CAPABILITIES",
     "DEFAULT_KERNEL",
     "DisconnectedMeshError",
     "EJECT",
     "FastKernel",
     "KERNELS",
+    "KernelCapabilityError",
+    "KernelSpec",
     "Message",
     "MessageClass",
     "MeshTopology",
@@ -42,7 +48,13 @@ __all__ = [
     "SimKernel",
     "Simulator",
     "get_kernel",
+    "get_spec",
+    "kernel_capabilities",
+    "list_kernels",
     "message_bytes",
+    "register",
+    "resolve_kernel",
     "simulate",
+    "unregister",
     "xy_port",
 ]

@@ -3,27 +3,63 @@
 A :class:`~repro.noc.kernel.base.SimKernel` owns the per-cycle event
 state (arrival/ejection wheels) and executes the pipeline stages against
 a :class:`~repro.noc.network.Network`, which retains topology, wiring,
-and the injection API.  Two kernels ship:
+and the injection API.  Three kernels ship:
 
 * ``reference`` — the original loop, stage by stage, with internal
   assertions.  The correctness oracle.
 * ``fast`` (default) — allocation-free stepping with preallocated
   per-router tables; bit-identical results by construction, enforced by
   the differential suite in ``tests/test_kernel_equiv.py``.
+* ``batch`` — struct-of-arrays state with stage-bulk scans over
+  active-index vectors; the throughput kernel (same differential
+  contract).
+
+The registry is public: ``register(name, factory, capabilities={...})``
+adds a kernel, declaring which features it can execute (see
+:data:`~repro.noc.kernel.base.CAPABILITIES`); selection goes through
+:func:`~repro.noc.kernel.base.resolve_kernel` and fails fast via
+:func:`~repro.noc.kernel.base.require_capabilities` when a run needs
+more than the chosen kernel declares.
 """
 
 from repro.noc.kernel.base import (
-    DEFAULT_KERNEL, KERNELS, SimKernel, get_kernel, register,
+    CAPABILITIES,
+    DEFAULT_KERNEL,
+    KERNELS,
+    KernelCapabilityError,
+    KernelSpec,
+    SimKernel,
+    get_kernel,
+    get_spec,
+    kernel_capabilities,
+    list_kernels,
+    register,
+    require_capabilities,
+    required_capabilities,
+    resolve_kernel,
+    unregister,
 )
+from repro.noc.kernel.batch import BatchKernel
 from repro.noc.kernel.fast import FastKernel
 from repro.noc.kernel.reference import ReferenceKernel
 
 __all__ = [
+    "CAPABILITIES",
     "DEFAULT_KERNEL",
     "KERNELS",
+    "KernelCapabilityError",
+    "KernelSpec",
     "SimKernel",
     "ReferenceKernel",
     "FastKernel",
+    "BatchKernel",
     "get_kernel",
+    "get_spec",
+    "kernel_capabilities",
+    "list_kernels",
     "register",
+    "require_capabilities",
+    "required_capabilities",
+    "resolve_kernel",
+    "unregister",
 ]

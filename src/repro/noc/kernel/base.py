@@ -1,4 +1,4 @@
-"""The :class:`SimKernel` interface and the kernel registry.
+"""The :class:`SimKernel` interface, the kernel registry, and the resolver.
 
 A *kernel* owns the per-cycle execution of the pipeline — the event wheel
 that carries flits between routers and the five-stage loop (arrivals and
@@ -10,26 +10,65 @@ multicast hooks, fault state, and the observation sink.  Swapping kernels
 therefore never changes what traffic generators, multicast engines, or the
 fault subsystem see.
 
-Two kernels are registered:
+Three kernels ship (see :mod:`repro.noc.kernel` for the shortlist); the
+registry is *public*: third-party kernels join with::
 
-* ``'reference'`` — :class:`~repro.noc.kernel.reference.ReferenceKernel`,
-  the original cycle loop extracted verbatim into per-stage modules.  It is
-  the semantic oracle: readable, internally asserting, unoptimized.
-* ``'fast'`` — :class:`~repro.noc.kernel.fast.FastKernel`, the default; an
-  allocation-free re-implementation that is bit-identical to the reference
-  (see ``tests/test_kernel_equiv.py`` and ``docs/performance.md``).
+    from repro.noc import kernel
 
-The contract between them is *exact*: for any (seed, traffic, shortcut
-set, fault schedule, multicast configuration) both kernels must produce
-identical :meth:`~repro.noc.stats.NetworkStats.digest` values and, when
-tracing is attached, identical event streams.  Anything weaker would let
-an optimization silently change arbitration order and move every
-benchmark table.
+    kernel.register("mykernel", MyKernel,
+                    capabilities={"faults", "stage_profile"})
+
+Capability flags
+----------------
+Every registration declares what the kernel can execute, from
+:data:`CAPABILITIES`:
+
+* ``"faults"`` — honors a runtime :class:`~repro.faults.state.FaultState`
+  (dead-link grant vetoes, endpoint drops, repair rescheduling);
+* ``"multicast"`` — executes multi-target forks installed through
+  ``Network.mc_targets_fn`` (synchronized replication);
+* ``"stage_profile"`` — supports the per-stage
+  :class:`~repro.obs.profile.StageProfile` timing path;
+* ``"batch_step"`` — provides :meth:`SimKernel.step_block`, the bulk
+  cycle loop drivers use to amortize per-cycle dispatch.
+
+Selection *fails fast*: :func:`require_capabilities` (called by the
+:class:`~repro.noc.simulator.Simulator` preamble, ``Network.use_kernel``,
+and ``DesignPoint.new_network``) raises :class:`KernelCapabilityError`
+when a run's features exceed the chosen kernel's declared capabilities,
+instead of letting an incomplete kernel silently diverge from the
+reference semantics.
+
+One resolver
+------------
+Kernel selection historically had four overlapping knobs.  They now feed
+one precedence rule, implemented by :func:`resolve_kernel` and applied in
+the Simulator preamble (every entrypoint — ``repro.api``, the CLI, the
+sweep engine, serve — funnels through it):
+
+1. an **explicit call-site request** — ``repro.api.simulate(kernel=...)``,
+   ``sweep(kernel=...)``, CLI ``--kernel`` (all of which write
+   ``SimulationParams.kernel``), or ``SimulationParams.kernel`` set
+   directly;
+2. the **network's constructed kernel** — ``Network(kernel=...)`` /
+   ``DesignPoint.new_network(kernel=...)``, which is why the differential
+   suite's explicitly built oracle networks are never silently clobbered;
+3. the registry :data:`DEFAULT_KERNEL` (what ``Network`` uses when nobody
+   asks for anything).
+
+The kernel contract is *exact*: for any (seed, traffic, shortcut set,
+fault schedule, multicast configuration) every registered first-party
+kernel must produce identical
+:meth:`~repro.noc.stats.NetworkStats.digest` values and, when tracing is
+attached, identical event streams.  Anything weaker would let an
+optimization silently change arbitration order and move every benchmark
+table.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.network import Network
@@ -38,18 +77,81 @@ if TYPE_CHECKING:  # pragma: no cover
 #: The kernel a Network uses when none is requested.
 DEFAULT_KERNEL = "fast"
 
-#: name -> kernel class; populated by :func:`register`.
-KERNELS: dict[str, type] = {}
+#: The capability vocabulary kernels declare from (see module docstring).
+CAPABILITIES = frozenset({"faults", "multicast", "stage_profile", "batch_step"})
 
 
-def register(cls):
-    """Class decorator adding a kernel to the registry under ``cls.name``."""
-    KERNELS[cls.name] = cls
-    return cls
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registry entry: the factory plus its declared capabilities."""
+
+    name: str
+    factory: Callable[["Network"], "SimKernel"]
+    capabilities: frozenset[str]
+
+    def describe(self) -> dict:
+        """JSON-safe registry row (``repro kernels list``)."""
+        doc = (getattr(self.factory, "__doc__", None) or "").strip()
+        return {
+            "name": self.name,
+            "factory": getattr(self.factory, "__qualname__",
+                               repr(self.factory)),
+            "capabilities": sorted(self.capabilities),
+            "default": self.name == DEFAULT_KERNEL,
+            "summary": doc.splitlines()[0] if doc else "",
+        }
 
 
-def get_kernel(name: str):
-    """The kernel class registered under ``name``.
+#: name -> KernelSpec; populated by :func:`register`.
+KERNELS: dict[str, KernelSpec] = {}
+
+
+class KernelCapabilityError(RuntimeError):
+    """A selected kernel cannot execute the features this run needs."""
+
+
+def register(
+    name: str,
+    factory: Callable[["Network"], "SimKernel"],
+    *,
+    capabilities: Iterable[str] = (),
+) -> KernelSpec:
+    """Add a kernel to the registry.
+
+    ``factory`` is called with the network to bind (normally a
+    :class:`SimKernel` subclass).  ``capabilities`` must come from
+    :data:`CAPABILITIES`; a kernel that omits a flag is *refused* — with
+    :class:`KernelCapabilityError`, before any cycle runs — whenever a
+    run needs that feature.  Names are claimed once: replacing a kernel
+    requires an explicit :func:`unregister` first, so a name collision is
+    a loud error instead of a silent behavior change.  Returns the stored
+    :class:`KernelSpec`.
+    """
+    caps = frozenset(capabilities)
+    unknown = caps - CAPABILITIES
+    if unknown:
+        raise ValueError(
+            f"unknown kernel capabilities {sorted(unknown)}; "
+            f"choose from {sorted(CAPABILITIES)}"
+        )
+    if not name or not isinstance(name, str):
+        raise ValueError("kernel name must be a non-empty string")
+    if name in KERNELS:
+        raise ValueError(
+            f"kernel {name!r} is already registered; unregister() it first"
+        )
+    spec = KernelSpec(name=name, factory=factory, capabilities=caps)
+    KERNELS[name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a kernel from the registry (primarily for tests)."""
+    KERNELS.pop(name, None)
+
+
+def get_spec(name: str) -> KernelSpec:
+    """The :class:`KernelSpec` registered under ``name``.
 
     Raises ``KeyError`` with the known names so a CLI typo is diagnosable.
     """
@@ -61,12 +163,91 @@ def get_kernel(name: str):
         ) from None
 
 
+def get_kernel(name: str):
+    """The kernel factory registered under ``name`` (see :func:`get_spec`)."""
+    return get_spec(name).factory
+
+
+def kernel_capabilities(name: str) -> frozenset[str]:
+    """The declared capability flags of the kernel named ``name``."""
+    return get_spec(name).capabilities
+
+
+def list_kernels() -> list[dict]:
+    """JSON-safe registry listing, default kernel first then by name."""
+    rows = [spec.describe() for spec in KERNELS.values()]
+    rows.sort(key=lambda row: (not row["default"], row["name"]))
+    return rows
+
+
+def resolve_kernel(
+    requested: Optional[str] = None,
+    network_kernel: Optional[str] = None,
+) -> str:
+    """Apply the documented selection precedence; returns a kernel *name*.
+
+    ``requested`` is the run-level request (``SimulationParams.kernel``,
+    which every explicit ``kernel=`` argument and CLI ``--kernel`` flag
+    writes); ``network_kernel`` is the name of the kernel the network was
+    constructed with.  Precedence: requested > network's > the registry
+    default.  The winner is validated against the registry, so a typo
+    fails here — with the known names — rather than deep in a run.
+    """
+    name = (
+        requested if requested is not None
+        else network_kernel if network_kernel is not None
+        else DEFAULT_KERNEL
+    )
+    get_spec(name)  # fail fast on unknown names
+    return name
+
+
+def required_capabilities(
+    net: "Network", stage_profile: Optional["StageProfile"] = None,
+) -> set[str]:
+    """The capability flags this network's current features demand."""
+    needs = set()
+    if net.fault_state is not None:
+        needs.add("faults")
+    if net.mc_targets_fn is not None:
+        needs.add("multicast")
+    if stage_profile is not None:
+        needs.add("stage_profile")
+    return needs
+
+
+def require_capabilities(
+    name: str, needed: Iterable[str], context: str = "this run",
+) -> KernelSpec:
+    """Refuse, loudly, unless kernel ``name`` declares every needed flag.
+
+    Raises :class:`KernelCapabilityError` naming the kernel, the missing
+    flags, and capable alternatives — the fail-fast contract that
+    replaces silent divergence for feature-limited kernels.
+    """
+    spec = get_spec(name)
+    missing = set(needed) - spec.capabilities
+    if missing:
+        capable = sorted(
+            other.name for other in KERNELS.values()
+            if not (set(needed) - other.capabilities)
+        )
+        raise KernelCapabilityError(
+            f"kernel {name!r} does not support {sorted(missing)} "
+            f"(declared capabilities: {sorted(spec.capabilities)}), "
+            f"which {context} requires; capable kernels: {capable}"
+        )
+    return spec
+
+
 class SimKernel:
     """One cycle-execution strategy bound to a network.
 
     Subclasses implement :meth:`step` (advance the bound network by one
     cycle) and may override :meth:`rewire` (invalidate topology-derived
-    caches after :meth:`~repro.noc.network.Network.apply_shortcuts`).
+    caches after :meth:`~repro.noc.network.Network.apply_shortcuts`) and
+    :meth:`step_block` (bulk stepping, declared via the ``batch_step``
+    capability).
 
     ``stage_profile`` — normally ``None`` — attaches a
     :class:`~repro.obs.profile.StageProfile` that accumulates per-stage
@@ -85,6 +266,32 @@ class SimKernel:
         """Advance the bound network by one cycle."""
         raise NotImplementedError
 
+    def step_block(
+        self,
+        cycles: int,
+        tick: Optional[Callable[[], None]] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Advance up to ``cycles`` cycles, calling ``tick`` before each.
+
+        ``stop`` is checked before each cycle; returning True ends the
+        block early (the drain-phase termination test).  The base
+        implementation is the plain loop every driver historically ran;
+        kernels declaring ``batch_step`` override it with a loop that
+        keeps hot state in locals across the whole block.
+        """
+        step = self.step
+        if tick is None and stop is None:
+            for _ in range(cycles):
+                step()
+            return
+        for _ in range(cycles):
+            if stop is not None and stop():
+                return
+            if tick is not None:
+                tick()
+            step()
+
     def rewire(self) -> None:
         """Topology changed (shortcut retune): drop derived caches.
 
@@ -102,7 +309,7 @@ def advance_faults(net: "Network", c: int) -> None:
     """Shared step prologue: advance the fault state, reschedule on repair.
 
     A repair can unblock stalled RCs anywhere, so every router holding
-    work is re-added to the active set — in router-id order, which both
+    work is re-added to the active set — in router-id order, which all
     kernels must preserve (the active set's internal layout depends on
     the exact mutation sequence, and arbitration order depends on the
     layout).
@@ -122,14 +329,14 @@ def replay_active_ops(active: set, ops: list) -> None:
 
     The switch stage iterates ``net.active`` while sends add downstream
     routers and drained routers are removed.  The original code snapshotted
-    the set with ``list(...)`` every cycle and mutated in place; both
-    kernels instead iterate the live set and record each mutation as an
-    int — ``rid + 1`` for an add, ``-(rid + 1)`` for a discard — replayed
-    here after the pass.  Because a CPython set's internal layout (and so
-    its iteration order) is a function of the exact add/discard sequence,
-    replaying the identical sequence keeps future iteration order — and
-    therefore arbitration under contention — bit-identical to the
-    snapshot-and-mutate original, without the per-cycle copy.
+    the set with ``list(...)`` every cycle and mutated in place; the
+    optimized kernels instead iterate the live set and record each mutation
+    as an int — ``rid + 1`` for an add, ``-(rid + 1)`` for a discard —
+    replayed here after the pass.  Because a CPython set's internal layout
+    (and so its iteration order) is a function of the exact add/discard
+    sequence, replaying the identical sequence keeps future iteration
+    order — and therefore arbitration under contention — bit-identical to
+    the snapshot-and-mutate original, without the per-cycle copy.
     """
     for op in ops:
         if op > 0:

@@ -59,7 +59,6 @@ def _cand_key(pair):
     return (pair[0].port, pair[1].index)
 
 
-@register
 class FastKernel(SimKernel):
     """Optimized execution of the same pipeline semantics."""
 
@@ -561,3 +560,9 @@ class FastKernel(SimKernel):
         if is_tail:
             vc.release()
             ip.occupied.discard(vc.index)
+
+
+register(
+    "fast", FastKernel,
+    capabilities={"faults", "multicast", "stage_profile"},
+)

@@ -24,7 +24,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.noc.network import Network
 
 
-@register
 class ReferenceKernel(SimKernel):
     """Unoptimized, internally asserting execution of the pipeline."""
 
@@ -88,3 +87,9 @@ class ReferenceKernel(SimKernel):
         sp.ni_s += t2 - t1
         sp.rc_va_s += t3 - t2
         sp.sa_st_s += t4 - t3
+
+
+register(
+    "reference", ReferenceKernel,
+    capabilities={"faults", "multicast", "stage_profile"},
+)

@@ -1,0 +1,166 @@
+"""Struct-of-arrays state for the batch kernel.
+
+:class:`SoAState` flattens every router's input-VC state into parallel,
+preallocated arrays indexed by a global *slot* number.  Slots are
+assigned router by router, ports in ``Router.in_ports`` insertion order,
+VCs in index order — so **ascending slot order within a router is
+exactly the (port insertion order, VC index) scan order** the reference
+kernel's ``Router.occupied_vcs`` produces and arbitration depends on.
+Sorted per-router slot lists (``pend`` for ROUTE/VA heads, ``act`` for
+ACTIVE ones) therefore replace full port×VC scans without perturbing any
+ordering-sensitive decision.
+
+Aliasing contract
+-----------------
+Mutable containers are *shared with* the object model, not copied:
+``arr[s]`` is the VC's own ``arrivals`` deque, ``occ[s]`` the port's
+``occupied`` set, and credits/vc_busy stay on the :class:`OutputLink`
+objects.  Everything the rest of the system reads during a run —
+``Router.has_work`` (fault-repair rescheduling), link credit state, NI
+sender state — thus stays live.  Per-VC *scalars* (state, flit counters,
+pipeline timestamps, targets) live only in the arrays; the one scalar
+mirrored back onto the :class:`VirtualChannel` is ``packet`` (set on
+IDLE→ROUTE, cleared on release) so the shared
+:func:`~repro.noc.kernel.rc_va.compute_route` works unchanged on the
+kernel's slow paths.  Kernels attach and detach only on quiescent
+networks (``Network.use_kernel`` / ``apply_shortcuts`` enforce it), so
+building from — and abandoning — an all-idle object model is always
+consistent: a drained batch run leaves every VC object exactly as a
+drained reference run would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.network import Network
+
+#: Number of port indices a router can use (N/S/E/W + local + RF).
+NUM_PORTS = 6
+
+
+class SoAState:
+    """Flat arrays over every (router, in-port, VC) slot of a network."""
+
+    __slots__ = (
+        # -- static slot geometry (parallel lists, index = slot) --
+        "nslots", "rid", "pport", "vidx", "esc", "vobj", "occ",
+        "fcred", "fvb", "fni", "nkey",
+        # -- dynamic per-slot state --
+        "st", "pk", "arr", "rcv", "snt", "ha", "vae", "sar", "vas", "tg",
+        # -- per-router indices --
+        "pend", "act", "lbase",
+        # -- per-router × port tables --
+        "links6", "captmpl6", "cap6", "dst6", "lid6",
+        # -- link-flit accounting (batched into stats.link_flits) --
+        "lfkey", "lfcnt", "lftouched",
+    )
+
+    def __init__(self, net: "Network"):
+        routers = net.routers
+        nr = len(routers)
+
+        rid: list[int] = []
+        pport: list[int] = []
+        vidx: list[int] = []
+        # Numeric (port, VC-index) arbitration key: ``in_ports`` insertion
+        # order (== slot order, the scan order) is NOT numeric port order,
+        # but switch-allocation candidates arbitrate in numeric order.
+        nkey: list[int] = []
+        esc: list[bool] = []
+        vobj: list = []
+        occ: list = []
+        fcred: list = []
+        fvb: list = []
+        fni: list[bool] = []
+        lbase: list[int] = []
+        # Slot base of each (router, in-port): dst_slot = base + out_vc.
+        pbase: list[list[int]] = [[-1] * NUM_PORTS for _ in range(nr)]
+
+        slot = 0
+        for r, router in enumerate(routers):
+            for port, ip in router.in_ports.items():
+                pbase[r][port] = slot
+                feeder = ip.feeder
+                for vc in ip.vcs:
+                    rid.append(r)
+                    pport.append(port)
+                    vidx.append(vc.index)
+                    nkey.append(port * 64 + vc.index)
+                    esc.append(vc.is_escape)
+                    vobj.append(vc)
+                    occ.append(ip.occupied)
+                    fcred.append(None if feeder is None else feeder.credits)
+                    fvb.append(None if feeder is None else feeder.vc_busy)
+                    fni.append(feeder is not None and feeder.out_port == -1)
+                    slot += 1
+
+        # NI injection lands on the LOCAL (port 0) VCs of each router.
+        for r in range(nr):
+            lbase.append(pbase[r][0])
+
+        n = self.nslots = slot
+        self.rid = rid
+        self.nkey = nkey
+        self.pport = pport
+        self.vidx = vidx
+        self.esc = esc
+        self.vobj = vobj
+        self.occ = occ
+        self.fcred = fcred
+        self.fvb = fvb
+        self.fni = fni
+        self.lbase = lbase
+
+        # Dynamic state: the network is quiescent at kernel attach, so
+        # every slot starts at the VC idle defaults.  Deques are aliased,
+        # never copied.
+        self.st = [0] * n
+        self.pk: list = [None] * n
+        self.arr = [vc.arrivals for vc in vobj]
+        self.rcv = [0] * n
+        self.snt = [0] * n
+        self.ha = [-1] * n
+        self.vae = [-1] * n
+        self.sar = [-1] * n
+        self.vas = [-1] * n
+        self.tg: list = [[] for _ in range(n)]
+
+        self.pend: list[list[int]] = [[] for _ in range(nr)]
+        self.act: list[list[int]] = [[] for _ in range(nr)]
+
+        # Output side: port-indexed link rows, switch-capacity templates,
+        # downstream slot bases, and dense link ids for batched
+        # ``stats.link_flits`` accounting (ejection links carry no id —
+        # they never appear in link_flits).
+        links6: list[list] = []
+        captmpl6: list[list[int]] = []
+        dst6: list[list[int]] = []
+        lid6: list[list[int]] = []
+        lfkey: list[tuple[int, int]] = []
+        for r, router in enumerate(routers):
+            lrow: list = [None] * NUM_PORTS
+            crow = [0] * NUM_PORTS
+            drow = [-1] * NUM_PORTS
+            irow = [-1] * NUM_PORTS
+            for port, link in router.out_links.items():
+                lrow[port] = link
+                crow[port] = link.capacity
+                dst = link.dst_router
+                if dst is not None:
+                    drow[port] = pbase[dst][link.dst_port]
+                    irow[port] = len(lfkey)
+                    lfkey.append((r, dst))
+            links6.append(lrow)
+            captmpl6.append(crow)
+            dst6.append(drow)
+            lid6.append(irow)
+        self.links6 = links6
+        self.captmpl6 = captmpl6
+        self.cap6 = [row[:] for row in captmpl6]
+        self.dst6 = dst6
+        self.lid6 = lid6
+        self.lfkey = lfkey
+        self.lfcnt = [0] * len(lfkey)
+        self.lftouched: list[int] = []

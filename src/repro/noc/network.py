@@ -24,7 +24,9 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.noc.kernel import DEFAULT_KERNEL, get_kernel
+from repro.noc.kernel import (
+    DEFAULT_KERNEL, get_kernel, require_capabilities, required_capabilities,
+)
 from repro.noc.message import Message, Packet
 from repro.noc.router import OutputLink, Router
 from repro.noc.routing import EJECT, RoutingPolicy, RoutingTables
@@ -125,9 +127,12 @@ class Network:
     def use_kernel(self, name: str) -> None:
         """Swap the execution kernel on a *quiescent* network.
 
-        Both kernels produce bit-identical results, so swapping mid-run
-        would be semantically fine — but kernels own the in-flight event
-        wheel, so the network must be drained first.
+        Registered kernels produce bit-identical results, so swapping
+        mid-run would be semantically fine — but kernels own the
+        in-flight event wheel, so the network must be drained first.
+        Raises :class:`~repro.noc.kernel.KernelCapabilityError` when the
+        requested kernel cannot execute this network's installed
+        features (fault state, multicast hook).
         """
         if name == self.kernel.name:
             return
@@ -135,6 +140,9 @@ class Network:
             raise RuntimeError(
                 "cannot swap kernels with packets in flight; drain first"
             )
+        require_capabilities(
+            name, required_capabilities(self), "this network"
+        )
         self.kernel = get_kernel(name)(self)
 
     def observe(self, observation: Optional["Observation"]) -> None:

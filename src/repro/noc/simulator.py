@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Protocol
 
+from repro.noc.kernel import (
+    require_capabilities, required_capabilities, resolve_kernel,
+)
 from repro.noc.network import Network
 from repro.noc.stats import NetworkStats
 from repro.params import SimulationParams
@@ -67,51 +70,27 @@ class Simulator:
         for source in self.sources:
             source.tick(self.network)
 
+    def start(self) -> "SimulatorDrive":
+        """Begin a stepwise run (see :class:`SimulatorDrive`).
+
+        The lock-step batch executor (:func:`repro.exec.run_sweep` with
+        ``batch=True``) interleaves many cells in one process by advancing
+        each drive a bounded slice of cycles at a time; :meth:`run` is the
+        degenerate single-cell driver over the same machinery, so sliced
+        and monolithic execution share one code path and one result.
+        """
+        return SimulatorDrive(self)
+
     def run(self) -> NetworkStats:
         """Execute warm-up, measurement, and drain; return the statistics.
 
         (Legacy shape — :meth:`run_result` returns the unified
         :class:`~repro.obs.result.RunResult` instead.)
         """
-        net = self.network
-        stats = net.stats
-        # sim.kernel is a *request*: None leaves whatever kernel the
-        # network was built with (so explicitly constructed networks —
-        # e.g. the reference oracle in the differential suite — are not
-        # silently clobbered).
-        if self.sim.kernel is not None and self.sim.kernel != net.kernel.name:
-            net.use_kernel(self.sim.kernel)
-        if self.stage_profile is not None:
-            net.kernel.stage_profile = self.stage_profile
-        if self.observation is not None:
-            net.observe(self.observation)
-
-        # Warm-up traffic must not be recorded at all: close the window
-        # entirely, then open it for exactly the measurement cycles.
-        stats.measure_start = stats.measure_end = 2 ** 62
-        for _ in range(self.sim.warmup_cycles):
-            self._tick_sources()
-            net.step()
-
-        stats.measure_start = net.cycle + 1
-        stats.measure_end = net.cycle + self.sim.measure_cycles + 1
-        for _ in range(self.sim.measure_cycles):
-            self._tick_sources()
-            net.step()
-
-        # Drain under continued load so window packets finish in a network
-        # that still looks like steady state.
-        for _ in range(self.sim.drain_cycles):
-            if stats.delivered_packets >= stats.injected_packets:
-                break
-            self._tick_sources()
-            net.step()
-
-        if self.observation is not None:
-            for uid in net.open_packet_uids():
-                self.observation.on_drop(uid, net.cycle)
-            self.observation.finalize(net, stats)
-        return stats
+        drive = self.start()
+        while not drive.done:
+            drive.advance(1 << 30)
+        return drive.finish()
 
     def run_result(
         self,
@@ -143,6 +122,126 @@ class Simulator:
                 workload=workload,
             ),
         )
+
+
+#: SimulatorDrive phases, in execution order.
+_WARMUP, _MEASURE, _DRAIN, _DONE = range(4)
+
+
+class SimulatorDrive:
+    """One :class:`Simulator` run, advanced in bounded cycle slices.
+
+    Construction performs the whole run preamble — kernel resolution (the
+    one precedence rule, see :func:`repro.noc.kernel.resolve_kernel`),
+    capability gating, observation attachment, closing the measurement
+    window — then :meth:`advance` executes up to ``budget`` cycles at a
+    time through the kernel's ``step_block``, crossing warm-up → measure →
+    drain boundaries exactly where the monolithic loop did.  Slicing is
+    invisible to the simulation: ``step_block`` checks the drain-stop
+    predicate before every cycle either way, so any slicing schedule
+    produces bit-identical statistics and traces.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        net = sim.network
+        self._stats = stats = net.stats
+        # The run-level request (sim.kernel, written by api/CLI kernel=
+        # arguments) wins over the network's constructed kernel — so
+        # explicitly built networks, e.g. the reference oracle in the
+        # differential suite, are never silently clobbered — and the
+        # registry default backs both.  The winner must declare every
+        # capability this run needs (faults / multicast / stage
+        # profiling) or we refuse before any cycle executes.
+        name = resolve_kernel(sim.sim.kernel, net.kernel.name)
+        require_capabilities(
+            name, required_capabilities(net, sim.stage_profile), "this run"
+        )
+        if name != net.kernel.name:
+            net.use_kernel(name)
+        if sim.stage_profile is not None:
+            net.kernel.stage_profile = sim.stage_profile
+        if sim.observation is not None:
+            net.observe(sim.observation)
+        # Warm-up traffic must not be recorded at all: close the window
+        # entirely; the measure transition opens it.
+        stats.measure_start = stats.measure_end = 2 ** 62
+        self._phase = _WARMUP
+        self._left = sim.sim.warmup_cycles
+        self._finished = False
+
+    @property
+    def done(self) -> bool:
+        """True once warm-up, measurement, and drain have all completed."""
+        return self._phase == _DONE
+
+    def _drained(self) -> bool:
+        stats = self._stats
+        return stats.delivered_packets >= stats.injected_packets
+
+    def advance(self, budget: int) -> bool:
+        """Execute up to ``budget`` further cycles; returns :attr:`done`.
+
+        Phase boundaries (window open/close, the drain-stop test) fall on
+        the same cycles as in a monolithic run regardless of how the
+        budget slices the timeline.
+        """
+        sim = self.sim
+        net = sim.network
+        kernel = net.kernel
+        tick = sim._tick_sources
+        stats = self._stats
+        while budget > 0 and self._phase != _DONE:
+            if self._phase == _WARMUP:
+                n = min(budget, self._left)
+                kernel.step_block(n, tick)
+                self._left -= n
+                budget -= n
+                if self._left == 0:
+                    stats.measure_start = net.cycle + 1
+                    stats.measure_end = net.cycle + sim.sim.measure_cycles + 1
+                    self._phase = _MEASURE
+                    self._left = sim.sim.measure_cycles
+            elif self._phase == _MEASURE:
+                n = min(budget, self._left)
+                kernel.step_block(n, tick)
+                self._left -= n
+                budget -= n
+                if self._left == 0:
+                    # Drain under continued load so window packets finish
+                    # in a network that still looks like steady state.
+                    self._phase = _DRAIN
+                    self._left = sim.sim.drain_cycles
+            else:
+                if self._left == 0 or self._drained():
+                    self._phase = _DONE
+                    break
+                n = min(budget, self._left)
+                before = net.cycle
+                kernel.step_block(n, tick, stop=self._drained)
+                consumed = net.cycle - before
+                self._left -= consumed
+                budget -= consumed
+                if consumed < n or self._left == 0:
+                    self._phase = _DONE
+        return self._phase == _DONE
+
+    def finish(self) -> NetworkStats:
+        """Finalize observation (drops, metrics) and return the stats.
+
+        Idempotent; must only be called once :attr:`done` is True.
+        """
+        if not self.done:
+            raise RuntimeError("SimulatorDrive.finish() before run complete")
+        sim = self.sim
+        if not self._finished:
+            self._finished = True
+            if sim.observation is not None:
+                net = sim.network
+                for uid in net.open_packet_uids():
+                    sim.observation.on_drop(uid, net.cycle)
+                sim.observation.finalize(net, self._stats)
+        return self._stats
 
 
 def simulate(

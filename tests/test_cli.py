@@ -204,6 +204,19 @@ class TestSimulate:
         ]) == 0
         assert "workload  : uniform" in capsys.readouterr().out
 
+    def test_trace_alias_warns_deprecation(self):
+        """The hidden pre-1.0 spellings announce their removal horizon."""
+        with pytest.warns(DeprecationWarning, match="--workload instead"):
+            build_parser().parse_args(
+                ["simulate", "--trace", "uniform", "--fast"])
+        with pytest.warns(DeprecationWarning, match="--workloads instead"):
+            build_parser().parse_args(["sweep", "--traces", "uniform"])
+
+    def test_removal_horizon_in_help_epilog(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "removed in v2.0" in capsys.readouterr().out
+
     def test_trace_alias_hidden_from_help(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--help"])
@@ -318,3 +331,50 @@ class TestSweepCommand:
             "--trace-events", str(trace_dir),
         ]) == 0
         assert len(list(trace_dir.glob("*.jsonl"))) == 1
+
+    def test_sweep_batch_matches_serial(self, tmp_path, capsys):
+        """``sweep --batch`` reports the same results as the serial path."""
+        argv = [
+            "sweep", "--styles", "baseline,static", "--widths", "16",
+            "--workloads", "uniform", "--fast", "--json", "--no-cache",
+        ]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--batch"]) == 0
+        batch = json.loads(capsys.readouterr().out)
+        strip = ("wall_s", "profile")
+        for a, b in zip(serial["jobs"], batch["jobs"]):
+            assert {k: v for k, v in a.items() if k not in strip} == \
+                   {k: v for k, v in b.items() if k not in strip}
+
+
+class TestKernelsCommand:
+    """``repro kernels list`` + the registry-driven ``--kernel`` choices."""
+
+    def test_lists_registry_rows(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fast", "batch", "reference"):
+            assert name in out
+        assert "* fast" in out          # default marker
+
+    def test_json_rows_match_registry(self, capsys):
+        from repro.noc.kernel import list_kernels
+
+        assert main(["kernels", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["items"] == list_kernels()
+        assert [row["name"] for row in payload["items"]] == \
+               ["fast", "batch", "reference"]
+
+    def test_kernel_choices_track_registry(self):
+        """Every registered kernel is accepted by ``--kernel``."""
+        from repro.noc.kernel import list_kernels
+
+        parser = build_parser()
+        for row in list_kernels():
+            args = parser.parse_args(
+                ["simulate", "--kernel", row["name"], "--fast"])
+            assert args.kernel == row["name"]
+        with pytest.raises(SystemExit):
+            parser.parse_args(["simulate", "--kernel", "warp"])

@@ -1,8 +1,8 @@
-"""Differential equivalence suite: FastKernel vs ReferenceKernel.
+"""Differential equivalence suite: Fast/BatchKernel vs ReferenceKernel.
 
 The kernel contract (see ``src/repro/noc/kernel/__init__.py``) is *bit
 identity*: for any (seed, traffic, shortcut set, fault schedule, multicast
-configuration), both kernels must produce identical
+configuration), every registered kernel must produce identical
 :class:`~repro.noc.stats.NetworkStats` — verified here via
 :meth:`NetworkStats.digest`, a SHA-256 over the canonical JSON of every
 counter, histogram, and per-packet latency — and, with tracing on,
@@ -10,8 +10,8 @@ identical event streams.  Each case below runs the same cell once per
 kernel on a fresh runner (no memo or store sharing) and compares digests.
 
 Also covered: the ``__slots__`` audit for hot-path classes, kernel
-registry/selection guards, digest neutrality of the kernel knob, and
-:class:`~repro.obs.profile.StageProfile` accumulation.
+registry / capability-gating / resolver guards, digest neutrality of the
+kernel knob, and :class:`~repro.obs.profile.StageProfile` accumulation.
 """
 
 from __future__ import annotations
@@ -25,11 +25,21 @@ import pytest
 from repro.exec.jobs import job_digest, sweep_grid
 from repro.experiments import FAST_CONFIG, ExperimentRunner
 from repro.noc import (
+    CAPABILITIES,
     DEFAULT_KERNEL,
     KERNELS,
+    BatchKernel,
     FastKernel,
+    KernelCapabilityError,
+    KernelSpec,
     ReferenceKernel,
     get_kernel,
+    get_spec,
+    kernel_capabilities,
+    list_kernels,
+    register,
+    resolve_kernel,
+    unregister,
 )
 from repro.noc.message import Message, Packet
 from repro.noc.network import NetworkInterface
@@ -37,7 +47,7 @@ from repro.noc.router import InputPort, OutputLink, Router, VirtualChannel
 from repro.obs import EventTracer, Observation, StageProfile
 from repro.params import DEFAULT_PARAMS, SimulationParams
 
-KERNEL_NAMES = ("reference", "fast")
+KERNEL_NAMES = ("reference", "fast", "batch")
 
 #: Short but non-trivial windows: long enough to exercise warmup boundary
 #: crossings, escape timeouts, and full drain; short enough to keep the
@@ -93,6 +103,7 @@ def test_unicast_digests_identical(style, workload, adaptive):
         for kernel in KERNEL_NAMES
     }
     assert digests["fast"] == digests["reference"]
+    assert digests["batch"] == digests["reference"]
 
 
 def test_faulted_run_digests_identical():
@@ -104,6 +115,7 @@ def test_faulted_run_digests_identical():
         for kernel in KERNEL_NAMES
     }
     assert digests["fast"] == digests["reference"]
+    assert digests["batch"] == digests["reference"]
 
 
 # -- multicast -------------------------------------------------------------------
@@ -126,6 +138,7 @@ def test_multicast_digests_identical(realization, locality):
         assert result.stats is not None
         digests[kernel] = result.stats.digest()
     assert digests["fast"] == digests["reference"]
+    assert digests["batch"] == digests["reference"]
 
 
 # -- trace streams ---------------------------------------------------------------
@@ -156,8 +169,8 @@ def _trace_digest(kernel: str) -> tuple[str, str]:
 
 def test_trace_event_streams_identical():
     ref = _trace_digest("reference")
-    fast = _trace_digest("fast")
-    assert fast == ref
+    assert _trace_digest("fast") == ref
+    assert _trace_digest("batch") == ref
 
 
 # -- __slots__ audit -------------------------------------------------------------
@@ -193,11 +206,87 @@ def test_hot_classes_have_no_dict(cls):
 
 def test_kernel_registry():
     assert DEFAULT_KERNEL == "fast"
-    assert KERNELS["fast"] is FastKernel
-    assert KERNELS["reference"] is ReferenceKernel
+    assert isinstance(KERNELS["fast"], KernelSpec)
+    assert KERNELS["fast"].factory is FastKernel
+    assert KERNELS["reference"].factory is ReferenceKernel
+    assert KERNELS["batch"].factory is BatchKernel
     assert get_kernel("reference") is ReferenceKernel
+    assert get_spec("batch").capabilities == frozenset(
+        {"faults", "multicast", "stage_profile", "batch_step"}
+    )
     with pytest.raises(KeyError, match="reference"):
         get_kernel("warp-speed")
+    # Default kernel is listed first; the rest alphabetically.
+    rows = list_kernels()
+    assert [row["name"] for row in rows] == ["fast", "batch", "reference"]
+    assert rows[0]["default"] is True
+    assert "batch_step" in rows[1]["capabilities"]
+
+
+def test_register_validates_and_unregisters():
+    class ToyKernel(FastKernel):
+        name = "toy"
+
+    register("toy", ToyKernel, capabilities={"faults"})
+    try:
+        assert kernel_capabilities("toy") == frozenset({"faults"})
+        with pytest.raises(ValueError, match="already registered"):
+            register("toy", ToyKernel)
+    finally:
+        unregister("toy")
+    assert "toy" not in KERNELS
+    with pytest.raises(ValueError, match="unknown kernel capabilities"):
+        register("toy2", ToyKernel, capabilities={"time-travel"})
+    assert "toy2" not in KERNELS
+    assert CAPABILITIES == frozenset(
+        {"faults", "multicast", "stage_profile", "batch_step"}
+    )
+
+
+def test_resolve_kernel_precedence():
+    # Explicit request > the network's constructed kernel > default.
+    assert resolve_kernel("reference", "batch") == "reference"
+    assert resolve_kernel(None, "batch") == "batch"
+    assert resolve_kernel(None, None) == DEFAULT_KERNEL
+    with pytest.raises(KeyError, match="warp"):
+        resolve_kernel("warp-speed", None)
+
+
+def test_capability_gating_refuses_incapable_kernel():
+    class NoFaultKernel(FastKernel):
+        name = "nofault"
+
+    register("nofault", NoFaultKernel, capabilities={"multicast"})
+    try:
+        runner = ExperimentRunner(_config("nofault"))
+        design = runner.design("static", 16)
+        with pytest.raises(KernelCapabilityError) as exc:
+            runner.run_unicast(design, "uniform", faults=FAULTS)
+        msg = str(exc.value)
+        assert "faults" in msg and "nofault" in msg
+        # The error names capable alternatives.
+        assert "fast" in msg
+        # Without faults the same kernel runs fine.
+        result = runner.run_unicast(design, "uniform")
+        assert result.stats is not None
+    finally:
+        unregister("nofault")
+
+
+def test_stage_profile_requires_capability():
+    class BareKernel(FastKernel):
+        name = "bare"
+
+    register("bare", BareKernel, capabilities={"faults", "multicast"})
+    try:
+        runner = ExperimentRunner(_config("bare"))
+        design = runner.design("static", 16)
+        with pytest.raises(KernelCapabilityError, match="stage_profile"):
+            runner.run_unicast(
+                design, "uniform", stage_profile=StageProfile()
+            )
+    finally:
+        unregister("bare")
 
 
 def test_new_network_kernel_selection():
