@@ -17,23 +17,37 @@ What the run proves, and records into ``results/BENCH_serve.json``:
 * client-observed latency (p50/p99), throughput, and the warm-hit /
   coalesce / shed rates.
 
+A second section (``--no-cluster`` to skip) scales the **sharded tier**:
+real ``repro serve`` subprocess workers behind the consistent-hash
+router, warm-path closed-loop throughput at 1/2/4/8 workers over one
+shared read-through cache, plus a degradation run that SIGKILLs one of
+two shards mid-load and proves the closed loop never sees a failure
+while the supervisor restarts it.  The >=1.6x-at-2-workers scaling gate
+is enforced only when the host has >=2 CPUs — on a single core the
+workers time-slice one processor and the numbers are recorded honestly
+without pretending a speedup happened.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--clients K]
         [--duration S] [--queue-limit N] [--concurrency N] [--out FILE]
+        [--no-cluster] [--cluster-workers 1,2,4,8] [--cluster-duration S]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
+import signal
 import sys
 import tempfile
 import threading
 import time
 from pathlib import Path
 
+from repro.cluster import Cluster
 from repro.exec import ResultStore
 from repro.experiments import ExperimentConfig
 from repro.params import SimulationParams
@@ -93,7 +107,10 @@ class ClientLoop(threading.Thread):
                     )
                     self.ok += 1
                     answered = True
-                elif response.status == 429:
+                elif response.status in (429, 503):
+                    # 429: the worker is shedding.  503: the router has
+                    # no shard for the key *right now* (mid-failover).
+                    # Both mean "come back", not "failed".
                     self.shed_retries += 1
                     time.sleep(min(response.retry_after_s or 1, 2))
                     continue
@@ -183,6 +200,189 @@ def run_bench(clients: int, duration: float, queue_limit: int,
     }
 
 
+# -- the sharded tier ---------------------------------------------------------
+
+#: Gate: warm-path throughput at 2 workers over 1 worker.  Only
+#: meaningful when the workers have their own CPUs to scale onto.
+CLUSTER_SPEEDUP_AT_2 = 1.6
+
+
+def _drive_warm(port: int, clients: int, duration: float) -> dict:
+    """Closed-loop clients against an already-warm endpoint."""
+    barrier = threading.Barrier(clients + 1)
+    deadline = time.monotonic() + duration
+    loops = [ClientLoop(i, port, deadline, barrier) for i in range(clients)]
+    for loop in loops:
+        loop.start()
+    start = time.monotonic()
+    barrier.wait()
+    for loop in loops:
+        loop.join(duration + 300)
+    elapsed = time.monotonic() - start
+    latencies = [ms for loop in loops for ms in loop.latencies_ms]
+    ok = sum(loop.ok for loop in loops)
+    return {
+        "ok": ok,
+        "shed_retries": sum(loop.shed_retries for loop in loops),
+        "errors": [e for loop in loops for e in loop.errors][:10],
+        "unanswered": sum(loop.unanswered for loop in loops),
+        "throughput_rps": ok / elapsed if elapsed else 0.0,
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50) if latencies else None,
+            "p99": percentile(latencies, 0.99) if latencies else None,
+        },
+    }
+
+
+def _seed_cells(port: int) -> None:
+    """Compute every working-set cell once (fills the shared tier)."""
+    client = ServeClient(port=port, timeout=600.0)
+    try:
+        for cell in CELLS:
+            response = client.simulate_with_retry(retries=20, **cell)
+            if response.status != 200:
+                raise RuntimeError(
+                    f"seeding {cell} failed ({response.status}): "
+                    f"{response.payload.get('error', '?')}")
+    finally:
+        client.close()
+
+
+def run_cluster_scale(workers_list: list[int], clients: int,
+                      duration: float, cache_root: Path) -> dict:
+    """Warm-path throughput at each worker count over one shared tier.
+
+    The 1-worker point seeds the shared read-through tier; every later
+    point starts cold-storewise but warm-tierwise, so what's measured is
+    the steady warm path (store/tier hits), never a recompute.
+    """
+    points: dict[str, dict] = {}
+    for workers in workers_list:
+        cluster = Cluster(workers=workers, fast=True, processes=True,
+                          cache_root=str(cache_root),
+                          poll_interval_s=0.25)
+        port = cluster.start()
+        try:
+            if not points:
+                _seed_cells(port)
+            result = _drive_warm(port, clients, duration)
+            status = ServeClient(port=port, timeout=30.0)
+            counters = status.cluster().payload["counters"]
+            status.close()
+            result["requests_by_shard"] = counters["requests"]
+            result["rebalanced_keys"] = counters["rebalanced_keys"]
+            points[str(workers)] = result
+        finally:
+            cluster.stop()
+    base = points[str(workers_list[0])]["throughput_rps"]
+    return {
+        "workers": points,
+        "speedup_vs_1": {
+            n: (points[n]["throughput_rps"] / base if base else None)
+            for n in points if n != str(workers_list[0])
+        },
+    }
+
+
+def run_cluster_kill(clients: int, duration: float,
+                     cache_root: Path) -> dict:
+    """SIGKILL one of two shards mid-load; the closed loop must not see it.
+
+    The router fails the dead shard's keys over to the ring successor
+    (warm, through the shared tier) while the supervisor restarts the
+    worker; rebalanced keys and the restart are recorded as proof the
+    path was actually exercised.
+    """
+    cluster = Cluster(workers=2, fast=True, processes=True,
+                      cache_root=str(cache_root), poll_interval_s=0.25)
+    port = cluster.start()
+    try:
+        victim = cluster.workers[0]
+        killer = threading.Timer(
+            max(duration / 3, 0.5),
+            lambda: os.kill(victim.pid, signal.SIGKILL))
+        killer.start()
+        result = _drive_warm(port, clients, duration)
+        killer.cancel()
+        deadline = time.monotonic() + 60
+        recovered = False
+        status = ServeClient(port=port, timeout=30.0)
+        while time.monotonic() < deadline:
+            payload = status.cluster().payload
+            if (payload["counters"]["states"][victim.shard_id] == "up"
+                    and victim.restarts >= 1):
+                recovered = True
+                break
+            time.sleep(0.25)
+        counters = status.cluster().payload["counters"]
+        status.close()
+        result.update({
+            "killed_shard": victim.shard_id,
+            "restarts": victim.restarts,
+            "recovered": recovered,
+            "rebalanced_keys": counters["rebalanced_keys"],
+        })
+        return result
+    finally:
+        cluster.stop()
+
+
+def run_cluster_bench(workers_list: list[int], clients: int,
+                      duration: float) -> dict:
+    cpus = os.cpu_count() or 1
+    enforced = cpus >= 2
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        scale = run_cluster_scale(workers_list, clients, duration,
+                                  Path(tmp) / "tier")
+        kill = (run_cluster_kill(clients, duration, Path(tmp) / "tier")
+                if 2 in workers_list else None)
+    return {
+        **scale,
+        "kill_one_shard": kill,
+        "scaling_gate": {
+            "required_speedup_at_2": CLUSTER_SPEEDUP_AT_2,
+            "enforced": enforced,
+            "cpus": cpus,
+            "note": (None if enforced else
+                     f"host has {cpus} CPU(s): subprocess workers "
+                     "time-slice one core, so the warm-path speedup "
+                     "gate cannot be met here; numbers recorded as "
+                     "measured"),
+        },
+    }
+
+
+def check_cluster(cluster: dict) -> list[str]:
+    """Pass/fail claims for the sharded-tier section."""
+    failures = []
+    for n, point in cluster["workers"].items():
+        if point["errors"]:
+            failures.append(
+                f"cluster x{n}: unexpected errors {point['errors']}")
+        if point["unanswered"]:
+            failures.append(
+                f"cluster x{n}: {point['unanswered']} requests "
+                "never answered")
+    gate = cluster["scaling_gate"]
+    speedup_at_2 = (cluster["speedup_vs_1"] or {}).get("2")
+    if (gate["enforced"] and speedup_at_2 is not None
+            and speedup_at_2 < gate["required_speedup_at_2"]):
+        failures.append(
+            f"warm-path speedup at 2 workers is {speedup_at_2:.2f}x, "
+            f"gate is {gate['required_speedup_at_2']}x")
+    kill = cluster.get("kill_one_shard")
+    if kill is not None:
+        if kill["errors"]:
+            failures.append(f"kill run: client-visible errors "
+                            f"{kill['errors']}")
+        if not kill["recovered"]:
+            failures.append("kill run: supervisor never restarted the "
+                            "killed shard")
+        if not kill["restarts"]:
+            failures.append("kill run: no restart recorded")
+    return failures
+
+
 def check(report: dict) -> list[str]:
     """The bench's pass/fail claims; returns failure messages."""
     failures = []
@@ -216,12 +416,23 @@ def main(argv=None) -> int:
     parser.add_argument("--concurrency", type=int, default=2)
     parser.add_argument("--out", type=Path,
                         default=RESULTS_DIR / "BENCH_serve.json")
+    parser.add_argument("--no-cluster", action="store_true",
+                        help="skip the sharded-tier scaling section")
+    parser.add_argument("--cluster-workers", default="1,2,4,8",
+                        help="comma-separated worker counts to scale over")
+    parser.add_argument("--cluster-duration", type=float, default=4.0,
+                        help="seconds of warm closed-loop load per point")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
         report = run_bench(args.clients, args.duration, args.queue_limit,
                            args.concurrency, Path(tmp) / "cache")
     failures = check(report)
+    if not args.no_cluster:
+        workers_list = [int(n) for n in args.cluster_workers.split(",")]
+        report["cluster"] = run_cluster_bench(
+            workers_list, args.clients, args.cluster_duration)
+        failures += check_cluster(report["cluster"])
     report["passed"] = not failures
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -236,6 +447,22 @@ def main(argv=None) -> int:
           f"warm-hit {report['rates']['warm_hit']:.1%}, "
           f"coalesce {report['rates']['coalesce']:.1%}, "
           f"shed {report['rates']['shed']:.1%}")
+    cluster = report.get("cluster")
+    if cluster:
+        for n, point in cluster["workers"].items():
+            print(f"  cluster x{n}: "
+                  f"{point['throughput_rps']:.1f} req/s warm "
+                  f"(p50 {point['latency_ms']['p50']:.1f} ms, "
+                  f"shards {point['requests_by_shard']})")
+        gate = cluster["scaling_gate"]
+        if not gate["enforced"]:
+            print(f"  scaling gate not enforced: {gate['note']}")
+        kill = cluster.get("kill_one_shard")
+        if kill:
+            print(f"  kill-one-shard: {kill['ok']} requests ok, "
+                  f"{kill['rebalanced_keys']} keys rebalanced, "
+                  f"restarts={kill['restarts']}, "
+                  f"recovered={kill['recovered']}")
     print(f"  wrote {args.out}")
     for failure in failures:
         print(f"  FAIL: {failure}", file=sys.stderr)

@@ -46,6 +46,7 @@ from repro.experiments.config import (
 from repro.experiments.export import jsonable
 from repro.obs.profile import Profiler
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
+from repro.serve.protocol import spec_fields
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
@@ -282,25 +283,6 @@ def manifest_report(manifest: dict, objectives=None,
 
 # -- execution ----------------------------------------------------------------
 
-def _serve_fields(cell: JobSpec) -> dict:
-    """A normalized cell as a ``/v1/simulate`` request body."""
-    fields = {
-        "design": cell.style,
-        "workload": cell.workload,
-        "width": cell.link_bytes,
-    }
-    if cell.seed is not None:
-        fields["seed"] = cell.seed
-    if cell.num_access_points is not None:
-        fields["access_points"] = cell.num_access_points
-    if cell.adaptive_routing:
-        fields["adaptive_routing"] = True
-    faults = dict(cell.extra).get("faults")
-    if faults:
-        fields["faults"] = faults
-    return fields
-
-
 def _run_chunk_local(cells, indices, config, params, store, jobs, emit):
     """Run one chunk through the sweep engine.
 
@@ -324,10 +306,17 @@ def _run_chunk_local(cells, indices, config, params, store, jobs, emit):
 
 def _run_chunk_serve(cells, indices, client,
                      emit) -> list[tuple[int, str, float, dict, int]]:
-    """Drive one chunk through a running ``repro serve`` instance."""
+    """Drive one chunk through a running serve worker or cluster router.
+
+    The request vocabulary comes from
+    :func:`repro.serve.protocol.spec_fields`, so a campaign speaks exactly
+    what the service parses.  When the endpoint is the cluster router, the
+    response names the shard that settled each cell; it rides along in the
+    progress event so a campaign's live feed shows placement.
+    """
     records = []
     for i in indices:
-        response = client.simulate_with_retry(**_serve_fields(cells[i]))
+        response = client.simulate_with_retry(**spec_fields(cells[i]))
         if not response.ok:
             raise CampaignError(
                 f"serve rejected cell {cells[i].describe()!r} "
@@ -338,8 +327,11 @@ def _run_chunk_serve(cells, indices, client,
         wall = float(payload.get("wall_s") or 0.0)
         records.append((i, source, wall, dict(payload.get("result") or {}),
                         0))
-        emit({"event": "hit" if source in WARM_SOURCES else "done",
-              "index": i, "job": cells[i].describe(), "wall_s": wall})
+        event = {"event": "hit" if source in WARM_SOURCES else "done",
+                 "index": i, "job": cells[i].describe(), "wall_s": wall}
+        if payload.get("shard"):
+            event["shard"] = payload["shard"]
+        emit(event)
     return records
 
 

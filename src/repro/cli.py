@@ -428,19 +428,75 @@ def _parse_width(text: str) -> int:
                        "comma-separated integers (bytes)") from None
 
 
+def _serve_cluster(args) -> int:
+    """The ``repro serve --workers N`` path: supervisor + router."""
+    import signal as _signal
+    import time as _time
+
+    from repro.cluster import Cluster
+
+    if args.no_cache:
+        raise CLIError("--workers needs the result store: the shared "
+                       "read-through tier under --cache is what lets "
+                       "shards serve each other's warm results")
+    extra = []
+    if args.seed is not None:
+        extra += ["--seed", str(args.seed)]
+    if getattr(args, "kernel", None):
+        extra += ["--kernel", args.kernel]
+    cluster = Cluster(
+        workers=args.workers,
+        config=_config_for(args),
+        fast=getattr(args, "fast", False),
+        processes=True,
+        host=args.host,
+        router_port=args.port,
+        cache_root=args.cache,
+        queue_limit=args.queue_limit,
+        concurrency=max(args.jobs, 1),
+        extra_worker_args=extra,
+    )
+    port = cluster.start()
+    ports = ", ".join(str(w.port) for w in cluster.workers)
+    print(f"repro.cluster router on http://{args.host}:{port} "
+          f"({args.workers} workers on ports {ports}; "
+          f"caches under {args.cache})")
+    # SIGTERM (systemd stop, docker stop, plain `kill`) must tear the
+    # worker subprocesses down too, not just the router process.
+    def _terminated(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = _signal.signal(_signal.SIGTERM, _terminated)
+    try:
+        while True:
+            _time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        _signal.signal(_signal.SIGTERM, previous)
+        cluster.stop()
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Host the asyncio simulation service (blocking; Ctrl-C to stop)."""
     from repro.exec import ResultStore
     from repro.serve.http import run as serve_run
     from repro.serve.service import SimulationService
 
-    store = None if args.no_cache else ResultStore(args.cache)
+    if args.workers < 1:
+        raise CLIError("--workers must be at least 1")
+    if args.workers > 1:
+        return _serve_cluster(args)
+    store = (None if args.no_cache
+             else ResultStore(args.cache, shared=args.shared_cache))
     service = SimulationService(
         config=_config_for(args),
         store=store,
         queue_limit=args.queue_limit,
         concurrency=args.jobs,
         max_timeout_s=args.timeout,
+        shard_id=args.shard_id,
     )
     serve_run(service, host=args.host, port=args.port)
     return 0
@@ -454,6 +510,8 @@ def cmd_request(args) -> int:
     try:
         if args.what == "health":
             response = client.health()
+        elif args.what == "cluster":
+            response = client.cluster()
         elif args.what == "metrics":
             response = client.metrics()
         elif args.what == "trace":
@@ -494,13 +552,15 @@ def cmd_request(args) -> int:
         raise CLIError(str(exc)) from exc
     if response.status == 400:
         raise CLIError(response.payload.get("error", "bad request"))
-    if args.json or args.what in ("metrics", "trace", "health"):
+    if args.json or args.what in ("metrics", "trace", "health", "cluster"):
         _print_json(response.payload)
     elif response.ok:
         payload = response.payload
         if "result" in payload:
             result = payload["result"]
             print(f"source    : {payload['source']}")
+            if "shard" in payload:
+                print(f"shard     : {payload['shard']}")
             print(f"design    : {result['design']}")
             print(f"workload  : {result['workload']}")
             print(f"latency   : {result['avg_latency']:.2f} cycles/packet")
@@ -821,6 +881,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent result-store directory")
     serve.add_argument("--no-cache", action="store_true",
                        help="serve without the persistent store")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="N>1: spawn N sharded workers behind a "
+                            "consistent-hash router on --port")
+    serve.add_argument("--shard-id", default=None,
+                       help="stable worker identity in /healthz "
+                            "(the cluster supervisor sets this)")
+    serve.add_argument("--shared-cache", default=None, metavar="DIR",
+                       help="read-through store tier shared across "
+                            "shards (miss here falls back before "
+                            "computing; writes are mirrored)")
     _add_common(serve, jobs=True, kernel=True)
     serve.set_defaults(fn=cmd_serve)
 
@@ -868,7 +938,8 @@ def build_parser() -> argparse.ArgumentParser:
     request = add("request", "query a running simulation service")
     request.add_argument(
         "what", nargs="?", default="simulate",
-        choices=["simulate", "sweep", "health", "metrics", "trace", "job"],
+        choices=["simulate", "sweep", "health", "metrics", "trace", "job",
+                 "cluster"],
     )
     request.add_argument("--host", default="127.0.0.1")
     request.add_argument("--port", type=int, default=8032)

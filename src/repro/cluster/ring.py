@@ -1,0 +1,137 @@
+"""Seeded consistent-hash ring with virtual nodes.
+
+The front-door router places every job digest on a ring of shards.  Two
+properties matter operationally:
+
+* **Determinism** — placement is a pure function of (seed, shard names,
+  key): two router processes built with the same seed and shard set
+  agree on every key, across restarts.  Warm-cache locality therefore
+  survives a router restart: the same digest keeps landing on the shard
+  whose private store already holds it.
+* **Minimal disruption** — each shard owns many *virtual nodes* (ring
+  points), so removing one shard remaps only the keys it owned — each
+  to the next shard clockwise from its position (its ring successor) —
+  while every other key stays put.  Restoring the shard returns exactly
+  its original keys.
+
+The ring itself is availability-agnostic: it always places over the full
+membership, and :meth:`HashRing.shard_for` walks successors past any
+shard the caller says is unavailable.  Who is available is the router's
+business (health state), not the ring's.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional, Sequence
+
+#: Virtual nodes per shard; enough for <10% placement imbalance at small
+#: shard counts without making membership changes expensive.
+DEFAULT_VNODES = 64
+
+
+def _position(text: str) -> int:
+    """A stable 64-bit ring position for a label or key."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto named shards."""
+
+    def __init__(self, shards: Iterable[str], *, vnodes: int = DEFAULT_VNODES,
+                 seed: int = 0):
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        if self.vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self._shards: list[str] = []
+        self._points: list[int] = []       # sorted vnode positions
+        self._owners: list[str] = []       # shard owning each position
+        for shard in shards:
+            self.add(shard)
+        if not self._shards:
+            raise ValueError("a ring needs at least one shard")
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """Current membership, in insertion order."""
+        return tuple(self._shards)
+
+    def add(self, shard: str) -> None:
+        """Add a shard's virtual nodes to the ring (idempotent)."""
+        if shard in self._shards:
+            return
+        self._shards.append(shard)
+        for vnode in range(self.vnodes):
+            point = _position(f"{self.seed}|{shard}|{vnode}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove(self, shard: str) -> None:
+        """Remove a shard's virtual nodes (its keys remap to successors)."""
+        if shard not in self._shards:
+            return
+        self._shards.remove(shard)
+        keep = [i for i, owner in enumerate(self._owners) if owner != shard]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def successors(self, key: str) -> Iterable[str]:
+        """Distinct shards in ring order starting at ``key``'s position.
+
+        The first yielded shard is the key's *owner*; the rest are the
+        failover order a router walks when shards are unavailable.
+        """
+        if not self._points:
+            return
+        start = bisect.bisect(self._points, _position(key)) % len(self._points)
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
+    def owner(self, key: str) -> str:
+        """The shard the key maps to when every shard is available."""
+        return next(iter(self.successors(key)))
+
+    def shard_for(self, key: str,
+                  available: Optional[Sequence[str]] = None) -> Optional[str]:
+        """The first available shard in ``key``'s successor order.
+
+        ``available=None`` means every member is available.  Returns None
+        when no available shard exists — the router's 503 condition.
+        """
+        if available is None:
+            return self.owner(key)
+        usable = set(available)
+        for shard in self.successors(key):
+            if shard in usable:
+                return shard
+        return None
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of ``keys`` each shard owns (balance diagnostics)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """JSON-safe ring description for the ``/cluster`` endpoint."""
+        return {
+            "seed": self.seed,
+            "vnodes": self.vnodes,
+            "shards": list(self._shards),
+            "points": len(self._points),
+        }
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)

@@ -20,6 +20,7 @@ cycles, cycles/second, attempts, and whether it came from the cache; the
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -248,6 +249,18 @@ class JobExecutor:
     executor's config before dispatch, keeping addresses identical to the
     sweep engine's.  The pool never touches any store: result persistence
     stays with the caller (the scheduler), exactly as in :func:`run_sweep`.
+
+    The pool uses the **spawn** start method, not the platform default
+    fork.  The serving tier holds sockets — a listening port plus every
+    accepted keep-alive and NDJSON-stream connection — and a forked pool
+    child inherits duplicates of all of them at whatever moment the first
+    cold cell arrives.  Those duplicates outlive the parent's close: a
+    close-delimited stream never delivers its FIN while a pool child pins
+    the fd, and a SIGKILLed worker's children keep its port bound so the
+    supervisor's restart hits ``EADDRINUSE``.  Spawned children re-exec,
+    and fds are non-inheritable across exec (PEP 446), so the pool starts
+    clean.  The one-time interpreter start per worker is amortized over
+    the pool's lifetime, which for the serving tier is the process's.
     """
 
     def __init__(
@@ -263,6 +276,7 @@ class JobExecutor:
         self.max_workers = max_workers
         self._pool = ProcessPoolExecutor(
             max_workers=max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
             initializer=_init_worker, initargs=(config, params),
         )
         self.submitted = 0

@@ -23,10 +23,19 @@ Robustness rules:
   tasks write): entries are atomic-replace on disk, temp names are
   unique per (process, write), and the hit/miss/write/quarantine
   counters mutate under a lock so concurrent accounting stays exact.
+* **Shared read-through tier** — a store built with ``shared=`` checks a
+  second (typically cluster-wide) store on a local miss, *promotes* the
+  entry into its own directory so the next read is local, and mirrors
+  its own writes into the tier.  This is how sharded serve workers
+  exchange warmth: every shard keeps a private directory for locality,
+  but a result computed by any shard is readable by all of them — a key
+  remapped to a ring successor after a shard death is served warm, not
+  recomputed.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -37,6 +46,10 @@ from typing import Iterator, Optional
 #: Bump whenever the payload layout written by the codecs changes shape.
 SCHEMA_VERSION = 1
 
+# Process-global: two store instances over the SAME directory (e.g. two
+# shards' views of one shared tier) must never mint the same temp name.
+_TMP_SEQ = itertools.count(1)
+
 
 @dataclass
 class StoreStats:
@@ -46,6 +59,7 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     quarantined: int = 0
+    shared_hits: int = 0      # read-through hits served by the shared tier
 
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dict (for telemetry export)."""
@@ -54,19 +68,25 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "quarantined": self.quarantined,
+            "shared_hits": self.shared_hits,
         }
 
 
 class ResultStore:
     """On-disk cache of job payloads, addressed by content digest."""
 
-    def __init__(self, root: str | Path, schema_version: int = SCHEMA_VERSION):
+    def __init__(self, root: str | Path, schema_version: int = SCHEMA_VERSION,
+                 shared: "ResultStore | str | Path | None" = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.schema_version = schema_version
+        if shared is not None and not isinstance(shared, ResultStore):
+            shared = ResultStore(shared, schema_version)
+        if shared is not None and shared.root == self.root:
+            raise ValueError("a store cannot use itself as its shared tier")
+        self.shared = shared
         self.stats = StoreStats()
         self._stats_lock = threading.Lock()
-        self._tmp_seq = 0
 
     def path_for(self, digest: str) -> Path:
         """The entry file a digest maps to."""
@@ -84,7 +104,10 @@ class ResultStore:
 
         A present-but-unreadable entry (corrupt JSON, truncated file, wrong
         schema version, digest mismatch) is quarantined and reported as a
-        miss, so callers transparently recompute.
+        miss, so callers transparently recompute.  With a ``shared`` tier,
+        a local miss falls through to the tier; a tier hit is *promoted*
+        (written into this store's own directory) so the next read is
+        local, and counted as both a hit and a ``shared_hit``.
         """
         path = self.path_for(digest)
         try:
@@ -96,18 +119,29 @@ class ResultStore:
                 raise ValueError("entry digest does not match its filename")
             payload = entry["payload"]
         except FileNotFoundError:
-            with self._stats_lock:
-                self.stats.misses += 1
-            return None
+            return self._load_shared(digest)
         except (json.JSONDecodeError, KeyError, TypeError, ValueError,
                 UnicodeDecodeError, OSError):
             self._quarantine(path)
-            with self._stats_lock:
-                self.stats.misses += 1
-            return None
+            return self._load_shared(digest)
         with self._stats_lock:
             self.stats.hits += 1
         return payload
+
+    def _load_shared(self, digest: str) -> Optional[dict]:
+        """Read-through to the shared tier after a local miss."""
+        if self.shared is not None:
+            payload = self.shared.load(digest)
+            if payload is not None:
+                self._write_entry(digest, payload,
+                                  meta={"promoted_from": str(self.shared.root)})
+                with self._stats_lock:
+                    self.stats.hits += 1
+                    self.stats.shared_hits += 1
+                return payload
+        with self._stats_lock:
+            self.stats.misses += 1
+        return None
 
     def _quarantine(self, path: Path) -> None:
         self.quarantine_dir.mkdir(parents=True, exist_ok=True)
@@ -127,7 +161,20 @@ class ResultStore:
 
     def save(self, digest: str, payload: dict,
              meta: Optional[dict] = None) -> Path:
-        """Persist ``payload`` under ``digest`` (atomic replace)."""
+        """Persist ``payload`` under ``digest`` (atomic replace).
+
+        With a ``shared`` tier the entry is mirrored into the tier too, so
+        results computed behind this store become visible to every store
+        reading through the same tier.
+        """
+        path = self._write_entry(digest, payload, meta)
+        if self.shared is not None:
+            self.shared.save(digest, payload, meta)
+        return path
+
+    def _write_entry(self, digest: str, payload: dict,
+                     meta: Optional[dict] = None) -> Path:
+        """Atomic write into this store's own directory only."""
         path = self.path_for(digest)
         entry = {
             "schema": self.schema_version,
@@ -135,10 +182,7 @@ class ResultStore:
             "meta": meta or {},
             "payload": payload,
         }
-        with self._stats_lock:
-            self._tmp_seq += 1
-            seq = self._tmp_seq
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{seq}")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_SEQ)}")
         tmp.write_text(json.dumps(entry, indent=1) + "\n")
         tmp.replace(path)
         with self._stats_lock:

@@ -1,4 +1,4 @@
-"""Thin stdlib client for the simulation service.
+"""Thin stdlib client for the simulation service (and the cluster router).
 
 ``http.client`` only — importable anywhere the package is, with no new
 dependencies.  Every call returns a :class:`ServeResponse` carrying the
@@ -6,12 +6,24 @@ HTTP status, headers, and decoded JSON envelope; the caller decides what
 a 429 or 504 means for it (the CLI retries nothing, the benchmark's
 closed loop counts and retries sheds).  ``job_events`` consumes the
 NDJSON progress stream line by line as the server produces it.
+
+The client holds **one persistent connection per thread**: the server
+speaks HTTP/1.1 keep-alive, so sequential requests reuse the socket
+instead of paying connection setup per call, while threads sharing one
+client (the benchmark's closed loops) each keep their own socket and
+never interleave on the wire.  A stale socket (server restarted, idle
+timeout, half-closed peer) is detected on the next request and
+transparently reconnected exactly once before the error is allowed to
+propagate.  The NDJSON job stream uses its own throwaway connection
+because its body is close-delimited by design.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
@@ -35,55 +47,136 @@ class ServeResponse:
 
     @property
     def retry_after_s(self) -> Optional[int]:
-        """The server's ``Retry-After`` hint (on 429), if any."""
+        """The server's ``Retry-After`` hint (on 429/503), if any."""
         value = self.headers.get("retry-after")
         return int(value) if value is not None else None
 
 
+#: HTTP statuses that mean "come back later", carrying ``Retry-After``:
+#: 429 is a worker's admission controller shedding load, 503 is the
+#: cluster router finding no shard able to take the key right now.
+RETRYABLE_STATUSES = (429, 503)
+
+
 class ServeClient:
-    """Client for one ``repro serve`` endpoint (one connection per call)."""
+    """Client for one ``repro serve`` endpoint (persistent connection)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8032,
                  timeout: float = 600.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._open: list[http.client.HTTPConnection] = []
+        #: Sockets opened over this client's lifetime (1 = full reuse
+        #: from a single thread).
+        self.connections_opened = 0
 
     # -- plumbing -----------------------------------------------------------
 
+    @property
+    def _conn(self) -> Optional[http.client.HTTPConnection]:
+        return getattr(self._local, "conn", None)
+
+    @_conn.setter
+    def _conn(self, conn: Optional[http.client.HTTPConnection]) -> None:
+        self._local.conn = conn
+
     def _connect(self) -> http.client.HTTPConnection:
-        return http.client.HTTPConnection(self.host, self.port,
+        conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
+        with self._lock:
+            self.connections_opened += 1
+            self._open.append(conn)
+        return conn
+
+    def _discard(self, conn: http.client.HTTPConnection) -> None:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+        with self._lock:
+            if conn in self._open:
+                self._open.remove(conn)
+
+    def close(self) -> None:
+        """Drop every persistent connection (the next request reopens).
+
+        Closes this thread's socket and any left behind by finished
+        worker threads; a thread with a request in flight keeps its own.
+        """
+        conn = self._conn
+        if conn is not None:
+            self._discard(conn)
+            self._conn = None
+        with self._lock:
+            leftovers = list(self._open)
+        for other in leftovers:
+            self._discard(other)
+
+    def _drop_current(self) -> None:
+        """Drop only the calling thread's connection."""
+        conn = self._conn
+        if conn is not None:
+            self._discard(conn)
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _exchange(self, method: str, path: str,
+                  encoded: Optional[bytes], headers: dict) -> ServeResponse:
+        """One request/response on the persistent connection."""
+        if self._conn is None:
+            self._conn = self._connect()
+        conn = self._conn
+        conn.request(method, path, body=encoded, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        if response.headers.get("Connection", "").lower() == "close":
+            self._drop_current()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            self._drop_current()  # desynchronized; don't trust the socket
+            raise ServeClientError(
+                f"non-JSON response from {method} {path}: {raw[:200]!r}"
+            ) from exc
+        return ServeResponse(
+            status=response.status,
+            headers={k.lower(): v for k, v in response.getheaders()},
+            payload=payload,
+        )
 
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None) -> ServeResponse:
-        conn = self._connect()
+        encoded = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        # A reused socket can be stale (server restarted, peer half-closed
+        # while idle): retry exactly once on a *fresh* connection, and only
+        # if a reused one failed — a fresh-connection failure is real.
+        fresh = self._conn is None
         try:
-            encoded = (json.dumps(body).encode("utf-8")
-                       if body is not None else None)
-            headers = {"Content-Type": "application/json"} if encoded else {}
-            conn.request(method, path, body=encoded, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            try:
-                payload = json.loads(raw) if raw else {}
-            except json.JSONDecodeError as exc:
-                raise ServeClientError(
-                    f"non-JSON response from {method} {path}: {raw[:200]!r}"
-                ) from exc
-            return ServeResponse(
-                status=response.status,
-                headers={k.lower(): v for k, v in response.getheaders()},
-                payload=payload,
-            )
+            return self._exchange(method, path, encoded, headers)
         except (ConnectionError, TimeoutError, OSError,
                 http.client.HTTPException) as exc:
+            self._drop_current()
+            if not fresh:
+                try:
+                    return self._exchange(method, path, encoded, headers)
+                except (ConnectionError, TimeoutError, OSError,
+                        http.client.HTTPException) as retry_exc:
+                    self._drop_current()
+                    exc = retry_exc
             raise ServeClientError(
                 f"cannot reach repro.serve at "
                 f"{self.host}:{self.port}: {exc}"
             ) from exc
-        finally:
-            conn.close()
 
     # -- endpoints ----------------------------------------------------------
 
@@ -98,28 +191,37 @@ class ServeClient:
         backoff_s: float = 0.25,
         max_backoff_s: float = 5.0,
         sleep: Callable[[float], None] = time.sleep,
+        jitter: Optional[random.Random] = None,
         **fields,
     ) -> ServeResponse:
-        """Simulate, absorbing transient 429 shedding with bounded backoff.
+        """Simulate, absorbing transient 429/503 with jittered backoff.
 
-        A 429 is the server's admission controller asking the caller to
-        come back, not a failure; long-running batch drivers (the
-        campaign runner) should wait and re-offer the cell rather than
-        abort.  Honors the server's ``Retry-After`` hint when present,
-        otherwise backs off exponentially from ``backoff_s`` (capped at
-        ``max_backoff_s``), for at most ``retries`` re-attempts.  Any
-        non-429 response — success or error — returns immediately; after
-        the retry budget the last 429 is returned for the caller to
-        judge.
+        A 429 (worker shedding) or 503 (router with no shard for the key
+        *right now*) is the service asking the caller to come back, not a
+        failure; long-running batch drivers (the campaign runner) should
+        wait and re-offer the cell rather than abort.  The wait uses
+        **full jitter**: each attempt sleeps ``uniform(0, base)`` where
+        ``base`` is the server's ``Retry-After`` hint when present,
+        otherwise an exponential backoff from ``backoff_s`` (capped at
+        ``max_backoff_s``).  Without jitter, N campaign clients shed at
+        the same instant would all re-hammer the recovering shard in
+        lockstep after an identical delay — full jitter decorrelates
+        them.  ``jitter`` is the random source (seed it for deterministic
+        tests; defaults to a fresh seeded-by-entropy ``random.Random``).
+        Any non-retryable response — success or error — returns
+        immediately; after the retry budget the last 429/503 is returned
+        for the caller to judge.
         """
+        rng = jitter if jitter is not None else random.Random()
         delay = backoff_s
         response = self.simulate(**fields)
         for _ in range(retries):
-            if response.status != 429:
+            if response.status not in RETRYABLE_STATUSES:
                 return response
             hint = response.retry_after_s
-            wait = float(hint) if hint is not None else delay
-            sleep(min(max(wait, 0.0), max_backoff_s))
+            base = float(hint) if hint is not None else delay
+            base = min(max(base, 0.0), max_backoff_s)
+            sleep(rng.uniform(0.0, base))
             delay = min(delay * 2, max_backoff_s)
             response = self.simulate(**fields)
         return response
@@ -128,8 +230,16 @@ class ServeClient:
         """POST a grid job request (``styles=``, ``widths=``, ...)."""
         return self._request("POST", "/v1/sweep", fields)
 
+    def drain(self) -> ServeResponse:
+        """POST /v1/drain: ask the worker to report itself draining."""
+        return self._request("POST", "/v1/drain", {})
+
     def job_events(self, job_id: str) -> Iterator[dict]:
-        """Stream a job's NDJSON progress events until it completes."""
+        """Stream a job's NDJSON progress events until it completes.
+
+        Uses a dedicated connection: the stream body is close-delimited,
+        so the socket cannot be reused afterwards anyway.
+        """
         conn = self._connect()
         try:
             conn.request("GET", f"/v1/jobs/{job_id}")
@@ -154,7 +264,7 @@ class ServeClient:
                 f"job stream to {self.host}:{self.port} broke: {exc}"
             ) from exc
         finally:
-            conn.close()
+            self._discard(conn)
 
     def health(self) -> ServeResponse:
         return self._request("GET", "/healthz")
@@ -164,3 +274,7 @@ class ServeClient:
 
     def trace(self) -> ServeResponse:
         return self._request("GET", "/v1/trace")
+
+    def cluster(self) -> ServeResponse:
+        """GET /cluster: the router's shard/ring status (router only)."""
+        return self._request("GET", "/cluster")

@@ -1,19 +1,23 @@
 """Stdlib-only asyncio HTTP/JSON front end for the simulation service.
 
 A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
-framework, no new dependencies.  Connections are one-request
-(``Connection: close``): plain responses carry ``Content-Length``;
-``GET /v1/jobs/<id>`` streams newline-delimited JSON progress events and
-ends by closing the connection (close-delimited body), which every
-stdlib client reads naturally.
+framework, no new dependencies.  Connections are **persistent** by
+default (HTTP/1.1 keep-alive): plain responses carry ``Content-Length``
+and the connection loops to the next request, so a closed-loop client
+pays connection setup once, not per call.  A client that sends
+``Connection: close`` (or speaks HTTP/1.0) gets the one-request
+behavior.  ``GET /v1/jobs/<id>`` streams newline-delimited JSON progress
+events and ends by closing the connection (close-delimited body), which
+every stdlib client reads naturally.
 
 Routes (see ``docs/serving.md`` for schemas)::
 
     POST /v1/simulate     settle one cell (warm / coalesced / computed)
     POST /v1/sweep        register a background grid job -> 202 + job id
+    POST /v1/drain        mark this worker draining (cluster ring removal)
     GET  /v1/jobs/<id>    NDJSON progress stream until the job completes
     GET  /v1/trace        recent request-trace events
-    GET  /healthz         liveness + queue/inflight/job gauges
+    GET  /healthz         liveness + queue/inflight/job gauges + identity
     GET  /metrics         metrics registry + request reconciliation
 
 :class:`ServerThread` runs the whole loop in a daemon thread — the
@@ -51,13 +55,13 @@ class _BadRequest(Exception):
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, dict, bytes]:
-    """Parse (method, path, headers, body) from one HTTP/1.1 request."""
+) -> tuple[str, str, str, dict, bytes]:
+    """Parse (method, path, version, headers, body) from one request."""
     request_line = await reader.readline()
     if not request_line:
         raise ConnectionResetError("empty request")
     try:
-        method, path, _version = request_line.decode("ascii").split()
+        method, path, version = request_line.decode("ascii").split()
     except ValueError as exc:
         raise _BadRequest("malformed request line") from exc
     headers: dict[str, str] = {}
@@ -78,19 +82,27 @@ async def _read_request(
     if length > MAX_BODY_BYTES:
         raise _BadRequest("request body too large")
     body = await reader.readexactly(length) if length > 0 else b""
-    return method, path, headers, body
+    return method, path, version, headers, body
 
 
 def _encode_response(status: int, payload: dict,
-                     extra_headers: Optional[dict] = None) -> bytes:
+                     extra_headers: Optional[dict] = None,
+                     keep_alive: bool = False) -> bytes:
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
     head = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}",
             "Content-Type: application/json",
             f"Content-Length: {len(body)}",
-            "Connection: close"]
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
     for name, value in (extra_headers or {}).items():
         head.append(f"{name}: {value}")
     return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def keep_alive_requested(version: str, headers: dict) -> bool:
+    """Whether the client may reuse this connection after the response."""
+    if version.upper() == "HTTP/1.0":
+        return headers.get("connection", "").lower() == "keep-alive"
+    return headers.get("connection", "").lower() != "close"
 
 
 class ServeServer:
@@ -127,56 +139,81 @@ class ServeServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            try:
-                method, path, _headers, body = await _read_request(reader)
-            except _BadRequest as exc:
-                writer.write(_encode_response(400, error_envelope(str(exc))))
-                await writer.drain()
-                return
-            except (ConnectionResetError, asyncio.IncompleteReadError):
-                return
-            await self._dispatch(method, path, body, writer)
+            # Keep-alive loop: serve requests on this connection until the
+            # client closes it, asks to close, or a stream route takes over
+            # (close-delimited NDJSON body ends the connection by design).
+            while True:
+                try:
+                    method, path, version, headers, body = (
+                        await _read_request(reader)
+                    )
+                except _BadRequest as exc:
+                    writer.write(
+                        _encode_response(400, error_envelope(str(exc)))
+                    )
+                    await writer.drain()
+                    return
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    return
+                keep_alive = keep_alive_requested(version, headers)
+                streamed = await self._dispatch(method, path, body, writer,
+                                                keep_alive)
+                if streamed or not keep_alive:
+                    return
         except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while parked on a keep-alive read; finish
+            # quietly so shutdown doesn't log phantom handler errors.
             pass
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # CancelledError here is loop teardown racing the close
+                # handshake; the transport is going away regardless.
                 pass
 
     async def _dispatch(self, method: str, path: str, body: bytes,
-                        writer: asyncio.StreamWriter) -> None:
+                        writer: asyncio.StreamWriter,
+                        keep_alive: bool = False) -> bool:
+        """Route one request; True when the response was close-delimited."""
         def respond(status: int, payload: dict,
                     extra: Optional[dict] = None) -> None:
-            writer.write(_encode_response(status, payload, extra))
+            writer.write(_encode_response(status, payload, extra,
+                                          keep_alive=keep_alive))
 
         if path.startswith("/v1/jobs/") and method == "GET":
             await self._stream_job(path[len("/v1/jobs/"):], writer)
-            return
+            return True
         if method == "POST" and path in ("/v1/simulate", "/v1/sweep"):
             try:
                 payload = json.loads(body.decode("utf-8")) if body else {}
             except (json.JSONDecodeError, UnicodeDecodeError):
                 respond(400, error_envelope("request body is not valid JSON"))
                 await writer.drain()
-                return
+                return False
             handler = (self.service.simulate if path == "/v1/simulate"
                        else self.service.sweep)
             status, envelope_, extra = await handler(payload)
             respond(status, envelope_, extra)
+        elif method == "POST" and path == "/v1/drain":
+            respond(200, self.service.drain())
         elif method == "GET" and path == "/healthz":
             respond(200, self.service.health())
         elif method == "GET" and path == "/metrics":
             respond(200, self.service.metrics())
         elif method == "GET" and path == "/v1/trace":
             respond(200, self.service.trace())
-        elif path in ("/v1/simulate", "/v1/sweep", "/healthz", "/metrics",
-                      "/v1/trace"):
+        elif path in ("/v1/simulate", "/v1/sweep", "/v1/drain", "/healthz",
+                      "/metrics", "/v1/trace"):
             respond(405, error_envelope(f"{method} not allowed on {path}"))
         else:
             respond(404, error_envelope(f"no route for {method} {path}"))
         await writer.drain()
+        return False
 
     async def _stream_job(self, job_id: str,
                           writer: asyncio.StreamWriter) -> None:
@@ -236,6 +273,10 @@ class ServerThread:
         thread.stop()
     """
 
+    #: The server class hosted in the thread; the cluster router's
+    #: :class:`~repro.cluster.router.RouterThread` overrides this.
+    server_class = ServeServer
+
     def __init__(self, service: SimulationService,
                  host: str = "127.0.0.1", port: int = 0):
         self.service = service
@@ -274,7 +315,7 @@ class ServerThread:
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        server = ServeServer(self.service, self.host, self.port)
+        server = self.server_class(self.service, self.host, self.port)
         try:
             await server.start()
         except BaseException as exc:

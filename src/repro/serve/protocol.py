@@ -173,6 +173,30 @@ def parse_sweep(payload: dict) -> list[JobSpec]:
                       seeds=seeds, faults=faults)
 
 
+def spec_fields(spec: JobSpec) -> dict:
+    """A (normalized) unicast spec as a ``/v1/simulate`` request body.
+
+    The inverse of :func:`parse_simulate`, shared by the campaign runner
+    and the cluster router's sweep fan-out so every driver speaks the
+    same request vocabulary.
+    """
+    fields = {
+        "design": spec.style,
+        "workload": spec.workload,
+        "width": spec.link_bytes,
+    }
+    if spec.seed is not None:
+        fields["seed"] = spec.seed
+    if spec.num_access_points is not None:
+        fields["access_points"] = spec.num_access_points
+    if spec.adaptive_routing:
+        fields["adaptive_routing"] = True
+    faults = dict(spec.extra).get("faults")
+    if faults:
+        fields["faults"] = faults
+    return fields
+
+
 def request_timeout(payload: dict, maximum: float) -> Optional[float]:
     """The request's own deadline, capped by the server's ``maximum``."""
     value = payload.get("timeout_s")

@@ -81,6 +81,7 @@ class SimulationService:
         fast: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[EventTracer] = None,
+        shard_id: Optional[str] = None,
     ):
         resolved = config or (FAST_CONFIG if fast else DEFAULT_CONFIG)
         self.scheduler = SimulationScheduler(
@@ -93,6 +94,10 @@ class SimulationService:
         self.jobs: dict[str, SweepJob] = {}
         self._job_seq = itertools.count(1)
         self._start_monotonic = time.monotonic()
+        #: Stable worker identity: a cluster supervisor names its shards
+        #: (``shard-0``, ``shard-1``, ...); a standalone service is ``solo``.
+        self.shard_id = shard_id if shard_id else "solo"
+        self.draining = False
 
     @property
     def store(self) -> Optional[ResultStore]:
@@ -281,12 +286,25 @@ class SimulationService:
 
     # -- health / metrics / trace -------------------------------------------
 
+    def drain(self) -> dict:
+        """Handle ``POST /v1/drain``: mark this worker draining.
+
+        A draining worker keeps answering every request it receives (the
+        in-flight work settles normally) — the flag is advisory identity
+        the cluster router and supervisor read from ``/healthz`` to stop
+        routing *new* keys here.
+        """
+        self.draining = True
+        self._trace("drain", "200 draining")
+        return envelope(status="draining", shard_id=self.shard_id)
+
     def health(self) -> dict:
         """Liveness payload for ``GET /healthz``."""
         self._count("healthz")
         queue = self.scheduler._queue
         return envelope(
-            status="ok",
+            status="draining" if self.draining else "ok",
+            shard_id=self.shard_id,
             uptime_s=time.monotonic() - self._start_monotonic,
             queue_depth=queue.qsize() if queue is not None else 0,
             queue_limit=self.scheduler.queue_limit,

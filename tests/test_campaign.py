@@ -442,11 +442,19 @@ def _ok():
                          payload={"status": "ok", "source": "computed"})
 
 
+class _UpperBoundJitter:
+    """Full jitter draws uniform(0, base); this pins the draw at base."""
+
+    def uniform(self, low, high):
+        return high
+
+
 class TestServeClientRetry:
     def test_honors_retry_after_hint(self):
         client = ScriptedClient([_shed(retry_after=3), _ok()])
         sleeps = []
-        response = client.simulate_with_retry(sleep=sleeps.append)
+        response = client.simulate_with_retry(sleep=sleeps.append,
+                                              jitter=_UpperBoundJitter())
         assert response.ok and client.calls == 2
         assert sleeps == [3.0]
 
@@ -454,14 +462,16 @@ class TestServeClientRetry:
         client = ScriptedClient([_shed(), _shed(), _ok()])
         sleeps = []
         response = client.simulate_with_retry(backoff_s=0.25,
-                                              sleep=sleeps.append)
+                                              sleep=sleeps.append,
+                                              jitter=_UpperBoundJitter())
         assert response.ok and client.calls == 3
         assert sleeps == [0.25, 0.5]
 
     def test_backoff_is_capped(self):
         client = ScriptedClient([_shed(retry_after=500), _ok()])
         sleeps = []
-        client.simulate_with_retry(max_backoff_s=2.0, sleep=sleeps.append)
+        client.simulate_with_retry(max_backoff_s=2.0, sleep=sleeps.append,
+                                   jitter=_UpperBoundJitter())
         assert sleeps == [2.0]
 
     def test_budget_exhaustion_returns_last_shed(self):

@@ -33,6 +33,28 @@ class TestServeParsers:
         )
         assert args.what == "simulate" and args.design == "static"
 
+    def test_serve_cluster_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--shard-id", "shard-9",
+             "--shared-cache", "/tmp/tier", "--cache", "/tmp/cache"]
+        )
+        assert args.workers == 4
+        assert args.shard_id == "shard-9"
+        assert args.shared_cache == "/tmp/tier"
+
+    def test_serve_workers_must_be_positive(self, capsys):
+        assert main(["serve", "--workers", "0", "--port", "0"]) == 2
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_serve_cluster_requires_the_store(self, capsys):
+        assert main(["serve", "--workers", "2", "--no-cache",
+                     "--port", "0"]) == 2
+        assert "read-through tier" in capsys.readouterr().err
+
+    def test_request_cluster_parses(self):
+        args = build_parser().parse_args(["request", "cluster", "--json"])
+        assert args.what == "cluster"
+
     def test_request_job_requires_id(self, capsys):
         assert main(["request", "job", "--json"]) == 2
         payload = json.loads(capsys.readouterr().err)

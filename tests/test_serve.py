@@ -22,7 +22,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.obs.result import RunResult
 from repro.params import DEFAULT_PARAMS, SimulationParams
 from repro.serve import (
-    RequestError, RequestTimeout, ServeClient, ServerThread,
+    RequestError, RequestTimeout, ServeClient, ServeResponse, ServerThread,
     ServiceOverloaded, SimulationScheduler, SimulationService,
     canonical_digest, envelope, parse_simulate, parse_sweep,
 )
@@ -504,3 +504,127 @@ class TestEndToEnd:
         payload = client.metrics().payload
         assert payload["reconciliation"]["balanced"] is True
         assert payload["store"]["writes"] >= 1
+
+
+# -- client connection behavior and retry policy -----------------------------
+
+class TestClientConnection:
+    def test_sequential_requests_reuse_one_socket(self, live_server):
+        _shared, _service = live_server
+        with ServeClient(host=_shared.host, port=_shared.port,
+                         timeout=60.0) as client:
+            for _ in range(3):
+                assert client.health().status == 200
+            assert client.connections_opened == 1
+
+    def test_stale_socket_reconnects_transparently(self, live_server):
+        _shared, _service = live_server
+        with ServeClient(host=_shared.host, port=_shared.port,
+                         timeout=60.0) as client:
+            assert client.health().status == 200
+            # Sabotage the persistent socket (a restarted or idle-closed
+            # peer looks the same): the next request must retry once on
+            # a fresh connection instead of surfacing the stale error.
+            client._conn.sock.close()
+            assert client.health().status == 200
+            assert client.connections_opened == 2
+
+    def test_threads_get_private_sockets(self, live_server):
+        _shared, _service = live_server
+        with ServeClient(host=_shared.host, port=_shared.port,
+                         timeout=60.0) as client:
+            barrier = threading.Barrier(3)
+            statuses = []
+
+            def probe():
+                barrier.wait()
+                statuses.append(client.health().status)
+
+            threads = [threading.Thread(target=probe) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            assert statuses == [200, 200, 200]
+            assert client.connections_opened == 3
+
+
+class TestRetryBackoff:
+    def scripted_client(self, responses):
+        """A client whose ``simulate`` replays canned responses."""
+        import random
+
+        client = ServeClient(port=1)
+        script = iter(responses)
+        client.simulate = lambda **fields: next(script)
+        return client, random.Random(1234)
+
+    @staticmethod
+    def response(status, retry_after=None):
+        headers = ({"retry-after": str(retry_after)}
+                   if retry_after is not None else {})
+        return ServeResponse(status=status, headers=headers, payload={})
+
+    def test_full_jitter_is_seeded_and_bounded(self):
+        def run_once():
+            client, rng = self.scripted_client(
+                [self.response(429), self.response(429),
+                 self.response(200)])
+            sleeps = []
+            result = client.simulate_with_retry(
+                backoff_s=0.25, max_backoff_s=5.0,
+                sleep=sleeps.append, jitter=rng)
+            return result, sleeps
+
+        first, sleeps_a = run_once()
+        second, sleeps_b = run_once()
+        assert first.status == 200
+        assert sleeps_a == sleeps_b            # seeded -> reproducible
+        assert len(sleeps_a) == 2
+        assert all(0.0 <= s <= 5.0 for s in sleeps_a)
+        # Full jitter: uniform(0, base) with base = 0.25 then 0.5.
+        assert sleeps_a[0] <= 0.25 and sleeps_a[1] <= 0.5
+
+    def test_retry_after_hint_caps_the_base(self):
+        client, rng = self.scripted_client(
+            [self.response(429, retry_after=30), self.response(200)])
+        sleeps = []
+        result = client.simulate_with_retry(
+            max_backoff_s=2.0, sleep=sleeps.append, jitter=rng)
+        assert result.status == 200
+        assert len(sleeps) == 1
+        assert sleeps[0] <= 2.0       # hint capped by max_backoff_s
+
+    def test_exhausted_budget_returns_last_shed(self):
+        client, rng = self.scripted_client(
+            [self.response(429)] * 4)
+        result = client.simulate_with_retry(
+            retries=3, sleep=lambda _s: None, jitter=rng)
+        assert result.status == 429
+
+    def test_non_retryable_returns_immediately(self):
+        client, rng = self.scripted_client(
+            [self.response(400), self.response(200)])
+        sleeps = []
+        result = client.simulate_with_retry(sleep=sleeps.append,
+                                            jitter=rng)
+        assert result.status == 400
+        assert sleeps == []
+
+
+class TestDrainEndpoint:
+    # Runs last against the shared server: draining is sticky identity.
+    def test_drain_flips_health_and_keeps_serving(self, live_server):
+        client, _service = live_server
+        health = client.health()
+        assert health.payload["shard_id"] == "solo"
+        assert health.payload["version"] == package_version()
+        assert health.payload["uptime_s"] > 0
+        drained = client.drain()
+        assert drained.status == 200
+        assert drained.payload["status"] == "draining"
+        assert client.health().payload["status"] == "draining"
+        # Draining is advisory: the worker still settles requests.
+        response = client.simulate(design="baseline", workload="uniform")
+        assert response.status == 200
+        assert response.payload["source"] == "store"

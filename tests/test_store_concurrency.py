@@ -152,3 +152,90 @@ class TestQuarantineUnderConcurrency:
         run_threads([good_reader, good_reader, bad_reader])
         assert failures == []
         assert store.stats.quarantined == 1
+
+
+class TestSharedReadThroughTier:
+    """Two per-shard stores over one shared tier — the cluster layout."""
+
+    @pytest.fixture
+    def tiered(self, tmp_path):
+        tier = tmp_path / "shared"
+        a = ResultStore(tmp_path / "shard-0", shared=tier)
+        b = ResultStore(tmp_path / "shard-1", shared=tier)
+        return a, b
+
+    def test_write_behind_one_store_serves_the_other(self, tiered):
+        a, b = tiered
+        digest = "a" * 12
+        a.save(digest, PAYLOAD)
+        assert b.load(digest) == PAYLOAD        # read-through
+        assert b.stats.shared_hits == 1
+        # Promotion: the next read is local, no tier traffic.
+        tier_hits_before = a.shared.stats.hits
+        assert b.load(digest) == PAYLOAD
+        assert b.stats.shared_hits == 1
+        assert a.shared.stats.hits == tier_hits_before
+        entry = json.loads(b.path_for(digest).read_text())
+        assert entry["meta"]["promoted_from"] == str(a.shared.root)
+
+    def test_simultaneous_writers_from_both_stores(self, tiered):
+        a, b = tiered
+        digests = [f"{i:02d}" + "f" * 10 for i in range(40)]
+
+        def writer(store, mine):
+            for digest in mine:
+                store.save(digest, {**PAYLOAD, "digest": digest})
+
+        run_threads([
+            lambda: writer(a, digests[::2]),
+            lambda: writer(b, digests[1::2]),
+        ])
+        # Every digest is visible through *either* store's tier path,
+        # intact, wherever it was written.
+        for digest in digests:
+            assert a.load(digest)["digest"] == digest
+            assert b.load(digest)["digest"] == digest
+        assert a.stats.quarantined == 0 and b.stats.quarantined == 0
+        assert a.shared.stats.quarantined == 0
+
+    def test_contended_same_digest_writes_leave_valid_entry(self, tiered):
+        a, b = tiered
+        digest = "c" * 12
+
+        def writer(store, tag):
+            for rev in range(100):
+                store.save(digest, {**PAYLOAD, "tag": tag, "rev": rev})
+
+        run_threads([lambda: writer(a, "a"), lambda: writer(b, "b")])
+        payload = b.shared.load(digest)
+        assert payload is not None and payload["tag"] in ("a", "b")
+        fresh = ResultStore(a.root.parent / "shard-2",
+                            shared=a.root.parent / "shared")
+        assert fresh.load(digest)["rev"] == 99 or fresh.load(digest)
+
+    def test_corrupt_tier_entry_quarantined_not_promoted(self, tiered):
+        a, b = tiered
+        digest = "e" * 12
+        a.save(digest, PAYLOAD)
+        # Corrupt the tier copy; the local copies stay good.
+        a.shared.path_for(digest).write_text("{ torn", encoding="utf-8")
+        assert b.load(digest) is None            # miss, never promoted
+        # a.shared and b.shared are separate instances over one
+        # directory; the quarantine happened via b's read path.
+        assert b.shared.stats.quarantined == 1
+        assert not b.path_for(digest).exists()
+        assert a.load(digest) == PAYLOAD         # a's local copy is fine
+
+    def test_corrupt_local_entry_recovers_from_tier(self, tiered):
+        a, b = tiered
+        digest = "b" * 12
+        a.save(digest, PAYLOAD)
+        b.load(digest)                           # promote into b
+        b.path_for(digest).write_text("not json", encoding="utf-8")
+        assert b.load(digest) == PAYLOAD         # tier heals the shard
+        assert b.stats.quarantined == 1
+        assert b.stats.shared_hits == 2
+
+    def test_store_refuses_itself_as_tier(self, tmp_path):
+        with pytest.raises(ValueError, match="shared tier"):
+            ResultStore(tmp_path / "s", shared=tmp_path / "s")
