@@ -59,8 +59,10 @@ from repro.faults import (
     Fault, FaultPartitionError, FaultSchedule, kill_bands, mtbf_schedule,
 )
 from repro.noc import (
-    DisconnectedMeshError, Message, MessageClass, MeshTopology, Network,
-    NetworkStats, Packet, RoutingPolicy, RoutingTables, Shortcut, Simulator,
+    ConcentratedMeshTopology, DisconnectedMeshError, Message, MessageClass,
+    MeshTopology, Network, NetworkStats, Packet, RoutingPolicy, RoutingTables,
+    Shortcut, Simulator, TopologyProvider, TorusTopology, build_topology,
+    list_topologies,
 )
 from repro.obs import EventTracer, MetricsRegistry, Observation
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
@@ -74,6 +76,7 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "Comparison",
+    "ConcentratedMeshTopology",
     "DEFAULT_CONFIG",
     "DEFAULT_PARAMS",
     "DesignPoint",
@@ -105,9 +108,12 @@ __all__ = [
     "RunResult",
     "Shortcut",
     "Simulator",
+    "TopologyProvider",
+    "TorusTopology",
     "adaptive_rf",
     "adaptive_rf_multicast",
     "baseline",
+    "build_topology",
     "compare",
     "e1_load_latency",
     "e2_adaptive_routing",
@@ -120,6 +126,7 @@ __all__ = [
     "fig9_multicast",
     "fig10_unified",
     "kill_bands",
+    "list_topologies",
     "load_spec",
     "mtbf_schedule",
     "package_version",

@@ -72,6 +72,7 @@ def simulate(
     adaptive_routing: bool = False,
     seed: Optional[int] = None,
     faults: Union[str, "FaultSchedule", None] = None,
+    topology: Optional[str] = None,
     fast: bool = False,
     kernel: Optional[str] = None,
     config: Optional[ExperimentConfig] = None,
@@ -101,6 +102,10 @@ def simulate(
     ``"reference"``); the two are bit-identical (see
     :mod:`repro.noc.kernel`), so this never changes results, caching, or
     provenance — only wall-clock time.
+    ``topology`` selects the substrate provider (a registered name; see
+    :mod:`repro.noc.topology`); ``None`` and ``"mesh"`` keep the default
+    mesh and its historical result addresses, any other provider
+    simulates a genuinely different network.
     """
     resolved_config = _resolve_config(config, fast)
     if kernel is not None:
@@ -111,6 +116,7 @@ def simulate(
     design_point = runner.design(
         design, width, workload=workload,
         num_access_points=access_points, adaptive_routing=adaptive_routing,
+        topology=topology,
     )
     if observation is None and (metrics or trace_events):
         tracer = None
@@ -145,6 +151,7 @@ def sweep(
     seeds: Sequence[Optional[int]] = (None,),
     adaptive_routing: bool = False,
     faults: Union[str, "FaultSchedule", None] = None,
+    topology: Optional[str] = None,
     fast: bool = False,
     kernel: Optional[str] = None,
     config: Optional[ExperimentConfig] = None,
@@ -166,15 +173,19 @@ def sweep(
     fault schedule (spec string or :class:`~repro.faults.FaultSchedule`)
     to every cell in the grid.  ``kernel`` selects the cycle-execution
     kernel for every cell; results and store addresses are identical
-    either way (the kernel never enters a job digest).  ``batch`` runs
-    every cache miss in one process, advanced in lock-step cycle slices
-    (digest-identical to the serial path; ``jobs`` is then ignored).
+    either way (the kernel never enters a job digest).  ``topology``
+    runs every cell on the named substrate provider (non-mesh providers
+    fork the result addresses — see :func:`~repro.exec.jobs.sweep_grid`).
+    ``batch`` runs every cache miss in one process, advanced in
+    lock-step cycle slices (digest-identical to the serial path;
+    ``jobs`` is then ignored).
     """
     if faults is not None and not isinstance(faults, str):
         faults = faults.canonical()
     specs = sweep_grid(
         styles, widths, workloads,
         adaptive_routing=adaptive_routing, seeds=seeds, faults=faults,
+        topology=topology,
     )
     resolved_config = _resolve_config(config, fast)
     if kernel is not None:

@@ -1,16 +1,18 @@
 """Declarative campaign specs: axes + sampling, expanded to JobSpecs.
 
 A :class:`CampaignSpec` describes a whole scenario sweep — the grid axes
-(design styles, link widths, workloads, seeds, fault schedules, adaptive
-routing), an optional seeded random sample with a cell budget, and the
-reduction objectives — as one frozen dataclass of plain values.  It can
+(design styles, link widths, workloads, seeds, fault schedules, topology
+providers, adaptive routing), an optional seeded random sample with a
+cell budget, and the reduction objectives — as one frozen dataclass of
+plain values.  It can
 be written by hand, loaded from a TOML/JSON file (:func:`load_spec`), or
 picked from the named registry in :mod:`repro.experiments.campaigns`.
 
-Expansion is deterministic: :meth:`CampaignSpec.expand` walks the fault
-axis outermost, reuses :func:`~repro.exec.jobs.sweep_grid` for each fault
-slice, normalizes every cell against the run config, and (when a
-``sample`` budget is set) keeps a seeded, order-preserving subset.  Equal
+Expansion is deterministic: :meth:`CampaignSpec.expand` walks the
+topology axis outermost, then the fault axis, reuses
+:func:`~repro.exec.jobs.sweep_grid` for each slice, normalizes every
+cell against the run config, and (when a ``sample`` budget is set)
+keeps a seeded, order-preserving subset.  Equal
 specs therefore always name the same digest-addressed cells, which is
 what makes a campaign resumable: the manifest and the result store both
 key on the same addresses the sweep engine and the serving tier use.
@@ -26,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -68,6 +70,9 @@ class CampaignSpec:
     adaptive_routing: bool = False
     #: Fault-schedule spec strings; ``""`` is the fault-free slice.
     faults: tuple[str, ...] = ("",)
+    #: Substrate providers to sweep (registered topology names); the
+    #: default mesh-only axis keeps historical campaign digests.
+    topologies: tuple[str, ...] = ("mesh",)
     #: Cell budget for seeded random sampling (None = the full grid).
     sample: Optional[int] = None
     sample_seed: int = 0
@@ -81,7 +86,7 @@ class CampaignSpec:
 
     def __post_init__(self) -> None:
         for name in ("styles", "widths", "workloads", "seeds", "faults",
-                     "objectives"):
+                     "topologies", "objectives"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     # -- validation ----------------------------------------------------------
@@ -94,7 +99,8 @@ class CampaignSpec:
 
         if not self.name or not isinstance(self.name, str):
             raise CampaignError("campaign 'name' must be a non-empty string")
-        for axis in ("styles", "widths", "workloads", "faults", "objectives"):
+        for axis in ("styles", "widths", "workloads", "faults", "topologies",
+                     "objectives"):
             if not getattr(self, axis):
                 raise CampaignError(f"campaign {axis!r} must be non-empty")
         for style in self.styles:
@@ -134,6 +140,13 @@ class CampaignSpec:
                     raise CampaignError(
                         f"fault spec {spec!r} names no faults; use \"\" "
                         "for the fault-free slice")
+        from repro.noc.topology import TOPOLOGIES
+
+        for topology in self.topologies:
+            if topology not in TOPOLOGIES:
+                raise CampaignError(
+                    f"unknown topology {topology!r}; "
+                    f"one of {sorted(TOPOLOGIES)}")
         if self.sample is not None and self.sample <= 0:
             raise CampaignError("'sample' must be a positive cell budget")
         if self.chunk <= 0:
@@ -152,25 +165,28 @@ class CampaignSpec:
     def grid_size(self) -> int:
         """Cells in the full grid, before any sampling."""
         return (len(self.styles) * len(self.widths) * len(self.workloads)
-                * len(self.seeds) * len(self.faults))
+                * len(self.seeds) * len(self.faults) * len(self.topologies))
 
     def expand(self, config: ExperimentConfig) -> list[JobSpec]:
         """The campaign's cells, normalized, in deterministic order.
 
-        The fault axis is outermost; within a fault slice the cells come
-        in :func:`~repro.exec.jobs.sweep_grid` order (styles outermost).
+        The topology axis is outermost, then the fault axis; within a
+        (topology, fault) slice the cells come in
+        :func:`~repro.exec.jobs.sweep_grid` order (styles outermost).
         A ``sample`` budget keeps a seeded random subset *in grid order*,
         so equal (spec, config) pairs always expand identically.
         """
         self.validate()
         cells: list[JobSpec] = []
-        for fault_spec in self.faults:
-            cells.extend(sweep_grid(
-                self.styles, self.widths, self.workloads,
-                adaptive_routing=self.adaptive_routing,
-                seeds=self.seeds,
-                faults=fault_spec or None,
-            ))
+        for topology in self.topologies:
+            for fault_spec in self.faults:
+                cells.extend(sweep_grid(
+                    self.styles, self.widths, self.workloads,
+                    adaptive_routing=self.adaptive_routing,
+                    seeds=self.seeds,
+                    faults=fault_spec or None,
+                    topology=topology,
+                ))
         if self.sample is not None and self.sample < len(cells):
             rng = random.Random(self.sample_seed)
             keep = sorted(rng.sample(range(len(cells)), self.sample))
@@ -186,11 +202,16 @@ class CampaignSpec:
         The same construction as :func:`~repro.exec.jobs.job_digest`,
         minus the fields that cannot change any simulated result: the
         kernel choice (bit-identical by contract) and the reduction-only
-        ``objectives``/``chunk`` knobs.
+        ``objectives``/``chunk`` knobs.  Like the job digest's handling
+        of the topology provider, the default mesh-only ``topologies``
+        axis is stripped so pre-provider-layer campaign manifests keep
+        their identities; any other axis legitimately forks the digest.
         """
         spec_blob = jsonable(self)
         for neutral in DIGEST_NEUTRAL_FIELDS:
             spec_blob.pop(neutral, None)
+        if tuple(spec_blob.get("topologies", ())) == ("mesh",):
+            spec_blob.pop("topologies", None)
         blob = {
             "campaign": spec_blob,
             "config": jsonable(config),
@@ -198,6 +219,12 @@ class CampaignSpec:
         }
         blob["config"].get("sim", {}).pop("kernel", None)
         blob["params"].get("simulation", {}).pop("kernel", None)
+        # Same mesh-default strip as job_digest: default-provider params
+        # must not fork pre-provider-layer campaign identities.
+        mesh_blob = blob["params"].get("mesh", {})
+        if mesh_blob.get("provider", "mesh") == "mesh":
+            mesh_blob.pop("provider", None)
+            mesh_blob.pop("concentration", None)
         text = json.dumps(blob, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -207,7 +234,7 @@ _SPEC_KEYS = frozenset(f.name for f in fields(CampaignSpec))
 
 #: Keys that arrive as lists and land as tuples.
 _LIST_KEYS = ("styles", "widths", "workloads", "seeds", "faults",
-              "objectives")
+              "topologies", "objectives")
 
 
 def spec_from_dict(data: dict, *, source: str = "<dict>") -> CampaignSpec:
@@ -266,3 +293,17 @@ def load_spec(path: str | Path) -> CampaignSpec:
 def with_kernel(spec: CampaignSpec, kernel: Optional[str]) -> CampaignSpec:
     """A copy of ``spec`` requesting ``kernel`` (None leaves it alone)."""
     return spec if kernel is None else replace(spec, kernel=kernel)
+
+
+def with_topologies(
+    spec: CampaignSpec, topologies: Optional[Sequence[str]],
+) -> CampaignSpec:
+    """A copy of ``spec`` on the given topology axis (None leaves it alone).
+
+    Unlike :func:`with_kernel` this is *not* digest-neutral: a different
+    substrate simulates different results, so the campaign identity (and
+    its manifest) forks — except for the default mesh-only axis.
+    """
+    if topologies is None:
+        return spec
+    return replace(spec, topologies=tuple(topologies))

@@ -19,6 +19,8 @@ Commands
                 trends (see ``docs/campaigns.md``)
 ``kernels``     list the registered cycle-execution kernels and their
                 capability flags (the ``--kernel`` vocabulary)
+``topologies``  list the registered substrate topology providers and
+                their capability flags (the ``--topology`` vocabulary)
 
 The executing verbs (``run``/``simulate``/``sweep``) share one flag
 vocabulary: ``--jobs``, ``--seed``, ``--out``, ``--fast``, and
@@ -121,7 +123,7 @@ def parameter_rows() -> list[tuple[str, str]]:
     """The Fig 5a table as (name, value) rows."""
     p = DEFAULT_PARAMS
     return [
-        ("Topology", f"{p.mesh.width}x{p.mesh.height} mesh"),
+        ("Topology", f"{p.mesh.width}x{p.mesh.height} {p.mesh.provider}"),
         ("Components", f"{p.mesh.num_cores} cores, {p.mesh.num_caches} "
                        f"cache banks, {p.mesh.num_memports} memory ports"),
         ("Clocks", f"network {p.mesh.network_ghz:.0f} GHz, "
@@ -166,8 +168,8 @@ def cmd_floorplan(args) -> int:
     if args.json:
         _print_json({
             "access_points": rf,
-            "width": topo.params.width,
-            "height": topo.params.height,
+            "width": topo.width,
+            "height": topo.height,
         })
         return 0
     print(f"C=core  $=cache  M=memory  *=RF access point ({len(rf)})")
@@ -241,6 +243,30 @@ def cmd_kernels(args) -> int:
     return 0
 
 
+def _topology_names() -> list[str]:
+    """Registered provider names, default first (the ``--topology`` choices)."""
+    from repro.noc.topology import list_topologies
+
+    return [row["name"] for row in list_topologies()]
+
+
+def cmd_topologies(args) -> int:
+    """List the registered topology providers and their capabilities."""
+    from repro.noc.topology import list_topologies
+
+    rows = list_topologies()
+    if args.json:
+        _print_json(rows)
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        marker = "*" if row["default"] else " "
+        caps = ",".join(row["capabilities"])
+        print(f"{marker} {row['name']:<{width}}  [{caps}]  {row['summary']}")
+    print("(* = default; see docs/topologies.md for the provider contract)")
+    return 0
+
+
 def _warn_trace_ignored(args) -> None:
     if getattr(args, "trace_events", None):
         print("note: --trace-events records cycle-level events for "
@@ -288,6 +314,7 @@ def cmd_simulate(args) -> int:
     result = simulate(
         args.design, args.workload, width=args.width, fast=args.fast,
         kernel=getattr(args, "kernel", None),
+        topology=getattr(args, "topology", None),
         seed=args.seed, faults=args.faults or None,
         trace_events=args.trace_events or None,
     )
@@ -295,6 +322,8 @@ def cmd_simulate(args) -> int:
     summary["provenance"] = result.provenance
     if args.faults:
         summary["faults"] = args.faults
+    if getattr(args, "topology", None):
+        summary["topology"] = args.topology
     if args.trace_events:
         summary["trace_events"] = str(args.trace_events)
     if args.out:
@@ -320,12 +349,15 @@ def cmd_simulate(args) -> int:
     if args.trace_events:
         print(f"trace     : {args.trace_events}")
     if args.heatmap:
-        from repro.noc import MeshTopology
+        from repro.noc.topology import build_topology
         from repro.noc.visualize import render_traffic_heatmap
 
         print()
-        print(render_traffic_heatmap(result.stats,
-                                     MeshTopology(DEFAULT_PARAMS.mesh)))
+        print(render_traffic_heatmap(
+            result.stats,
+            build_topology(DEFAULT_PARAMS.mesh,
+                           provider=getattr(args, "topology", None)),
+        ))
     return 0
 
 
@@ -348,7 +380,8 @@ def cmd_sweep(args) -> int:
                            "see 'workloads'")
     specs = sweep_grid(styles, widths, workloads,
                        adaptive_routing=args.adaptive_routing,
-                       faults=args.faults or None)
+                       faults=args.faults or None,
+                       topology=getattr(args, "topology", None))
     trace_dir = Path(args.trace_events) if args.trace_events else None
     # Tracing forces fresh runs, so the persistent cache is bypassed.
     store = (None if args.no_cache or trace_dir
@@ -444,6 +477,8 @@ def _serve_cluster(args) -> int:
         extra += ["--seed", str(args.seed)]
     if getattr(args, "kernel", None):
         extra += ["--kernel", args.kernel]
+    if getattr(args, "topology", None):
+        extra += ["--topology", args.topology]
     cluster = Cluster(
         workers=args.workers,
         config=_config_for(args),
@@ -490,8 +525,14 @@ def cmd_serve(args) -> int:
         return _serve_cluster(args)
     store = (None if args.no_cache
              else ResultStore(args.cache, shared=args.shared_cache))
+    params = DEFAULT_PARAMS
+    if getattr(args, "topology", None):
+        # The service-wide default substrate; per-request "topology"
+        # fields still override it cell by cell.
+        params = params.with_topology(provider=args.topology)
     service = SimulationService(
         config=_config_for(args),
+        params=params,
         store=store,
         queue_limit=args.queue_limit,
         concurrency=args.jobs,
@@ -531,6 +572,8 @@ def cmd_request(args) -> int:
             }
             if args.faults:
                 fields["faults"] = args.faults
+            if args.topology:
+                fields["topology"] = args.topology
             response = client.sweep(**fields)
             if response.status == 202 and args.follow:
                 for event in client.job_events(
@@ -545,6 +588,8 @@ def cmd_request(args) -> int:
                 fields["seed"] = args.seed
             if args.faults:
                 fields["faults"] = args.faults
+            if args.topology:
+                fields["topology"] = args.topology
             if args.timeout_s is not None:
                 fields["timeout_s"] = args.timeout_s
             response = client.simulate(**fields)
@@ -688,6 +733,11 @@ def cmd_campaign(args) -> int:
         from repro.campaign.spec import with_kernel
 
         spec = with_kernel(spec, kernel)
+    topology = getattr(args, "topology", None)
+    if topology:
+        from repro.campaign.spec import with_topologies
+
+        spec = with_topologies(spec, (topology,))
     directory = _campaign_dir(args, spec)
     client = None
     store = None
@@ -753,7 +803,7 @@ class _DeprecatedAlias(argparse.Action):
 
 def _add_common(parser, *, jobs: bool = False, trace: bool = False,
                 trace_help: str = "", faults: bool = False,
-                kernel: bool = False) -> None:
+                kernel: bool = False, topology: bool = False) -> None:
     """The shared flag vocabulary of the executing verbs."""
     parser.add_argument("--seed", type=int, default=None,
                         help="override the traffic seed")
@@ -765,6 +815,12 @@ def _add_common(parser, *, jobs: bool = False, trace: bool = False,
             help="cycle-execution kernel (bit-identical results; see "
                  "'repro kernels list' for the registry and capability "
                  "flags)")
+    if topology:
+        parser.add_argument(
+            "--topology", choices=_topology_names(), default=None,
+            help="substrate topology provider (see 'repro topologies "
+                 "list'; non-mesh providers simulate a different network "
+                 "and fork the result cache)")
     if jobs:
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes (1 = in-process serial)")
@@ -830,6 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
                           action=_DeprecatedAlias,
                           default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     _add_common(simulate, jobs=True, trace=True, faults=True, kernel=True,
+                topology=True,
                 trace_help="write this run's cycle-level events as JSONL "
                            "to PATH")
     simulate.add_argument("--out", help="also write the full result as JSON")
@@ -854,6 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="skip the persistent store entirely")
     _add_common(sweep, jobs=True, trace=True, faults=True, kernel=True,
+                topology=True,
                 trace_help="directory: write one JSONL event trace per "
                            "simulated cell (bypasses the cache)")
     sweep.add_argument(
@@ -869,6 +927,13 @@ def build_parser() -> argparse.ArgumentParser:
         "action", nargs="?", default="list", choices=["list"],
         help="list the registry rows (name, capabilities, default)")
     kernels.set_defaults(fn=cmd_kernels)
+
+    topologies = add("topologies",
+                     "list the registered substrate topology providers")
+    topologies.add_argument(
+        "action", nargs="?", default="list", choices=["list"],
+        help="list the registry rows (name, capabilities, default)")
+    topologies.set_defaults(fn=cmd_topologies)
 
     serve = add("serve", "host the asyncio simulation service")
     serve.add_argument("--host", default="127.0.0.1")
@@ -891,7 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="read-through store tier shared across "
                             "shards (miss here falls back before "
                             "computing; writes are mirrored)")
-    _add_common(serve, jobs=True, kernel=True)
+    _add_common(serve, jobs=True, kernel=True, topology=True)
     serve.set_defaults(fn=cmd_serve)
 
     campaign = add("campaign", "declarative, resumable scenario campaigns")
@@ -903,7 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--spec", default=None,
         help="campaign spec file (.toml/.json) or a named campaign "
-             "(e-series, r-series, smoke)")
+             "(e-series, r-series, e-topology, smoke)")
     campaign.add_argument(
         "--dir", default=None,
         help="campaign directory holding the checkpoint manifest "
@@ -933,6 +998,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=_kernel_names(), default=None,
         help="cycle-execution kernel for fresh cells (bit-identical "
              "results; never changes cell or campaign digests)")
+    campaign.add_argument(
+        "--topology", choices=_topology_names(), default=None,
+        help="restrict the spec's topology axis to one provider "
+             "(non-mesh choices fork the campaign digest and manifest)")
     campaign.set_defaults(fn=cmd_campaign)
 
     request = add("request", "query a running simulation service")
@@ -954,6 +1023,10 @@ def build_parser() -> argparse.ArgumentParser:
     request.add_argument("--workload", default="uniform")
     request.add_argument("--seed", type=int, default=None)
     request.add_argument("--faults", metavar="SPEC", default=None)
+    request.add_argument("--topology", choices=_topology_names(),
+                         default=None,
+                         help="substrate topology provider for the "
+                              "requested cell(s)")
     request.add_argument("--styles", default="baseline")
     request.add_argument("--widths", default="16")
     request.add_argument("--workloads", default="uniform")

@@ -35,7 +35,7 @@ from repro.cmp.address import make_kernel
 from repro.cmp.caches import L1Cache, L2Bank
 from repro.noc.message import Message, MessageClass, Packet, message_bytes
 from repro.noc.network import Network
-from repro.noc.topology import MeshTopology, NodeKind
+from repro.noc.topology import TopologyProvider, NodeKind
 
 
 @dataclass(frozen=True)
@@ -87,7 +87,7 @@ class CMPSystem:
         config = config if config is not None else CMPConfig()
         self.network = network
         self.config = config
-        self.topology: MeshTopology = network.topology
+        self.topology: TopologyProvider = network.topology
         self.invalidation_realization = invalidation_realization
         import random
 
@@ -162,7 +162,7 @@ class CMPSystem:
         """F(x, y) as a dense numpy matrix (for shortcut selection)."""
         import numpy as np
 
-        n = self.topology.params.num_routers
+        n = self.topology.num_routers
         matrix = np.zeros((n, n))
         for (src, dst), count in self.profile_counts.items():
             matrix[src, dst] = count

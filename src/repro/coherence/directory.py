@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.noc.message import Message, MessageClass, message_bytes
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.params import MessageParams
 
 
@@ -51,7 +51,7 @@ class DirectoryProtocol:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         config: Optional[CoherenceConfig] = None,
         message_params: Optional[MessageParams] = None,
     ):

@@ -31,7 +31,7 @@ from repro.core.overlay import RFIOverlay
 from repro.core.reconfig import ReconfigurationController, ReconfigurationPlan
 from repro.noc.network import Network
 from repro.noc.routing import RoutingPolicy, RoutingTables, Shortcut
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider, build_topology
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
 from repro.shortcuts.selection import (
     SelectionConfig, select_architecture_shortcuts,
@@ -47,7 +47,7 @@ class DesignPoint:
 
     name: str
     params: ArchitectureParams
-    topology: MeshTopology
+    topology: TopologyProvider
     tables: RoutingTables
     overlay: Optional[RFIOverlay] = None
     policy: RoutingPolicy = field(default_factory=RoutingPolicy)
@@ -114,11 +114,11 @@ def _resolve(
 def baseline(
     link_bytes: int = 16,
     params: Optional[ArchitectureParams] = None,
-    topology: Optional[MeshTopology] = None,
+    topology: Optional[TopologyProvider] = None,
 ) -> DesignPoint:
     """The mesh baseline at a given link width."""
     params = _resolve(params, link_bytes)
-    topo = topology or MeshTopology(params.mesh)
+    topo = topology or build_topology(params.mesh)
     return DesignPoint(
         name=f"baseline-{link_bytes}B",
         params=params,
@@ -130,13 +130,13 @@ def baseline(
 def static_rf(
     link_bytes: int = 16,
     params: Optional[ArchitectureParams] = None,
-    topology: Optional[MeshTopology] = None,
+    topology: Optional[TopologyProvider] = None,
     method: str = "greedy",
     budget: Optional[int] = None,
 ) -> DesignPoint:
     """Mesh + architecture-specific (design-time) RF-I shortcuts."""
     params = _resolve(params, link_bytes)
-    topo = topology or MeshTopology(params.mesh)
+    topo = topology or build_topology(params.mesh)
     config = SelectionConfig(
         budget=budget if budget is not None else params.rfi.shortcut_budget
     )
@@ -154,7 +154,7 @@ def static_rf(
 def wire_static(
     link_bytes: int = 16,
     params: Optional[ArchitectureParams] = None,
-    topology: Optional[MeshTopology] = None,
+    topology: Optional[TopologyProvider] = None,
     method: str = "greedy",
 ) -> DesignPoint:
     """The static shortcuts re-implemented in buffered RC wire (Fig 10a)."""
@@ -174,13 +174,13 @@ def adaptive_rf(
     link_bytes: int = 16,
     num_access_points: int = 50,
     params: Optional[ArchitectureParams] = None,
-    topology: Optional[MeshTopology] = None,
+    topology: Optional[TopologyProvider] = None,
     use_regions: bool = True,
     adaptive_routing: bool = False,
 ) -> DesignPoint:
     """Mesh + adaptive overlay reconfigured for one application profile."""
     params = _resolve(params, link_bytes)
-    topo = topology or MeshTopology(params.mesh)
+    topo = topology or build_topology(params.mesh)
     overlay = RFIOverlay(
         topo, topo.rf_enabled_routers(num_access_points), params.rfi,
         adaptive=True,
@@ -203,12 +203,12 @@ def adaptive_rf_multicast(
     link_bytes: int = 16,
     num_access_points: int = 50,
     params: Optional[ArchitectureParams] = None,
-    topology: Optional[MeshTopology] = None,
+    topology: Optional[TopologyProvider] = None,
     transmitter: Optional[int] = None,
 ) -> DesignPoint:
     """15 adaptive shortcuts + the RF multicast band (Section 5.2 'MC+SC')."""
     params = _resolve(params, link_bytes)
-    topo = topology or MeshTopology(params.mesh)
+    topo = topology or build_topology(params.mesh)
     aps = topo.rf_enabled_routers(num_access_points)
     overlay = RFIOverlay(topo, aps, params.rfi, adaptive=True)
     if transmitter is None:
@@ -227,7 +227,7 @@ def adaptive_rf_multicast(
     )
 
 
-def _default_multicast_transmitter(topo: MeshTopology, aps: list[int]) -> int:
+def _default_multicast_transmitter(topo: TopologyProvider, aps: list[int]) -> int:
     """The access point nearest a cluster's central cache bank."""
     ap_set = set(aps)
     for cluster in range(len(topo.cache_clusters)):

@@ -72,7 +72,7 @@ class OnlineReconfigurator:
         self.interval_cycles = interval_cycles
         self.decay = decay
         self.min_window_messages = min_window_messages
-        n = controller.topology.params.num_routers
+        n = controller.topology.num_routers
         self.window = np.zeros((n, n))
         self.phase = Phase.MEASURE
         self.next_reconfig_at = interval_cycles

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.noc.routing import Shortcut
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.params import RFIParams
 from repro.rfi.bands import BandPlan
 from repro.rfi.mixers import AccessPoint, TunerRole
@@ -47,7 +47,7 @@ class RFIOverlay:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         access_points: list[int],
         rfi_params: Optional[RFIParams] = None,
         adaptive: bool = True,
@@ -184,7 +184,7 @@ class RFIOverlay:
     @classmethod
     def for_static_shortcuts(
         cls,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         shortcuts: list[Shortcut],
         rfi_params: Optional[RFIParams] = None,
     ) -> "RFIOverlay":

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.overlay import RFIOverlay
 from repro.noc.routing import RoutingTables, Shortcut
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.shortcuts.region import select_region_shortcuts
 from repro.shortcuts.selection import (
     SelectionConfig, select_application_shortcuts,
@@ -53,7 +53,7 @@ class ReconfigurationController:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         overlay: RFIOverlay,
         budget: int | None = None,
         use_regions: bool = True,
@@ -75,7 +75,7 @@ class ReconfigurationController:
 
     def table_update_cycles(self) -> int:
         """One cycle per other router, all tables written in parallel."""
-        return self.topology.params.num_routers - 1
+        return self.topology.num_routers - 1
 
     def reconfigure(
         self,

@@ -126,6 +126,7 @@ def execute_spec(
             workload=spec.design_workload,
             num_access_points=spec.num_access_points,
             adaptive_routing=spec.adaptive_routing,
+            topology=dict(spec.extra).get("topology"),
         )
         return runner.run_unicast(design, spec.workload, seed=spec.seed,
                                   observation=observation,
@@ -137,6 +138,7 @@ def execute_spec(
             workload=spec.design_workload,
             num_access_points=spec.num_access_points,
             adaptive_routing=spec.adaptive_routing,
+            topology=dict(spec.extra).get("topology"),
         )
         return runner.run_multicast(
             design, spec.realization, spec.locality_percent,
@@ -164,6 +166,7 @@ def prepare_spec(
             workload=spec.design_workload,
             num_access_points=spec.num_access_points,
             adaptive_routing=spec.adaptive_routing,
+            topology=dict(spec.extra).get("topology"),
         )
         return runner.prepare_unicast(
             design, spec.workload, seed=spec.seed, observation=observation,
@@ -176,6 +179,7 @@ def prepare_spec(
             workload=spec.design_workload,
             num_access_points=spec.num_access_points,
             adaptive_routing=spec.adaptive_routing,
+            topology=dict(spec.extra).get("topology"),
         )
         return runner.prepare_multicast(
             design, spec.realization, spec.locality_percent,

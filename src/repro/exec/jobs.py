@@ -57,6 +57,9 @@ class JobSpec:
     def describe(self) -> str:
         """Short human-readable label for progress output."""
         parts = [self.kind, f"{self.style}-{self.link_bytes}B", self.workload]
+        topology = dict(self.extra).get("topology")
+        if topology:
+            parts.append(f"on:{topology}")
         if self.realization:
             parts.append(f"{self.realization}@{self.locality_percent}%")
         if self.rate is not None:
@@ -98,14 +101,29 @@ def job_digest(
     bit-identical by contract (see :mod:`repro.noc.kernel`), so the
     kernel choice must never fork the result cache — and stripping the
     field keeps every pre-kernel store address valid.
+
+    The topology ``provider`` (and its ``concentration`` knob) is
+    stripped only when it is the default mesh: a mesh job must keep its
+    pre-provider-layer address (the warm cache survives the refactor),
+    while any non-mesh provider legitimately forks the cache — it
+    simulates a different network.  Non-default topologies requested
+    per-job travel in the spec's ``("topology", name)`` extra, which is
+    part of the digest like any other spec field.
     """
+    normalized = normalize_spec(spec, config)
     blob = {
-        "spec": jsonable(normalize_spec(spec, config)),
+        "spec": jsonable(normalized),
         "config": jsonable(config),
         "params": jsonable(params),
     }
     blob["config"].get("sim", {}).pop("kernel", None)
     blob["params"].get("simulation", {}).pop("kernel", None)
+    mesh_blob = blob["params"].get("mesh", {})
+    requested = dict(normalized.extra).get("topology")
+    effective = requested or mesh_blob.get("provider", "mesh")
+    if effective == "mesh":
+        mesh_blob.pop("provider", None)
+        mesh_blob.pop("concentration", None)
     text = json.dumps(blob, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -118,6 +136,7 @@ def sweep_grid(
     adaptive_routing: bool = False,
     seeds: Iterable[Optional[int]] = (None,),
     faults: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> list[JobSpec]:
     """The full (style x link-width x workload x seed) unicast grid.
 
@@ -126,8 +145,11 @@ def sweep_grid(
     ``faults`` (a canonical fault-spec string) applies one schedule to
     every cell, folded into each spec's ``extra`` — and therefore its
     digest — so faulted sweeps address distinct store entries.
+    ``topology`` (a registered provider name) runs every cell on that
+    substrate, folded into ``extra`` the same way; the default-mesh
+    request is dropped so mesh grids keep their historical digests.
     """
-    extra: tuple[tuple[str, str], ...] = ()
+    fields: list[tuple[str, str]] = []
     if faults:
         from repro.faults import as_schedule
 
@@ -139,7 +161,13 @@ def sweep_grid(
             raise ValueError(
                 f"fault spec {faults!r} names no faults; pass None for a "
                 "fault-free sweep")
-        extra = (("faults", schedule.canonical()),)
+        fields.append(("faults", schedule.canonical()))
+    if topology is not None and topology != "mesh":
+        from repro.noc.topology import get_spec as get_topology_spec
+
+        get_topology_spec(topology)  # fail fast on unknown names
+        fields.append(("topology", topology))
+    extra = tuple(sorted(fields))
     return [
         JobSpec(
             kind="unicast",

@@ -12,6 +12,11 @@ name (``repro campaign run --spec e-series``) and tests/CI can import.
 * ``r-series`` — the resilience space: static vs adaptive overlays
   under structural and MTBF fault schedules, reduced over
   (latency, fault_drops).
+* ``e-topology`` — the overlay x substrate space: every overlay style
+  on every registered first-party topology provider (mesh, concentrated
+  mesh, torus), asking the paper's question of stronger baselines —
+  where does the RF-I overlay still buy latency/power once the
+  substrate itself gets better?
 * ``smoke`` — an 8-cell fast-config campaign (2 styles x 2 widths x
   2 workloads) small enough for CI to run cold-then-warm on every push.
 """
@@ -43,6 +48,17 @@ R_SERIES = CampaignSpec(
     chunk=4,
 )
 
+E_TOPOLOGY = CampaignSpec(
+    name="e-topology",
+    styles=("baseline", "static", "adaptive"),
+    widths=(16,),
+    workloads=("uniform", "1Hotspot"),
+    topologies=("mesh", "cmesh", "torus"),
+    objectives=("latency", "power"),
+    chunk=6,
+    fast=True,
+)
+
 SMOKE = CampaignSpec(
     name="smoke",
     styles=("baseline", "static"),
@@ -55,5 +71,5 @@ SMOKE = CampaignSpec(
 
 #: Every named campaign the CLI accepts in place of a spec-file path.
 NAMED_CAMPAIGNS: dict[str, CampaignSpec] = {
-    spec.name: spec for spec in (E_SERIES, R_SERIES, SMOKE)
+    spec.name: spec for spec in (E_SERIES, R_SERIES, E_TOPOLOGY, SMOKE)
 }

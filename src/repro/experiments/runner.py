@@ -30,7 +30,8 @@ from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.multicast import (
     MulticastAwareSource, RFRealization, UnicastExpansion, VCTRealization,
 )
-from repro.noc import MeshTopology, NetworkStats, Simulator
+from repro.noc import NetworkStats, Simulator
+from repro.noc.topology import TopologyProvider, build_topology, resolve_topology
 from repro.obs.result import RunResult
 from repro.params import DEFAULT_PARAMS, ArchitectureParams
 from repro.power import NoCPowerModel
@@ -83,24 +84,61 @@ class ExperimentRunner:
         self.config = config
         self.params = params
         self.store = store
-        self.topology = MeshTopology(params.mesh)
+        self.topology = build_topology(params.mesh)
         self.power_model = NoCPowerModel()
         self.patterns = all_patterns(self.topology)
         self.simulations_run = 0       # real Simulator executions (not cached)
-        self._profiles: dict[str, np.ndarray] = {}
+        # Per-provider context: the default provider's entries are aliases
+        # of the public ``topology`` / ``patterns`` attributes.
+        self._topologies: dict[str, TopologyProvider] = {
+            self.topology.name: self.topology
+        }
+        self._patterns_by_topo: dict[str, dict] = {
+            self.topology.name: self.patterns
+        }
+        self._profiles: dict[tuple[str, str], np.ndarray] = {}
         self._results: dict[tuple, RunResult] = {}
         self._designs: dict[tuple, DesignPoint] = {}
         self._design_keys: dict[int, tuple] = {}   # id(design) -> design key
         self._degraded: dict[tuple, DesignPoint] = {}  # (key, faults) -> point
 
+    # -- topologies ----------------------------------------------------------
+
+    def topology_for(self, name: Optional[str] = None) -> TopologyProvider:
+        """The (cached) provider instance for a registry name.
+
+        ``None`` means the runner's default — whatever
+        ``params.mesh.provider`` selects.  Providers are built once per
+        runner; every design, pattern, and profile for a given substrate
+        shares the instance.
+        """
+        resolved = resolve_topology(name, self.params.mesh.provider)
+        if resolved not in self._topologies:
+            self._topologies[resolved] = build_topology(
+                self.params.mesh, resolved
+            )
+        return self._topologies[resolved]
+
+    def _patterns_for(self, topology: TopologyProvider) -> dict:
+        if topology.name not in self._patterns_by_topo:
+            self._patterns_by_topo[topology.name] = all_patterns(topology)
+        return self._patterns_by_topo[topology.name]
+
     # -- workloads -----------------------------------------------------------
 
-    def pattern(self, workload: str):
-        """A probabilistic pattern or application pattern by name."""
-        if workload in self.patterns:
-            return self.patterns[workload]
+    def pattern(self, workload: str, topology: Optional[TopologyProvider] = None):
+        """A probabilistic pattern or application pattern by name.
+
+        ``topology`` selects the substrate the pattern is laid out on
+        (hotspot banks, quadrant masks, and dataflow groups are all
+        placement-dependent); the default is the runner's topology.
+        """
+        topo = topology or self.topology
+        patterns = self._patterns_for(topo)
+        if workload in patterns:
+            return patterns[workload]
         if workload in APPLICATIONS:
-            return application_pattern(self.topology, APPLICATIONS[workload])
+            return application_pattern(topo, APPLICATIONS[workload])
         raise KeyError(f"unknown workload {workload!r}")
 
     def rate(self, workload: str) -> float:
@@ -109,33 +147,52 @@ class ExperimentRunner:
             return APPLICATIONS[workload].rate
         return self.config.rate_for(workload)
 
-    def profile(self, workload: str) -> np.ndarray:
-        """Profiled communication-frequency matrix F(x, y) for a workload."""
-        if workload not in self._profiles:
+    def profile(
+        self, workload: str, topology: Optional[TopologyProvider] = None,
+    ) -> np.ndarray:
+        """Profiled communication-frequency matrix F(x, y) for a workload.
+
+        Profiles are per-substrate (the matrix is indexed by router id),
+        cached on (topology, workload).
+        """
+        topo = topology or self.topology
+        key = (topo.name, workload)
+        if key not in self._profiles:
             source = ProbabilisticTraffic(
-                self.topology, self.pattern(workload), self.rate(workload),
+                topo, self.pattern(workload, topo), self.rate(workload),
                 seed=self.config.seed,
             )
-            self._profiles[workload] = source.collect_profile(
+            self._profiles[key] = source.collect_profile(
                 self.config.profile_cycles
             )
-        return self._profiles[workload]
+        return self._profiles[key]
 
-    def _unicast_source(self, workload: str, seed: Optional[int] = None):
+    def _unicast_source(
+        self,
+        workload: str,
+        seed: Optional[int] = None,
+        topology: Optional[TopologyProvider] = None,
+    ):
+        topo = topology or self.topology
         return ProbabilisticTraffic(
-            self.topology, self.pattern(workload), self.rate(workload),
+            topo, self.pattern(workload, topo), self.rate(workload),
             seed=self.config.traffic_seed if seed is None else seed,
         )
 
-    def _multicast_workload(self, locality_percent: int):
+    def _multicast_workload(
+        self,
+        locality_percent: int,
+        topology: Optional[TopologyProvider] = None,
+    ):
+        topo = topology or self.topology
         return CombinedTraffic([
             ProbabilisticTraffic(
-                self.topology, self.patterns["uniform"],
+                topo, self._patterns_for(topo)["uniform"],
                 self.config.base_rate_with_multicast,
                 seed=self.config.traffic_seed,
             ),
             MulticastTraffic(
-                self.topology,
+                topo,
                 MulticastConfig(
                     rate=self.config.multicast_rate,
                     locality_percent=locality_percent,
@@ -153,38 +210,41 @@ class ExperimentRunner:
         workload: Optional[str] = None,
         num_access_points: Optional[int] = None,
         adaptive_routing: bool = False,
+        topology: Optional[str] = None,
     ) -> DesignPoint:
         """Build (and cache) a design point.
 
         ``style``: 'baseline', 'static', 'wire', 'adaptive', 'adaptive+mc',
         or 'mc-only'.  Adaptive styles require ``workload`` (the profile the
-        overlay reconfigures for).
+        overlay reconfigures for).  ``topology`` names a registered
+        provider to build on (None — the runner's default substrate).
         """
         aps = num_access_points or self.config.num_access_points
         if style not in ("adaptive", "adaptive+mc"):
             workload = None            # non-profiled styles ignore the profile
-        key = (style, link_bytes, workload, aps, adaptive_routing)
+        topo = self.topology_for(topology)
+        key = (style, link_bytes, workload, aps, adaptive_routing, topo.name)
         if key in self._designs:
             return self._designs[key]
         if style == "baseline":
-            point = baseline(link_bytes, self.params, self.topology)
+            point = baseline(link_bytes, self.params, topo)
         elif style == "static":
-            point = static_rf(link_bytes, self.params, self.topology)
+            point = static_rf(link_bytes, self.params, topo)
         elif style == "wire":
-            point = wire_static(link_bytes, self.params, self.topology)
+            point = wire_static(link_bytes, self.params, topo)
         elif style == "adaptive":
             point = adaptive_rf(
-                self.profile(workload), link_bytes, aps,
-                self.params, self.topology,
+                self.profile(workload, topo), link_bytes, aps,
+                self.params, topo,
                 adaptive_routing=adaptive_routing,
             )
         elif style == "adaptive+mc":
             point = adaptive_rf_multicast(
-                self.profile(workload), link_bytes, aps,
-                self.params, self.topology,
+                self.profile(workload, topo), link_bytes, aps,
+                self.params, topo,
             )
         elif style == "mc-only":
-            point = self._mc_only_design(link_bytes, aps)
+            point = self._mc_only_design(link_bytes, aps, topo)
         else:
             raise ValueError(f"unknown design style {style!r}")
         self._designs[key] = point
@@ -208,14 +268,20 @@ class ExperimentRunner:
             self._degraded[key] = degraded_design(design, schedule)
         return self._degraded[key]
 
-    def _mc_only_design(self, link_bytes: int, aps: int) -> DesignPoint:
+    def _mc_only_design(
+        self,
+        link_bytes: int,
+        aps: int,
+        topology: Optional[TopologyProvider] = None,
+    ) -> DesignPoint:
         """Baseline mesh + the multicast band on every access-point Rx."""
-        point = baseline(link_bytes, self.params, self.topology)
+        topo = topology or self.topology
+        point = baseline(link_bytes, self.params, topo)
         overlay = RFIOverlay(
-            self.topology, self.topology.rf_enabled_routers(aps),
+            topo, topo.rf_enabled_routers(aps),
             point.params.rfi, adaptive=True,
         )
-        overlay.configure_multicast(self.topology.central_bank(0))
+        overlay.configure_multicast(topo.central_bank(0))
         return dataclasses.replace(
             point, name=f"mc-only-{link_bytes}B", overlay=overlay
         )
@@ -249,7 +315,14 @@ class ExperimentRunner:
             return None
         from repro.exec import JobSpec, normalize_spec
 
-        style, link_bytes, design_workload, aps, adaptive = key
+        style, link_bytes, design_workload, aps, adaptive, topo_name = key
+        if topo_name != self.params.mesh.provider:
+            # A per-job topology request rides in ``extra`` (like faults)
+            # so it reaches the digest; designs on the params' own
+            # substrate add nothing, keeping historical addresses intact.
+            merged = dict(fields.pop("extra", ()))
+            merged["topology"] = topo_name
+            fields["extra"] = tuple(sorted(merged.items()))
         return normalize_spec(
             JobSpec(
                 kind=kind, style=style, link_bytes=link_bytes,
@@ -356,7 +429,7 @@ class ExperimentRunner:
             return PreparedRun(result=result)
         simulator = Simulator(
             design.new_network(),
-            [self._unicast_source(workload, resolved_seed)],
+            [self._unicast_source(workload, resolved_seed, design.topology)],
             self.config.sim, observation=observation,
             stage_profile=stage_profile,
         )
@@ -432,7 +505,8 @@ class ExperimentRunner:
         else:
             raise ValueError(f"unknown realization {realization_style!r}")
         source = MulticastAwareSource(
-            self._multicast_workload(locality_percent), realization
+            self._multicast_workload(locality_percent, design.topology),
+            realization,
         )
         simulator = Simulator(network, [source], self.config.sim,
                               observation=observation,
@@ -473,8 +547,8 @@ class ExperimentRunner:
         return self._cached_simulation(spec, lambda: Simulator(
             design.new_network(),
             [ProbabilisticTraffic(
-                self.topology, self.pattern(workload), rate,
-                seed=self.config.traffic_seed,
+                design.topology, self.pattern(workload, design.topology),
+                rate, seed=self.config.traffic_seed,
             )],
             sim,
         ).run())

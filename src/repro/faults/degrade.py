@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.faults.model import Fault, FaultSchedule
 from repro.noc.routing import DisconnectedMeshError, RoutingTables, Shortcut
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.params import RFIParams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -99,10 +99,10 @@ def remap_bands(
 
 
 def mesh_faults(
-    topology: MeshTopology, faults: Iterable[Fault]
+    topology: TopologyProvider, faults: Iterable[Fault]
 ) -> tuple[frozenset[tuple[int, int]], frozenset[int]]:
     """Validated ``(failed_links, failed_routers)`` from link/router faults."""
-    n = topology.params.num_routers
+    n = topology.num_routers
     links: set[tuple[int, int]] = set()
     routers: set[int] = set()
     for fault in faults:
@@ -113,7 +113,7 @@ def mesh_faults(
                     f"link fault {fault.canonical()} names a router outside "
                     f"the {n}-router mesh"
                 )
-            if topology.manhattan(a, b) != 1:
+            if b not in topology.neighbors(a).values():
                 raise ValueError(
                     f"link fault {fault.canonical()} does not name a mesh "
                     "link (routers are not adjacent)"
@@ -130,7 +130,7 @@ def mesh_faults(
 
 
 def validate_schedule(
-    topology: MeshTopology, schedule: FaultSchedule
+    topology: TopologyProvider, schedule: FaultSchedule
 ) -> None:
     """Refuse schedules that could ever partition the mesh.
 

@@ -35,7 +35,7 @@ from typing import Optional
 from repro.faults.degrade import mesh_faults, usable_band_count
 from repro.faults.model import Fault, FaultSchedule
 from repro.noc.routing import EJECT, RoutingTables
-from repro.noc.topology import MeshTopology, Port
+from repro.noc.topology import TopologyProvider, Port
 from repro.params import RFIParams
 
 
@@ -46,7 +46,7 @@ class FaultState:
         self,
         schedule: FaultSchedule,
         tables: RoutingTables,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         rfi: RFIParams,
     ):
         self.schedule = schedule
@@ -59,7 +59,7 @@ class FaultState:
         self._runtime = schedule.runtime()
         self._validate_runtime()
         self._port_to: dict[tuple[int, int], int] = {}
-        for r in range(topology.params.num_routers):
+        for r in range(topology.num_routers):
             for port, nbr in topology.neighbors(r).items():
                 self._port_to[(r, nbr)] = int(port)
         self._events = sorted(

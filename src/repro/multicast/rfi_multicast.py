@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.noc.message import Message, Packet
 from repro.noc.network import Network
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 
 
 @dataclass
@@ -88,7 +88,7 @@ class RFMulticastEngine:
         epoch_cycles: int = 32,
     ):
         self.network = network
-        self.topology: MeshTopology = network.topology
+        self.topology: TopologyProvider = network.topology
         self.receivers = sorted(receivers)
         if not self.receivers:
             raise ValueError("RF multicast needs at least one receiver")

@@ -29,7 +29,7 @@ from typing import Optional
 from repro.noc.message import Message, Packet
 from repro.noc.network import Network
 from repro.noc.routing import EJECT, xy_port
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 
 #: Cycles charged per destination to install a new virtual circuit tree.
 TREE_SETUP_CYCLES_PER_DEST = 1
@@ -40,7 +40,7 @@ TREE_SETUP_CYCLES_PER_DEST = 1
 VCT_TABLE_AREA_FRACTION = 0.054
 
 
-def on_xy_path(topo: MeshTopology, src: int, dst: int, router: int) -> bool:
+def on_xy_path(topo: TopologyProvider, src: int, dst: int, router: int) -> bool:
     """Is ``router`` on the XY (X-then-Y) path from src to dst?"""
     sx, sy = topo.coord(src)
     dx, dy = topo.coord(dst)

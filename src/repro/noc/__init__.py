@@ -1,8 +1,17 @@
 """Cycle-level network-on-chip substrate (Garnet-equivalent).
 
-Public surface: the mesh floorplan (:class:`MeshTopology`), messages and
-packets, routing (XY / shortest-path tables / adaptive policy), the
-cycle-level :class:`Network`, and the :class:`Simulator` driver.
+Public surface: the topology-provider layer (:class:`TopologyProvider`
+and its registry; :class:`MeshTopology` is the default provider),
+messages and packets, routing (provider-minimal / shortest-path tables /
+adaptive policy), the cycle-level :class:`Network`, and the
+:class:`Simulator` driver.
+
+Both plugin registries live one level down and share an idiom:
+``repro.noc.kernel`` (cycle-execution kernels) and
+``repro.noc.topology`` (substrate providers).  The kernel registry's
+``register``/``get_spec``/``unregister`` are re-exported here for
+backward compatibility; address the topology registry through its module
+(``from repro.noc import topology; topology.register(...)``).
 """
 
 from repro.noc.kernel import (
@@ -19,13 +28,20 @@ from repro.noc.routing import (
 )
 from repro.noc.simulator import Simulator, simulate
 from repro.noc.stats import ActivityCounts, NetworkStats
-from repro.noc.topology import MeshTopology, NodeKind, Port
+from repro.noc.topology import (
+    DEFAULT_TOPOLOGY, TOPOLOGIES, TOPOLOGY_CAPABILITIES,
+    ConcentratedMeshTopology, MeshTopology, NodeKind, Port,
+    TopologyCapabilityError, TopologyProvider, TopologySpec, TorusTopology,
+    build_topology, list_topologies, resolve_topology, topology_capabilities,
+)
 
 __all__ = [
     "ActivityCounts",
     "BatchKernel",
     "CAPABILITIES",
+    "ConcentratedMeshTopology",
     "DEFAULT_KERNEL",
+    "DEFAULT_TOPOLOGY",
     "DisconnectedMeshError",
     "EJECT",
     "FastKernel",
@@ -47,14 +63,24 @@ __all__ = [
     "Shortcut",
     "SimKernel",
     "Simulator",
+    "TOPOLOGIES",
+    "TOPOLOGY_CAPABILITIES",
+    "TopologyCapabilityError",
+    "TopologyProvider",
+    "TopologySpec",
+    "TorusTopology",
+    "build_topology",
     "get_kernel",
     "get_spec",
     "kernel_capabilities",
     "list_kernels",
+    "list_topologies",
     "message_bytes",
     "register",
     "resolve_kernel",
+    "resolve_topology",
     "simulate",
+    "topology_capabilities",
     "unregister",
     "xy_port",
 ]

@@ -31,7 +31,7 @@ from repro.noc.message import Message, Packet
 from repro.noc.router import OutputLink, Router
 from repro.noc.routing import EJECT, RoutingPolicy, RoutingTables
 from repro.noc.stats import NetworkStats
-from repro.noc.topology import MeshTopology, Port
+from repro.noc.topology import Port, TopologyProvider
 from repro.params import ArchitectureParams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,7 +79,7 @@ class Network:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         params: ArchitectureParams,
         tables: Optional[RoutingTables] = None,
         policy: Optional[RoutingPolicy] = None,
@@ -155,8 +155,8 @@ class Network:
 
     def _build(self) -> None:
         topo = self.topology
-        spacing = topo.params.router_spacing_mm
-        for rid in range(topo.params.num_routers):
+        spacing = topo.router_spacing_mm
+        for rid in range(topo.num_routers):
             router = Router(rid)
             router.add_input_port(int(Port.LOCAL), self.num_vcs, self.params.router.num_escape_vcs)
             self.routers.append(router)
@@ -164,10 +164,7 @@ class Network:
         # Mesh links and the matching input ports.
         for rid, router in enumerate(self.routers):
             for port, neighbor in topo.neighbors(rid).items():
-                opposite = {
-                    Port.NORTH: Port.SOUTH, Port.SOUTH: Port.NORTH,
-                    Port.EAST: Port.WEST, Port.WEST: Port.EAST,
-                }[port]
+                opposite = topo.opposite_port(port)
                 nbr_router = self.routers[neighbor]
                 if int(opposite) not in nbr_router.in_ports:
                     nbr_router.add_input_port(
@@ -204,7 +201,7 @@ class Network:
     def _wire_shortcut(self, sc: "Shortcut") -> None:
         """Create the sixth-port link realizing one shortcut."""
         topo = self.topology
-        spacing = topo.params.router_spacing_mm
+        spacing = topo.router_spacing_mm
         src_router = self.routers[sc.src]
         dst_router = self.routers[sc.dst]
         if int(Port.RF) in src_router.out_links:

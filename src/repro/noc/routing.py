@@ -1,17 +1,23 @@
-"""Routing for the mesh and the RF-I-overlaid mesh.
+"""Routing for a topology-provider substrate and its RF-I overlay.
 
 Three unicast algorithms are provided:
 
-* **XY routing** — the baseline mesh's dimension-ordered routing.  Also the
-  deadlock-free *escape* route: the paper reserves "eight virtual channels
-  that only use conventional mesh links" for deadlock handling, which we
-  realize as a Duato-style escape VC class routed XY over mesh ports only.
+* **Minimal routing** — the provider's deterministic minimal-route function
+  (:meth:`~repro.noc.topology.base.TopologyProvider.min_port`; the mesh's is
+  classic XY dimension order).  When the provider declares
+  ``minimal_escape_deadlock_free`` it is also the *escape* route: the paper
+  reserves "eight virtual channels that only use conventional mesh links"
+  for deadlock handling, which we realize as a Duato-style escape VC class
+  routed minimally over mesh ports only.  Providers whose minimal routes
+  can cycle (the torus: wraparound rings) instead get a BFS spanning-tree
+  escape, built and *proven* acyclic (:meth:`RoutingTables.validate_escape`)
+  at construction time — the same machinery the faulted mesh uses.
 * **Table routing** — once RF-I shortcuts are overlaid, the paper switches to
   shortest-path routing.  Tables are built by breadth-first search over the
-  directed graph of mesh links plus shortcut edges, minimizing hop count
+  directed graph of provider links plus shortcut edges, minimizing hop count
   (every hop costs one router pipeline regardless of physical distance, so
   hops are the correct latency proxy).  Ties prefer the RF port — a shortcut
-  hop frees mesh links — then dimension order for determinism.
+  hop frees mesh links — then the provider's minimal port for determinism.
 * **Adaptive table routing** — the HPCA-2008 paper's contention-avoidance:
   at route-computation time, if the preferred next hop is an RF shortcut
   whose transmitter queue is congested, fall back to the best mesh-only next
@@ -24,7 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.noc.topology import MeshTopology, Port
+from repro.noc.topology import Port, TopologyProvider
 
 #: Sentinel port value meaning "deliver to the local component".
 EJECT = int(Port.LOCAL)
@@ -40,19 +46,14 @@ class DisconnectedMeshError(ValueError):
     """
 
 
-def xy_port(topology: MeshTopology, cur: int, dst: int) -> int:
-    """Dimension-ordered (X then Y) next port from ``cur`` toward ``dst``."""
-    cx, cy = topology.coord(cur)
-    dx, dy = topology.coord(dst)
-    if cx < dx:
-        return int(Port.EAST)
-    if cx > dx:
-        return int(Port.WEST)
-    if cy < dy:
-        return int(Port.NORTH)
-    if cy > dy:
-        return int(Port.SOUTH)
-    return EJECT
+def xy_port(topology: TopologyProvider, cur: int, dst: int) -> int:
+    """The provider's minimal next port from ``cur`` toward ``dst``.
+
+    Historically the mesh's closed-form XY computation; now a thin alias
+    of :meth:`~repro.noc.topology.base.TopologyProvider.min_port`, which
+    the mesh implements as exactly that XY order.
+    """
+    return topology.min_port(cur, dst)
 
 
 @dataclass(frozen=True)
@@ -85,7 +86,7 @@ class RoutingTables:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         shortcuts: Sequence[Shortcut] = (),
         *,
         failed_links: Iterable[tuple[int, int]] = (),
@@ -109,7 +110,7 @@ class RoutingTables:
                     "drop it from the overlay before building tables"
                 )
             self._rf_next[sc.src] = sc.dst
-        n = topology.params.num_routers
+        n = topology.num_routers
         self.alive_routers = tuple(
             r for r in range(n) if r not in self.failed_routers
         )
@@ -117,9 +118,15 @@ class RoutingTables:
         self._port: list[list[int]] = [[EJECT] * n for _ in range(n)]
         self._mesh_port: list[list[int]] = []
         self._escape_port: list[list[int]] = []
+        # The escape class follows the provider's minimal route only when
+        # that route is itself deadlock-free on the *intact* graph (the
+        # mesh's XY); faults, or a provider that disclaims it (the torus),
+        # switch the escape to a proven spanning tree.
+        self._tree_escape = self.faulted or not topology.minimal_escape_deadlock_free
         self._build()
         if self.faulted:
             self._build_mesh_tables()
+        if self._tree_escape:
             self._build_escape_tree()
             self.validate_escape()
 
@@ -143,7 +150,7 @@ class RoutingTables:
 
     def _reverse_adjacency(self) -> list[list[tuple[int, int]]]:
         """For each router, the list of ``(predecessor, port-out-of-pred)``."""
-        n = self.topology.params.num_routers
+        n = self.topology.num_routers
         radj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
         for r in range(n):
             for port, neighbor in self.topology.neighbors(r).items():
@@ -158,7 +165,7 @@ class RoutingTables:
         """Per-destination reverse BFS filling distance and next-hop tables."""
         radj = self._reverse_adjacency()
         for dst in self.alive_routers:
-            dist = [-1] * self.topology.params.num_routers
+            dist = [-1] * self.topology.num_routers
             dist[dst] = 0
             queue = deque([dst])
             while queue:
@@ -187,11 +194,11 @@ class RoutingTables:
         """Mesh-only next-hop tables by BFS over surviving links.
 
         Only built when faulted: on the intact grid the mesh-optimal next
-        hop is the closed-form XY port, so no table is needed.  Ties prefer
-        the XY port for determinism (matching the unfaulted behaviour
-        wherever XY is still alive).
+        hop is the provider's closed-form minimal port, so no table is
+        needed.  Ties prefer the minimal port for determinism (matching
+        the unfaulted behaviour wherever it is still alive).
         """
-        n = self.topology.params.num_routers
+        n = self.topology.num_routers
         self._mesh_port = [[EJECT] * n for _ in range(n)]
         for dst in self.alive_routers:
             dist = [-1] * n
@@ -227,7 +234,7 @@ class RoutingTables:
         cyclic dependency because the tree has no cycles — the classic
         up*/down* argument with a single up/down phase per route.
         """
-        n = self.topology.params.num_routers
+        n = self.topology.num_routers
         root = self.alive_routers[0]
         parent = {root: root}
         tree_adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
@@ -301,10 +308,10 @@ class RoutingTables:
     def mesh_port_for(self, cur: int, dst: int) -> int:
         """Best mesh-only next port (the adaptive fallback).
 
-        On the intact grid this is XY: always a shortest *mesh* path, and
-        dimension-ordered so it cannot introduce new channel dependencies.
-        With failed links/routers it is the BFS next hop over surviving
-        mesh links (ties prefer the XY port).
+        On the intact graph this is the provider's minimal port (the
+        mesh's XY): always a shortest *mesh* path.  With failed
+        links/routers it is the BFS next hop over surviving mesh links
+        (ties prefer the minimal port).
         """
         if not self.faulted:
             return xy_port(self.topology, cur, dst)
@@ -313,11 +320,13 @@ class RoutingTables:
     def escape_port_for(self, cur: int, dst: int) -> int:
         """Deadlock-free escape next port (mesh links only).
 
-        XY on the intact grid; spanning-tree routing over the surviving
-        mesh when links or routers have failed (see
-        :meth:`_build_escape_tree` for the deadlock-freedom argument).
+        The provider's minimal route on an intact graph that declares
+        ``minimal_escape_deadlock_free`` (the mesh's XY); spanning-tree
+        routing otherwise — under faults, or on providers like the torus
+        whose minimal routes can cycle (see :meth:`_build_escape_tree`
+        for the deadlock-freedom argument).
         """
-        if not self.faulted:
+        if not self._tree_escape:
             return xy_port(self.topology, cur, dst)
         return self._escape_port[cur][dst]
 
@@ -351,9 +360,9 @@ class RoutingTables:
 
         Raises :class:`DisconnectedMeshError` on either violation.  Called
         automatically when tables are built with faults; cheap enough to
-        call directly in tests for the unfaulted XY escape too.
+        call directly in tests for the unfaulted minimal escape too.
         """
-        n = self.topology.params.num_routers
+        n = self.topology.num_routers
         deps: dict[tuple[int, int], set[tuple[int, int]]] = {}
         for src in self.alive_routers:
             for dst in self.alive_routers:

@@ -1,0 +1,80 @@
+"""Topology providers: the substrate layer under the RF-I overlay.
+
+``repro.noc.topology`` was a single hardcoded mesh module; it is now a
+provider package.  :mod:`~repro.noc.topology.base` defines the
+:class:`TopologyProvider` interface (node set, port/neighbor map,
+coordinates, minimal-route function, escape obligation, distances);
+:mod:`~repro.noc.topology.registry` holds the public registry mirroring
+the kernel registry; and three first-party providers ship:
+
+* ``"mesh"`` (:class:`MeshTopology`) — the paper's 10x10 baseline, one
+  router per tile, XY routing, the default;
+* ``"cmesh"`` (:class:`ConcentratedMeshTopology`) — ``c x c`` tiles per
+  router, the SimpleChiplet-style stronger electrical baseline, with an
+  optional NoI express tier for the wire overlay;
+* ``"torus"`` (:class:`TorusTopology`) — wraparound links, escape VCs
+  proven deadlock-free over a spanning tree instead of XY.
+
+Everything the old module exported is re-exported here, so existing
+imports (``from repro.noc.topology import MeshTopology, PORT_STEP``)
+keep working unchanged.
+"""
+
+from repro.noc.topology.base import (
+    OPPOSITE_PORT,
+    PORT_STEP,
+    Coord,
+    NodeKind,
+    Port,
+    TopologyProvider,
+)
+from repro.noc.topology.concentrated import ConcentratedMeshTopology
+from repro.noc.topology.mesh import MeshTopology
+from repro.noc.topology.registry import (
+    DEFAULT_TOPOLOGY,
+    TOPOLOGIES,
+    TOPOLOGY_CAPABILITIES,
+    TopologyCapabilityError,
+    TopologySpec,
+    build_topology,
+    get_spec,
+    list_topologies,
+    register,
+    require_topology_capabilities,
+    resolve_topology,
+    topology_capabilities,
+    unregister,
+)
+from repro.noc.topology.torus import TorusTopology
+
+register("mesh", MeshTopology,
+         capabilities={"overlay", "faults", "multicast"})
+register("cmesh", ConcentratedMeshTopology,
+         capabilities={"overlay", "faults", "multicast"})
+register("torus", TorusTopology,
+         capabilities={"overlay", "faults", "multicast"})
+
+__all__ = [
+    "OPPOSITE_PORT",
+    "PORT_STEP",
+    "Coord",
+    "NodeKind",
+    "Port",
+    "TopologyProvider",
+    "MeshTopology",
+    "ConcentratedMeshTopology",
+    "TorusTopology",
+    "DEFAULT_TOPOLOGY",
+    "TOPOLOGIES",
+    "TOPOLOGY_CAPABILITIES",
+    "TopologyCapabilityError",
+    "TopologySpec",
+    "build_topology",
+    "get_spec",
+    "list_topologies",
+    "register",
+    "require_topology_capabilities",
+    "resolve_topology",
+    "topology_capabilities",
+    "unregister",
+]

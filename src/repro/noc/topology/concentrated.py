@@ -1,0 +1,124 @@
+"""Concentrated-mesh provider: ``c x c`` logical tiles share one router.
+
+The SimpleChiplet-style NoC+NoI answer to "is RF-I worth it?" is a
+stronger electrical baseline: concentrate the 10x10 tile grid onto a
+5x5 router grid (concentration ``c = 2``) so every hop covers twice the
+die distance and the bisection needs half the routers.  This provider
+realizes that design point on the existing 6-port router: the logical
+``width x height`` component placement (identical to the mesh's — same
+corners, same cache quadrants) is collapsed by ``c x c`` tiles, each
+tile electing a single representative component for its router's local
+port by precedence MEMORY > CACHE > CORE (a corner tile must stay a
+memory port; a cache tile must stay reachable as a bank).
+
+Routing is the mesh's XY on the smaller router grid, so escape VCs need
+no spanning tree (``minimal_escape_deadlock_free`` stays True), and the
+RF-I / wire overlay machinery applies unchanged — including the optional
+NoI-style express tier, which :meth:`ConcentratedMeshTopology.
+express_pairs` exposes as directed router pairs for the wire-shortcut
+overlay (``shortcut_style="wire"``) to realize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.topology.base import NodeKind, TopologyProvider
+from repro.noc.topology.mesh import MeshTopology
+
+#: Tile-representative election order: a memory corner outranks a cache
+#: bank outranks a core.
+_KIND_PRECEDENCE = {NodeKind.MEMORY: 0, NodeKind.CACHE: 1, NodeKind.CORE: 2}
+
+
+@dataclass
+class ConcentratedMeshTopology(TopologyProvider):
+    """A mesh of ``(width/c) x (height/c)`` routers over the logical grid.
+
+    ``params.concentration`` is ``c``; the logical ``width`` and
+    ``height`` must both be divisible by it.
+    """
+
+    name = "cmesh"
+    minimal_escape_deadlock_free = True
+
+    def __post_init__(self) -> None:
+        c = self.params.concentration
+        if c < 1:
+            raise ValueError(f"concentration must be >= 1, got {c}")
+        if self.params.width % c or self.params.height % c:
+            raise ValueError(
+                f"concentration {c} must divide the logical grid "
+                f"{self.params.width}x{self.params.height}"
+            )
+        super().__post_init__()
+
+    @property
+    def width(self) -> int:
+        """Router-grid width: logical width / concentration."""
+        return self.params.width // self.params.concentration
+
+    @property
+    def height(self) -> int:
+        """Router-grid height: logical height / concentration."""
+        return self.params.height // self.params.concentration
+
+    def _assign_kinds(self) -> list[NodeKind]:
+        """Collapse the mesh's logical placement onto the router grid.
+
+        Each router's kind is the highest-precedence component among the
+        ``c x c`` logical tiles it concentrates, so corner memory ports
+        and cache banks survive concentration.
+        """
+        logical = MeshTopology(self.params)
+        c = self.params.concentration
+        kinds: list[NodeKind] = []
+        for ry in range(self.height):
+            for rx in range(self.width):
+                tile_kinds = [
+                    logical.kind(logical.router_id(rx * c + tx, ry * c + ty))
+                    for ty in range(c)
+                    for tx in range(c)
+                ]
+                kinds.append(min(tile_kinds, key=_KIND_PRECEDENCE.__getitem__))
+        return kinds
+
+    # XY on the router grid, inherited verbatim from the mesh.
+    min_port = MeshTopology.min_port
+    distance_matrix = MeshTopology.distance_matrix
+
+    def rf_enabled_routers(self, count: int) -> list[int]:
+        """Staggered RF placement, clamping oversized budgets.
+
+        Access-point budgets are sized for the 100-router mesh (the
+        config default is 50); on the concentrated grid a budget larger
+        than the router count simply means "every router".
+        """
+        if count > 0:
+            count = min(count, self.num_routers)
+        return super().rf_enabled_routers(count)
+
+    def express_pairs(self) -> list[tuple[int, int]]:
+        """Directed router pairs of the optional NoI-style express tier.
+
+        A directed ring over the four quadrant-center routers — the
+        chiplet-interposer idiom of linking one hub per quadrant —
+        expressed as shortcut endpoints for the wire overlay
+        (``Network(shortcut_style="wire")``) to realize with
+        length-proportional latency.  One outbound shortcut per hub, so
+        the set respects the router's single-shortcut port budget.
+        Empty when the router grid is too small to have four distinct
+        quadrant centers.
+        """
+        w, h = self.width, self.height
+        if w < 2 or h < 2:
+            return []
+        hubs = [
+            self.router_id(w // 4, h // 4),
+            self.router_id(w - 1 - w // 4, h // 4),
+            self.router_id(w - 1 - w // 4, h - 1 - h // 4),
+            self.router_id(w // 4, h - 1 - h // 4),
+        ]
+        if len(set(hubs)) < 4:
+            return []
+        return [(hub, hubs[(i + 1) % 4]) for i, hub in enumerate(hubs)]

@@ -1,0 +1,66 @@
+"""The default provider: the paper's one-router-per-tile 2D mesh.
+
+The baseline architecture (Section 3.1) is a 10x10 mesh of routers, each
+with a local port attached to one of 64 processor cores, 32 cache banks,
+or 4 memory ports.  Memory ports sit on the four corner routers; cache
+banks form four clusters of eight, one per quadrant, hugging the nearer
+horizontal die edge (this makes router (7, 0) a cache bank, matching the
+paper's 1Hotspot example); cores fill the remaining routers.
+
+Routers are identified by integer ids ``y * width + x`` with ``(x, y)``
+coordinates, ``(0, 0)`` at the bottom-left.  All of that machinery lives
+in :class:`~repro.noc.topology.base.TopologyProvider`; this class pins the
+mesh-specific pieces: XY dimension-ordered :meth:`min_port` (deadlock-free
+on its own, so it doubles as the escape route) and the closed-form
+Manhattan distance matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.topology.base import Port, TopologyProvider
+
+
+@dataclass
+class MeshTopology(TopologyProvider):
+    """Placement and connectivity of one mesh design point.
+
+    Parameters
+    ----------
+    params:
+        Mesh geometry.  Component counts must satisfy
+        ``num_cores + num_caches + num_memports == width * height``.
+    """
+
+    name = "mesh"
+    minimal_escape_deadlock_free = True
+
+    def min_port(self, cur: int, dst: int) -> int:
+        """XY dimension-ordered next port: correct X first, then Y.
+
+        Deadlock-free on the mesh (monotone dimension order admits no
+        cyclic channel dependency), so escape VCs follow it directly.
+        """
+        if cur == dst:
+            return int(Port.LOCAL)
+        cx, cy = self.coord(cur)
+        dx, dy = self.coord(dst)
+        if cx < dx:
+            return int(Port.EAST)
+        if cx > dx:
+            return int(Port.WEST)
+        if cy < dy:
+            return int(Port.NORTH)
+        return int(Port.SOUTH)
+
+    def distance_matrix(self) -> np.ndarray:
+        """Closed-form Manhattan APSP (identical to the BFS, O(n^2) direct)."""
+        n = self.num_routers
+        xs = np.array([self.coord(r)[0] for r in range(n)])
+        ys = np.array([self.coord(r)[1] for r in range(n)])
+        return (
+            np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+        ).astype(np.int32)

@@ -1,0 +1,207 @@
+"""The topology registry and resolver, mirroring the kernel registry.
+
+Providers join the registry exactly the way kernels do::
+
+    from repro.noc import topology
+
+    topology.register("hamming", HammingTopology,
+                      capabilities={"overlay", "faults"})
+
+and from then on the whole stack can reach them: ``--topology hamming``
+on the CLI, ``"topology": "hamming"`` in serve requests, a campaign
+``topologies`` axis, and ``TopologyParams(provider="hamming")`` in code.
+
+Capability flags
+----------------
+Every registration declares what the provider supports, from
+:data:`TOPOLOGY_CAPABILITIES`:
+
+* ``"overlay"`` — RF-I / wire shortcut overlays may be laid over the
+  provider graph (shortcut selection runs on its distance matrix, and
+  access points come from ``rf_enabled_routers``);
+* ``"faults"`` — fault injection and route re-planning are supported
+  (the provider graph stays routable under the BFS spanning-tree escape
+  when links or routers die);
+* ``"multicast"`` — cache-cluster multicast is supported (the provider
+  exposes the cluster structure multicast transmitters key on).
+
+All three first-party providers declare all three flags; the gate exists
+so a third-party provider without, say, a cluster structure is refused
+loudly — :class:`TopologyCapabilityError`, before any cycle runs — when
+a run needs multicast, instead of failing somewhere inside a kernel.
+
+Selection precedence (:func:`resolve_topology`) mirrors the kernel
+resolver: an explicit request (CLI ``--topology`` / serve field / campaign
+axis, all of which write the job's ``("topology", name)`` extra) beats
+the params' ``provider`` field, which beats :data:`DEFAULT_TOPOLOGY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc.topology.base import TopologyProvider
+    from repro.params import TopologyParams
+
+#: The provider used when neither the job nor the params request one.
+DEFAULT_TOPOLOGY = "mesh"
+
+#: The capability vocabulary providers declare from (see module docstring).
+TOPOLOGY_CAPABILITIES = frozenset({"overlay", "faults", "multicast"})
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One registry entry: the provider factory plus its capabilities."""
+
+    name: str
+    factory: Callable[["TopologyParams"], "TopologyProvider"]
+    capabilities: frozenset[str]
+
+    def describe(self) -> dict:
+        """JSON-safe registry row (``repro topologies list``)."""
+        doc = (getattr(self.factory, "__doc__", None) or "").strip()
+        return {
+            "name": self.name,
+            "factory": getattr(self.factory, "__qualname__",
+                               repr(self.factory)),
+            "capabilities": sorted(self.capabilities),
+            "default": self.name == DEFAULT_TOPOLOGY,
+            "summary": doc.splitlines()[0] if doc else "",
+        }
+
+
+#: name -> TopologySpec; populated by :func:`register`.
+TOPOLOGIES: dict[str, TopologySpec] = {}
+
+
+class TopologyCapabilityError(RuntimeError):
+    """A selected topology provider cannot support the features this run needs."""
+
+
+def register(
+    name: str,
+    factory: Callable[["TopologyParams"], "TopologyProvider"],
+    *,
+    capabilities: Iterable[str] = (),
+) -> TopologySpec:
+    """Add a topology provider to the registry.
+
+    ``factory`` is called with the :class:`~repro.params.TopologyParams`
+    to realize (normally a :class:`TopologyProvider` subclass).
+    ``capabilities`` must come from :data:`TOPOLOGY_CAPABILITIES`; a
+    provider that omits a flag is *refused* — with
+    :class:`TopologyCapabilityError`, before any cycle runs — whenever a
+    run needs that feature.  Names are claimed once: replacing a provider
+    requires an explicit :func:`unregister` first, so a name collision is
+    a loud error instead of a silent behavior change.  Returns the stored
+    :class:`TopologySpec`.
+    """
+    caps = frozenset(capabilities)
+    unknown = caps - TOPOLOGY_CAPABILITIES
+    if unknown:
+        raise ValueError(
+            f"unknown topology capabilities {sorted(unknown)}; "
+            f"choose from {sorted(TOPOLOGY_CAPABILITIES)}"
+        )
+    if not name or not isinstance(name, str):
+        raise ValueError("topology name must be a non-empty string")
+    if name in TOPOLOGIES:
+        raise ValueError(
+            f"topology {name!r} is already registered; unregister() it first"
+        )
+    spec = TopologySpec(name=name, factory=factory, capabilities=caps)
+    TOPOLOGIES[name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a topology provider from the registry (primarily for tests)."""
+    TOPOLOGIES.pop(name, None)
+
+
+def get_spec(name: str) -> TopologySpec:
+    """The :class:`TopologySpec` registered under ``name``.
+
+    Raises ``KeyError`` with the known names so a CLI typo is diagnosable.
+    """
+    try:
+        return TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; known topologies: {sorted(TOPOLOGIES)}"
+        ) from None
+
+
+def topology_capabilities(name: str) -> frozenset[str]:
+    """The declared capability flags of the provider named ``name``."""
+    return get_spec(name).capabilities
+
+
+def list_topologies() -> list[dict]:
+    """JSON-safe registry listing, default provider first then by name."""
+    rows = [spec.describe() for spec in TOPOLOGIES.values()]
+    rows.sort(key=lambda row: (not row["default"], row["name"]))
+    return rows
+
+
+def resolve_topology(
+    requested: Optional[str] = None,
+    params_provider: Optional[str] = None,
+) -> str:
+    """Apply the documented selection precedence; returns a provider *name*.
+
+    ``requested`` is the run-level request (CLI ``--topology``, a serve
+    request's ``topology`` field, a campaign axis — all of which travel
+    as the job's ``("topology", name)`` extra); ``params_provider`` is
+    :attr:`TopologyParams.provider`.  Precedence: requested > params >
+    the registry default.  The winner is validated against the registry,
+    so a typo fails here — with the known names — rather than deep in a
+    run.
+    """
+    name = (
+        requested if requested is not None
+        else params_provider if params_provider is not None
+        else DEFAULT_TOPOLOGY
+    )
+    get_spec(name)  # fail fast on unknown names
+    return name
+
+
+def build_topology(
+    params: "TopologyParams", provider: Optional[str] = None,
+) -> "TopologyProvider":
+    """Realize ``params`` through its (or the requested) provider.
+
+    The single construction funnel: every ``MeshTopology(params.mesh)``
+    call site in the stack became ``build_topology(params.mesh)``, which
+    is what lets a job's topology request reach network construction.
+    """
+    name = resolve_topology(provider, params.provider)
+    return get_spec(name).factory(params)
+
+
+def require_topology_capabilities(
+    name: str, needed: Iterable[str], context: str = "this run",
+) -> TopologySpec:
+    """Refuse, loudly, unless provider ``name`` declares every needed flag.
+
+    Raises :class:`TopologyCapabilityError` naming the provider, the
+    missing flags, and capable alternatives — the same fail-fast contract
+    the kernel registry applies.
+    """
+    spec = get_spec(name)
+    missing = set(needed) - spec.capabilities
+    if missing:
+        capable = sorted(
+            other.name for other in TOPOLOGIES.values()
+            if not (set(needed) - other.capabilities)
+        )
+        raise TopologyCapabilityError(
+            f"topology {name!r} does not support {sorted(missing)} "
+            f"(declared capabilities: {sorted(spec.capabilities)}), "
+            f"which {context} requires; capable topologies: {capable}"
+        )
+    return spec

@@ -1,0 +1,78 @@
+"""Torus provider: the mesh with wraparound links in both dimensions.
+
+Same floorplan, placement, and router count as the mesh; every row and
+column closes into a ring, so edge routers gain the mesh's missing
+neighbors through the same four ports (an EAST wrap link leaves through
+``Port.EAST`` and arrives on the neighbor's ``Port.WEST``, exactly like
+an interior link — no new router microarchitecture).  The hop metric
+becomes wrap-aware Manhattan distance, halving the network diameter.
+
+The important difference is the escape obligation.  Dimension-ordered
+routing on a torus is *not* deadlock-free — each wraparound ring is a
+cyclic channel dependency all by itself — so this provider sets
+``minimal_escape_deadlock_free = False``.  :class:`~repro.noc.routing.
+RoutingTables` responds by building a BFS spanning-tree escape over the
+torus graph (tree routes cannot cycle) and proving it with
+``validate_escape`` at construction time, the same machinery the faulted
+mesh already uses.  Minimal adaptive routes still use the wrap links;
+only the escape VC class is restricted to the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.topology.base import PORT_STEP, Port, TopologyProvider
+
+
+@dataclass
+class TorusTopology(TopologyProvider):
+    """The mesh floorplan with both dimensions closed into rings.
+
+    Degenerate geometries where a wrap link would connect a router to
+    itself (``width == 1`` or ``height == 1``) simply omit that
+    dimension's wrap, degrading to the mesh's connectivity there.
+    """
+
+    name = "torus"
+    #: Wraparound rings make dimension-ordered (and any minimal) routing
+    #: cyclic; RoutingTables must build and prove a spanning-tree escape.
+    minimal_escape_deadlock_free = False
+
+    def neighbors(self, router: int) -> dict[Port, int]:
+        """All four neighbors, wrapping at the grid edges."""
+        x, y = self.coord(router)
+        result: dict[Port, int] = {}
+        for port, (dx, dy) in PORT_STEP.items():
+            nx_, ny = (x + dx) % self.width, (y + dy) % self.height
+            if (nx_, ny) != (x, y):
+                result[port] = self.router_id(nx_, ny)
+        return result
+
+    def manhattan(self, a: int, b: int) -> int:
+        """Wrap-aware hop distance: the shorter way around each ring."""
+        ax, ay = self.coord(a)
+        bx, by = self.coord(b)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def min_port(self, cur: int, dst: int) -> int:
+        """Dimension-ordered next port taking the shorter wrap direction.
+
+        X is corrected first, then Y; ties (exactly half way around an
+        even ring) break toward EAST / NORTH so the route is a function
+        of (cur, dst) only.  NOT deadlock-free on its own — see the class
+        docstring — which is precisely why the escape tree exists.
+        """
+        if cur == dst:
+            return int(Port.LOCAL)
+        cx, cy = self.coord(cur)
+        dx, dy = self.coord(dst)
+        if cx != dx:
+            east = (dx - cx) % self.width
+            west = (cx - dx) % self.width
+            return int(Port.EAST) if east <= west else int(Port.WEST)
+        north = (dy - cy) % self.height
+        south = (cy - dy) % self.height
+        return int(Port.NORTH) if north <= south else int(Port.SOUTH)

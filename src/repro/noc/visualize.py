@@ -10,17 +10,17 @@ shortcut taking load off the mesh.
 from __future__ import annotations
 
 from repro.noc.stats import NetworkStats
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 
 #: Intensity glyphs from idle to saturated.
 _SCALE = " .:-=+*#%@"
 
 
 def router_traffic(
-    stats: NetworkStats, topology: MeshTopology
+    stats: NetworkStats, topology: TopologyProvider
 ) -> dict[int, int]:
     """Flits entering or leaving each router over the measurement window."""
-    totals: dict[int, int] = {r: 0 for r in range(topology.params.num_routers)}
+    totals: dict[int, int] = {r: 0 for r in range(topology.num_routers)}
     for (src, dst), flits in stats.link_flits.items():
         totals[src] += flits
         totals[dst] += flits
@@ -28,15 +28,15 @@ def router_traffic(
 
 
 def render_traffic_heatmap(
-    stats: NetworkStats, topology: MeshTopology
+    stats: NetworkStats, topology: TopologyProvider
 ) -> str:
     """Per-router traffic intensity as an ASCII grid (brightest = busiest)."""
     totals = router_traffic(stats, topology)
     peak = max(totals.values()) or 1
     rows = []
-    for y in reversed(range(topology.params.height)):
+    for y in reversed(range(topology.height)):
         cells = []
-        for x in range(topology.params.width):
+        for x in range(topology.width):
             value = totals[topology.router_id(x, y)]
             glyph = _SCALE[min(len(_SCALE) - 1, value * (len(_SCALE) - 1) // peak)]
             cells.append(glyph * 2)
@@ -45,7 +45,7 @@ def render_traffic_heatmap(
 
 
 def hottest_links(
-    stats: NetworkStats, topology: MeshTopology, count: int = 10
+    stats: NetworkStats, topology: TopologyProvider, count: int = 10
 ) -> list[tuple[tuple[int, int], float]]:
     """The ``count`` busiest links as ((src, dst), flits/cycle)."""
     cycles = stats.activity.cycles or 1
@@ -56,7 +56,7 @@ def hottest_links(
 
 
 def render_link_report(
-    stats: NetworkStats, topology: MeshTopology, count: int = 10
+    stats: NetworkStats, topology: TopologyProvider, count: int = 10
 ) -> str:
     """Human-readable busiest-link table with coordinates."""
     lines = [f"{'link':<22} {'flits/cycle':>12}"]
@@ -71,15 +71,15 @@ def render_link_report(
 
 
 def render_shortcuts(
-    topology: MeshTopology, shortcuts, mark: str = "S"
+    topology: TopologyProvider, shortcuts, mark: str = "S"
 ) -> str:
     """Floorplan with shortcut sources (s) and destinations (d) marked."""
     sources = {sc.src for sc in shortcuts}
     dests = {sc.dst for sc in shortcuts}
     rows = []
-    for y in reversed(range(topology.params.height)):
+    for y in reversed(range(topology.height)):
         cells = []
-        for x in range(topology.params.width):
+        for x in range(topology.width):
             r = topology.router_id(x, y)
             if r in sources and r in dests:
                 cells.append("X")

@@ -71,7 +71,7 @@ class Observation:
         topology = network.topology
         self._coord = {
             rid: str(topology.coord(rid))
-            for rid in range(topology.params.num_routers)
+            for rid in range(topology.num_routers)
         }
         self._rf_bands = {
             sc.src: band for band, sc in enumerate(network.tables.shortcuts)

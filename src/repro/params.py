@@ -19,12 +19,24 @@ Sources
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
-class MeshParams:
-    """Geometry and clocking of the baseline mesh CMP (Section 3.1)."""
+class TopologyParams:
+    """Geometry, clocking, and substrate of the CMP floorplan (Section 3.1).
+
+    ``width`` x ``height`` is the *logical* component grid (100 tiles in the
+    paper's baseline); ``provider`` names the registered topology provider
+    (:mod:`repro.noc.topology`) that realizes it as a router graph.  The
+    default ``"mesh"`` provider places one router per tile; the
+    ``"cmesh"`` provider collapses ``concentration`` x ``concentration``
+    tiles onto each router; ``"torus"`` adds wraparound links.  Providers
+    other than the mesh may therefore expose fewer routers than
+    :attr:`num_routers` — simulation code must ask the *provider* for its
+    router-grid geometry, not these params.
+    """
 
     width: int = 10
     height: int = 10
@@ -36,21 +48,40 @@ class MeshParams:
     core_ghz: float = 4.0         # core / cache clock
     die_area_mm2: float = 400.0   # 20 mm x 20 mm die
     cache_clusters: int = 4       # one cluster of 8 banks per quadrant
+    #: Registered topology provider realizing this floorplan ("mesh" /
+    #: "cmesh" / "torus" / any :func:`repro.noc.topology.register` name).
+    #: Stripped from job digests when it equals the default, so every
+    #: pre-provider store address stays valid.
+    provider: str = "mesh"
+    #: Concentration factor for concentrated providers: each router hosts a
+    #: ``concentration x concentration`` tile of components.  Ignored (and
+    #: digest-stripped) under the plain mesh provider.
+    concentration: int = 2
 
     @property
     def num_routers(self) -> int:
-        """Routers in the mesh (width x height)."""
+        """Logical grid tiles (width x height).
+
+        Equals the router count only under one-router-per-tile providers;
+        concentrated providers expose their own smaller ``num_routers``.
+        """
         return self.width * self.height
 
     @property
     def router_spacing_mm(self) -> float:
-        """Distance between adjacent routers (die edge / mesh width)."""
+        """Distance between adjacent logical tiles (die edge / grid width)."""
         edge_mm = self.die_area_mm2 ** 0.5
         return edge_mm / self.width
 
-    def scaled(self, **overrides) -> "MeshParams":
+    def scaled(self, **overrides) -> "TopologyParams":
         """Return a copy with selected fields replaced (for small test meshes)."""
         return dataclasses.replace(self, **overrides)
+
+
+#: Backward-compatible name: the mesh was the only substrate before the
+#: provider layer existed, and every persisted digest/blob keys on the
+#: ``mesh`` field name.
+MeshParams = TopologyParams
 
 
 @dataclass(frozen=True)
@@ -173,22 +204,52 @@ class SimulationParams:
 
 @dataclass(frozen=True)
 class ArchitectureParams:
-    """Bundle of all parameter groups describing one NoC design point."""
+    """Bundle of all parameter groups describing one NoC design point.
 
-    mesh: MeshParams = MeshParams()
+    The ``mesh`` field holds the :class:`TopologyParams` (the name predates
+    the provider layer and is kept because persisted job digests key on it);
+    :attr:`topology` is the readable alias.
+    """
+
+    mesh: TopologyParams = TopologyParams()
     router: RouterParams = RouterParams()
     message: MessageParams = MessageParams()
     rfi: RFIParams = RFIParams()
     technology: TechnologyParams = TechnologyParams()
     simulation: SimulationParams = SimulationParams()
 
+    @property
+    def topology(self) -> TopologyParams:
+        """The substrate parameters (alias of the legacy ``mesh`` field)."""
+        return self.mesh
+
     def with_link_bytes(self, link_bytes: int) -> "ArchitectureParams":
         """A copy of this design with a different mesh link width (16/8/4 B)."""
         return dataclasses.replace(self, mesh=self.mesh.scaled(link_bytes=link_bytes))
 
+    def with_topology(
+        self, provider: "str | None" = None, **overrides
+    ) -> "ArchitectureParams":
+        """A copy with topology fields replaced.
+
+        ``provider`` selects a registered topology provider (e.g.
+        ``"torus"``, ``"cmesh"``); keyword overrides replace any other
+        :class:`TopologyParams` field (``with_topology(width=4, height=4)``
+        builds the small test meshes).
+        """
+        if provider is not None:
+            overrides["provider"] = provider
+        return dataclasses.replace(self, mesh=self.mesh.scaled(**overrides))
+
     def with_mesh(self, **mesh_overrides) -> "ArchitectureParams":
-        """A copy with selected mesh fields replaced (used for small test meshes)."""
-        return dataclasses.replace(self, mesh=self.mesh.scaled(**mesh_overrides))
+        """Deprecated alias of :meth:`with_topology` (pre-1.0; removed in v2.0)."""
+        warnings.warn(
+            "ArchitectureParams.with_mesh is deprecated and will be removed "
+            "in v2.0; use with_topology(**overrides) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.with_topology(**mesh_overrides)
 
 
 DEFAULT_PARAMS = ArchitectureParams()

@@ -112,7 +112,7 @@ class NoCPowerModel:
                 rf_endpoints.add(sc.src)
                 rf_endpoints.add(sc.dst)
         configs = []
-        for r in range(topo.params.num_routers):
+        for r in range(topo.num_routers):
             ports = 6 if r in rf_endpoints else 5
             configs.append(
                 RouterConfig(
@@ -149,7 +149,7 @@ class NoCPowerModel:
         """(length_mm, width_bits) of each RC-wire shortcut, if any."""
         if design.shortcut_style != "wire":
             return []
-        spacing = design.topology.params.router_spacing_mm
+        spacing = design.topology.router_spacing_mm
         width_bits = design.params.rfi.shortcut_bytes * 8
         return [
             (design.topology.manhattan(sc.src, sc.dst) * spacing, width_bits)
@@ -164,7 +164,7 @@ class NoCPowerModel:
             self.router_model.area_mm2(c) for c in self.router_configs(design)
         )
         topo = design.topology
-        spacing = topo.params.router_spacing_mm
+        spacing = topo.router_spacing_mm
         width_bits = design.link_bytes * 8
         link_mm2 = sum(
             self.link_model.area_mm2(spacing, width_bits)
@@ -221,7 +221,7 @@ class NoCPowerModel:
 
         router_leak_w = sum(self.router_model.leakage_w(c) for c in configs)
         topo = design.topology
-        spacing = topo.params.router_spacing_mm
+        spacing = topo.router_spacing_mm
         link_leak_w = sum(
             self.link_model.leakage_w(spacing, flit_bits)
             for _ in topo.mesh_links()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 
 #: Propagation speed over on-chip transmission lines, mm/ns: a 20 mm die
 #: edge in 0.3 ns (Section 2) gives ~66 mm/ns (the effective speed of light
@@ -27,7 +27,7 @@ PROPAGATION_MM_PER_NS = 20.0 / 0.3
 class Waveguide:
     """Serpentine routing of the bundle over a set of access points."""
 
-    topology: MeshTopology
+    topology: TopologyProvider
     access_points: list[int]
 
     def __post_init__(self) -> None:
@@ -54,7 +54,7 @@ class Waveguide:
 
     def length_mm(self) -> float:
         """Total bundle length along the serpentine."""
-        spacing = self.topology.params.router_spacing_mm
+        spacing = self.topology.router_spacing_mm
         total = 0.0
         for a, b in zip(self.order, self.order[1:]):
             total += self.topology.manhattan(a, b) * spacing

@@ -85,10 +85,29 @@ def _faults_extra(value) -> tuple[tuple[str, str], ...]:
     return (("faults", schedule.canonical()),)
 
 
+def _topology_extra(value) -> tuple[tuple[str, str], ...]:
+    """Validate a topology request into the spec's ``extra`` field.
+
+    The explicit default-mesh request is dropped — exactly the
+    :func:`~repro.exec.jobs.sweep_grid` convention — so it shares the
+    historical mesh digest instead of forking the cache.
+    """
+    if value is None:
+        return ()
+    _require(isinstance(value, str), "'topology' must be a provider name")
+    from repro.noc.topology import DEFAULT_TOPOLOGY, TOPOLOGIES
+
+    _require(value in TOPOLOGIES,
+             f"unknown topology {value!r}; one of {sorted(TOPOLOGIES)}")
+    if value == DEFAULT_TOPOLOGY:
+        return ()
+    return (("topology", value),)
+
+
 #: Fields a simulate request may carry (anything else is rejected).
 SIMULATE_FIELDS = frozenset({
     "design", "workload", "width", "seed", "access_points",
-    "adaptive_routing", "faults", "timeout_s",
+    "adaptive_routing", "faults", "topology", "timeout_s",
 })
 
 
@@ -124,13 +143,15 @@ def parse_simulate(payload: dict) -> JobSpec:
         seed=_opt_int(payload, "seed"),
         num_access_points=access_points,
         adaptive_routing=adaptive,
-        extra=_faults_extra(payload.get("faults")),
+        extra=tuple(sorted(_faults_extra(payload.get("faults"))
+                           + _topology_extra(payload.get("topology")))),
     )
 
 
 #: Fields a sweep request may carry.
 SWEEP_FIELDS = frozenset({
     "styles", "widths", "workloads", "seeds", "adaptive_routing", "faults",
+    "topology",
 })
 
 
@@ -169,8 +190,11 @@ def parse_sweep(payload: dict) -> list[JobSpec]:
     faults = payload.get("faults")
     if faults is not None:
         _faults_extra(faults)      # validate eagerly for a clean 400
+    topology = payload.get("topology")
+    if topology is not None:
+        _topology_extra(topology)  # validate eagerly for a clean 400
     return sweep_grid(styles, widths, workloads, adaptive_routing=adaptive,
-                      seeds=seeds, faults=faults)
+                      seeds=seeds, faults=faults, topology=topology)
 
 
 def spec_fields(spec: JobSpec) -> dict:
@@ -191,9 +215,11 @@ def spec_fields(spec: JobSpec) -> dict:
         fields["access_points"] = spec.num_access_points
     if spec.adaptive_routing:
         fields["adaptive_routing"] = True
-    faults = dict(spec.extra).get("faults")
-    if faults:
-        fields["faults"] = faults
+    extra = dict(spec.extra)
+    if extra.get("faults"):
+        fields["faults"] = extra["faults"]
+    if extra.get("topology"):
+        fields["topology"] = extra["topology"]
     return fields
 
 

@@ -1,9 +1,11 @@
 """Distance bookkeeping for shortcut selection.
 
-Selection works on the directed grid graph G of mesh routers (Section
-3.2.1).  We keep the all-pairs shortest-path matrix D as a dense numpy
-array: the mesh's initial D is just Manhattan distance, and adding one
-directed edge (i, j) updates it in O(V^2) via
+Selection works on the directed graph G of the topology provider's
+routers (Section 3.2.1).  We keep the all-pairs shortest-path matrix D
+as a dense numpy array: the provider supplies the initial D
+(:meth:`~repro.noc.topology.base.TopologyProvider.distance_matrix`; the
+mesh's is just Manhattan distance), and adding one directed edge (i, j)
+updates it in O(V^2) via
 
     D'[x, y] = min(D[x, y],  D[x, i] + 1 + D[j, y])
 
@@ -15,17 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 
 
-def mesh_distances(topo: MeshTopology) -> np.ndarray:
-    """Initial APSP matrix of the bare mesh (Manhattan distances)."""
-    n = topo.params.num_routers
-    xs = np.array([topo.coord(r)[0] for r in range(n)])
-    ys = np.array([topo.coord(r)[1] for r in range(n)])
-    return (
-        np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
-    ).astype(np.int32)
+def mesh_distances(topo: TopologyProvider) -> np.ndarray:
+    """Initial APSP matrix of the bare provider graph (no shortcuts).
+
+    Kept under its historical name; delegates to the provider so torus
+    wrap links and concentrated grids are measured correctly.
+    """
+    return topo.distance_matrix()
 
 
 def with_edge(dist: np.ndarray, i: int, j: int) -> np.ndarray:

@@ -15,13 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.noc.routing import Shortcut
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.shortcuts.graph import add_edge_inplace, mesh_distances
 from repro.shortcuts.selection import SelectionConfig
 
 
 def objective(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     shortcuts: list[Shortcut],
     frequency: np.ndarray | None = None,
 ) -> float:
@@ -35,7 +35,7 @@ def objective(
 
 
 def _best_replacement(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     kept: list[Shortcut],
     config: SelectionConfig,
     frequency: np.ndarray | None,
@@ -74,7 +74,7 @@ def _best_replacement(
 
 
 def refine_shortcuts(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     shortcuts: list[Shortcut],
     config: SelectionConfig | None = None,
     frequency: np.ndarray | None = None,

@@ -22,20 +22,20 @@ from typing import Optional
 import numpy as np
 
 from repro.noc.routing import Shortcut
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.shortcuts.selection import SelectionConfig, ShortcutSelector
 
 REGION_SIZE = 3
 
 
-def region_origins(topo: MeshTopology, size: int = REGION_SIZE) -> list[tuple[int, int]]:
+def region_origins(topo: TopologyProvider, size: int = REGION_SIZE) -> list[tuple[int, int]]:
     """Bottom-left corners of every size x size sub-mesh."""
-    w, h = topo.params.width, topo.params.height
+    w, h = topo.width, topo.height
     return [(x, y) for x in range(w - size + 1) for y in range(h - size + 1)]
 
 
 def region_members(
-    topo: MeshTopology, origin: tuple[int, int], size: int = REGION_SIZE
+    topo: TopologyProvider, origin: tuple[int, int], size: int = REGION_SIZE
 ) -> list[int]:
     """Router ids inside the region anchored at ``origin``."""
     x0, y0 = origin
@@ -56,7 +56,7 @@ class RegionSelector(ShortcutSelector):
 
     def __init__(
         self,
-        topo: MeshTopology,
+        topo: TopologyProvider,
         config: SelectionConfig,
         frequency: np.ndarray,
         region_size: int = REGION_SIZE,
@@ -122,7 +122,7 @@ class RegionSelector(ShortcutSelector):
 
 
 def select_region_shortcuts(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     frequency: np.ndarray,
     config: Optional[SelectionConfig] = None,
     region_size: int = REGION_SIZE,

@@ -35,7 +35,7 @@ from typing import Optional
 import numpy as np
 
 from repro.noc.routing import Shortcut
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.shortcuts.graph import (
     add_edge_inplace, cost_after_edge, mesh_distances,
 )
@@ -50,15 +50,15 @@ class SelectionConfig:
     forbid_corners: bool = True           # memory-attached corners excluded
     extra_forbidden: set[int] = field(default_factory=set)
 
-    def endpoint_mask(self, topo: MeshTopology) -> np.ndarray:
+    def endpoint_mask(self, topo: TopologyProvider) -> np.ndarray:
         """Boolean mask of routers eligible to be a shortcut endpoint."""
-        n = topo.params.num_routers
+        n = topo.num_routers
         mask = np.zeros(n, dtype=bool)
         allowed = self.allowed if self.allowed is not None else range(n)
         mask[list(allowed)] = True
         if self.forbid_corners:
             mask[topo.memports] = False
-            w, h = topo.params.width, topo.params.height
+            w, h = topo.width, topo.height
             corners = [
                 topo.router_id(0, 0), topo.router_id(w - 1, 0),
                 topo.router_id(0, h - 1), topo.router_id(w - 1, h - 1),
@@ -74,7 +74,7 @@ class ShortcutSelector:
 
     def __init__(
         self,
-        topo: MeshTopology,
+        topo: TopologyProvider,
         config: SelectionConfig,
         frequency: np.ndarray | None = None,
     ):
@@ -161,7 +161,7 @@ class ShortcutSelector:
 
 
 def select_architecture_shortcuts(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     config: Optional[SelectionConfig] = None,
     method: str = "greedy",
 ) -> list[Shortcut]:
@@ -171,7 +171,7 @@ def select_architecture_shortcuts(
 
 
 def select_application_shortcuts(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     frequency: np.ndarray,
     config: Optional[SelectionConfig] = None,
     method: str = "greedy",
@@ -185,6 +185,6 @@ def select_application_shortcuts(
     """
     config = config if config is not None else SelectionConfig()
     freq = np.asarray(frequency, dtype=float)
-    if freq.shape != (topo.params.num_routers,) * 2:
+    if freq.shape != (topo.num_routers,) * 2:
         raise ValueError("frequency matrix shape must match the mesh")
     return ShortcutSelector(topo, config, frequency=freq).run(method)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 
 
 @dataclass(frozen=True)
@@ -66,11 +66,11 @@ def detect_hotspots(
 
 
 def distance_profile(
-    profile: np.ndarray, topo: MeshTopology
+    profile: np.ndarray, topo: TopologyProvider
 ) -> dict[int, float]:
     """Messages by Manhattan distance — Figure 1 from a frequency matrix."""
     result: dict[int, float] = {}
-    n = topo.params.num_routers
+    n = topo.num_routers
     rows, cols = np.nonzero(profile)
     for s, d in zip(rows, cols):
         dist = topo.manhattan(int(s), int(d))
@@ -79,7 +79,7 @@ def distance_profile(
     return result
 
 
-def locality_index(profile: np.ndarray, topo: MeshTopology) -> float:
+def locality_index(profile: np.ndarray, topo: TopologyProvider) -> float:
     """Mean hop distance weighted by message counts (lower = more local)."""
     by_distance = distance_profile(profile, topo)
     total = sum(by_distance.values())
@@ -104,7 +104,7 @@ def top_flows(
 
 
 def weighted_mean_distance_saved(
-    profile: np.ndarray, topo: MeshTopology, shortcuts
+    profile: np.ndarray, topo: TopologyProvider, shortcuts
 ) -> float:
     """Average hops saved per message by a shortcut set.
 
@@ -123,7 +123,7 @@ def weighted_mean_distance_saved(
     return float(((base - improved) * profile).sum() / total)
 
 
-def summarize(profile: np.ndarray, topo: MeshTopology) -> dict:
+def summarize(profile: np.ndarray, topo: TopologyProvider) -> dict:
     """One-call workload characterization (used by examples and the CLI)."""
     hotspots = detect_hotspots(profile)
     return {

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.noc.topology import MeshTopology, NodeKind
+from repro.noc.topology import TopologyProvider, NodeKind
 from repro.traffic.patterns import TrafficPattern, _cache_near, legality_mask
 
 
@@ -76,11 +76,11 @@ APPLICATIONS: dict[str, ApplicationModel] = {
 APPLICATION_NAMES = tuple(APPLICATIONS)
 
 
-def _hotspot_banks(topo: MeshTopology, count: int) -> list[int]:
+def _hotspot_banks(topo: TopologyProvider, count: int) -> list[int]:
     """Hotspot cache banks: the (7, 0) bank first, then spread across corners."""
     anchors = [
-        (7, 0), (2, topo.params.height - 1),
-        (2, 0), (7, topo.params.height - 1),
+        (7, 0), (2, topo.height - 1),
+        (2, 0), (7, topo.height - 1),
     ]
     banks = []
     for x, y in anchors[:count]:
@@ -89,10 +89,10 @@ def _hotspot_banks(topo: MeshTopology, count: int) -> list[int]:
 
 
 def application_pattern(
-    topo: MeshTopology, model: ApplicationModel
+    topo: TopologyProvider, model: ApplicationModel
 ) -> TrafficPattern:
     """Build the weight matrix for one application model."""
-    n = topo.params.num_routers
+    n = topo.num_routers
     mask = legality_mask(topo)
     weight = np.zeros((n, n))
     kinds = [topo.kind(r) for r in range(n)]
@@ -154,7 +154,7 @@ class DistanceHistogram:
 
 
 def distance_histogram(
-    topo: MeshTopology, pattern: TrafficPattern, num_messages: int, seed: int = 2008
+    topo: TopologyProvider, pattern: TrafficPattern, num_messages: int, seed: int = 2008
 ) -> DistanceHistogram:
     """Sample ``num_messages`` from a pattern and bin them by distance."""
     from repro.traffic.probabilistic import ProbabilisticTraffic

@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.noc.message import Message, MessageClass, message_bytes
 from repro.noc.network import Network
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.params import MessageParams
 
 
@@ -51,7 +51,7 @@ class MulticastTraffic:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         config: Optional[MulticastConfig] = None,
         message_params: Optional[MessageParams] = None,
         seed: int = 2008,

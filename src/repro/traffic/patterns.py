@@ -27,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.noc.message import MessageClass
-from repro.noc.topology import MeshTopology, NodeKind
+from repro.noc.topology import TopologyProvider, NodeKind
 
 
 @dataclass(frozen=True)
@@ -47,9 +47,9 @@ class TrafficPattern:
             raise ValueError("self-traffic is not allowed")
 
 
-def legality_mask(topo: MeshTopology) -> np.ndarray:
+def legality_mask(topo: TopologyProvider) -> np.ndarray:
     """Which (src, dst) pairs may exchange messages at all."""
-    n = topo.params.num_routers
+    n = topo.num_routers
     kinds = [topo.kind(r) for r in range(n)]
     mask = np.zeros((n, n), dtype=float)
     quadrant_of_mem = _memory_quadrants(topo)
@@ -71,23 +71,23 @@ def legality_mask(topo: MeshTopology) -> np.ndarray:
     return mask
 
 
-def _memory_quadrants(topo: MeshTopology) -> dict[int, tuple[int, int]]:
+def _memory_quadrants(topo: TopologyProvider) -> dict[int, tuple[int, int]]:
     result = {}
     for m in topo.memports:
         x, y = topo.coord(m)
-        result[m] = (int(x >= topo.params.width / 2), int(y >= topo.params.height / 2))
+        result[m] = (int(x >= topo.width / 2), int(y >= topo.height / 2))
     return result
 
 
-def _same_quadrant(topo: MeshTopology, router: int, quadrant: tuple[int, int]) -> bool:
+def _same_quadrant(topo: TopologyProvider, router: int, quadrant: tuple[int, int]) -> bool:
     x, y = topo.coord(router)
-    q = (int(x >= topo.params.width / 2), int(y >= topo.params.height / 2))
+    q = (int(x >= topo.width / 2), int(y >= topo.height / 2))
     return q == quadrant
 
 
-def message_class_matrix(topo: MeshTopology) -> list[list[MessageClass | None]]:
+def message_class_matrix(topo: TopologyProvider) -> list[list[MessageClass | None]]:
     """Message class implied by each legal (src, dst) endpoint pairing."""
-    n = topo.params.num_routers
+    n = topo.num_routers
     kinds = [topo.kind(r) for r in range(n)]
     table: list[list[MessageClass | None]] = [[None] * n for _ in range(n)]
     for s in range(n):
@@ -109,15 +109,15 @@ def message_class_matrix(topo: MeshTopology) -> list[list[MessageClass | None]]:
 # -- patterns ---------------------------------------------------------------
 
 
-def uniform(topo: MeshTopology) -> TrafficPattern:
+def uniform(topo: TopologyProvider) -> TrafficPattern:
     """Components equally likely to communicate with all legal partners."""
     return TrafficPattern("uniform", legality_mask(topo))
 
 
-def _dataflow_groups(topo: MeshTopology, num_groups: int) -> np.ndarray:
+def _dataflow_groups(topo: TopologyProvider, num_groups: int) -> np.ndarray:
     """Assign routers to vertical-strip pipeline stages, left to right."""
-    width = topo.params.width
-    n = topo.params.num_routers
+    width = topo.width
+    n = topo.num_routers
     groups = np.empty(n, dtype=int)
     for r in range(n):
         x, _ = topo.coord(r)
@@ -126,7 +126,7 @@ def _dataflow_groups(topo: MeshTopology, num_groups: int) -> np.ndarray:
 
 
 def dataflow(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     bidirectional: bool,
     num_groups: int = 5,
     w_self: float = 4.0,
@@ -148,7 +148,7 @@ def dataflow(
 
 
 def hotspot(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     num_hotspots: int,
     strength: float = 16.0,
 ) -> TrafficPattern:
@@ -167,18 +167,18 @@ def hotspot(
     return TrafficPattern(f"{num_hotspots}Hotspot", mask * weight)
 
 
-def hotspot_routers(topo: MeshTopology, num_hotspots: int) -> list[int]:
+def hotspot_routers(topo: TopologyProvider, num_hotspots: int) -> list[int]:
     """The cache banks acting as hotspots for :func:`hotspot`."""
     if num_hotspots == 1:
         return [_cache_near(topo, 7, 0)]
     if num_hotspots == 2:
-        return [_cache_near(topo, 7, 0), _cache_near(topo, 2, topo.params.height - 1)]
+        return [_cache_near(topo, 7, 0), _cache_near(topo, 2, topo.height - 1)]
     if num_hotspots == 4:
         return [topo.central_bank(i) for i in range(len(topo.cache_clusters))]
     raise ValueError("supported hotspot counts: 1, 2, 4")
 
 
-def _cache_near(topo: MeshTopology, x: int, y: int) -> int:
+def _cache_near(topo: TopologyProvider, x: int, y: int) -> int:
     """The cache bank closest to (x, y) (exact on the default floorplan)."""
     target = (x, y)
     return min(
@@ -191,7 +191,7 @@ def _cache_near(topo: MeshTopology, x: int, y: int) -> int:
 
 
 def hotspot_at(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     positions: list[tuple[int, int]],
     strength: float = 16.0,
 ) -> TrafficPattern:
@@ -212,7 +212,7 @@ def hotspot_at(
 
 
 def hot_bidf(
-    topo: MeshTopology,
+    topo: TopologyProvider,
     hot_strength: float = 6.0,
     **dataflow_kwargs,
 ) -> TrafficPattern:
@@ -227,7 +227,7 @@ def hot_bidf(
     return TrafficPattern("hotBiDF", weight)
 
 
-def all_patterns(topo: MeshTopology) -> dict[str, TrafficPattern]:
+def all_patterns(topo: TopologyProvider) -> dict[str, TrafficPattern]:
     """The paper's seven probabilistic traces, keyed by name."""
     return {
         "uniform": uniform(topo),

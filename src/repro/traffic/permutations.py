@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.traffic.patterns import TrafficPattern
 
 
-def _one_hot(topo: MeshTopology, partner) -> np.ndarray:
-    n = topo.params.num_routers
+def _one_hot(topo: TopologyProvider, partner) -> np.ndarray:
+    n = topo.num_routers
     weights = np.zeros((n, n))
     for src in range(n):
         dst = partner(src)
@@ -30,7 +30,7 @@ def _one_hot(topo: MeshTopology, partner) -> np.ndarray:
     return weights
 
 
-def transpose(topo: MeshTopology) -> TrafficPattern:
+def transpose(topo: TopologyProvider) -> TrafficPattern:
     """Router (x, y) sends to router (y, x).
 
     Requires a square mesh.  All traffic crosses the main diagonal — the
@@ -47,7 +47,7 @@ def transpose(topo: MeshTopology) -> TrafficPattern:
     return TrafficPattern("transpose", _one_hot(topo, partner))
 
 
-def bit_complement(topo: MeshTopology) -> TrafficPattern:
+def bit_complement(topo: TopologyProvider) -> TrafficPattern:
     """Router (x, y) sends to (W-1-x, H-1-y): everyone crosses the centre."""
     p = topo.params
 
@@ -58,14 +58,14 @@ def bit_complement(topo: MeshTopology) -> TrafficPattern:
     return TrafficPattern("bit-complement", _one_hot(topo, partner))
 
 
-def shuffle(topo: MeshTopology) -> TrafficPattern:
+def shuffle(topo: TopologyProvider) -> TrafficPattern:
     """Perfect shuffle on router ids: ``dst = 2*src mod (N-1)``.
 
     The classic definition shifts the id's bits on power-of-two networks;
     the modular doubling below is its standard generalization (node N-1
     maps to itself and stays silent).
     """
-    n = topo.params.num_routers
+    n = topo.num_routers
 
     def partner(src: int) -> int:
         if src == n - 1:
@@ -75,7 +75,7 @@ def shuffle(topo: MeshTopology) -> TrafficPattern:
     return TrafficPattern("shuffle", _one_hot(topo, partner))
 
 
-def all_permutations(topo: MeshTopology) -> dict[str, TrafficPattern]:
+def all_permutations(topo: TopologyProvider) -> dict[str, TrafficPattern]:
     """The three synthetic permutations, keyed by name."""
     return {
         "transpose": transpose(topo),

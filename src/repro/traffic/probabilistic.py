@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.noc.message import Message, MessageClass, message_bytes
 from repro.noc.network import Network
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import TopologyProvider
 from repro.params import MessageParams
 from repro.traffic.patterns import TrafficPattern, message_class_matrix
 
@@ -42,7 +42,7 @@ class ProbabilisticTraffic:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: TopologyProvider,
         pattern: TrafficPattern,
         rate: float,
         message_params: Optional[MessageParams] = None,
@@ -60,7 +60,7 @@ class ProbabilisticTraffic:
 
         weights = pattern.weights
         n = weights.shape[0]
-        if n != topology.params.num_routers:
+        if n != topology.num_routers:
             raise ValueError("pattern size does not match the mesh")
         row_sums = weights.sum(axis=1)
         self.sources = np.flatnonzero(row_sums > 0)

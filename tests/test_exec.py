@@ -26,7 +26,7 @@ from repro.experiments.saturation import find_saturation
 from repro.noc.simulator import Simulator
 from repro.params import DEFAULT_PARAMS, SimulationParams
 
-PARAMS = DEFAULT_PARAMS.with_mesh(
+PARAMS = DEFAULT_PARAMS.with_topology(
     width=6, height=6, num_cores=22, num_caches=10, num_memports=4
 )
 CONFIG = ExperimentConfig(
@@ -89,7 +89,7 @@ class TestDigest:
 
     def test_any_params_field_changes_digest(self):
         spec = JobSpec()
-        wider = PARAMS.with_mesh(link_bytes=8)
+        wider = PARAMS.with_topology(link_bytes=8)
         more_vcs = dataclasses.replace(
             PARAMS, router=dataclasses.replace(PARAMS.router, num_vcs=8)
         )

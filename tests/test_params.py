@@ -56,9 +56,20 @@ class TestArchitectureParams:
         assert p.mesh.link_bytes == 8
         assert p.router == ArchitectureParams().router
 
-    def test_with_mesh(self):
-        p = ArchitectureParams().with_mesh(width=4, height=4, num_cores=8,
-                                           num_caches=4, num_memports=4)
+    def test_with_topology(self):
+        p = ArchitectureParams().with_topology(width=4, height=4, num_cores=8,
+                                               num_caches=4, num_memports=4)
+        assert p.mesh.num_routers == 16
+
+    def test_with_topology_provider(self):
+        p = ArchitectureParams().with_topology(provider="torus")
+        assert p.mesh.provider == "torus"
+        assert p.topology is p.mesh
+
+    def test_with_mesh_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="with_topology"):
+            p = ArchitectureParams().with_mesh(width=4, height=4, num_cores=8,
+                                               num_caches=4, num_memports=4)
         assert p.mesh.num_routers == 16
 
     def test_default_instance(self):

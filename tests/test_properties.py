@@ -16,7 +16,7 @@ from repro.noc import (
 from repro.params import ArchitectureParams, MeshParams
 
 SMALL = MeshParams(width=5, height=5, num_cores=13, num_caches=8, num_memports=4)
-PARAMS = ArchitectureParams().with_mesh(
+PARAMS = ArchitectureParams().with_topology(
     width=5, height=5, num_cores=13, num_caches=8, num_memports=4
 )
 
