@@ -1,0 +1,188 @@
+"""Control-plane benchmark: decision latency, epoch overhead, loop win.
+
+Three claims, measured end to end through :mod:`repro.control`:
+
+* **decision latency** — wall time of one ingest-to-decision pass
+  (:class:`ShortcutDecider` over a live traffic matrix), the budget the
+  serve tier's ``POST /v1/control`` pays per request;
+* **epoch overhead** — simulated cycles the closed loop charges against
+  live traffic per applied reconfiguration (drain + tuning + table
+  update), read back from the decision journal;
+* **closed-loop win** — the O1 acceptance run: on a three-phase
+  workload the closed loop, paying every overhead cycle it causes,
+  must beat the best single static placement.  The O1 decision journal
+  is written next to the report so the exact decision sequence behind
+  the headline number is committed with it.
+
+Also verifies decision determinism: two fresh closed-loop runs of the
+same (seed, profile stream) must produce identical journal digests.
+
+Records everything into ``results/BENCH_control.json`` and the O1
+journal into ``results/BENCH_control_journal.jsonl``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_control.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.control import DecisionJournal, ShortcutDecider, run_closed_loop
+from repro.experiments import (
+    ExperimentRunner, FAST_CONFIG, o1_closed_loop_vs_static,
+)
+from repro.noc import MeshTopology
+from repro.params import MeshParams, SimulationParams
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Short-window config for the determinism/overhead runs (the O1 run
+#: brings its own dedicated windows via the experiment module).
+FAST_LOOP_CONFIG = dataclasses.replace(
+    FAST_CONFIG,
+    sim=SimulationParams(warmup_cycles=200, measure_cycles=2_400,
+                         drain_cycles=6_000),
+)
+FAST_SPEC = "epoch=600,min=20"
+FAST_WORKLOAD = "phased:hotBiDF+uniDF@1000"
+
+
+def bench_decision_latency(repeats: int = 30) -> dict:
+    """Wall time per decide() call, cold (placement moves) and warm."""
+    topo = MeshTopology(MeshParams())
+    decider = ShortcutDecider(topo, topo.rf_enabled_routers(50), budget=16)
+    rng = np.random.default_rng(7)
+    matrix = rng.random((topo.num_routers, topo.num_routers))
+    matrix[3, 96] = matrix[7, 92] = matrix[40, 59] = 50.0
+    current = decider.decide(matrix, ()).shortcuts
+    cold_ms, warm_ms = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        decider.decide(matrix, ())
+        cold_ms.append((time.perf_counter() - start) * 1e3)
+        start = time.perf_counter()
+        decision = decider.decide(matrix, current)
+        warm_ms.append((time.perf_counter() - start) * 1e3)
+    return {
+        "repeats": repeats,
+        "cold_decide_ms": statistics.median(cold_ms),
+        "warm_decide_ms": statistics.median(warm_ms),
+        "warm_reason": decision.reason,
+    }
+
+
+def bench_epoch_overhead_and_determinism() -> dict:
+    """Per-epoch charged cycles + journal-digest determinism check."""
+    first = run_closed_loop(ExperimentRunner(FAST_LOOP_CONFIG),
+                            FAST_WORKLOAD, control=FAST_SPEC)
+    second = run_closed_loop(ExperimentRunner(FAST_LOOP_CONFIG),
+                             FAST_WORKLOAD, control=FAST_SPEC)
+    summary = first.summary()
+    applied = summary["applied"]
+    return {
+        "workload": FAST_WORKLOAD,
+        "control": first.control.canonical(),
+        "applied": applied,
+        "skipped": summary["skipped"],
+        "overhead_cycles": summary["overhead_cycles"],
+        "overhead_cycles_per_applied_epoch": (
+            summary["overhead_cycles"] / applied if applied else None),
+        "journal_digest": first.journal_digest,
+        "deterministic": first.journal_digest == second.journal_digest,
+    }
+
+
+def bench_closed_loop_win(journal_out: Path) -> dict:
+    """The O1 acceptance run; writes its decision journal to disk."""
+    start = time.perf_counter()
+    fig = o1_closed_loop_vs_static(ExperimentRunner(FAST_CONFIG))
+    wall_s = time.perf_counter() - start
+    journal = DecisionJournal.from_dicts(fig.series["decisions"])
+    journal.write_jsonl(journal_out)
+    return {
+        "workload": fig.series["workload"],
+        "control": fig.series["control"],
+        "closed_loop_latency": fig.series["closed_loop_latency"],
+        "static_latencies": fig.series["static_latencies"],
+        "best_static": fig.series["best_static"],
+        "margin": fig.series["margin"],
+        "journal": fig.series["journal"],
+        "closed_loop_beats_best_static":
+            fig.paper["closed_loop_beats_best_static"],
+        "journal_file": journal_out.name,
+        "wall_s": wall_s,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """The bench's pass/fail claims; returns failure messages."""
+    failures = []
+    latency = report["decision_latency"]
+    if not 0 < latency["cold_decide_ms"] < 10_000:
+        failures.append(f"implausible decide() latency: {latency}")
+    if latency["warm_decide_ms"] > latency["cold_decide_ms"] * 2:
+        failures.append(f"warm decide slower than cold: {latency}")
+    epoch = report["epoch_overhead"]
+    if epoch["applied"] < 1 or epoch["skipped"] < 1:
+        failures.append(f"loop did not both apply and skip: {epoch}")
+    if not epoch["deterministic"]:
+        failures.append("journal digest differs between identical runs")
+    win = report["closed_loop"]
+    if not win["closed_loop_beats_best_static"]:
+        failures.append(
+            f"closed loop ({win['closed_loop_latency']:.3f}) lost to "
+            f"static[{win['best_static']['placement']}] "
+            f"({win['best_static']['latency']:.3f})")
+    if win["journal"]["applied"] < 1:
+        failures.append("O1 journal has no applied decisions")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=RESULTS_DIR / "BENCH_control.json")
+    parser.add_argument("--journal", type=Path,
+                        default=RESULTS_DIR / "BENCH_control_journal.jsonl")
+    args = parser.parse_args(argv)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    report = {
+        "bench": "control",
+        "decision_latency": bench_decision_latency(),
+        "epoch_overhead": bench_epoch_overhead_and_determinism(),
+        "closed_loop": bench_closed_loop_win(args.journal),
+    }
+    failures = check(report)
+    report["passed"] = not failures
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    latency = report["decision_latency"]
+    epoch = report["epoch_overhead"]
+    win = report["closed_loop"]
+    print(f"bench_control: decide {latency['cold_decide_ms']:.1f}ms cold / "
+          f"{latency['warm_decide_ms']:.1f}ms warm, "
+          f"{epoch['overhead_cycles_per_applied_epoch']:.0f} "
+          f"cycles/applied epoch, deterministic={epoch['deterministic']}")
+    print(f"  O1: closed loop {win['closed_loop_latency']:.3f} vs best "
+          f"static {win['best_static']['latency']:.3f} "
+          f"(margin {win['margin']:.3f}, "
+          f"{win['journal']['applied']} applied / "
+          f"{win['journal']['skipped']} skipped) in {win['wall_s']:.0f}s")
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

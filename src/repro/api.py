@@ -82,6 +82,7 @@ def simulate(
     trace_buffer: Optional[int] = None,
     observation: Optional[Observation] = None,
     store: Union[ResultStore, str, Path, None] = None,
+    online: Union[bool, str, None] = None,
 ) -> RunResult:
     """Simulate one (design, workload) cell; return the unified result.
 
@@ -106,6 +107,16 @@ def simulate(
     :mod:`repro.noc.topology`); ``None`` and ``"mesh"`` keep the default
     mesh and its historical result addresses, any other provider
     simulates a genuinely different network.
+    ``online`` turns the cell into a *closed-loop* run: the
+    :mod:`repro.control` plane re-selects shortcuts live against the
+    streamed traffic profile.  Pass ``True`` for the default
+    :class:`~repro.control.loop.ControlConfig` or a spec string like
+    ``"epoch=600,hysteresis=0.03"``; ``design`` must then be
+    ``"baseline"`` (cold start) or ``"adaptive"`` (profile warm start),
+    and ``workload`` may be a phased composite
+    (``"phased:uniform+1Hotspot@2000"``).  Online runs are always
+    metered and store their decision journal alongside the result; use
+    :func:`repro.control.run_closed_loop` to get the journal itself.
     """
     resolved_config = _resolve_config(config, fast)
     if kernel is not None:
@@ -113,6 +124,18 @@ def simulate(
     runner = ExperimentRunner(
         resolved_config, params, store=_resolve_store(store)
     )
+    if online is not None and online is not False:
+        if trace_events:
+            raise ValueError(
+                "event tracing is not supported for online runs")
+        from repro.control import run_closed_loop
+
+        return run_closed_loop(
+            runner, workload, style=design, width=width, seed=seed,
+            access_points=access_points,
+            control="" if online is True else online,
+            faults=faults, topology=topology,
+        ).result
     design_point = runner.design(
         design, width, workload=workload,
         num_access_points=access_points, adaptive_routing=adaptive_routing,
@@ -161,6 +184,7 @@ def sweep(
     trace_dir: Union[str, Path, None] = None,
     stage_profile: bool = False,
     batch: bool = False,
+    online: Union[bool, str, None] = None,
 ) -> SweepReport:
     """Run the (styles x widths x workloads x seeds) grid.
 
@@ -178,7 +202,11 @@ def sweep(
     fork the result addresses — see :func:`~repro.exec.jobs.sweep_grid`).
     ``batch`` runs every cache miss in one process, advanced in
     lock-step cycle slices (digest-identical to the serial path;
-    ``jobs`` is then ignored).
+    ``jobs`` is then ignored).  ``online`` makes every cell a
+    closed-loop control-plane run (``True`` for defaults or a
+    :class:`~repro.control.loop.ControlConfig` spec string); styles are
+    then restricted to ``baseline``/``adaptive`` and the control spec
+    joins every cell's digest.
     """
     if faults is not None and not isinstance(faults, str):
         faults = faults.canonical()
@@ -186,6 +214,10 @@ def sweep(
         styles, widths, workloads,
         adaptive_routing=adaptive_routing, seeds=seeds, faults=faults,
         topology=topology,
+        control=(
+            None if online in (None, False)
+            else ("" if online is True else online)
+        ),
     )
     resolved_config = _resolve_config(config, fast)
     if kernel is not None:

@@ -73,6 +73,11 @@ class CampaignSpec:
     #: Substrate providers to sweep (registered topology names); the
     #: default mesh-only axis keeps historical campaign digests.
     topologies: tuple[str, ...] = ("mesh",)
+    #: Closed-loop control axis: ``None`` is the offline slice, a
+    #: :class:`~repro.control.loop.ControlConfig` spec string (``""`` for
+    #: defaults) runs the slice online; the default offline-only axis
+    #: keeps historical campaign digests.
+    control: tuple[Optional[str], ...] = (None,)
     #: Cell budget for seeded random sampling (None = the full grid).
     sample: Optional[int] = None
     sample_seed: int = 0
@@ -86,7 +91,7 @@ class CampaignSpec:
 
     def __post_init__(self) -> None:
         for name in ("styles", "widths", "workloads", "seeds", "faults",
-                     "topologies", "objectives"):
+                     "topologies", "objectives", "control"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     # -- validation ----------------------------------------------------------
@@ -100,23 +105,65 @@ class CampaignSpec:
         if not self.name or not isinstance(self.name, str):
             raise CampaignError("campaign 'name' must be a non-empty string")
         for axis in ("styles", "widths", "workloads", "faults", "topologies",
-                     "objectives"):
+                     "objectives", "control"):
             if not getattr(self, axis):
                 raise CampaignError(f"campaign {axis!r} must be non-empty")
+        online = False
+        for entry in self.control:
+            if entry is None:
+                continue
+            if not isinstance(entry, str):
+                raise CampaignError(
+                    "'control' entries must be spec strings or null")
+            online = True
+            from repro.control.loop import ControlConfig
+
+            try:
+                ControlConfig.from_spec(entry)
+            except ValueError as exc:
+                raise CampaignError(
+                    f"invalid control spec {entry!r}: {exc}") from exc
         for style in self.styles:
             if style not in DESIGN_STYLES:
                 raise CampaignError(
                     f"unknown design style {style!r}; "
                     f"one of {list(DESIGN_STYLES)}")
+            if online:
+                from repro.control.run import CONTROL_STYLES
+
+                if style not in CONTROL_STYLES:
+                    raise CampaignError(
+                        f"an online control axis accepts styles "
+                        f"{list(CONTROL_STYLES)}, got {style!r}")
         for width in self.widths:
             if width not in LINK_WIDTHS:
                 raise CampaignError(
                     f"unknown link width {width!r}; "
                     f"one of {list(LINK_WIDTHS)}")
         names = known_workloads()
+        # A phased composite workload only means something to a closed
+        # loop, so it needs every control slice online.
+        all_online = online and None not in self.control
         for workload in self.workloads:
-            if workload not in names:
-                raise CampaignError(f"unknown workload {workload!r}")
+            if workload in names:
+                continue
+            from repro.control.run import PHASED_PREFIX, parse_phased_workload
+
+            if all_online and workload.startswith(PHASED_PREFIX):
+                try:
+                    phases, _ = parse_phased_workload(workload)
+                except ValueError as exc:
+                    raise CampaignError(str(exc)) from exc
+                unknown = [p for p in phases if p not in names]
+                if unknown:
+                    raise CampaignError(
+                        f"unknown workloads {unknown} in {workload!r}")
+                continue
+            if workload.startswith(PHASED_PREFIX):
+                raise CampaignError(
+                    f"phased workload {workload!r} needs an all-online "
+                    "'control' axis")
+            raise CampaignError(f"unknown workload {workload!r}")
         for seed in self.seeds:
             if seed is not None and not isinstance(seed, int):
                 raise CampaignError("'seeds' entries must be integers or null")
@@ -165,28 +212,31 @@ class CampaignSpec:
     def grid_size(self) -> int:
         """Cells in the full grid, before any sampling."""
         return (len(self.styles) * len(self.widths) * len(self.workloads)
-                * len(self.seeds) * len(self.faults) * len(self.topologies))
+                * len(self.seeds) * len(self.faults) * len(self.topologies)
+                * len(self.control))
 
     def expand(self, config: ExperimentConfig) -> list[JobSpec]:
         """The campaign's cells, normalized, in deterministic order.
 
-        The topology axis is outermost, then the fault axis; within a
-        (topology, fault) slice the cells come in
+        The control axis is outermost, then topologies, then faults;
+        within a (control, topology, fault) slice the cells come in
         :func:`~repro.exec.jobs.sweep_grid` order (styles outermost).
         A ``sample`` budget keeps a seeded random subset *in grid order*,
         so equal (spec, config) pairs always expand identically.
         """
         self.validate()
         cells: list[JobSpec] = []
-        for topology in self.topologies:
-            for fault_spec in self.faults:
-                cells.extend(sweep_grid(
-                    self.styles, self.widths, self.workloads,
-                    adaptive_routing=self.adaptive_routing,
-                    seeds=self.seeds,
-                    faults=fault_spec or None,
-                    topology=topology,
-                ))
+        for control_spec in self.control:
+            for topology in self.topologies:
+                for fault_spec in self.faults:
+                    cells.extend(sweep_grid(
+                        self.styles, self.widths, self.workloads,
+                        adaptive_routing=self.adaptive_routing,
+                        seeds=self.seeds,
+                        faults=fault_spec or None,
+                        topology=topology,
+                        control=control_spec,
+                    ))
         if self.sample is not None and self.sample < len(cells):
             rng = random.Random(self.sample_seed)
             keep = sorted(rng.sample(range(len(cells)), self.sample))
@@ -212,6 +262,10 @@ class CampaignSpec:
             spec_blob.pop(neutral, None)
         if tuple(spec_blob.get("topologies", ())) == ("mesh",):
             spec_blob.pop("topologies", None)
+        # Same convention for the control axis: the default offline-only
+        # axis must keep pre-control-plane campaign identities.
+        if tuple(spec_blob.get("control", ())) == (None,):
+            spec_blob.pop("control", None)
         blob = {
             "campaign": spec_blob,
             "config": jsonable(config),
@@ -234,7 +288,7 @@ _SPEC_KEYS = frozenset(f.name for f in fields(CampaignSpec))
 
 #: Keys that arrive as lists and land as tuples.
 _LIST_KEYS = ("styles", "widths", "workloads", "seeds", "faults",
-              "topologies", "objectives")
+              "topologies", "objectives", "control")
 
 
 def spec_from_dict(data: dict, *, source: str = "<dict>") -> CampaignSpec:

@@ -56,6 +56,7 @@ from repro.experiments import (
     e2_adaptive_routing, e3_static_shortcut_gains, e4_heuristic_ablation,
     fig1_traffic_locality, fig2_topologies, fig7_rf_router_count,
     fig8_bandwidth_reduction, fig9_multicast, fig10_unified,
+    o1_closed_loop_vs_static, o2_reconfiguration_under_faults,
     r1_shortcut_degradation, r2_transient_outage, table2_area,
 )
 from repro.params import DEFAULT_PARAMS
@@ -73,6 +74,10 @@ EXPERIMENTS = {
     "F8": (fig8_bandwidth_reduction, "mesh bandwidth reduction (Fig 8)"),
     "F9": (fig9_multicast, "multicast comparison (Fig 9)"),
     "F10": (fig10_unified, "unified power/performance (Fig 10)"),
+    "O1": (o1_closed_loop_vs_static,
+           "online control: closed loop vs best static placement"),
+    "O2": (o2_reconfiguration_under_faults,
+           "online control: reconfiguration under active band faults"),
     "R1": (r1_shortcut_degradation, "resilience: latency/power vs dead bands"),
     "R2": (r2_transient_outage, "resilience: transient mid-run outage"),
     "T2": (table2_area, "NoC area (Table 2)"),
@@ -304,22 +309,48 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _check_workload(workload: str, online: bool) -> None:
+    """Known workload name, or (online only) a phased composite."""
+    if workload in known_workloads():
+        return
+    from repro.control.run import PHASED_PREFIX, parse_phased_workload
+
+    if online and workload.startswith(PHASED_PREFIX):
+        try:
+            phases, _ = parse_phased_workload(workload)
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+        unknown = [p for p in phases if p not in known_workloads()]
+        if unknown:
+            raise CLIError(f"unknown workloads {unknown} in {workload!r}; "
+                           "see 'workloads'")
+        return
+    if workload.startswith(PHASED_PREFIX):
+        raise CLIError(f"phased workload {workload!r} needs --online "
+                       "(a closed-loop run)")
+    raise CLIError(f"unknown workload {workload!r}; see 'workloads'")
+
+
 def cmd_simulate(args) -> int:
     """Simulate one (design, workload) cell and print its metrics."""
     from repro.api import simulate
 
-    if args.workload not in known_workloads():
-        raise CLIError(f"unknown workload {args.workload!r}; "
-                       "see 'workloads'")
+    online = getattr(args, "online", None)
+    _check_workload(args.workload, online is not None)
     result = simulate(
         args.design, args.workload, width=args.width, fast=args.fast,
         kernel=getattr(args, "kernel", None),
         topology=getattr(args, "topology", None),
         seed=args.seed, faults=args.faults or None,
         trace_events=args.trace_events or None,
+        online=online,
     )
     summary = result.summary()
     summary["provenance"] = result.provenance
+    if online is not None:
+        from repro.control.loop import ControlConfig
+
+        summary["online"] = ControlConfig.from_spec(online or "").canonical()
     if args.faults:
         summary["faults"] = args.faults
     if getattr(args, "topology", None):
@@ -367,6 +398,7 @@ def cmd_sweep(args) -> int:
     from repro.experiments.export import jsonable, save_json
 
     config = _config_for(args)
+    online = getattr(args, "online", None)
     styles = _split_list(args.styles, "styles")
     widths = [_parse_width(w) for w in _split_list(args.widths, "widths")]
     workloads = _split_list(args.workloads, "workloads")
@@ -375,13 +407,15 @@ def cmd_sweep(args) -> int:
             raise CLIError(f"unknown design style {style!r}; "
                            f"one of {','.join(DESIGN_STYLES)}")
     for workload in workloads:
-        if workload not in known_workloads():
-            raise CLIError(f"unknown workload {workload!r}; "
-                           "see 'workloads'")
-    specs = sweep_grid(styles, widths, workloads,
-                       adaptive_routing=args.adaptive_routing,
-                       faults=args.faults or None,
-                       topology=getattr(args, "topology", None))
+        _check_workload(workload, online is not None)
+    try:
+        specs = sweep_grid(styles, widths, workloads,
+                           adaptive_routing=args.adaptive_routing,
+                           faults=args.faults or None,
+                           topology=getattr(args, "topology", None),
+                           control=online)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
     trace_dir = Path(args.trace_events) if args.trace_events else None
     # Tracing forces fresh runs, so the persistent cache is bypassed.
     store = (None if args.no_cache or trace_dir
@@ -443,6 +477,79 @@ def cmd_sweep(args) -> int:
     if args.out:
         path = save_json(payload, args.out)
         print(f"wrote {path}", file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def cmd_control(args) -> int:
+    """One closed-loop run: metrics + decision journal (+ static bar)."""
+    from repro.control.run import run_closed_loop
+    from repro.exec import ResultStore
+    from repro.experiments.export import jsonable
+
+    _check_workload(args.workload, True)
+    store = None if args.no_cache else ResultStore(args.cache)
+    runner = ExperimentRunner(_config_for(args), store=store)
+    try:
+        run = run_closed_loop(
+            runner, args.workload, style=args.design, width=args.width,
+            seed=args.seed, access_points=args.access_points,
+            control=args.control or "", faults=args.faults or None,
+            topology=getattr(args, "topology", None),
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    result = run.result
+    summary = run.summary()
+    payload = {
+        "design": result.design,
+        "workload": args.workload,
+        "control": run.control.canonical(),
+        "digest": run.digest,
+        "avg_latency": result.avg_latency,
+        "avg_flit_latency": result.avg_flit_latency,
+        "power_w": result.total_power_w,
+        "journal": summary,
+        "decisions": run.journal.to_dicts(),
+    }
+    static = None
+    if args.compare_static:
+        from repro.control.run import best_static_latencies
+
+        static = best_static_latencies(
+            runner, args.workload, width=args.width, seed=args.seed,
+            access_points=args.access_points,
+            topology=getattr(args, "topology", None),
+        )
+        best = min(static, key=static.get)
+        payload["static"] = static
+        payload["best_static"] = {"placement": best,
+                                  "avg_latency": static[best]}
+        payload["closed_loop_wins"] = result.avg_latency < static[best]
+    if args.journal:
+        path = run.journal.write_jsonl(args.journal)
+        payload["journal_path"] = str(path)
+    if args.json:
+        _print_json(jsonable(payload))
+        return 0
+    print(f"design    : {result.design}")
+    print(f"workload  : {args.workload}")
+    print(f"control   : {run.control.canonical()}")
+    print(f"latency   : {result.avg_latency:.2f} cycles/packet "
+          f"({result.avg_flit_latency:.2f} /flit)")
+    print(f"power     : {result.total_power_w:.2f} W")
+    print(f"decisions : {summary['applied']} applied, "
+          f"{summary['skipped']} skipped "
+          f"({summary['overhead_cycles']} overhead cycles)")
+    print(f"journal   : {summary['journal_digest'][:16]} "
+          f"({summary['records']} records)")
+    if static is not None:
+        best = payload["best_static"]
+        verdict = "wins" if payload["closed_loop_wins"] else "loses"
+        print(f"static    : best {best['placement']} at "
+              f"{best['avg_latency']:.2f} cycles/packet "
+              f"-> closed loop {verdict}")
+    if args.journal:
+        print(f"wrote     : {payload['journal_path']}")
     return 0
 
 
@@ -892,6 +999,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--out", help="also write the full result as JSON")
     simulate.add_argument("--heatmap", action="store_true",
                           help="print the traffic heatmap afterwards")
+    simulate.add_argument(
+        "--online", nargs="?", const="", default=None, metavar="SPEC",
+        help="closed-loop run: adapt the overlay online (optional "
+             "control spec, e.g. 'epoch=600,hysteresis=0.03'; phased "
+             "workloads like 'phased:hotBiDF+uniDF@4000' need this)")
     simulate.set_defaults(fn=cmd_simulate)
 
     sweep = add("sweep", "parallel design-grid sweep with the result cache")
@@ -920,7 +1032,37 @@ def build_parser() -> argparse.ArgumentParser:
              "slices (digest-identical to the serial path; --jobs is then "
              "ignored)")
     sweep.add_argument("--out", help="also write results + telemetry JSON")
+    sweep.add_argument(
+        "--online", nargs="?", const="", default=None, metavar="SPEC",
+        help="make every cell a closed-loop run (optional control spec; "
+             "styles are then restricted to baseline/adaptive)")
     sweep.set_defaults(fn=cmd_sweep)
+
+    control = add("control", "closed-loop online reconfiguration run")
+    control.add_argument("--design", default="adaptive",
+                         choices=["baseline", "adaptive"],
+                         help="'adaptive' warm-starts from the first "
+                              "phase's offline profile; 'baseline' cold-"
+                              "starts with no shortcuts")
+    control.add_argument("--width", type=int, default=16, choices=[16, 8, 4])
+    control.add_argument("--workload", default="uniform",
+                         help="a workload name or a phased composite, "
+                              "e.g. 'phased:hotBiDF+2Hotspot+uniDF@4000'")
+    control.add_argument("--control", metavar="SPEC", default=None,
+                         help="control-loop knobs, e.g. 'epoch=600,"
+                              "hysteresis=0.03,decay=0.25,min=50'")
+    control.add_argument("--access-points", type=int, default=None)
+    control.add_argument("--journal", metavar="PATH", default=None,
+                         help="write the decision journal as JSONL")
+    control.add_argument("--compare-static", action="store_true",
+                         help="also run every phase's static placement on "
+                              "the full workload and report the best")
+    control.add_argument("--cache", default="benchmarks/results/cache",
+                         help="persistent result-store directory")
+    control.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent store entirely")
+    _add_common(control, faults=True, kernel=True, topology=True)
+    control.set_defaults(fn=cmd_control)
 
     kernels = add("kernels", "list the registered cycle-execution kernels")
     kernels.add_argument(

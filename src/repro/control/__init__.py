@@ -1,0 +1,54 @@
+"""repro.control — closed-loop online reconfiguration control plane.
+
+The paper (Section 3.2) leaves runtime shortcut selection — "by the
+operating system, a hypervisor, or in the hardware itself" — as the
+evaluated-once extension.  This package promotes it to a live service
+with four stages:
+
+* **ingest** (:mod:`repro.control.profile`) — a streaming traffic-profile
+  collector: per-pair frequency x volume with exponentially decayed
+  windows, fed from the cycle loop or over the wire;
+* **decide** (:mod:`repro.control.decide`) — incremental region/greedy
+  re-selection with hysteresis, so the loop is stable under noisy
+  traffic;
+* **compile** (:mod:`repro.control.compiler`) — a configure/compile/prune
+  pipeline producing a frozen, content-digested :class:`BandConfiguration`
+  (mixer retunes, routing-table delta, the 99-cycle update schedule);
+  identical decisions are no-ops;
+* **apply** (:mod:`repro.control.loop`) — an epoch-based scheduler that
+  charges drain + tuning + table-update cost against live traffic, with
+  a drain deadline, a decision journal, and MetricsRegistry counters.
+
+:mod:`repro.control.run` wires the loop into the execution engine
+(``JobSpec.extra`` carries a ``("control", spec)`` entry, so online runs
+are digest-addressed like everything else) and provides the
+closed-loop-vs-best-static comparison used by the O-series experiments.
+"""
+
+from repro.control.compiler import BandConfiguration, compile_configuration
+from repro.control.decide import Decision, ShortcutDecider, shortcut_objective
+from repro.control.journal import DecisionJournal, DecisionRecord
+from repro.control.loop import ControlConfig, ControlLoop
+from repro.control.profile import TrafficProfile
+from repro.control.run import (
+    ControlRunResult, best_static_latencies, parse_phased_workload,
+    phased_workload_name, run_closed_loop,
+)
+
+__all__ = [
+    "BandConfiguration",
+    "ControlConfig",
+    "ControlLoop",
+    "ControlRunResult",
+    "Decision",
+    "DecisionJournal",
+    "DecisionRecord",
+    "ShortcutDecider",
+    "TrafficProfile",
+    "best_static_latencies",
+    "compile_configuration",
+    "parse_phased_workload",
+    "phased_workload_name",
+    "run_closed_loop",
+    "shortcut_objective",
+]

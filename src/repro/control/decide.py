@@ -1,0 +1,121 @@
+"""Decide stage: incremental re-selection with hysteresis.
+
+Every epoch the decider re-runs the paper's region (or plain greedy)
+shortcut selection over the live profile window and compares the
+predicted objective — total frequency-weighted hop distance, the same
+sum(F x W) the offline selector minimizes — of the new placement
+against the placement currently on the wire.  The swap is only worth
+its drain + tuning + table-update cost when the predicted gain clears
+a churn threshold (*hysteresis*); below it the decision is a skip and
+the network keeps running undisturbed.  This is what keeps the loop
+stable under noisy traffic: two placements trading a fraction of a
+percent back and forth would otherwise retune every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.topology import TopologyProvider
+from repro.shortcuts.graph import add_edge_inplace, mesh_distances
+from repro.shortcuts.region import select_region_shortcuts
+from repro.shortcuts.selection import (
+    SelectionConfig, select_application_shortcuts,
+)
+
+
+def shortcut_objective(
+    topology: TopologyProvider,
+    frequency: np.ndarray,
+    shortcuts: tuple[tuple[int, int], ...],
+) -> float:
+    """sum(F x W): frequency-weighted hop distance under a shortcut set."""
+    dist = mesh_distances(topology)
+    for src, dst in shortcuts:
+        add_edge_inplace(dist, src, dst)
+    return float((frequency * dist).sum())
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One epoch's verdict: swap the placement, or leave it alone."""
+
+    action: str  # "apply" | "skip"
+    reason: str  # "gain" | "hysteresis" | "no-traffic" | "unchanged"
+    shortcuts: tuple[tuple[int, int], ...]
+    objective_before: float
+    objective_after: float
+
+    @property
+    def predicted_gain(self) -> float:
+        """Fractional objective improvement of the proposed placement."""
+        if self.objective_before <= 0:
+            return 0.0
+        return (
+            (self.objective_before - self.objective_after)
+            / self.objective_before
+        )
+
+
+class ShortcutDecider:
+    """Re-runs selection each epoch; applies only past the hysteresis bar."""
+
+    def __init__(
+        self,
+        topology: TopologyProvider,
+        access_points,
+        budget: int,
+        use_regions: bool = True,
+        hysteresis: float = 0.02,
+    ):
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.topology = topology
+        self.access_points = tuple(access_points)
+        self.budget = budget
+        self.use_regions = use_regions
+        self.hysteresis = hysteresis
+
+    def _select(self, frequency: np.ndarray) -> tuple[tuple[int, int], ...]:
+        config = SelectionConfig(
+            budget=self.budget, allowed=set(self.access_points),
+        )
+        if self.use_regions:
+            chosen = select_region_shortcuts(self.topology, frequency, config)
+        else:
+            chosen = select_application_shortcuts(
+                self.topology, frequency, config)
+        return tuple((s.src, s.dst) for s in chosen)
+
+    def decide(
+        self,
+        frequency: np.ndarray,
+        current: tuple[tuple[int, int], ...],
+    ) -> Decision:
+        """Propose a placement for ``frequency`` given the live ``current``."""
+        current = tuple(current)
+        if frequency.sum() <= 0:
+            return Decision(
+                action="skip", reason="no-traffic", shortcuts=current,
+                objective_before=0.0, objective_after=0.0,
+            )
+        proposed = self._select(frequency)
+        before = shortcut_objective(self.topology, frequency, current)
+        after = shortcut_objective(self.topology, frequency, proposed)
+        if set(proposed) == set(current):
+            return Decision(
+                action="skip", reason="unchanged", shortcuts=current,
+                objective_before=before, objective_after=before,
+            )
+        decision = Decision(
+            action="apply", reason="gain", shortcuts=proposed,
+            objective_before=before, objective_after=after,
+        )
+        if decision.predicted_gain < self.hysteresis:
+            return Decision(
+                action="skip", reason="hysteresis", shortcuts=proposed,
+                objective_before=before, objective_after=after,
+            )
+        return decision

@@ -1,0 +1,106 @@
+"""The decision journal: an auditable record of every epoch's verdict.
+
+Each epoch appends exactly one :class:`DecisionRecord` — applied or
+skipped, with the reason, the objective before/after, the band-plan
+digest, and the cycles the swap cost.  The journal's own content digest
+(:meth:`DecisionJournal.digest`) is the determinism contract: the same
+(seed, profile stream) must produce byte-identical decisions, which the
+test suite verifies by comparing digests across runs and across the
+warm store path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One epoch's outcome, JSON-safe and hashable."""
+
+    epoch: int
+    cycle: int
+    action: str  # "applied" | "skipped"
+    reason: str  # gain | hysteresis | unchanged | no-traffic |
+    #             insufficient-traffic | drain-deadline | no-op
+    objective_before: float
+    objective_after: float
+    predicted_gain: float
+    config_digest: str | None
+    shortcuts: int
+    drain_cycles: int
+    overhead_cycles: int
+    window_messages: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionRecord":
+        return cls(**{f: data[f] for f in cls.__dataclass_fields__})
+
+
+class DecisionJournal:
+    """Append-only log of control-plane decisions."""
+
+    def __init__(self, records=None):
+        self.records: list[DecisionRecord] = list(records or [])
+
+    def append(self, record: DecisionRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- reductions ----------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Applied/skipped totals plus a per-reason breakdown."""
+        out: dict[str, int] = {"applied": 0, "skipped": 0}
+        for record in self.records:
+            out[record.action] = out.get(record.action, 0) + 1
+            key = f"skipped:{record.reason}" if record.action == "skipped" \
+                else f"applied:{record.reason}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def overhead_cycles(self) -> int:
+        """Total drain + retune + table-update cycles charged."""
+        return sum(r.drain_cycles + r.overhead_cycles for r in self.records)
+
+    # -- identity / persistence ----------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.records]
+
+    @classmethod
+    def from_dicts(cls, rows) -> "DecisionJournal":
+        return cls(DecisionRecord.from_dict(row) for row in rows)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical-JSON record stream (determinism key)."""
+        text = json.dumps(
+            self.to_dicts(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def write_jsonl(self, path) -> Path:
+        """One record per line, with a trailing summary line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(row, sort_keys=True) for row in self.to_dicts()]
+        summary = dict(self.counts())
+        summary.update({
+            "kind": "summary",
+            "records": len(self.records),
+            "digest": self.digest(),
+            "overhead_cycles": self.overhead_cycles(),
+        })
+        lines.append(json.dumps(summary, sort_keys=True))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path

@@ -1,0 +1,120 @@
+"""Ingest stage: a streaming per-pair traffic-profile collector.
+
+The control plane's view of the workload is a pair of N x N matrices —
+message *frequency* (count) and byte *volume* per (src, dst) pair —
+accumulated over an exponentially decayed window.  The selection
+objective weighs a pair by how much traffic it carries, so the decide
+stage consumes the volume-weighted matrix (:meth:`TrafficProfile.matrix`),
+which equals frequency x mean-message-size: the paper's F(x, y) event
+counters generalized to unequal message sizes.
+
+The collector is fed two ways: the cycle loop observes every injected
+message (:meth:`observe`), and the serve tier merges remote per-pair
+counts shipped over ``POST /v1/profile`` (:meth:`merge_pairs`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TrafficProfile:
+    """Per-pair frequency x volume with an exponentially decayed window."""
+
+    def __init__(self, num_routers: int, decay: float = 0.5):
+        if num_routers <= 0:
+            raise ValueError("num_routers must be positive")
+        if not (0.0 <= decay <= 1.0):
+            raise ValueError("decay must be in [0, 1]")
+        self.num_routers = num_routers
+        self.decay = decay
+        self.frequency = np.zeros((num_routers, num_routers))
+        self.volume = np.zeros((num_routers, num_routers))
+        #: Messages recorded since the last :meth:`decay_window`.
+        self.window_messages = 0
+        #: Messages recorded over the collector's whole lifetime.
+        self.total_messages = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def record(self, src: int, dst: int, size_bytes: int = 1) -> None:
+        """Count one message from ``src`` to ``dst``."""
+        self.frequency[src, dst] += 1
+        self.volume[src, dst] += size_bytes
+        self.window_messages += 1
+        self.total_messages += 1
+
+    def observe(self, message) -> None:
+        """Record an injected message (multicast carries no pair weight)."""
+        if not message.is_multicast:
+            self.record(message.src, message.dst, message.size_bytes)
+
+    def merge_pairs(self, pairs) -> int:
+        """Merge remote ``(src, dst, count, bytes)`` rows; returns rows merged.
+
+        This is the wire-ingestion path: a remote NoC (or another shard)
+        ships its window as a list of rows and the serve tier folds them
+        into the shared profile.  ``bytes`` may be omitted (defaults to
+        ``count``, i.e. unit-size messages).
+        """
+        merged = 0
+        for row in pairs:
+            if len(row) == 3:
+                src, dst, count = row
+                volume = count
+            else:
+                src, dst, count, volume = row
+            src, dst = int(src), int(dst)
+            if not (0 <= src < self.num_routers
+                    and 0 <= dst < self.num_routers):
+                raise ValueError(
+                    f"pair ({src}, {dst}) outside 0..{self.num_routers - 1}")
+            count = float(count)
+            if count < 0 or float(volume) < 0:
+                raise ValueError("profile counts must be non-negative")
+            self.frequency[src, dst] += count
+            self.volume[src, dst] += float(volume)
+            self.window_messages += int(count)
+            self.total_messages += int(count)
+            merged += 1
+        return merged
+
+    # -- windowing -----------------------------------------------------------
+
+    def decay_window(self) -> None:
+        """Age the window: old traffic fades, it never vanishes outright."""
+        self.frequency *= self.decay
+        self.volume *= self.decay
+        self.window_messages = 0
+
+    def matrix(self) -> np.ndarray:
+        """The volume-weighted pair matrix the decide stage optimizes."""
+        return self.volume.copy()
+
+    # -- inspection ----------------------------------------------------------
+
+    def top_pairs(self, limit: int = 8) -> list[tuple[int, int, float]]:
+        """The heaviest ``(src, dst, volume)`` pairs, descending."""
+        flat = self.volume.ravel()
+        order = np.argsort(flat)[::-1]
+        n = self.num_routers
+        out = []
+        for idx in order[:limit]:
+            if flat[idx] <= 0:
+                break
+            out.append((int(idx // n), int(idx % n), float(flat[idx])))
+        return out
+
+    def snapshot(self) -> dict:
+        """A JSON-safe summary for the serve tier's control endpoint."""
+        return {
+            "num_routers": self.num_routers,
+            "decay": self.decay,
+            "window_messages": self.window_messages,
+            "total_messages": self.total_messages,
+            "active_pairs": int((self.volume > 0).sum()),
+            "top_pairs": [
+                {"src": s, "dst": d, "volume": v}
+                for s, d, v in self.top_pairs()
+            ],
+        }

@@ -1,0 +1,386 @@
+"""Execution-engine integration: digest-addressed closed-loop runs.
+
+An online run is an ordinary job cell whose ``JobSpec.extra`` carries a
+``("control", spec)`` entry — the :class:`~repro.control.loop.ControlConfig`
+canonical string — so everything built on job digests (the result store,
+the serve tier, sweeps, campaigns) addresses closed-loop cells for free,
+and an online cell can never collide with its offline twin.
+
+Closed-loop cells accept two styles: ``baseline`` starts cold (no
+shortcuts on the wire — the loop earns them all) and ``adaptive`` warm
+starts from the first phase's offline profile.  The workload may be any
+known pattern/application name or a *phased* composite,
+``"phased:uniform+1Hotspot+4Hotspot@1500"`` — the canonical stressor
+where no single static placement fits (see the O-series experiments).
+
+Store payloads are :func:`~repro.exec.serialize.encode_result` plus a
+``"control"`` section carrying the decision journal, so a warm replay
+returns the identical journal (and journal digest) the cold run wrote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.control.journal import DecisionJournal
+from repro.control.loop import ControlConfig, ControlLoop
+from repro.core.architectures import DesignPoint, baseline
+from repro.core.online import PhasedSource
+from repro.core.overlay import RFIOverlay
+from repro.core.reconfig import ReconfigurationController
+from repro.experiments.runner import ExperimentRunner, PreparedRun, RunResult
+from repro.noc.routing import RoutingTables
+from repro.noc.simulator import Simulator
+
+#: Workload prefix marking a phase-changing composite.
+PHASED_PREFIX = "phased:"
+
+#: Cycles per phase when the spec omits ``@N``.
+DEFAULT_PHASE_CYCLES = 2_000
+
+#: Styles an online cell accepts (cold start / profile warm start).
+CONTROL_STYLES = ("baseline", "adaptive")
+
+
+def parse_phased_workload(workload: str) -> tuple[tuple[str, ...], int]:
+    """Split a workload name into (phases, phase_cycles).
+
+    Plain names come back as a single phase with ``phase_cycles == 0``;
+    ``"phased:a+b+c@1500"`` becomes ``(("a", "b", "c"), 1500)``.
+    """
+    if not workload.startswith(PHASED_PREFIX):
+        return (workload,), 0
+    body = workload[len(PHASED_PREFIX):]
+    names, _, cycles_text = body.partition("@")
+    phases = tuple(p for p in (s.strip() for s in names.split("+")) if p)
+    if not phases:
+        raise ValueError(f"phased workload {workload!r} names no phases")
+    if cycles_text:
+        try:
+            phase_cycles = int(cycles_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid phase cycle count {cycles_text!r} in "
+                f"{workload!r}") from exc
+    else:
+        phase_cycles = DEFAULT_PHASE_CYCLES
+    if phase_cycles <= 0:
+        raise ValueError("phase cycle count must be positive")
+    return phases, phase_cycles
+
+
+def phased_workload_name(phases, phase_cycles: int) -> str:
+    """The canonical spelling of a phased workload."""
+    return f"{PHASED_PREFIX}{'+'.join(phases)}@{phase_cycles}"
+
+
+def workload_phases(workload: str) -> tuple[str, ...]:
+    """The base workload names a (possibly phased) workload touches."""
+    return parse_phased_workload(workload)[0]
+
+
+# -- cell construction -------------------------------------------------------
+
+def build_control_cell(
+    runner: ExperimentRunner,
+    spec,
+    control: ControlConfig,
+    kernel: Optional[str] = None,
+) -> tuple[DesignPoint, ControlLoop, "Simulator"]:
+    """Build the network + closed loop for one online cell (unrun).
+
+    Returned pieces share state: the loop is the simulator's only traffic
+    source and retunes the network's overlay live.
+    """
+    extra = dict(spec.extra)
+    if spec.style not in CONTROL_STYLES:
+        raise ValueError(
+            f"online cells accept styles {list(CONTROL_STYLES)}, "
+            f"got {spec.style!r}")
+    topo = runner.topology_for(extra.get("topology"))
+    phases, phase_cycles = parse_phased_workload(spec.workload)
+    for name in phases:
+        runner.pattern(name, topo)   # validates every phase name
+    aps = spec.num_access_points or runner.config.num_access_points
+    seed = runner.config.traffic_seed if spec.seed is None else spec.seed
+    base = baseline(spec.link_bytes, runner.params, topo)
+    overlay = RFIOverlay(
+        topo, topo.rf_enabled_routers(aps), base.params.rfi, adaptive=True,
+    )
+    controller = ReconfigurationController(
+        topo, overlay, budget=control.budget,
+        use_regions=control.use_regions,
+    )
+    if spec.style == "adaptive":
+        # Warm start: the first phase's offline profile, like a
+        # per-application reconfiguration at load time.
+        plan = controller.reconfigure(runner.profile(phases[0], topo))
+        tables = plan.tables
+        initial = tuple((s.src, s.dst) for s in plan.shortcuts)
+    else:
+        tables = RoutingTables(topo, [])
+        initial = ()
+    from repro.faults import as_schedule
+
+    design = DesignPoint(
+        name=f"closed-loop-{spec.style}{aps}-{spec.link_bytes}B",
+        params=base.params,
+        topology=topo,
+        tables=tables,
+        overlay=overlay,
+        faults=as_schedule(extra.get("faults")),
+    )
+    sources = [runner._unicast_source(name, seed, topo) for name in phases]
+    source = (
+        sources[0] if len(sources) == 1
+        else PhasedSource(sources, phase_cycles)
+    )
+    loop = ControlLoop(source, controller, control, initial=initial)
+    network = design.new_network(kernel)
+    simulator = Simulator(
+        network, [loop], runner.config.sim,
+        observation=None, stage_profile=None,
+    )
+    return design, loop, simulator
+
+
+# -- engine hooks ------------------------------------------------------------
+
+def prepare_control(
+    runner: ExperimentRunner,
+    spec,
+    observation=None,
+    stage_profile=None,
+) -> PreparedRun:
+    """Build one online cell (the ``prepare_spec`` hook for control cells).
+
+    Same caching contract as ``prepare_unicast`` — memo and store hits
+    return immediately — plus a ``control_journal`` attribute on the
+    returned :class:`PreparedRun` holding the cell's
+    :class:`~repro.control.journal.DecisionJournal` (live during the run,
+    reconstructed on a warm hit).
+    """
+    from repro.exec import encode_result, normalize_spec
+    from repro.obs import MetricsRegistry, Observation
+
+    spec = normalize_spec(spec, runner.config)
+    extra = dict(spec.extra)
+    control = ControlConfig.from_spec(extra.get("control"))
+    auto_observed = observation is None
+    if auto_observed:
+        # Control counters are part of the deliverable, so online runs are
+        # always metered; the snapshot is deterministic and rides in the
+        # stored payload like any observed result.
+        observation = Observation(metrics=MetricsRegistry())
+    key = ("control", spec.style, spec.link_bytes, spec.workload, spec.seed,
+           spec.num_access_points, control.canonical(),
+           extra.get("faults"), extra.get("topology"))
+    if auto_observed and key in runner._results:
+        result, journal = runner._results[key]
+        prep = PreparedRun(result=result)
+        prep.control_journal = journal
+        return prep
+    payload = runner._store_load(spec) if auto_observed else None
+    if payload is not None and "control" in payload:
+        result = runner._restore(payload, spec)
+        journal = DecisionJournal.from_dicts(payload["control"]["journal"])
+        runner._results[key] = (result, journal)
+        prep = PreparedRun(result=result)
+        prep.control_journal = journal
+        return prep
+    design, loop, simulator = build_control_cell(runner, spec, control)
+    simulator.observation = observation
+    simulator.stage_profile = stage_profile
+
+    def package(stats) -> RunResult:
+        runner.simulations_run += 1
+        result = runner._package(design, spec.workload, stats,
+                                 spec=spec, observation=observation)
+        if auto_observed:
+            blob = encode_result(result)
+            blob["control"] = {
+                "spec": control.canonical(),
+                "journal": loop.journal.to_dicts(),
+                "summary": control_summary(loop.journal),
+            }
+            runner._store_save(spec, blob)
+            runner._results[key] = (result, loop.journal)
+        return result
+
+    prep = PreparedRun(simulator=simulator, package=package)
+    prep.control_journal = loop.journal
+    return prep
+
+
+def execute_control(
+    runner: ExperimentRunner,
+    spec,
+    observation=None,
+    stage_profile=None,
+) -> RunResult:
+    """Run one online cell (the ``execute_spec`` hook for control cells)."""
+    prep = prepare_control(runner, spec, observation, stage_profile)
+    if prep.result is not None:
+        return prep.result
+    return prep.finish(prep.simulator.run())
+
+
+def control_summary(journal: DecisionJournal) -> dict:
+    """JSON-safe journal roll-up (counts, digest, charged overhead)."""
+    counts = journal.counts()
+    return {
+        "records": len(journal),
+        "applied": counts.get("applied", 0),
+        "skipped": counts.get("skipped", 0),
+        "counts": counts,
+        "overhead_cycles": journal.overhead_cycles(),
+        "journal_digest": journal.digest(),
+    }
+
+
+# -- user-facing wrapper -----------------------------------------------------
+
+@dataclass(frozen=True)
+class ControlRunResult:
+    """One closed-loop run: the packaged result plus its decision trail."""
+
+    result: RunResult
+    journal: DecisionJournal
+    control: ControlConfig
+    digest: Optional[str]   # the cell's job digest (store address)
+
+    @property
+    def applied(self) -> int:
+        return self.journal.counts().get("applied", 0)
+
+    @property
+    def skipped(self) -> int:
+        return self.journal.counts().get("skipped", 0)
+
+    @property
+    def journal_digest(self) -> str:
+        return self.journal.digest()
+
+    def summary(self) -> dict:
+        return control_summary(self.journal)
+
+
+def control_spec(
+    workload: str,
+    *,
+    style: str = "baseline",
+    width: int = 16,
+    seed: Optional[int] = None,
+    access_points: Optional[int] = None,
+    control: ControlConfig | str | None = None,
+    faults=None,
+    topology: Optional[str] = None,
+):
+    """The JobSpec addressing one online cell (extra carries the knobs)."""
+    from repro.exec import JobSpec
+
+    config = (control if isinstance(control, ControlConfig)
+              else ControlConfig.from_spec(control))
+    extra: dict[str, str] = {"control": config.canonical()}
+    if faults is not None:
+        from repro.faults import as_schedule
+
+        schedule = as_schedule(faults)
+        if schedule is not None:
+            extra["faults"] = schedule.canonical()
+    if topology is not None:
+        from repro.noc.topology import resolve_topology
+
+        extra["topology"] = resolve_topology(topology, None)
+    return JobSpec(
+        kind="unicast", style=style, link_bytes=width, workload=workload,
+        seed=seed, num_access_points=access_points,
+        extra=tuple(sorted(extra.items())),
+    )
+
+
+def run_closed_loop(
+    runner: ExperimentRunner,
+    workload: str,
+    *,
+    style: str = "baseline",
+    width: int = 16,
+    seed: Optional[int] = None,
+    access_points: Optional[int] = None,
+    control: ControlConfig | str | None = None,
+    faults=None,
+    topology: Optional[str] = None,
+) -> ControlRunResult:
+    """Run (or warm-load) one closed-loop cell on a runner."""
+    spec = control_spec(
+        workload, style=style, width=width, seed=seed,
+        access_points=access_points, control=control, faults=faults,
+        topology=topology,
+    )
+    from repro.exec import normalize_spec
+
+    spec = normalize_spec(spec, runner.config)
+    prep = prepare_control(runner, spec)
+    if prep.result is not None:
+        result = prep.result
+    else:
+        result = prep.finish(prep.simulator.run())
+    return ControlRunResult(
+        result=result,
+        journal=prep.control_journal,
+        control=ControlConfig.from_spec(dict(spec.extra)["control"]),
+        digest=runner._digest_for(spec),
+    )
+
+
+def best_static_latencies(
+    runner: ExperimentRunner,
+    workload: str,
+    *,
+    width: int = 16,
+    seed: Optional[int] = None,
+    access_points: Optional[int] = None,
+    topology: Optional[str] = None,
+) -> dict[str, float]:
+    """Average latency of each *static* per-phase placement on ``workload``.
+
+    Every phase's offline-profiled adaptive design runs the full phased
+    workload unchanged — the best of these is the strongest static
+    competitor the closed loop must beat.  Cells are store-cached under
+    the runner's config/params digest.
+    """
+    phases, phase_cycles = parse_phased_workload(workload)
+    topo = runner.topology_for(topology)
+    aps = access_points or runner.config.num_access_points
+    resolved_seed = runner.config.traffic_seed if seed is None else seed
+    out: dict[str, float] = {}
+    for name in dict.fromkeys(phases):
+        design = runner.design(
+            "adaptive", width, workload=name, num_access_points=aps,
+            topology=topology,
+        )
+
+        def simulate(design=design):
+            sources = [
+                runner._unicast_source(p, resolved_seed, topo)
+                for p in phases
+            ]
+            source = (
+                sources[0] if len(sources) == 1
+                else PhasedSource(sources, phase_cycles)
+            )
+            return Simulator(
+                design.new_network(), [source], runner.config.sim,
+            ).run()
+
+        stats = runner.cached_stats(
+            "control-static",
+            {
+                "placement": name, "workload": workload, "width": width,
+                "aps": aps, "seed": resolved_seed, "topology": topo.name,
+            },
+            simulate,
+        )
+        out[name] = stats.avg_packet_latency
+    return out

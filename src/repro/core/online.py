@@ -64,14 +64,19 @@ class OnlineReconfigurator:
         interval_cycles: int = 4_000,
         decay: float = 0.5,
         min_window_messages: int = 200,
+        drain_deadline_cycles: int | None = None,
     ):
         if not (0.0 <= decay <= 1.0):
             raise ValueError("decay must be in [0, 1]")
+        if drain_deadline_cycles is not None and drain_deadline_cycles <= 0:
+            raise ValueError("drain_deadline_cycles must be positive")
         self.source = source
         self.controller = controller
         self.interval_cycles = interval_cycles
         self.decay = decay
         self.min_window_messages = min_window_messages
+        self.drain_deadline_cycles = drain_deadline_cycles
+        self.drain_timeouts = 0
         n = controller.topology.num_routers
         self.window = np.zeros((n, n))
         self.phase = Phase.MEASURE
@@ -100,6 +105,15 @@ class OnlineReconfigurator:
         elif self.phase is Phase.DRAIN:
             if network.in_flight == 0:
                 self._reconfigure(network, cycle)
+            elif (self.drain_deadline_cycles is not None
+                    and cycle - self._drain_started
+                    >= self.drain_deadline_cycles):
+                # A saturated network may never quiesce; retuning is only
+                # legal on a drained network, so the epoch is skipped and
+                # traffic resumes rather than spinning in DRAIN forever.
+                self.drain_timeouts += 1
+                self.phase = Phase.MEASURE
+                self.next_reconfig_at = cycle + self.interval_cycles
         elif self.phase is Phase.PAUSE:
             if cycle >= self.resume_at:
                 self.phase = Phase.MEASURE
@@ -109,6 +123,8 @@ class OnlineReconfigurator:
     def _reconfigure(self, network: Network, cycle: int) -> None:
         plan = self.controller.reconfigure(self.window)
         network.apply_shortcuts(plan.tables)
+        if network.fault_state is not None:
+            network.fault_state.rebind(plan.tables)
         self.resume_at = cycle + plan.total_overhead_cycles
         self.phase = Phase.PAUSE
         self.events.append(

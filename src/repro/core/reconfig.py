@@ -67,10 +67,13 @@ class ReconfigurationController:
         )
         self.use_regions = use_regions
 
-    def _selection_config(self, budget: int) -> SelectionConfig:
+    def _selection_config(
+        self, budget: int, extra_forbidden: frozenset[int] = frozenset(),
+    ) -> SelectionConfig:
         return SelectionConfig(
             budget=budget,
             allowed=set(self.overlay.access_points),
+            extra_forbidden=set(extra_forbidden),
         )
 
     def table_update_cycles(self) -> int:
@@ -96,10 +99,12 @@ class ReconfigurationController:
             if multicast_transmitter is None:
                 raise ValueError("multicast requires a transmitter access point")
             self.overlay.configure_multicast(multicast_transmitter)
-        config = self._selection_config(budget)
-        if multicast:
-            # The multicast transmitter's Tx is taken; exclude it as a source.
-            config.extra_forbidden = {multicast_transmitter}
+        # The multicast transmitter's Tx is taken; exclude it as a source.
+        # Passed through the constructor so the config stays value-like.
+        forbidden = (
+            frozenset({multicast_transmitter}) if multicast else frozenset()
+        )
+        config = self._selection_config(budget, forbidden)
         if self.use_regions:
             shortcuts = select_region_shortcuts(self.topology, frequency, config)
         else:

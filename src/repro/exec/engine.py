@@ -121,6 +121,10 @@ def execute_spec(
     the spec actually simulates (memo/store hits leave it untouched).
     """
     if spec.kind == "unicast":
+        if dict(spec.extra).get("control") is not None:
+            from repro.control.run import execute_control
+
+            return execute_control(runner, spec, observation, stage_profile)
         design = runner.design(
             spec.style, spec.link_bytes,
             workload=spec.design_workload,
@@ -161,6 +165,10 @@ def prepare_spec(
     loop advances alongside every other miss in the batch.
     """
     if spec.kind == "unicast":
+        if dict(spec.extra).get("control") is not None:
+            from repro.control.run import prepare_control
+
+            return prepare_control(runner, spec, observation, stage_profile)
         design = runner.design(
             spec.style, spec.link_bytes,
             workload=spec.design_workload,

@@ -137,6 +137,7 @@ def sweep_grid(
     seeds: Iterable[Optional[int]] = (None,),
     faults: Optional[str] = None,
     topology: Optional[str] = None,
+    control: Optional[str] = None,
 ) -> list[JobSpec]:
     """The full (style x link-width x workload x seed) unicast grid.
 
@@ -148,8 +149,23 @@ def sweep_grid(
     ``topology`` (a registered provider name) runs every cell on that
     substrate, folded into ``extra`` the same way; the default-mesh
     request is dropped so mesh grids keep their historical digests.
+    ``control`` (a :class:`~repro.control.loop.ControlConfig` spec string,
+    ``""`` for defaults) makes every cell a closed-loop online run; the
+    canonical control spec joins ``extra``, forking the digests — an
+    online cell can never collide with its offline twin.
     """
     fields: list[tuple[str, str]] = []
+    if control is not None:
+        from repro.control.loop import ControlConfig
+        from repro.control.run import CONTROL_STYLES
+
+        for style in styles:
+            if style not in CONTROL_STYLES:
+                raise ValueError(
+                    f"online sweeps accept styles {list(CONTROL_STYLES)}, "
+                    f"got {style!r}")
+        fields.append(
+            ("control", ControlConfig.from_spec(control).canonical()))
     if faults:
         from repro.faults import as_schedule
 

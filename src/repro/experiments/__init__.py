@@ -11,6 +11,9 @@ from repro.experiments.ablations import (
 #
 #     from repro.experiments.campaigns import NAMED_CAMPAIGNS
 from repro.experiments.config import DEFAULT_CONFIG, FAST_CONFIG, ExperimentConfig
+from repro.experiments.control import (
+    o1_closed_loop_vs_static, o2_reconfiguration_under_faults,
+)
 from repro.experiments.figures import (
     FIG7_PAPER, FIG8_PAPER, FIG9_PAPER, FIG10_PAPER, TABLE2_PAPER,
     FigureResult, e1_load_latency, e2_adaptive_routing,
@@ -65,6 +68,8 @@ __all__ = [
     "fig10_unified",
     "geomean",
     "normalized",
+    "o1_closed_loop_vs_static",
+    "o2_reconfiguration_under_faults",
     "r1_shortcut_degradation",
     "r2_transient_outage",
     "table2_area",

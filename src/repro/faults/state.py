@@ -178,6 +178,17 @@ class FaultState:
         self.dead_routers = frozenset(dead_routers)
         self.blocked = self._structural_routers | self.dead_routers
 
+    def rebind(self, tables: RoutingTables) -> None:
+        """Point the band-fault mapping at retuned shortcuts.
+
+        Runtime reconfiguration (:class:`~repro.core.online.OnlineReconfigurator`,
+        :class:`~repro.control.loop.ControlLoop`) swaps the routing tables
+        mid-run; a band fault kills whichever shortcut occupies the band
+        *now*, so the dead sets are rebuilt against the new plan.
+        """
+        self.tables = tables
+        self._apply()
+
     def active_faults(self) -> tuple[Fault, ...]:
         """The runtime faults currently down, in canonical order."""
         return tuple(sorted(self._active))

@@ -14,6 +14,8 @@ Routes (see ``docs/serving.md`` for schemas)::
 
     POST /v1/simulate     settle one cell (warm / coalesced / computed)
     POST /v1/sweep        register a background grid job -> 202 + job id
+    POST /v1/profile      merge per-pair traffic counts (control ingest)
+    POST /v1/control      decide + compile against the ingest window
     POST /v1/drain        mark this worker draining (cluster ring removal)
     GET  /v1/jobs/<id>    NDJSON progress stream until the job completes
     GET  /v1/trace        recent request-trace events
@@ -188,16 +190,22 @@ class ServeServer:
         if path.startswith("/v1/jobs/") and method == "GET":
             await self._stream_job(path[len("/v1/jobs/"):], writer)
             return True
-        if method == "POST" and path in ("/v1/simulate", "/v1/sweep"):
+        if method == "POST" and path in ("/v1/simulate", "/v1/sweep",
+                                         "/v1/profile", "/v1/control"):
             try:
                 payload = json.loads(body.decode("utf-8")) if body else {}
             except (json.JSONDecodeError, UnicodeDecodeError):
                 respond(400, error_envelope("request body is not valid JSON"))
                 await writer.drain()
                 return False
-            handler = (self.service.simulate if path == "/v1/simulate"
-                       else self.service.sweep)
-            status, envelope_, extra = await handler(payload)
+            if path == "/v1/simulate":
+                status, envelope_, extra = await self.service.simulate(payload)
+            elif path == "/v1/sweep":
+                status, envelope_, extra = await self.service.sweep(payload)
+            elif path == "/v1/profile":
+                status, envelope_, extra = self.service.profile(payload)
+            else:
+                status, envelope_, extra = self.service.control(payload)
             respond(status, envelope_, extra)
         elif method == "POST" and path == "/v1/drain":
             respond(200, self.service.drain())
@@ -207,8 +215,9 @@ class ServeServer:
             respond(200, self.service.metrics())
         elif method == "GET" and path == "/v1/trace":
             respond(200, self.service.trace())
-        elif path in ("/v1/simulate", "/v1/sweep", "/v1/drain", "/healthz",
-                      "/metrics", "/v1/trace"):
+        elif path in ("/v1/simulate", "/v1/sweep", "/v1/profile",
+                      "/v1/control", "/v1/drain", "/healthz", "/metrics",
+                      "/v1/trace"):
             respond(405, error_envelope(f"{method} not allowed on {path}"))
         else:
             respond(404, error_envelope(f"no route for {method} {path}"))

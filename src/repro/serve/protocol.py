@@ -104,10 +104,55 @@ def _topology_extra(value) -> tuple[tuple[str, str], ...]:
     return (("topology", value),)
 
 
+def _control_extra(value) -> tuple[tuple[str, str], ...]:
+    """Validate an ``online`` request field into the spec's ``extra``.
+
+    ``True`` means the default control config; a string is a
+    :class:`~repro.control.loop.ControlConfig` spec.  The canonical form
+    joins the digest, so an online cell never collides with its offline
+    twin.
+    """
+    if value is None or value is False:
+        return ()
+    if value is True:
+        value = ""
+    _require(isinstance(value, str),
+             "'online' must be a boolean or a control spec string")
+    from repro.control.loop import ControlConfig
+
+    try:
+        config = ControlConfig.from_spec(value)
+    except ValueError as exc:
+        raise RequestError(f"invalid control spec {value!r}: {exc}") from exc
+    return (("control", config.canonical()),)
+
+
+def _validate_workload(workload, online: bool) -> None:
+    """A known workload name — or, for online cells, a phased composite."""
+    _require(isinstance(workload, str), "'workload' must be a string")
+    names = known_workloads()
+    if workload in names:
+        return
+    from repro.control.run import PHASED_PREFIX, parse_phased_workload
+
+    if online and workload.startswith(PHASED_PREFIX):
+        try:
+            phases, _ = parse_phased_workload(workload)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
+        for phase in phases:
+            _require(phase in names,
+                     f"unknown workload {phase!r} in {workload!r}")
+        return
+    _require(not workload.startswith(PHASED_PREFIX),
+             "phased workloads require an online (closed-loop) run")
+    raise RequestError(f"unknown workload {workload!r}")
+
+
 #: Fields a simulate request may carry (anything else is rejected).
 SIMULATE_FIELDS = frozenset({
     "design", "workload", "width", "seed", "access_points",
-    "adaptive_routing", "faults", "topology", "timeout_s",
+    "adaptive_routing", "faults", "topology", "timeout_s", "online",
 })
 
 
@@ -121,12 +166,17 @@ def parse_simulate(payload: dict) -> JobSpec:
     _require(isinstance(payload, dict), "request body must be a JSON object")
     unknown = set(payload) - SIMULATE_FIELDS
     _require(not unknown, f"unknown request fields {sorted(unknown)}")
+    control = _control_extra(payload.get("online"))
     design = payload.get("design", "baseline")
     _require(design in DESIGN_STYLES,
              f"unknown design {design!r}; one of {list(DESIGN_STYLES)}")
+    if control:
+        from repro.control.run import CONTROL_STYLES
+
+        _require(design in CONTROL_STYLES,
+                 f"online runs accept designs {list(CONTROL_STYLES)}")
     workload = payload.get("workload", "uniform")
-    _require(isinstance(workload, str) and workload in known_workloads(),
-             f"unknown workload {workload!r}")
+    _validate_workload(workload, online=bool(control))
     width = payload.get("width", 16)
     _require(width in LINK_WIDTHS,
              f"width must be one of {list(LINK_WIDTHS)} (bytes/cycle)")
@@ -144,14 +194,15 @@ def parse_simulate(payload: dict) -> JobSpec:
         num_access_points=access_points,
         adaptive_routing=adaptive,
         extra=tuple(sorted(_faults_extra(payload.get("faults"))
-                           + _topology_extra(payload.get("topology")))),
+                           + _topology_extra(payload.get("topology"))
+                           + control)),
     )
 
 
 #: Fields a sweep request may carry.
 SWEEP_FIELDS = frozenset({
     "styles", "widths", "workloads", "seeds", "adaptive_routing", "faults",
-    "topology",
+    "topology", "online",
 })
 
 
@@ -167,18 +218,22 @@ def parse_sweep(payload: dict) -> list[JobSpec]:
     _require(isinstance(payload, dict), "request body must be a JSON object")
     unknown = set(payload) - SWEEP_FIELDS
     _require(not unknown, f"unknown request fields {sorted(unknown)}")
+    control = _control_extra(payload.get("online"))
     styles = _str_list(payload, "styles", ["baseline"])
     for style in styles:
         _require(style in DESIGN_STYLES, f"unknown design {style!r}")
+        if control:
+            from repro.control.run import CONTROL_STYLES
+
+            _require(style in CONTROL_STYLES,
+                     f"online sweeps accept designs {list(CONTROL_STYLES)}")
     widths = _str_list(payload, "widths", [16])
     for width in widths:
         _require(width in LINK_WIDTHS,
                  f"width must be one of {list(LINK_WIDTHS)}")
     workloads = _str_list(payload, "workloads", ["uniform"])
-    names = known_workloads()
     for workload in workloads:
-        _require(isinstance(workload, str) and workload in names,
-                 f"unknown workload {workload!r}")
+        _validate_workload(workload, online=bool(control))
     seeds = payload.get("seeds", [None])
     _require(isinstance(seeds, list) and seeds, "'seeds' must be a list")
     for seed in seeds:
@@ -194,7 +249,8 @@ def parse_sweep(payload: dict) -> list[JobSpec]:
     if topology is not None:
         _topology_extra(topology)  # validate eagerly for a clean 400
     return sweep_grid(styles, widths, workloads, adaptive_routing=adaptive,
-                      seeds=seeds, faults=faults, topology=topology)
+                      seeds=seeds, faults=faults, topology=topology,
+                      control=control[0][1] if control else None)
 
 
 def spec_fields(spec: JobSpec) -> dict:
@@ -220,6 +276,8 @@ def spec_fields(spec: JobSpec) -> dict:
         fields["faults"] = extra["faults"]
     if extra.get("topology"):
         fields["topology"] = extra["topology"]
+    if extra.get("control") is not None:
+        fields["online"] = extra["control"]
     return fields
 
 

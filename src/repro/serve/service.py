@@ -14,6 +14,13 @@ kept free of sockets so tests (and the CLI) can drive it directly:
 * ``stream_job(job_id)`` — an async iterator of the job's progress
   events (NDJSON lines on the wire), ending after the terminal
   ``complete`` event;
+* ``profile(payload)`` / ``control(payload)`` — the control plane's wire
+  ingest: ``POST /v1/profile`` merges per-pair traffic counts into a
+  service-held :class:`~repro.control.profile.TrafficProfile`, and
+  ``POST /v1/control`` runs the decide + compile stages against the
+  accumulated window, returning the decision and the frozen band plan
+  (no simulation is touched — this is the advisory path a deployed
+  controller would poll);
 * ``health()`` / ``metrics()`` — liveness and the full metrics envelope,
   including a *reconciliation* block proving every settled request is
   accounted: ``simulate requests - rejected + sweep cells ==
@@ -98,6 +105,9 @@ class SimulationService:
         #: (``shard-0``, ``shard-1``, ...); a standalone service is ``solo``.
         self.shard_id = shard_id if shard_id else "solo"
         self.draining = False
+        #: Control-plane ingest state (lazy: built on first /v1/profile).
+        self._ingest = None
+        self._control_topology = None
 
     @property
     def store(self) -> Optional[ResultStore]:
@@ -283,6 +293,131 @@ class SimulationService:
         return envelope(status=job.status, job_id=job.job_id,
                         cells=len(job.specs), events=len(job.events),
                         summary=job.summary)
+
+    # -- control plane: ingest + decide -------------------------------------
+
+    #: Fields a profile-ingest request may carry.
+    PROFILE_FIELDS = frozenset({"pairs", "decay"})
+
+    #: Fields a control-decision request may carry.
+    CONTROL_FIELDS = frozenset({"online", "current", "access_points"})
+
+    def _control_state(self):
+        """The service-held (topology, TrafficProfile) ingest state."""
+        if self._ingest is None:
+            from repro.control.profile import TrafficProfile
+            from repro.noc.topology import build_topology
+
+            self._control_topology = build_topology(
+                self.scheduler.params.mesh)
+            self._ingest = TrafficProfile(
+                self._control_topology.num_routers)
+        return self._control_topology, self._ingest
+
+    def profile(self, payload: dict) -> tuple[int, dict, dict]:
+        """Handle ``POST /v1/profile``: merge remote per-pair counts.
+
+        The body is ``{"pairs": [[src, dst, count(, bytes)], ...]}`` —
+        the :meth:`TrafficProfile.merge_pairs` wire shape.  ``"decay":
+        true`` ages the window after the merge (the remote end of an
+        epoch boundary).
+        """
+        self._count("profile")
+        topo, ingest = self._control_state()
+        try:
+            if not isinstance(payload, dict):
+                raise RequestError("request body must be a JSON object")
+            unknown = set(payload) - self.PROFILE_FIELDS
+            if unknown:
+                raise RequestError(
+                    f"unknown request fields {sorted(unknown)}")
+            pairs = payload.get("pairs", [])
+            if not isinstance(pairs, list):
+                raise RequestError("'pairs' must be a list")
+            for row in pairs:
+                if not isinstance(row, (list, tuple)) or len(row) not in (3, 4):
+                    raise RequestError(
+                        "'pairs' rows must be [src, dst, count(, bytes)]")
+            merged = ingest.merge_pairs(pairs)
+            if payload.get("decay"):
+                ingest.decay_window()
+        except (RequestError, ValueError, TypeError) as exc:
+            return self._reject("profile", exc)
+        self._trace("profile", f"200 merged={merged}")
+        return 200, envelope(status="ok", merged=merged,
+                             profile=ingest.snapshot()), {}
+
+    def control(self, payload: dict) -> tuple[int, dict, dict]:
+        """Handle ``POST /v1/control``: decide + compile, no simulation.
+
+        Runs the decide stage against the accumulated ingest window and
+        the compile stage against the proposal, returning the decision
+        and the frozen band plan — the advisory poll path of a deployed
+        controller.  ``current`` (a list of ``[src, dst]`` pairs) is the
+        placement on the wire; ``online`` is a control spec string for
+        the hysteresis/budget knobs; ``access_points`` overrides the
+        service config's count.
+        """
+        self._count("control")
+        try:
+            if not isinstance(payload, dict):
+                raise RequestError("request body must be a JSON object")
+            unknown = set(payload) - self.CONTROL_FIELDS
+            if unknown:
+                raise RequestError(
+                    f"unknown request fields {sorted(unknown)}")
+            from repro.control.compiler import compile_configuration
+            from repro.control.decide import ShortcutDecider
+            from repro.control.loop import ControlConfig
+
+            online = payload.get("online")
+            if online in (None, True):
+                online = ""
+            if not isinstance(online, str):
+                raise RequestError(
+                    "'online' must be a control spec string")
+            try:
+                control = ControlConfig.from_spec(online)
+            except ValueError as exc:
+                raise RequestError(str(exc)) from exc
+            topo, ingest = self._control_state()
+            aps = payload.get("access_points")
+            if aps is None:
+                aps = self.scheduler.config.num_access_points
+            if not isinstance(aps, int) or isinstance(aps, bool) or aps <= 0:
+                raise RequestError("'access_points' must be positive")
+            raw_current = payload.get("current", [])
+            if not isinstance(raw_current, list):
+                raise RequestError("'current' must be a list of [src, dst]")
+            current = []
+            for row in raw_current:
+                if not isinstance(row, (list, tuple)) or len(row) != 2:
+                    raise RequestError(
+                        "'current' entries must be [src, dst] pairs")
+                current.append((int(row[0]), int(row[1])))
+            decider = ShortcutDecider(
+                topo, topo.rf_enabled_routers(aps),
+                budget=(control.budget
+                        or self.scheduler.params.rfi.shortcut_budget),
+                use_regions=control.use_regions,
+                hysteresis=control.hysteresis,
+            )
+            decision = decider.decide(ingest.matrix(), tuple(current))
+        except (RequestError, ValueError, TypeError) as exc:
+            return self._reject("control", exc)
+        band_config, _ = compile_configuration(topo, decision.shortcuts)
+        self._trace("control", f"200 {decision.action}:{decision.reason}")
+        return 200, envelope(
+            status="ok",
+            action=decision.action,
+            reason=decision.reason,
+            predicted_gain=decision.predicted_gain,
+            objective_before=decision.objective_before,
+            objective_after=decision.objective_after,
+            shortcuts=[list(pair) for pair in decision.shortcuts],
+            bands=band_config.to_dict(),
+            window_messages=ingest.window_messages,
+        ), {}
 
     # -- health / metrics / trace -------------------------------------------
 

@@ -16,7 +16,7 @@ class TestParser:
     def test_all_experiments_documented(self):
         assert set(EXPERIMENTS) == {
             "E1", "E2", "E3", "E4", "F1", "F2", "F7", "F8", "F9", "F10",
-            "R1", "R2", "T2",
+            "O1", "O2", "R1", "R2", "T2",
         }
 
 

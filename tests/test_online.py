@@ -7,7 +7,7 @@ from repro.core import (
 )
 from repro.core.reconfig import ReconfigurationController
 from repro.noc import (
-    Message, MeshTopology, Network, RoutingPolicy, RoutingTables, Shortcut,
+    Message, MeshTopology, Network, RoutingTables, Shortcut,
 )
 from repro.noc.simulator import Simulator
 from repro.params import ArchitectureParams, MeshParams, SimulationParams
@@ -119,6 +119,86 @@ class TestOnlineReconfigurator:
         controller = ReconfigurationController(topo, overlay)
         with pytest.raises(ValueError):
             OnlineReconfigurator(object(), controller, decay=1.5)
+
+    def test_drain_deadline_validated(self, topo):
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        controller = ReconfigurationController(topo, overlay)
+        with pytest.raises(ValueError):
+            OnlineReconfigurator(object(), controller,
+                                 drain_deadline_cycles=0)
+
+    def test_drain_deadline_breaks_livelock(self, topo):
+        """A network that never quiesces costs a skipped epoch, not a hang."""
+        from repro.core.online import Phase
+
+        net, online = self.make(topo, drain_deadline_cycles=5)
+        online.phase = Phase.DRAIN
+        online._drain_started = net.cycle
+        for _ in range(10):
+            # Keep the network permanently busy: a fresh wormhole every
+            # cycle, so in_flight never reaches zero during the drain.
+            net.inject(Message(src=0, dst=99, size_bytes=39))
+            online.tick(net)
+            net.step()
+        assert online.drain_timeouts == 1
+        assert online.phase is Phase.MEASURE
+        assert online.reconfigurations == 0
+        # The next attempt is postponed a full interval, not retried hot.
+        assert online.next_reconfig_at > net.cycle
+
+    def test_no_deadline_keeps_draining(self, topo):
+        from repro.core.online import Phase
+
+        net, online = self.make(topo)  # drain_deadline_cycles=None
+        online.phase = Phase.DRAIN
+        online._drain_started = net.cycle
+        for _ in range(10):
+            net.inject(Message(src=0, dst=99, size_bytes=39))
+            online.tick(net)
+            net.step()
+        assert online.drain_timeouts == 0
+        assert online.phase is Phase.DRAIN
+
+
+class TestMulticastReconfigure:
+    def test_multicast_reserves_band_and_transmitter(self, topo):
+        import numpy as np
+
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        controller = ReconfigurationController(topo, overlay)
+        frequency = np.random.default_rng(0).random(
+            (topo.num_routers, topo.num_routers))
+        transmitter = next(iter(overlay.access_points))
+        plan = controller.reconfigure(
+            frequency, multicast=True, multicast_transmitter=transmitter)
+        # One band is the broadcast channel: budget - 1 shortcuts placed.
+        assert len(plan.shortcuts) == controller.budget - 1
+        # The transmitter's Tx mixer is taken by the multicast channel.
+        assert all(s.src != transmitter for s in plan.shortcuts)
+        # Every access-point Rx not claimed by a shortcut listens on the
+        # broadcast channel (the transmitter's own free Rx included).
+        assert plan.multicast_receivers
+        claimed = {s.dst for s in plan.shortcuts}
+        assert claimed.isdisjoint(plan.multicast_receivers)
+
+    def test_multicast_requires_transmitter(self, topo):
+        import numpy as np
+
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        controller = ReconfigurationController(topo, overlay)
+        frequency = np.ones((topo.num_routers, topo.num_routers))
+        with pytest.raises(ValueError):
+            controller.reconfigure(frequency, multicast=True)
+
+    def test_selection_config_not_mutated(self, topo):
+        """The controller passes exclusions at construction, value-like."""
+        overlay = RFIOverlay(topo, topo.rf_enabled_routers(50), adaptive=True)
+        controller = ReconfigurationController(topo, overlay)
+        config = controller._selection_config(4, frozenset({11}))
+        assert config.budget == 4
+        assert config.extra_forbidden == {11}
+        # A fresh config without exclusions starts empty.
+        assert controller._selection_config(4).extra_forbidden == set()
 
 
 class TestVisualize:
